@@ -1,0 +1,52 @@
+// Ablation (DESIGN.md §5): the geography-aware partition. The paper argues
+// its census partition beats plain grids because it respects mountains and
+// lakes; this bench carves terrain obstacles into the lattice and measures
+// how the irregular adjacency changes fleet dynamics under GT.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+#include "fairmove/core/metrics.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.08, 0, 2);
+  bench::PrintHeader("Ablation — terrain obstacles in the partition", setup);
+
+  Table table({"terrain", "mean hop (km)", "mean PE", "PF", "cruise med",
+               "idle mean", "svc rate"});
+  for (double fraction : {0.0, 0.10, 0.20}) {
+    FairMoveConfig cfg = setup.config;
+    cfg.city.obstacle_fraction = fraction;
+    auto system = bench::BuildSystem(cfg);
+    // Mean adjacent-hop distance: detours around carved terrain lengthen it.
+    double hop_km = 0.0;
+    int hops = 0;
+    for (const Region& region : system->city().regions()) {
+      for (RegionId n : region.neighbors) {
+        hop_km += system->city().DrivingKm(region.id, n);
+        ++hops;
+      }
+    }
+    bench::RunGroundTruthTrace(*system, setup.env.days);
+    const FleetMetrics m = ComputeFleetMetrics(system->sim());
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%% carved", fraction * 100.0);
+    table.Row()
+        .Str(label)
+        .Num(hops > 0 ? hop_km / hops : 0.0, 2)
+        .Num(m.pe.Mean(), 1)
+        .Num(m.pf, 1)
+        .Num(m.trip_cruise_min.empty() ? 0.0 : m.trip_cruise_min.Median(), 1)
+        .Num(m.charge_idle_min.empty() ? 0.0 : m.charge_idle_min.Mean(), 1)
+        .Pct(m.ServiceRate())
+        .Done();
+    std::printf("%s done\n", label);
+  }
+  std::printf("\n%s\n", table.ToAlignedText().c_str());
+  std::printf("expected: carving raises detour distances and queue travel, "
+              "lowering PE slightly — the cost the paper's partition "
+              "internalises by following real geography.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fairmove::bench {
+
+BenchSetup MakeSetup(double default_scale, int default_episodes,
+                     int default_days) {
+  BenchSetup setup;
+  setup.env.scale = default_scale;
+  setup.env.episodes = default_episodes;
+  setup.env.days = default_days;
+  if (Status s = setup.env.LoadFromEnv(); !s.ok()) {
+    std::fprintf(stderr, "bad FAIRMOVE_* environment: %s\n",
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  setup.config = FairMoveConfig::FullShenzhen().Scaled(setup.env.scale);
+  setup.config.trainer.episodes = setup.env.episodes;
+  setup.config.eval.days = setup.env.days;
+  if (setup.env.seed != 0) {
+    setup.config.sim.seed = setup.env.seed;
+    setup.config.trainer.seed_base = 9000 + setup.env.seed * 1000;
+    setup.config.eval.seed = 424242 + setup.env.seed;
+  }
+  return setup;
+}
+
+std::unique_ptr<FairMoveSystem> BuildSystem(const FairMoveConfig& config) {
+  auto system_or = FairMoveSystem::Create(config);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 system_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(system_or).value();
+}
+
+void RunGroundTruthTrace(FairMoveSystem& system, int days) {
+  auto policy = MakePolicy(PolicyKind::kGroundTruth, system.sim(), 7000);
+  system.sim().Reset();
+  system.sim().RunDays(policy.get(), days);
+}
+
+std::vector<MethodResult> RunSixMethodComparison(FairMoveSystem& system) {
+  std::printf("training %d episodes per learned method, evaluating %d "
+              "day(s) on a shared demand realisation...\n\n",
+              system.config().trainer.episodes, system.config().eval.days);
+  return system.RunComparison(FairMoveSystem::AllMethods());
+}
+
+void PrintHeader(const std::string& artefact, const BenchSetup& setup) {
+  std::printf("=== FairMove reproduction: %s ===\n", artefact.c_str());
+  std::printf("config: scale %.3f -> %d regions / %d stations / %d taxis | "
+              "seed %llu\n",
+              setup.env.scale, setup.config.city.num_regions,
+              setup.config.city.num_stations, setup.config.sim.num_taxis,
+              static_cast<unsigned long long>(setup.config.sim.seed));
+}
+
+}  // namespace fairmove::bench

@@ -1,0 +1,74 @@
+// Extension experiment (paper §V, "Generalization on Electric Ridesharing
+// Fleets"): with a centralized e-hailing platform, request origins are
+// known and vacant taxis can be *dispatched* across region boundaries.
+// Compares the street-hailing e-taxi setting against dispatch radii of 10
+// and 20 minutes, under GT and FairMove.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+#include "fairmove/rl/cma2c_policy.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.06, 8, 1);
+  bench::PrintHeader("Extension (SV) — electric ridesharing dispatch",
+                     setup);
+
+  Table table({"matching mode", "policy", "service rate", "mean PE",
+               "PF", "median cruise (min)"});
+  for (double radius : {0.0, 10.0, 20.0}) {
+    FairMoveConfig cfg = setup.config;
+    cfg.sim.dispatch_radius_minutes = radius;
+    auto system = bench::BuildSystem(cfg);
+    const std::string mode =
+        radius == 0.0 ? "street hail (e-taxi)"
+                      : "dispatch r=" + std::to_string(static_cast<int>(
+                            radius)) + "min";
+
+    // GT behaviour under this matching mode.
+    {
+      Evaluator evaluator = system->MakeEvaluator();
+      const MethodResult gt = evaluator.RunGroundTruth();
+      table.Row()
+          .Str(mode)
+          .Str("GT")
+          .Pct(gt.metrics.ServiceRate())
+          .Num(gt.metrics.pe.Mean(), 1)
+          .Num(gt.metrics.pf, 1)
+          .Num(gt.metrics.trip_cruise_min.empty()
+                   ? 0.0
+                   : gt.metrics.trip_cruise_min.Median(),
+               1)
+          .Done();
+    }
+    // Trained FairMove under this matching mode.
+    {
+      Evaluator evaluator = system->MakeEvaluator();
+      const MethodResult gt = evaluator.RunGroundTruth();
+      Cma2cPolicy::Options options;
+      options.seed = 7055;
+      Cma2cPolicy policy(system->sim(), options);
+      Evaluator fresh = system->MakeEvaluator();
+      const MethodResult r = fresh.RunOne(&policy, gt.metrics);
+      table.Row()
+          .Str(mode)
+          .Str("FairMove")
+          .Pct(r.metrics.ServiceRate())
+          .Num(r.metrics.pe.Mean(), 1)
+          .Num(r.metrics.pf, 1)
+          .Num(r.metrics.trip_cruise_min.empty()
+                   ? 0.0
+                   : r.metrics.trip_cruise_min.Median(),
+               1)
+          .Done();
+    }
+    std::printf("%s done\n", mode.c_str());
+  }
+  std::printf("\n%s\n", table.ToAlignedText().c_str());
+  std::printf("expected: dispatch raises the service rate and PE for both "
+              "policies (known origins remove the street-hail search), and "
+              "FairMove's displacement still adds on top.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Fig 2: the time-variant charging pricing of Shenzhen — 24 hourly rows of
+// price period and CNY/kWh rate.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+#include "fairmove/pricing/tou_tariff.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.1, 0, 1);
+  bench::PrintHeader("Fig 2 — time-of-use charging price schedule", setup);
+
+  const TouTariff tariff = TouTariff::Shenzhen();
+  Table table({"hour", "period", "CNY/kWh"});
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    const TimeSlot slot(h * kSlotsPerHour);
+    table.Row()
+        .Str(std::to_string(h) + ":00")
+        .Str(PricePeriodName(tariff.PeriodAt(slot)))
+        .Num(tariff.RateAt(slot), 2)
+        .Done();
+  }
+  std::printf("%s\n", table.ToAlignedText().c_str());
+  std::printf("paper: off-peak 0.9, flat 1.2, peak 1.6 CNY/kWh; valleys at "
+              "night, midday (12-14) and 17-18.\n");
+  return 0;
+}

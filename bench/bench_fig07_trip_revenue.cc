@@ -1,0 +1,66 @@
+// Fig 7: average per-trip revenue by region for three windows of day —
+// late night (00-01), morning rush (08-09), evening rush (18-19) — plus
+// the per-window region-revenue distribution (the inset histograms).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+#include "fairmove/data/analysis.h"
+
+namespace {
+
+void PrintWindow(const fairmove::FairMoveSystem& system,
+                 const std::vector<double>& revenue, const char* label) {
+  using namespace fairmove;
+  // Aggregate per region class (the spatial pattern of the choropleth).
+  double sum[kNumRegionClasses] = {0};
+  int count[kNumRegionClasses] = {0};
+  Sample all;
+  for (const Region& region : system.city().regions()) {
+    const double v = revenue[static_cast<size_t>(region.id)];
+    if (v <= 0.0) continue;  // regions without trips in the window
+    sum[static_cast<int>(region.cls)] += v;
+    count[static_cast<int>(region.cls)] += 1;
+    all.Add(v);
+  }
+  Table table({"region class", "avg per-trip revenue (CNY)", "regions"});
+  for (int c = 0; c < kNumRegionClasses; ++c) {
+    if (count[c] == 0) continue;
+    table.Row()
+        .Str(RegionClassName(static_cast<RegionClass>(c)))
+        .Num(sum[c] / count[c], 1)
+        .Int(count[c])
+        .Done();
+  }
+  std::printf("--- %s ---\n%s", label, table.ToAlignedText().c_str());
+  if (!all.empty()) {
+    std::printf("region distribution: p10 %.0f  median %.0f  p90 %.0f CNY "
+                "(range %.0f-%.0f)\n\n",
+                all.Percentile(10), all.Median(), all.Percentile(90),
+                all.Percentile(0), all.Percentile(100));
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.1, 0, 2);
+  bench::PrintHeader(
+      "Fig 7 — per-trip revenue by region and time window", setup);
+  auto system = bench::BuildSystem(setup.config);
+  bench::RunGroundTruthTrace(*system, setup.env.days);
+
+  PrintWindow(*system, PerTripRevenueByRegion(system->sim(), 0, 1),
+              "late night 00:00-01:00");
+  PrintWindow(*system, PerTripRevenueByRegion(system->sim(), 8, 9),
+              "morning rush 08:00-09:00");
+  PrintWindow(*system, PerTripRevenueByRegion(system->sim(), 18, 19),
+              "evening rush 18:00-19:00");
+
+  std::printf("paper: per-trip revenue spans several CNY to >100 CNY; the "
+              "airport region is always high, suburbs low; more low-revenue "
+              "regions at night than in rush hours.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig 11: average PRCT (percentage reduction of cruise time vs GT) per
+// hour of day for each method. Paper headline: FairMove exceeds 40% in the
+// early morning (5:00-7:00) when uncoordinated drivers cruise longest.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.08, 20, 2);
+  bench::PrintHeader("Fig 11 — hourly PRCT by method", setup);
+  auto system = bench::BuildSystem(setup.config);
+  const auto results = bench::RunSixMethodComparison(*system);
+
+  std::vector<std::string> header{"hour"};
+  for (const MethodResult& r : results) {
+    if (r.kind != PolicyKind::kGroundTruth) header.push_back(r.name);
+  }
+  Table table(header);
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    auto row = table.Row();
+    row.Str(std::to_string(h) + ":00");
+    for (const MethodResult& r : results) {
+      if (r.kind == PolicyKind::kGroundTruth) continue;
+      row.Pct(r.vs_gt.prct_by_hour[static_cast<size_t>(h)]);
+    }
+    row.Done();
+  }
+  std::printf("%s\n", table.ToAlignedText().c_str());
+  std::printf("paper shape: learned methods gain most in low-demand hours "
+              "where GT drivers cruise blind.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig 13: average PRIT (percentage reduction of idle time vs GT) per hour
+// of day. Paper headline: FairMove gains most in the high charging-demand
+// hours (4:00-5:00 and 17:00-18:00) — it dissolves the charging peaks.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.08, 20, 2);
+  bench::PrintHeader("Fig 13 — hourly PRIT by method", setup);
+  auto system = bench::BuildSystem(setup.config);
+  const auto results = bench::RunSixMethodComparison(*system);
+
+  std::vector<std::string> header{"hour"};
+  for (const MethodResult& r : results) {
+    if (r.kind != PolicyKind::kGroundTruth) header.push_back(r.name);
+  }
+  Table table(header);
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    auto row = table.Row();
+    row.Str(std::to_string(h) + ":00");
+    for (const MethodResult& r : results) {
+      if (r.kind == PolicyKind::kGroundTruth) continue;
+      row.Pct(r.vs_gt.prit_by_hour[static_cast<size_t>(h)]);
+    }
+    row.Done();
+  }
+  std::printf("%s\n", table.ToAlignedText().c_str());
+  std::printf("paper shape: the biggest reductions fall in the charging-"
+              "peak hours where GT queues are longest.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig 14: per-taxi hourly profit efficiency under every method (boxplot
+// rows). Paper headline: GT median 45.2 -> FairMove 53.1, with smaller
+// variance between taxis under FairMove.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.08, 20, 2);
+  bench::PrintHeader("Fig 14 — hourly PE distribution by method", setup);
+  auto system = bench::BuildSystem(setup.config);
+  const auto results = bench::RunSixMethodComparison(*system);
+
+  Table table({"method", "p10", "q1", "median", "q3", "p90", "variance"});
+  for (const MethodResult& r : results) {
+    table.Row()
+        .Str(r.name)
+        .Num(r.metrics.pe.Percentile(10), 1)
+        .Num(r.metrics.pe.Percentile(25), 1)
+        .Num(r.metrics.pe.Median(), 1)
+        .Num(r.metrics.pe.Percentile(75), 1)
+        .Num(r.metrics.pe.Percentile(90), 1)
+        .Num(r.metrics.pf, 1)
+        .Done();
+  }
+  std::printf("%s\n", table.ToAlignedText().c_str());
+  std::printf("paper shape: FairMove lifts the median (45.2 -> 53.1) AND "
+              "tightens the spread; SD2 slightly lowers the median.\n");
+  return 0;
+}

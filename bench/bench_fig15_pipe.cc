@@ -1,0 +1,38 @@
+// Fig 15: overall PIPE (percentage increase of profit efficiency vs GT).
+// Paper: SD2 -5%, TQL ~small, DQN +7.5%, TBA ~small, FairMove +25.2%.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.08, 20, 2);
+  bench::PrintHeader("Fig 15 — overall PIPE per method", setup);
+  auto system = bench::BuildSystem(setup.config);
+  const auto results = bench::RunSixMethodComparison(*system);
+
+  Table table({"method", "PIPE (measured)", "PIPE (paper)",
+               "fleet mean PE", "service rate"});
+  auto paper = [](const std::string& name) {
+    if (name == "SD2") return "-5.0%";
+    if (name == "DQN") return "+7.5%";
+    if (name == "FairMove") return "+25.2%";
+    return "(small +)";
+  };
+  for (const MethodResult& r : results) {
+    if (r.kind == PolicyKind::kGroundTruth) continue;
+    table.Row()
+        .Str(r.name)
+        .Pct(r.vs_gt.pipe)
+        .Str(paper(r.name))
+        .Num(r.metrics.pe.Mean(), 1)
+        .Pct(r.metrics.ServiceRate())
+        .Done();
+  }
+  std::printf("%s\n", table.ToAlignedText().c_str());
+  std::printf("key signs to reproduce: SD2 negative, learned methods "
+              "positive, FairMove/DQN at the top.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// One-stop evaluation: trains the six methods once and renders *every*
+// Section-IV artefact (Tables II/III, Figs 10-16) into a single markdown
+// report — the efficient alternative to running each per-figure bench
+// (which retrains per binary). Writes fairmove_report.md next to the
+// terminal output.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "fairmove/core/report.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.08, 20, 2);
+  bench::PrintHeader("consolidated Section-IV report (one training run)",
+                     setup);
+  auto system = bench::BuildSystem(setup.config);
+  const auto results = bench::RunSixMethodComparison(*system);
+
+  ReportWriter report(results);
+  std::printf("%s", report.ToMarkdown().c_str());
+
+  const char* out = std::getenv("FAIRMOVE_REPORT_PATH");
+  const std::string path = out != nullptr ? out : "fairmove_report.md";
+  if (Status s = report.WriteFile(path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nreport written to %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Component throughput microbenchmarks (google-benchmark): simulator step
+// rate, policy-network forward/backward, feature extraction, city
+// construction. These bound how far the experiments can scale on one core.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "fairmove/core/fairmove.h"
+#include "fairmove/nn/adam.h"
+#include "fairmove/nn/mlp.h"
+#include "fairmove/rl/features.h"
+#include "fairmove/rl/gt_policy.h"
+
+namespace fairmove {
+namespace {
+
+std::unique_ptr<FairMoveSystem> MakeSystem(double scale) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(scale);
+  cfg.sim.trace_level = TraceLevel::kAggregatesOnly;
+  return std::move(FairMoveSystem::Create(cfg)).value();
+}
+
+void BM_SimulatorStepGt(benchmark::State& state) {
+  auto system = MakeSystem(static_cast<double>(state.range(0)) / 100.0);
+  GtPolicy policy;
+  for (auto _ : state) {
+    system->sim().Step(&policy);
+  }
+  state.counters["taxis"] =
+      static_cast<double>(system->sim().num_taxis());
+  state.counters["taxi_slots/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * system->sim().num_taxis(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorStepGt)->Arg(5)->Arg(10)->Arg(25);
+
+void BM_CityBuild(benchmark::State& state) {
+  CityConfig cfg =
+      CityConfig{}.Scaled(static_cast<double>(state.range(0)) / 100.0);
+  for (auto _ : state) {
+    auto city = CityBuilder(cfg).Build();
+    benchmark::DoNotOptimize(city);
+  }
+  state.counters["regions"] = cfg.num_regions;
+}
+BENCHMARK(BM_CityBuild)->Arg(10)->Arg(100);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  auto system = MakeSystem(0.1);
+  FeatureExtractor features(&system->sim());
+  TaxiObs obs;
+  obs.taxi = 0;
+  obs.region = 0;
+  obs.soc = 0.5;
+  obs.may_charge = true;
+  std::vector<float> out;
+  for (auto _ : state) {
+    features.Extract(obs, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["dim"] = features.dim();
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_MlpForward1(benchmark::State& state) {
+  Mlp net({40, 64, 64, 14}, Activation::kTanh, 1);
+  std::vector<float> x(40, 0.3f);
+  for (auto _ : state) {
+    auto y = net.Forward1(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_MlpForward1);
+
+void BM_MlpTrainStep(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Mlp net({40, 64, 64, 14}, Activation::kTanh, 1);
+  Adam adam(&net, Adam::Options{});
+  Rng rng(2);
+  Matrix x(batch, 40), grad(batch, 14);
+  x.RandomGaussian(rng, 1.0);
+  grad.RandomGaussian(rng, 0.01);
+  for (auto _ : state) {
+    Mlp::Tape tape;
+    net.ForwardTape(x, &tape);
+    Mlp::Gradients grads = net.MakeGradients();
+    net.Backward(tape, grad, &grads);
+    adam.Step(grads);
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * batch,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MlpTrainStep)->Arg(64)->Arg(512)->Arg(3500);
+
+}  // namespace
+}  // namespace fairmove
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Table II: average PRCT (percentage reduction of cruise time) per method.
+// Paper: SD2 19.4%, TQL 13.7%, DQN 23.6%, TBA 21.3%, FairMove 32.1%.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.08, 20, 2);
+  bench::PrintHeader("Table II — average PRCT per method", setup);
+  auto system = bench::BuildSystem(setup.config);
+  const auto results = bench::RunSixMethodComparison(*system);
+
+  Table table({"method", "PRCT (measured)", "PRCT (paper)",
+               "mean cruise (min)"});
+  auto paper = [](const std::string& name) {
+    if (name == "SD2") return "19.4%";
+    if (name == "TQL") return "13.7%";
+    if (name == "DQN") return "23.6%";
+    if (name == "TBA") return "21.3%";
+    if (name == "FairMove") return "32.1%";
+    return "-";
+  };
+  for (const MethodResult& r : results) {
+    if (r.kind == PolicyKind::kGroundTruth) continue;
+    table.Row()
+        .Str(r.name)
+        .Pct(r.vs_gt.prct)
+        .Str(paper(r.name))
+        .Num(r.metrics.trip_cruise_min.empty()
+                 ? 0.0
+                 : r.metrics.trip_cruise_min.Mean(),
+             1)
+        .Done();
+  }
+  std::printf("%s\n", table.ToAlignedText().c_str());
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Walks through the paper's five data-driven findings (§II-C) on a
+// generated dataset, printing each finding's headline statistic next to
+// the paper's — the motivation section of the paper as a runnable program.
+// Also prints the station-utilization heat rows used for infrastructure
+// planning.
+//
+//   ./build/examples/charging_analysis [--scale=0.1] [--days=2]
+
+#include <cstdio>
+
+#include "fairmove/common/flags.h"
+#include "fairmove/core/fairmove.h"
+#include "fairmove/data/analysis.h"
+#include "fairmove/geo/geojson.h"
+#include "fairmove/pricing/tou_tariff.h"
+
+int main(int argc, char** argv) {
+  using namespace fairmove;
+
+  auto flags_or = Flags::Parse(argc, argv, {"scale", "days", "geojson"});
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n", flags_or.status().ToString().c_str());
+    return 1;
+  }
+  const Flags& flags = flags_or.value();
+  const double scale = flags.GetDouble("scale", 0.1).value_or(0.1);
+  const int days = static_cast<int>(flags.GetInt("days", 2).value_or(2));
+
+  FairMoveConfig config = FairMoveConfig::FullShenzhen().Scaled(scale);
+  auto system_or = FairMoveSystem::Create(config);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  auto system = std::move(system_or).value();
+
+  if (flags.Has("geojson")) {
+    const std::string path = flags.GetString("geojson", "/tmp/city.geojson");
+    if (Status s = WriteCityGeoJson(system->city(), path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote city map to %s\n", path.c_str());
+  }
+
+  auto gt = MakePolicy(PolicyKind::kGroundTruth, system->sim(), 7000);
+  system->sim().RunDays(gt.get(), days);
+  const Simulator& sim = system->sim();
+
+  std::printf("=== The five data-driven findings of paper §II-C ===\n\n");
+
+  // (i) Long charging processes.
+  const Sample durations = ChargeDurationSample(sim);
+  std::printf("(i)  Charging is slow: %.1f%% of %zu charge events last "
+              "45-120 min (paper: 73.5%%); median %.0f min vs a 3-5 min "
+              "gas refuel.\n\n",
+              durations.FractionIn(45, 120) * 100.0, durations.size(),
+              durations.Median());
+
+  // (ii) Price-driven charging peaks.
+  const auto shares = ChargeStartShareByHour(sim);
+  double valley = 0.0;
+  for (int h : {2, 3, 4, 5, 12, 13, 17}) valley += shares[h];
+  std::printf("(ii) TOU pricing concentrates charging: %.0f%% of sessions "
+              "start inside the off-peak windows (2-6, 12-14, 17-18 h) "
+              "that cover %.0f%% of the day (paper: \"intensive charging "
+              "peaks\" exactly there).\n\n",
+              valley * 100.0, 7.0 / 24.0 * 100.0);
+
+  // (iii) Idle-time reduction != more serving time.
+  const Sample first = FirstCruiseSample(sim);
+  std::printf("(iii) Charging somewhere \"fast\" can still cost you: "
+              "%.0f%% of taxis find a passenger within 10 min of "
+              "unplugging (paper: 40%%), but %.0f%% cruise > 1 h "
+              "(paper: 10%%). Per-station medians differ by:\n",
+              first.CdfAt(10) * 100.0, (1.0 - first.CdfAt(60)) * 100.0);
+  const auto by_station = FirstCruiseByStation(sim, 10);
+  double lo = 1e9, hi = 0.0;
+  for (const auto& [station, sample] : by_station) {
+    lo = std::min(lo, sample.Median());
+    hi = std::max(hi, sample.Median());
+  }
+  if (!by_station.empty()) {
+    std::printf("      %.1f min (best station) to %.1f min (worst) — "
+                "a %.1fx spread across %zu stations.\n\n",
+                lo, hi, hi / std::max(1.0, lo), by_station.size());
+  }
+
+  // (iv) Spatially skewed per-trip revenue.
+  const auto revenue = PerTripRevenueByRegion(sim, 0, 24);
+  Sample revenue_sample;
+  for (double v : revenue) {
+    if (v > 0.0) revenue_sample.Add(v);
+  }
+  std::printf("(iv) Per-trip revenue is spatially skewed: region averages "
+              "span %.0f to %.0f CNY (p10 %.0f / p90 %.0f; paper: "
+              "\"several CNY to over 100 CNY\").\n\n",
+              revenue_sample.Percentile(0), revenue_sample.Percentile(100),
+              revenue_sample.Percentile(10), revenue_sample.Percentile(90));
+
+  // (v) PE inequality.
+  const Sample pe = HourlyPeSample(sim);
+  std::printf("(v)  Driver earnings are unequal: p20 %.1f vs p80 %.1f "
+              "CNY/h — the top quintile out-earns the bottom by %.0f%% "
+              "(paper: 36 vs 51, a 42%% gap).\n\n",
+              pe.Percentile(20), pe.Percentile(80),
+              PeP80OverP20Gap(sim) * 100.0);
+
+  // Bonus: station utilization planning rows (peak-hour occupancy).
+  std::printf("=== Station plug occupancy by hour (top 5 stations) ===\n");
+  const auto utilization = StationUtilizationByHour(sim, days);
+  for (StationId s = 0;
+       s < std::min<StationId>(5, sim.city().num_stations()); ++s) {
+    std::printf("%-6s", sim.city().station(s).name.c_str());
+    for (int h = 0; h < kHoursPerDay; h += 2) {
+      std::printf(" %3.0f%%",
+                  utilization[static_cast<size_t>(s)]
+                             [static_cast<size_t>(h)] * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("(columns: every 2nd hour from 00:00)\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Simulates one day of the fleet under the ground-truth behaviour policy
+// and prints the mobility decomposition of paper Fig 1 plus the §II-C
+// data-driven statistics: time split, charge-duration distribution, first
+// cruise time, idle time, PE percentiles.
+//
+//   ./build/examples/fleet_day
+
+#include <cstdio>
+
+#include "fairmove/common/config.h"
+#include "fairmove/core/fairmove.h"
+#include "fairmove/data/analysis.h"
+
+int main() {
+  using namespace fairmove;
+
+  EnvOverrides env;
+  env.scale = 0.1;
+  env.days = 2;
+  if (Status s = env.LoadFromEnv(); !s.ok()) {
+    std::fprintf(stderr, "bad environment: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  FairMoveConfig config = FairMoveConfig::FullShenzhen().Scaled(env.scale);
+  if (env.seed != 0) config.sim.seed = env.seed;
+  auto system_or = FairMoveSystem::Create(config);
+  if (!system_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 system_or.status().ToString().c_str());
+    return 1;
+  }
+  auto system = std::move(system_or).value();
+  Simulator& sim = system->sim();
+
+  std::printf("city: %d regions, %d stations (%d points), %d taxis, "
+              "%.0f trips/day demanded\n",
+              system->city().num_regions(), system->city().num_stations(),
+              system->city().total_charge_points(), sim.num_taxis(),
+              system->demand().TotalTripsPerDay());
+
+  auto gt = MakePolicy(PolicyKind::kGroundTruth, sim, 7000);
+  sim.Reset();
+  sim.RunDays(gt.get(), env.days);
+
+  FleetMetrics m = ComputeFleetMetrics(sim);
+  const double taxi_days =
+      static_cast<double>(sim.num_taxis()) * env.days;
+  std::printf("\n--- fleet day (per taxi-day averages) ---\n");
+  std::printf("trips served      %.1f   (requests %.1f, expired %.1f)\n",
+              m.trips / taxi_days, m.total_requests / taxi_days,
+              m.expired_requests / taxi_days);
+  std::printf("revenue           %.0f CNY   charge cost %.0f CNY\n",
+              m.revenue_cny / taxi_days, m.charge_cost_cny / taxi_days);
+  std::printf("charge events     %.2f   strandings %.3f\n",
+              m.charge_events / taxi_days, m.strandings / taxi_days);
+  const double total_min = m.cruise_min + m.serve_min + m.idle_min +
+                           m.charge_min;
+  std::printf("time split        cruise %.1f%%  serve %.1f%%  idle %.1f%%  "
+              "charge %.1f%%\n",
+              100.0 * m.cruise_min / total_min, 100.0 * m.serve_min / total_min,
+              100.0 * m.idle_min / total_min, 100.0 * m.charge_min / total_min);
+
+  std::printf("\n--- profit efficiency (Fig 8) ---\n");
+  std::printf("PE mean %.1f  median %.1f  p20 %.1f  p80 %.1f  "
+              "p80/p20 gap %.0f%%  PF(var) %.1f  gini %.3f\n",
+              m.pe.Mean(), m.pe.Median(), m.pe.Percentile(20),
+              m.pe.Percentile(80), PeP80OverP20Gap(sim) * 100.0, m.pf,
+              m.pe_gini);
+
+  std::printf("\n--- cruise time (Figs 5/10) ---\n");
+  if (!m.trip_cruise_min.empty()) {
+    std::printf("per-trip cruise   median %.1f min  mean %.1f  p90 %.1f\n",
+                m.trip_cruise_min.Median(), m.trip_cruise_min.Mean(),
+                m.trip_cruise_min.Percentile(90));
+  }
+  if (!m.first_cruise_min.empty()) {
+    std::printf("first-after-charge: <=10min %.0f%%  >60min %.0f%%  "
+                "median %.1f\n",
+                m.first_cruise_min.CdfAt(10.0) * 100.0,
+                (1.0 - m.first_cruise_min.CdfAt(60.0)) * 100.0,
+                m.first_cruise_min.Median());
+  }
+
+  std::printf("\n--- charging (Figs 3/4/12) ---\n");
+  if (!m.charge_duration_min.empty()) {
+    std::printf("charge duration   median %.0f min  45-120min share %.1f%%\n",
+                m.charge_duration_min.Median(),
+                m.charge_duration_min.FractionIn(45.0, 120.0) * 100.0);
+  }
+  if (!m.charge_idle_min.empty()) {
+    std::printf("idle per charge   median %.0f min  mean %.0f  p75 %.0f\n",
+                m.charge_idle_min.Median(), m.charge_idle_min.Mean(),
+                m.charge_idle_min.Percentile(75));
+  }
+  std::printf("charge starts by hour (%% of all):\n  ");
+  auto shares = ChargeStartShareByHour(sim);
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    std::printf("%d:%.1f ", h, shares[static_cast<size_t>(h)] * 100.0);
+  }
+  std::printf("\n");
+
+  std::printf("\n--- fleet composition over the last day (Fig 1 view) ---\n");
+  std::printf("%-6s %8s %8s %8s %8s\n", "time", "cruise", "serve", "idle",
+              "charge");
+  const auto& snapshots = sim.trace().phase_counts();
+  for (size_t i = snapshots.size() >= kSlotsPerDay
+                      ? snapshots.size() - kSlotsPerDay
+                      : 0;
+       i < snapshots.size(); i += 2 * kSlotsPerHour) {
+    const PhaseCounts& counts = snapshots[i];
+    std::printf("%-6s %8d %8d %8d %8d\n",
+                TimeSlot(counts.slot).ToString().c_str() + 3,
+                counts.cruising, counts.serving,
+                counts.to_station + counts.queuing, counts.charging);
+  }
+
+  std::printf("\n--- working cycles (Fig 1 T_cycle) ---\n");
+  const auto& cycles = sim.trace().cycles();
+  if (!cycles.empty()) {
+    Sample cycle_h, op_share;
+    for (const CycleRecord& c : cycles) {
+      cycle_h.Add(c.cycle_min() / 60.0);
+      if (c.cycle_min() > 0) op_share.Add(c.op_min / c.cycle_min());
+    }
+    std::printf("cycles %zu | median T_cycle %.1f h | median T_op share "
+                "%.0f%%\n",
+                cycles.size(), cycle_h.Median(),
+                op_share.Median() * 100.0);
+  }
+  return 0;
+}

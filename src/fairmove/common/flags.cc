@@ -1,0 +1,74 @@
+#include "fairmove/common/flags.h"
+
+#include <algorithm>
+
+#include "fairmove/common/config.h"
+
+namespace fairmove {
+
+StatusOr<Flags> Flags::Parse(int argc, const char* const* argv,
+                             std::vector<std::string> known) {
+  Flags flags;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (flags_done || arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string key = arg.substr(2);
+    std::string value;
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    }
+    if (key.empty()) return Status::InvalidArgument("empty flag name");
+    if (!known.empty() &&
+        std::find(known.begin(), known.end(), key) == known.end()) {
+      return Status::InvalidArgument("unknown flag: --" + key);
+    }
+    if (flags.values_.count(key) > 0) {
+      return Status::InvalidArgument("duplicate flag: --" + key);
+    }
+    flags.values_[key] = value;
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+StatusOr<int64_t> Flags::GetInt(const std::string& key,
+                                int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  FM_ASSIGN_OR_RETURN(int64_t v, ParseInt(it->second));
+  return v;
+}
+
+StatusOr<double> Flags::GetDouble(const std::string& key,
+                                  double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  FM_ASSIGN_OR_RETURN(double v, ParseDouble(it->second));
+  return v;
+}
+
+StatusOr<bool> Flags::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return Status::InvalidArgument("--" + key + " is not a boolean: " + v);
+}
+
+}  // namespace fairmove

@@ -1,0 +1,45 @@
+#ifndef FAIRMOVE_COMMON_FLAGS_H_
+#define FAIRMOVE_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fairmove/common/status.h"
+
+namespace fairmove {
+
+/// Minimal command-line parser for the example/bench binaries:
+/// `--key=value` and boolean `--key` forms (`--key value` is intentionally
+/// unsupported — it is ambiguous with positionals), `--` ends flag parsing,
+/// everything else is a positional argument. Unknown flags are an error
+/// only when a schema of known keys is provided.
+class Flags {
+ public:
+  /// Parses argv (argv[0] is skipped). `known` restricts the accepted flag
+  /// names (empty = accept anything).
+  static StatusOr<Flags> Parse(int argc, const char* const* argv,
+                               std::vector<std::string> known = {});
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// Raw string value ("" for bare boolean flags); `fallback` when absent.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Typed accessors; InvalidArgument when present but malformed.
+  StatusOr<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+  StatusOr<double> GetDouble(const std::string& key, double fallback) const;
+  /// Bare `--key` and `--key=true/1/yes` are true.
+  StatusOr<bool> GetBool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_COMMON_FLAGS_H_

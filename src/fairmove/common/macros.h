@@ -1,0 +1,66 @@
+#ifndef FAIRMOVE_COMMON_MACROS_H_
+#define FAIRMOVE_COMMON_MACROS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fairmove::internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used by FM_CHECK for invariants whose violation is a programmer error.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* expr) {
+    stream_ << "FM_CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct VoidifyStream {
+  // Binds the bare temporary (no streamed args)...
+  void operator&(CheckFailStream&&) {}
+  // ...and the lvalue reference operator<< yields (with streamed args).
+  void operator&(CheckFailStream&) {}
+};
+
+}  // namespace fairmove::internal
+
+/// Aborts with a message when `cond` is false. For invariants only, never
+/// for recoverable errors (use Status for those). Extra context can be
+/// streamed: FM_CHECK(x > 0) << "x=" << x;
+#define FM_CHECK(cond)                                     \
+  (cond) ? (void)0                                         \
+         : ::fairmove::internal::VoidifyStream{} &         \
+               ::fairmove::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+/// Propagates a non-OK Status to the caller.
+#define FM_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::fairmove::Status _fm_st = (expr);     \
+    if (!_fm_st.ok()) return _fm_st;        \
+  } while (false)
+
+#define FM_CONCAT_INNER(a, b) a##b
+#define FM_CONCAT(a, b) FM_CONCAT_INNER(a, b)
+
+/// Evaluates `rexpr` (a StatusOr), propagating failure, else binds the value.
+///   FM_ASSIGN_OR_RETURN(auto city, CityBuilder(cfg).Build());
+#define FM_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto FM_CONCAT(_fm_sor_, __LINE__) = (rexpr);                  \
+  if (!FM_CONCAT(_fm_sor_, __LINE__).ok())                       \
+    return FM_CONCAT(_fm_sor_, __LINE__).status();               \
+  lhs = std::move(FM_CONCAT(_fm_sor_, __LINE__)).value()
+
+#endif  // FAIRMOVE_COMMON_MACROS_H_

@@ -1,0 +1,172 @@
+#ifndef FAIRMOVE_COMMON_RNG_H_
+#define FAIRMOVE_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "fairmove/common/macros.h"
+
+namespace fairmove {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256++ with a
+/// SplitMix64 seeding sequence). Every stochastic component in the library
+/// takes an explicit Rng so simulations are reproducible bit-for-bit;
+/// std::random device/engine distributions are avoided because their output
+/// is not specified identically across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator. Distinct seeds give independent-looking streams.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the single word into 4 state words.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+    has_gaussian_ = false;
+  }
+
+  /// Uniform 64-bit word.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire rejection to
+  /// avoid modulo bias.
+  uint64_t NextBounded(uint64_t n) {
+    FM_CHECK(n > 0);
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < n) {
+      uint64_t threshold = -n % n;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    FM_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double Gaussian() {
+    if (has_gaussian_) {
+      has_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gaussian_ = r * std::sin(theta);
+    has_gaussian_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Poisson-distributed count with the given mean. Knuth's method for small
+  /// means, normal approximation (clamped at 0) above 30 for O(1) time.
+  int Poisson(double mean) {
+    FM_CHECK(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    if (mean > 30.0) {
+      const double v = Gaussian(mean, std::sqrt(mean));
+      return v < 0.0 ? 0 : static_cast<int>(std::lround(v));
+    }
+    const double limit = std::exp(-mean);
+    double prod = NextDouble();
+    int n = 0;
+    while (prod > limit) {
+      prod *= NextDouble();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    FM_CHECK(rate > 0.0);
+    double u = NextDouble();
+    while (u <= 1e-300) u = NextDouble();
+    return -std::log(u) / rate;
+  }
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double LogNormal(double mu, double sigma) {
+    return std::exp(Gaussian(mu, sigma));
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Zero-total weight falls back to uniform.
+  template <typename Container>
+  size_t WeightedIndex(const Container& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return NextBounded(weights.size());
+    double r = NextDouble() * total;
+    size_t i = 0;
+    for (double w : weights) {
+      r -= w;
+      if (r <= 0.0) return i;
+      ++i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Derives an independent child generator; used to give each subsystem its
+  /// own stream without coupling their consumption order.
+  Rng Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_COMMON_RNG_H_

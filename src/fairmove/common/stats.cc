@@ -1,0 +1,155 @@
+#include "fairmove/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "fairmove/common/macros.h"
+
+namespace fairmove {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t n = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta *
+                         (static_cast<double>(count_) * other.count_ / n);
+  mean_ += delta * other.count_ / static_cast<double>(n);
+  count_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Sample::EnsureSorted() const {
+  if (!sorted_) {
+    auto& mutable_values = const_cast<std::vector<double>&>(values_);
+    std::sort(mutable_values.begin(), mutable_values.end());
+    sorted_ = true;
+  }
+}
+
+double Sample::Mean() const {
+  if (values_.empty()) return 0.0;
+  return Sum() / static_cast<double>(values_.size());
+}
+
+double Sample::Sum() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+double Sample::Variance() const {
+  if (values_.empty()) return 0.0;
+  const double m = Mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return s / static_cast<double>(values_.size());
+}
+
+double Sample::Stddev() const { return std::sqrt(Variance()); }
+
+double Sample::Percentile(double p) const {
+  FM_CHECK(!values_.empty()) << "Percentile of empty sample";
+  FM_CHECK(p >= 0.0 && p <= 100.0) << "p=" << p;
+  EnsureSorted();
+  if (values_.size() == 1) return values_[0];
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Sample::CdfAt(double x) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double Sample::FractionIn(double lo, double hi) const {
+  if (values_.empty()) return 0.0;
+  EnsureSorted();
+  const auto lo_it = std::lower_bound(values_.begin(), values_.end(), lo);
+  const auto hi_it = std::lower_bound(values_.begin(), values_.end(), hi);
+  return static_cast<double>(hi_it - lo_it) /
+         static_cast<double>(values_.size());
+}
+
+Sample::BoxSummary Sample::Box() const {
+  FM_CHECK(!values_.empty()) << "Box() of empty sample";
+  EnsureSorted();
+  return BoxSummary{values_.front(), Percentile(25.0), Percentile(50.0),
+                    Percentile(75.0), values_.back()};
+}
+
+Histogram::Histogram(double lo, double hi, int num_buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / num_buckets) {
+  FM_CHECK(hi > lo) << "Histogram range empty: [" << lo << ", " << hi << ")";
+  FM_CHECK(num_buckets > 0);
+  counts_.assign(static_cast<size_t>(num_buckets), 0);
+}
+
+void Histogram::Add(double x) {
+  int idx = static_cast<int>((x - lo_) / width_);
+  idx = std::clamp(idx, 0, num_buckets() - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_fraction(int i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+std::pair<double, double> Histogram::bucket_bounds(int i) const {
+  FM_CHECK(i >= 0 && i < num_buckets());
+  return {lo_ + width_ * i, lo_ + width_ * (i + 1)};
+}
+
+std::string Histogram::bucket_label(int i) const {
+  const auto [lo, hi] = bucket_bounds(i);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%g, %g)", lo, hi);
+  return buf;
+}
+
+double Gini(std::vector<double> values) {
+  if (values.size() < 2) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cum_weighted = 0.0;
+  double total = 0.0;
+  const auto n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    cum_weighted += (2.0 * (static_cast<double>(i) + 1.0) - n - 1.0) *
+                    values[i];
+    total += values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return cum_weighted / (n * total);
+}
+
+}  // namespace fairmove

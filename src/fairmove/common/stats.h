@@ -1,0 +1,118 @@
+#ifndef FAIRMOVE_COMMON_STATS_H_
+#define FAIRMOVE_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fairmove/common/status.h"
+
+namespace fairmove {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable for
+/// long horizons; used for per-taxi profit-efficiency aggregation.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (the paper's PF, Eq. 3, is a population variance
+  /// over the fleet).
+  double variance() const { return count_ > 0 ? m2_ / count_ : 0.0; }
+  /// Sample variance (n-1 denominator).
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / (count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects raw samples and answers distribution queries (percentiles, CDF
+/// points, boxplot five-number summaries). Used for every distributional
+/// figure in the paper (Figs 3, 5, 6, 8, 10, 12, 14).
+class Sample {
+ public:
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double Mean() const;
+  double Variance() const;  // population
+  double Stddev() const;
+  double Sum() const;
+
+  /// Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// Fraction of samples <= x (empirical CDF).
+  double CdfAt(double x) const;
+
+  /// Fraction of samples in [lo, hi).
+  double FractionIn(double lo, double hi) const;
+
+  struct BoxSummary {
+    double min, q1, median, q3, max;
+  };
+  /// Five-number summary for boxplot rows. Requires non-empty.
+  BoxSummary Box() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi) with out-of-range clamping; renders
+/// the per-bucket shares used by the paper's distribution figures.
+class Histogram {
+ public:
+  /// Requires hi > lo and num_buckets > 0.
+  Histogram(double lo, double hi, int num_buckets);
+
+  void Add(double x);
+
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  int64_t total() const { return total_; }
+  int64_t bucket_count(int i) const { return counts_.at(i); }
+  /// Share of all samples in bucket i (0 if empty histogram).
+  double bucket_fraction(int i) const;
+  /// Inclusive-exclusive bounds of bucket i.
+  std::pair<double, double> bucket_bounds(int i) const;
+  /// Label like "[10, 20)".
+  std::string bucket_label(int i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Gini coefficient of a non-negative sample; auxiliary inequality metric
+/// reported alongside the paper's variance-based PF.
+double Gini(std::vector<double> values);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_COMMON_STATS_H_

@@ -1,0 +1,138 @@
+#include "fairmove/core/evaluator.h"
+
+#include <algorithm>
+
+#include "fairmove/rl/cma2c_policy.h"
+#include "fairmove/rl/dqn_policy.h"
+#include "fairmove/rl/faircharge_policy.h"
+#include "fairmove/rl/gt_policy.h"
+#include "fairmove/rl/sd2_policy.h"
+#include "fairmove/rl/tba_policy.h"
+#include "fairmove/rl/tql_policy.h"
+
+namespace fairmove {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kGroundTruth:
+      return "GT";
+    case PolicyKind::kSd2:
+      return "SD2";
+    case PolicyKind::kTql:
+      return "TQL";
+    case PolicyKind::kDqn:
+      return "DQN";
+    case PolicyKind::kTba:
+      return "TBA";
+    case PolicyKind::kFairMove:
+      return "FairMove";
+    case PolicyKind::kFairCharge:
+      return "FairCharge";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<DisplacementPolicy> MakePolicy(PolicyKind kind,
+                                               const Simulator& sim,
+                                               uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kGroundTruth: {
+      GtPolicy::Options options;
+      options.seed = seed + 11;
+      return std::make_unique<GtPolicy>(options);
+    }
+    case PolicyKind::kSd2:
+      return std::make_unique<Sd2Policy>();
+    case PolicyKind::kTql: {
+      TqlPolicy::Options options;
+      options.seed = seed + 22;
+      return std::make_unique<TqlPolicy>(sim, options);
+    }
+    case PolicyKind::kDqn: {
+      DqnPolicy::Options options;
+      options.seed = seed + 33;
+      return std::make_unique<DqnPolicy>(sim, options);
+    }
+    case PolicyKind::kTba: {
+      TbaPolicy::Options options;
+      options.seed = seed + 44;
+      return std::make_unique<TbaPolicy>(sim, options);
+    }
+    case PolicyKind::kFairMove: {
+      Cma2cPolicy::Options options;
+      options.seed = seed + 55;
+      return std::make_unique<Cma2cPolicy>(sim, options);
+    }
+    case PolicyKind::kFairCharge: {
+      FairChargePolicy::Options options;
+      options.seed = seed + 66;
+      return std::make_unique<FairChargePolicy>(options);
+    }
+  }
+  FM_CHECK(false) << "unknown policy kind";
+  return nullptr;
+}
+
+Status EvalConfig::Validate() const {
+  if (days <= 0) return Status::InvalidArgument("days must be > 0");
+  return Status::OK();
+}
+
+Evaluator::Evaluator(Simulator* sim, TrainerConfig trainer_config,
+                     EvalConfig eval_config)
+    : sim_(sim),
+      trainer_config_(trainer_config),
+      eval_config_(eval_config) {
+  FM_CHECK(sim != nullptr);
+  FM_CHECK(trainer_config.Validate().ok()) << trainer_config.Validate();
+  FM_CHECK(eval_config.Validate().ok()) << eval_config.Validate();
+}
+
+MethodResult Evaluator::RunGroundTruth() {
+  MethodResult result;
+  result.kind = PolicyKind::kGroundTruth;
+  auto policy = MakePolicy(PolicyKind::kGroundTruth, *sim_, 7000);
+  result.name = policy->name();
+  Trainer trainer(sim_, trainer_config_);
+  result.eval_stats = trainer.RunEvaluationEpisode(
+      policy.get(), eval_config_.seed,
+      static_cast<int64_t>(eval_config_.days) * kSlotsPerDay);
+  result.metrics = ComputeFleetMetrics(*sim_);
+  result.vs_gt = CompareToGroundTruth(result.metrics, result.metrics);
+  return result;
+}
+
+MethodResult Evaluator::RunOne(DisplacementPolicy* policy,
+                               const FleetMetrics& gt) {
+  FM_CHECK(policy != nullptr);
+  MethodResult result;
+  result.name = policy->name();
+  Trainer trainer(sim_, trainer_config_);
+  if (policy->WantsTransitions()) {
+    result.training_stats = trainer.Train(policy);
+  }
+  result.eval_stats = trainer.RunEvaluationEpisode(
+      policy, eval_config_.seed,
+      static_cast<int64_t>(eval_config_.days) * kSlotsPerDay);
+  result.metrics = ComputeFleetMetrics(*sim_);
+  result.vs_gt = CompareToGroundTruth(gt, result.metrics);
+  return result;
+}
+
+std::vector<MethodResult> Evaluator::Run(
+    const std::vector<PolicyKind>& kinds) {
+  std::vector<MethodResult> results;
+  MethodResult gt = RunGroundTruth();
+  const FleetMetrics gt_metrics = gt.metrics;
+  results.push_back(std::move(gt));
+  for (PolicyKind kind : kinds) {
+    if (kind == PolicyKind::kGroundTruth) continue;  // already first
+    auto policy = MakePolicy(kind, *sim_, 7000);
+    MethodResult r = RunOne(policy.get(), gt_metrics);
+    r.kind = kind;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace fairmove

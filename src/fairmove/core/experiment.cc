@@ -1,0 +1,81 @@
+#include "fairmove/core/experiment.h"
+
+#include <cstdio>
+
+namespace fairmove {
+
+namespace {
+
+std::string MeanStd(const RunningStats& stats, bool percent) {
+  char buf[64];
+  if (percent) {
+    std::snprintf(buf, sizeof(buf), "%+.1f%% ± %.1f", stats.mean() * 100.0,
+                  stats.stddev() * 100.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ± %.1f", stats.mean(),
+                  stats.stddev());
+  }
+  return buf;
+}
+
+}  // namespace
+
+Table RepeatedComparison::ToTable() const {
+  Table table({"method", "PIPE", "PIPF", "PRCT", "PRIT", "mean PE", "PF"});
+  for (const RepeatedMethodResult& m : methods) {
+    table.Row()
+        .Str(m.name)
+        .Str(MeanStd(m.pipe, true))
+        .Str(MeanStd(m.pipf, true))
+        .Str(MeanStd(m.prct, true))
+        .Str(MeanStd(m.prit, true))
+        .Str(MeanStd(m.pe_mean, false))
+        .Str(MeanStd(m.pf, false))
+        .Done();
+  }
+  return table;
+}
+
+StatusOr<RepeatedComparison> RunRepeatedComparison(
+    const FairMoveConfig& base_config, const std::vector<PolicyKind>& kinds,
+    int repeats) {
+  if (repeats <= 0) return Status::InvalidArgument("repeats must be > 0");
+  RepeatedComparison aggregate;
+  aggregate.repeats = repeats;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    FairMoveConfig config = base_config;
+    const uint64_t shift = static_cast<uint64_t>(repeat);
+    config.sim.seed = base_config.sim.seed + shift;
+    config.city.seed = base_config.city.seed + shift;
+    config.trainer.seed_base =
+        base_config.trainer.seed_base + shift * 10000;
+    config.eval.seed = base_config.eval.seed + shift;
+    FM_ASSIGN_OR_RETURN(std::unique_ptr<FairMoveSystem> system,
+                        FairMoveSystem::Create(config));
+    const std::vector<MethodResult> results = system->RunComparison(kinds);
+    if (aggregate.methods.empty()) {
+      aggregate.methods.resize(results.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        aggregate.methods[i].kind = results[i].kind;
+        aggregate.methods[i].name = results[i].name;
+      }
+    }
+    if (aggregate.methods.size() != results.size()) {
+      return Status::Internal("method list changed between repeats");
+    }
+    for (size_t i = 0; i < results.size(); ++i) {
+      RepeatedMethodResult& agg = aggregate.methods[i];
+      const MethodResult& r = results[i];
+      agg.pipe.Add(r.vs_gt.pipe);
+      agg.pipf.Add(r.vs_gt.pipf);
+      agg.prct.Add(r.vs_gt.prct);
+      agg.prit.Add(r.vs_gt.prit);
+      agg.pe_mean.Add(r.metrics.pe.Mean());
+      agg.pf.Add(r.metrics.pf);
+      agg.service_rate.Add(r.metrics.ServiceRate());
+    }
+  }
+  return aggregate;
+}
+
+}  // namespace fairmove

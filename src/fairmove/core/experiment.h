@@ -1,0 +1,47 @@
+#ifndef FAIRMOVE_CORE_EXPERIMENT_H_
+#define FAIRMOVE_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "fairmove/common/csv.h"
+#include "fairmove/common/stats.h"
+#include "fairmove/core/fairmove.h"
+
+namespace fairmove {
+
+/// Multi-seed experiment runner (paper §IV-A: "all the experiments are
+/// repeated 10 times to ensure the robustness of the results"). Each
+/// repeat rebuilds the whole stack with shifted simulator / training /
+/// evaluation seeds, so city randomness, demand realisations, policy
+/// initialisation and exploration all vary.
+struct RepeatedMethodResult {
+  PolicyKind kind = PolicyKind::kGroundTruth;
+  std::string name;
+  RunningStats pipe;
+  RunningStats pipf;
+  RunningStats prct;
+  RunningStats prit;
+  RunningStats pe_mean;
+  RunningStats pf;
+  RunningStats service_rate;
+};
+
+struct RepeatedComparison {
+  int repeats = 0;
+  std::vector<RepeatedMethodResult> methods;
+
+  /// "mean ± std" comparison table over all repeats.
+  Table ToTable() const;
+};
+
+/// Runs the six-method comparison `repeats` times on fresh systems derived
+/// from `base_config` (repeat i shifts every seed by i). Returns aggregate
+/// statistics per method.
+StatusOr<RepeatedComparison> RunRepeatedComparison(
+    const FairMoveConfig& base_config, const std::vector<PolicyKind>& kinds,
+    int repeats);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_CORE_EXPERIMENT_H_

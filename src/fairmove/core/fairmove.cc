@@ -1,0 +1,46 @@
+#include "fairmove/core/fairmove.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairmove {
+
+FairMoveConfig FairMoveConfig::FullShenzhen() {
+  FairMoveConfig config;  // defaults are already the paper's setting
+  config.demand.num_taxis = config.sim.num_taxis;
+  return config;
+}
+
+FairMoveConfig FairMoveConfig::BenchDefault() {
+  return FullShenzhen().Scaled(0.1);
+}
+
+FairMoveConfig FairMoveConfig::Scaled(double scale) const {
+  FM_CHECK(scale > 0.0 && scale <= 1.0) << "scale=" << scale;
+  FairMoveConfig out = *this;
+  out.city = city.Scaled(scale);
+  out.sim.num_taxis =
+      std::max(50, static_cast<int>(std::lround(sim.num_taxis * scale)));
+  out.demand.num_taxis = out.sim.num_taxis;
+  return out;
+}
+
+StatusOr<std::unique_ptr<FairMoveSystem>> FairMoveSystem::Create(
+    const FairMoveConfig& config) {
+  FM_ASSIGN_OR_RETURN(City built_city, CityBuilder(config.city).Build());
+  auto city = std::make_unique<City>(std::move(built_city));
+  FM_ASSIGN_OR_RETURN(DemandModel built_demand,
+                      DemandModel::Create(city.get(), config.demand));
+  auto demand = std::make_unique<DemandModel>(std::move(built_demand));
+  FM_ASSIGN_OR_RETURN(
+      std::unique_ptr<Simulator> sim,
+      Simulator::Create(city.get(), demand.get(), TouTariff::Shenzhen(),
+                        config.sim));
+  FM_RETURN_IF_ERROR(config.trainer.Validate());
+  FM_RETURN_IF_ERROR(config.eval.Validate());
+  return std::unique_ptr<FairMoveSystem>(
+      new FairMoveSystem(config, std::move(city), std::move(demand),
+                         std::move(sim)));
+}
+
+}  // namespace fairmove

@@ -1,0 +1,115 @@
+#include "fairmove/core/group_fairness.h"
+
+#include <algorithm>
+
+namespace fairmove {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+StatusOr<DriverGroups> DriverGroups::Create(int num_taxis, int num_groups,
+                                            uint64_t seed) {
+  if (num_taxis <= 0) return Status::InvalidArgument("num_taxis must be > 0");
+  if (num_groups <= 0 || num_groups > num_taxis) {
+    return Status::InvalidArgument("need 0 < num_groups <= num_taxis");
+  }
+  std::vector<int> assignment(static_cast<size_t>(num_taxis));
+  for (int i = 0; i < num_taxis; ++i) {
+    assignment[static_cast<size_t>(i)] = static_cast<int>(
+        Mix(seed ^ Mix(static_cast<uint64_t>(i) + 11)) %
+        static_cast<uint64_t>(num_groups));
+  }
+  return DriverGroups(std::move(assignment), num_groups);
+}
+
+StatusOr<DriverGroups> DriverGroups::ByPerformance(const Simulator& sim,
+                                                   int num_groups) {
+  const int num_taxis = sim.num_taxis();
+  if (num_groups <= 0 || num_groups > num_taxis) {
+    return Status::InvalidArgument("need 0 < num_groups <= num_taxis");
+  }
+  std::vector<TaxiId> order(static_cast<size_t>(num_taxis));
+  for (TaxiId i = 0; i < num_taxis; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](TaxiId a, TaxiId b) {
+    return sim.hustle(a) < sim.hustle(b);
+  });
+  std::vector<int> assignment(static_cast<size_t>(num_taxis));
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    assignment[static_cast<size_t>(order[rank])] = static_cast<int>(
+        rank * static_cast<size_t>(num_groups) / order.size());
+  }
+  return DriverGroups(std::move(assignment), num_groups);
+}
+
+DriverGroups::DriverGroups(std::vector<int> assignment, int num_groups)
+    : assignment_(std::move(assignment)), num_groups_(num_groups) {
+  members_.assign(static_cast<size_t>(num_groups), {});
+  for (size_t i = 0; i < assignment_.size(); ++i) {
+    members_[static_cast<size_t>(assignment_[i])].push_back(
+        static_cast<TaxiId>(i));
+  }
+}
+
+std::vector<DriverGroups::GroupStats> DriverGroups::ComputeStats(
+    const Simulator& sim) const {
+  FM_CHECK(sim.num_taxis() == num_taxis())
+      << "group assignment built for a different fleet size";
+  std::vector<GroupStats> out;
+  out.reserve(static_cast<size_t>(num_groups_));
+  for (int g = 0; g < num_groups_; ++g) {
+    Sample pe;
+    for (TaxiId id : members_[static_cast<size_t>(g)]) {
+      pe.Add(sim.taxi(id).totals.hourly_pe());
+    }
+    GroupStats stats;
+    stats.group = g;
+    stats.taxis = static_cast<int64_t>(pe.size());
+    if (!pe.empty()) {
+      stats.pe_mean = pe.Mean();
+      stats.pe_variance = pe.Variance();
+      stats.pe_p20 = pe.Percentile(20);
+      stats.pe_p80 = pe.Percentile(80);
+    }
+    out.push_back(stats);
+  }
+  return out;
+}
+
+double DriverGroups::WithinGroupPf(const Simulator& sim) const {
+  const auto stats = ComputeStats(sim);
+  double weighted = 0.0;
+  int64_t total = 0;
+  for (const GroupStats& s : stats) {
+    weighted += s.pe_variance * static_cast<double>(s.taxis);
+    total += s.taxis;
+  }
+  return total > 0 ? weighted / static_cast<double>(total) : 0.0;
+}
+
+void DriverGroups::GroupMeans(const Simulator& sim,
+                              std::vector<double>* means) const {
+  FM_CHECK(sim.num_taxis() == num_taxis());
+  means->assign(static_cast<size_t>(num_groups_), 0.0);
+  std::vector<int64_t> counts(static_cast<size_t>(num_groups_), 0);
+  for (TaxiId id = 0; id < sim.num_taxis(); ++id) {
+    const int g = assignment_[static_cast<size_t>(id)];
+    (*means)[static_cast<size_t>(g)] += sim.taxi(id).totals.hourly_pe();
+    ++counts[static_cast<size_t>(g)];
+  }
+  for (int g = 0; g < num_groups_; ++g) {
+    if (counts[static_cast<size_t>(g)] > 0) {
+      (*means)[static_cast<size_t>(g)] /=
+          static_cast<double>(counts[static_cast<size_t>(g)]);
+    }
+  }
+}
+
+}  // namespace fairmove

@@ -1,0 +1,87 @@
+#include "fairmove/core/metrics.h"
+
+namespace fairmove {
+
+FleetMetrics ComputeFleetMetrics(const Simulator& sim) {
+  FleetMetrics m;
+  std::vector<double> pes;
+  pes.reserve(static_cast<size_t>(sim.num_taxis()));
+  for (const Taxi& taxi : sim.taxis()) {
+    const double pe = taxi.totals.hourly_pe();
+    m.pe.Add(pe);
+    pes.push_back(pe);
+    m.pe_sum += pe;
+    m.cruise_min += taxi.totals.cruise_min;
+    m.serve_min += taxi.totals.serve_min;
+    m.idle_min += taxi.totals.idle_min;
+    m.charge_min += taxi.totals.charge_min;
+    m.revenue_cny += taxi.totals.revenue_cny;
+    m.charge_cost_cny += taxi.totals.charge_cost_cny;
+    m.trips += taxi.totals.num_trips;
+    m.charge_events += taxi.totals.num_charges;
+    m.strandings += taxi.totals.num_strandings;
+  }
+  m.pf = m.pe.Variance();
+  m.pe_gini = Gini(std::move(pes));
+
+  const Trace& trace = sim.trace();
+  m.expired_requests = trace.expired_requests();
+  m.total_requests = sim.total_requests();
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    m.charge_starts_by_hour[static_cast<size_t>(h)] =
+        trace.charge_starts_by_hour()[static_cast<size_t>(h)];
+  }
+
+  for (const TripRecord& trip : trace.trips()) {
+    m.trip_cruise_min.Add(trip.cruise_min);
+    if (trip.first_after_charge) m.first_cruise_min.Add(trip.cruise_min);
+    const int hour = TimeSlot(trip.pickup_slot).HourOfDay();
+    m.cruise_min_by_hour[static_cast<size_t>(hour)] += trip.cruise_min;
+    ++m.trips_by_hour[static_cast<size_t>(hour)];
+  }
+  for (const ChargeEvent& event : trace.charge_events()) {
+    m.charge_idle_min.Add(event.idle_min);
+    m.charge_duration_min.Add(event.charge_min);
+    const int hour = TimeSlot(event.plugin_slot).HourOfDay();
+    m.idle_min_by_hour[static_cast<size_t>(hour)] += event.idle_min;
+    ++m.charges_by_hour[static_cast<size_t>(hour)];
+  }
+  return m;
+}
+
+ComparisonMetrics CompareToGroundTruth(const FleetMetrics& gt,
+                                       const FleetMetrics& d) {
+  ComparisonMetrics c;
+  // PRCT (Eq 12): percentage reduction of the per-trip cruise time. Means
+  // rather than raw sums so runs serving different trip counts compare
+  // apples to apples.
+  if (!gt.trip_cruise_min.empty() && !d.trip_cruise_min.empty()) {
+    const double g = gt.trip_cruise_min.Mean();
+    if (g > 0.0) c.prct = 1.0 - d.trip_cruise_min.Mean() / g;
+  }
+  // PRIT (Eq 13): per-charge idle time reduction.
+  if (!gt.charge_idle_min.empty() && !d.charge_idle_min.empty()) {
+    const double g = gt.charge_idle_min.Mean();
+    if (g > 0.0) c.prit = 1.0 - d.charge_idle_min.Mean() / g;
+  }
+  // PIPE (Eq 14).
+  if (gt.pe_sum > 0.0) c.pipe = (d.pe_sum - gt.pe_sum) / gt.pe_sum;
+  // PIPF (Eq 15): fairness improves when the PE variance shrinks.
+  if (gt.pf > 0.0) c.pipf = (gt.pf - d.pf) / gt.pf;
+
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    const double gc = gt.MeanCruisePerTrip(h);
+    if (gc > 0.0 && d.trips_by_hour[static_cast<size_t>(h)] > 0) {
+      c.prct_by_hour[static_cast<size_t>(h)] =
+          1.0 - d.MeanCruisePerTrip(h) / gc;
+    }
+    const double gi = gt.MeanIdlePerCharge(h);
+    if (gi > 0.0 && d.charges_by_hour[static_cast<size_t>(h)] > 0) {
+      c.prit_by_hour[static_cast<size_t>(h)] =
+          1.0 - d.MeanIdlePerCharge(h) / gi;
+    }
+  }
+  return c;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,94 @@
+#ifndef FAIRMOVE_CORE_METRICS_H_
+#define FAIRMOVE_CORE_METRICS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "fairmove/common/stats.h"
+#include "fairmove/common/time_types.h"
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+/// Everything the paper's evaluation section reads off one simulation run.
+struct FleetMetrics {
+  /// Per-taxi hourly profit efficiency (Eq 2), one sample per taxi —
+  /// the population behind Figs 8 and 14.
+  Sample pe;
+  /// Sum of PE over the fleet (numerator of Eq 14).
+  double pe_sum = 0.0;
+  /// Profit fairness: population variance of PE (Eq 3). Smaller = fairer.
+  double pf = 0.0;
+  /// Auxiliary inequality measure (not in the paper; reported alongside).
+  double pe_gini = 0.0;
+
+  // Fleet time decomposition (minutes, summed over taxis).
+  double cruise_min = 0.0;
+  double serve_min = 0.0;
+  double idle_min = 0.0;
+  double charge_min = 0.0;
+
+  double revenue_cny = 0.0;
+  double charge_cost_cny = 0.0;
+  int64_t trips = 0;
+  int64_t charge_events = 0;
+  int64_t strandings = 0;
+  int64_t expired_requests = 0;
+  int64_t total_requests = 0;
+
+  /// Share of spawned requests that were eventually served.
+  double ServiceRate() const {
+    return total_requests > 0
+               ? 1.0 - static_cast<double>(expired_requests) / total_requests
+               : 0.0;
+  }
+
+  // Distributions (need TraceLevel::kFull).
+  Sample trip_cruise_min;      // per-trip cruise time (Fig 10)
+  Sample first_cruise_min;     // first cruise after charging (Fig 5)
+  Sample charge_idle_min;      // per-charge idle time (Fig 12)
+  Sample charge_duration_min;  // per-charge plugged time (Fig 3)
+
+  // Hour-of-day aggregates (Figs 11 and 13).
+  std::array<double, kHoursPerDay> cruise_min_by_hour{};
+  std::array<int64_t, kHoursPerDay> trips_by_hour{};
+  std::array<double, kHoursPerDay> idle_min_by_hour{};
+  std::array<int64_t, kHoursPerDay> charges_by_hour{};
+  /// Charging sessions *started* per hour (Fig 4).
+  std::array<int64_t, kHoursPerDay> charge_starts_by_hour{};
+
+  double MeanCruisePerTrip(int hour) const {
+    return trips_by_hour[static_cast<size_t>(hour)] > 0
+               ? cruise_min_by_hour[static_cast<size_t>(hour)] /
+                     trips_by_hour[static_cast<size_t>(hour)]
+               : 0.0;
+  }
+  double MeanIdlePerCharge(int hour) const {
+    return charges_by_hour[static_cast<size_t>(hour)] > 0
+               ? idle_min_by_hour[static_cast<size_t>(hour)] /
+                     charges_by_hour[static_cast<size_t>(hour)]
+               : 0.0;
+  }
+};
+
+/// Reads the metrics off a finished run.
+FleetMetrics ComputeFleetMetrics(const Simulator& sim);
+
+/// The Eq 12-15 comparison of one displacement strategy D against the
+/// ground truth G. Positive PRCT/PRIT = time reduced; positive PIPE/PIPF =
+/// efficiency/fairness improved.
+struct ComparisonMetrics {
+  double prct = 0.0;  // Eq 12, from per-trip mean cruise time
+  double prit = 0.0;  // Eq 13, from per-charge mean idle time
+  double pipe = 0.0;  // Eq 14
+  double pipf = 0.0;  // Eq 15
+  std::array<double, kHoursPerDay> prct_by_hour{};
+  std::array<double, kHoursPerDay> prit_by_hour{};
+};
+
+ComparisonMetrics CompareToGroundTruth(const FleetMetrics& gt,
+                                       const FleetMetrics& d);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_CORE_METRICS_H_

@@ -1,0 +1,139 @@
+#include "fairmove/core/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "fairmove/common/csv.h"
+
+namespace fairmove {
+
+namespace {
+
+std::string TableToMarkdown(const Table& table) {
+  std::ostringstream os;
+  os << '|';
+  for (const std::string& h : table.header()) os << ' ' << h << " |";
+  os << "\n|";
+  for (size_t i = 0; i < table.num_cols(); ++i) os << "---|";
+  os << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    os << '|';
+    for (const std::string& cell : table.row(r)) os << ' ' << cell << " |";
+    os << '\n';
+  }
+  return os.str();
+}
+
+Table BoxTable(const std::vector<MethodResult>& results,
+               const Sample FleetMetrics::*sample) {
+  Table table({"method", "min", "q1", "median", "q3", "p90", "mean"});
+  for (const MethodResult& r : results) {
+    const Sample& s = r.metrics.*sample;
+    if (s.empty()) continue;
+    const auto box = s.Box();
+    table.Row()
+        .Str(r.name)
+        .Num(box.min, 1)
+        .Num(box.q1, 1)
+        .Num(box.median, 1)
+        .Num(box.q3, 1)
+        .Num(s.Percentile(90), 1)
+        .Num(s.Mean(), 1)
+        .Done();
+  }
+  return table;
+}
+
+}  // namespace
+
+ReportWriter::ReportWriter(std::vector<MethodResult> results)
+    : results_(std::move(results)) {
+  FM_CHECK(!results_.empty()) << "report needs at least the GT result";
+}
+
+const MethodResult* ReportWriter::GroundTruth() const {
+  for (const MethodResult& r : results_) {
+    if (r.kind == PolicyKind::kGroundTruth) return &r;
+  }
+  return &results_.front();
+}
+
+std::string ReportWriter::HeadlineSection() const {
+  Table table({"method", "PIPE", "PIPF", "PRCT", "PRIT", "mean PE",
+               "PF (var)", "service rate"});
+  for (const MethodResult& r : results_) {
+    table.Row()
+        .Str(r.name)
+        .Pct(r.vs_gt.pipe)
+        .Pct(r.vs_gt.pipf)
+        .Pct(r.vs_gt.prct)
+        .Pct(r.vs_gt.prit)
+        .Num(r.metrics.pe.Mean(), 1)
+        .Num(r.metrics.pf, 1)
+        .Pct(r.metrics.ServiceRate())
+        .Done();
+  }
+  return "## Headline comparison (Tables II/III, Figs 15/16)\n\n" +
+         TableToMarkdown(table);
+}
+
+std::string ReportWriter::CruiseSection() const {
+  return "## Per-trip cruise time, minutes (Fig 10)\n\n" +
+         TableToMarkdown(BoxTable(results_, &FleetMetrics::trip_cruise_min));
+}
+
+std::string ReportWriter::IdleSection() const {
+  return "## Per-charge idle time, minutes (Fig 12)\n\n" +
+         TableToMarkdown(BoxTable(results_, &FleetMetrics::charge_idle_min));
+}
+
+std::string ReportWriter::PeSection() const {
+  return "## Hourly profit efficiency, CNY/h (Fig 14)\n\n" +
+         TableToMarkdown(BoxTable(results_, &FleetMetrics::pe));
+}
+
+std::string ReportWriter::HourlySection() const {
+  std::vector<std::string> header{"hour"};
+  for (const MethodResult& r : results_) {
+    if (r.kind == PolicyKind::kGroundTruth) continue;
+    header.push_back(r.name + " PRCT");
+    header.push_back(r.name + " PRIT");
+  }
+  Table table(header);
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    auto row = table.Row();
+    row.Str(std::to_string(h) + ":00");
+    for (const MethodResult& r : results_) {
+      if (r.kind == PolicyKind::kGroundTruth) continue;
+      row.Pct(r.vs_gt.prct_by_hour[static_cast<size_t>(h)]);
+      row.Pct(r.vs_gt.prit_by_hour[static_cast<size_t>(h)]);
+    }
+    row.Done();
+  }
+  return "## Hourly PRCT / PRIT (Figs 11/13)\n\n" + TableToMarkdown(table);
+}
+
+std::string ReportWriter::ToMarkdown() const {
+  std::ostringstream os;
+  os << "# FairMove evaluation report\n\n";
+  const MethodResult* gt = GroundTruth();
+  os << "Baseline GT: mean PE " << gt->metrics.pe.Mean() << " CNY/h, PF "
+     << gt->metrics.pf << ", " << gt->metrics.trips << " trips, "
+     << gt->metrics.charge_events << " charge events.\n\n";
+  os << HeadlineSection() << '\n';
+  os << CruiseSection() << '\n';
+  os << IdleSection() << '\n';
+  os << PeSection() << '\n';
+  os << HourlySection() << '\n';
+  return os.str();
+}
+
+Status ReportWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << ToMarkdown();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace fairmove

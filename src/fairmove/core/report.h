@@ -1,0 +1,43 @@
+#ifndef FAIRMOVE_CORE_REPORT_H_
+#define FAIRMOVE_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "fairmove/common/status.h"
+#include "fairmove/core/evaluator.h"
+
+namespace fairmove {
+
+/// Renders one trained-and-evaluated method comparison into a single
+/// markdown report containing every evaluation artefact of the paper
+/// (Tables II/III/IV-style rows, Figs 10-16 distributions and hourly
+/// series). One training run feeds all tables, instead of re-training per
+/// figure like the standalone bench binaries do.
+class ReportWriter {
+ public:
+  /// `results` as returned by Evaluator::Run (GT first).
+  explicit ReportWriter(std::vector<MethodResult> results);
+
+  /// The full markdown document.
+  std::string ToMarkdown() const;
+
+  /// Writes ToMarkdown() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  // --- Individual sections (exposed for tests) ---------------------------
+  std::string HeadlineSection() const;      // PIPE/PIPF/PRCT/PRIT per method
+  std::string CruiseSection() const;        // Fig 10 boxplot rows
+  std::string IdleSection() const;          // Fig 12 boxplot rows
+  std::string PeSection() const;            // Fig 14 boxplot rows
+  std::string HourlySection() const;        // Figs 11/13 series
+
+ private:
+  const MethodResult* GroundTruth() const;
+
+  std::vector<MethodResult> results_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_CORE_REPORT_H_

@@ -1,0 +1,55 @@
+#include "fairmove/core/reward.h"
+
+#include <algorithm>
+
+#include "fairmove/common/time_types.h"
+
+namespace fairmove {
+
+Status RewardConfig::Validate() const {
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  if (gamma < 0.0 || gamma >= 1.0) {
+    return Status::InvalidArgument("gamma must be in [0, 1)");
+  }
+  if (pe_scale_cny_per_hour <= 0.0) {
+    return Status::InvalidArgument("pe_scale_cny_per_hour must be > 0");
+  }
+  if (fairness_clip < 0.0) {
+    return Status::InvalidArgument("fairness_clip must be >= 0");
+  }
+  if (fairness_cv2_scale <= 0.0) {
+    return Status::InvalidArgument("fairness_cv2_scale must be > 0");
+  }
+  return Status::OK();
+}
+
+RewardComputer::RewardComputer(RewardConfig config) : config_(config) {
+  FM_CHECK(config.Validate().ok()) << config.Validate();
+}
+
+double RewardComputer::PeTerm(double slot_profit_cny) const {
+  // CNY per slot -> CNY per hour -> normalised units.
+  const double hourly = slot_profit_cny * (60.0 / kMinutesPerSlot);
+  return hourly / config_.pe_scale_cny_per_hour;
+}
+
+double RewardComputer::FairnessPenalty(double fleet_pe_mean,
+                                       double fleet_pe_variance) const {
+  // Squared coefficient of variation: scale-free, so the penalty is
+  // comparable across fleet sizes and episode phases.
+  const double denom = fleet_pe_mean * fleet_pe_mean + 1e-6;
+  const double cv2 = fleet_pe_variance / denom;
+  return std::clamp(cv2 / config_.fairness_cv2_scale, 0.0,
+                    config_.fairness_clip);
+}
+
+double RewardComputer::FairnessGradient(double pe_gap_cny,
+                                        double pe_term) const {
+  const double gap_norm =
+      std::clamp(pe_gap_cny / config_.pe_scale_cny_per_hour, -1.0, 1.0);
+  return -config_.fairness_gradient_weight * gap_norm * pe_term;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,70 @@
+#ifndef FAIRMOVE_CORE_REWARD_H_
+#define FAIRMOVE_CORE_REWARD_H_
+
+#include "fairmove/common/status.h"
+
+namespace fairmove {
+
+/// Parameters of the Eq-4/5 reward signal.
+struct RewardConfig {
+  /// alpha: profit-efficiency vs profit-fairness tradeoff. 1 = pure
+  /// efficiency, 0 = pure fairness. The paper's sweep (Table IV) peaks at
+  /// 0.6-0.8; 0.6 is the default used for all headline results.
+  double alpha = 0.6;
+  /// beta: the MDP discount factor (paper §IV-A: 0.9 per-slot).
+  double gamma = 0.9;
+  /// Normaliser converting CNY/h profit efficiency into reward units
+  /// (roughly the fleet's ground-truth median PE).
+  double pe_scale_cny_per_hour = 45.0;
+  /// Upper clip of the fairness penalty (squared coefficient of variation).
+  double fairness_clip = 2.0;
+  /// Normaliser of the fairness penalty: the squared coefficient of
+  /// variation of a typically unequal fleet (cv ~ 0.16). Dividing by this
+  /// brings the penalty to O(1), the same magnitude as the PE term, so the
+  /// alpha tradeoff is a real tradeoff (Table IV) rather than a no-op.
+  double fairness_cv2_scale = 0.025;
+  /// Weight of the per-agent variance-gradient term: earning while already
+  /// above the fleet-mean PE is penalised, earning while below is boosted
+  /// (the differentiable per-agent form of Eq 3's variance; the shared
+  /// PF(t) penalty alone is common-mode and carries no per-agent signal).
+  double fairness_gradient_weight = 1.0;
+
+  Status Validate() const;
+};
+
+/// Computes the per-agent per-slot reward of Eq 5:
+///   r(k, t) = alpha * PE(k, t) - (1 - alpha) * PF(t)
+/// where PE(k, t) is the agent's profit rate during slot t (normalised) and
+/// PF(t) the fleet's current profit-efficiency dispersion (normalised as a
+/// squared coefficient of variation so the penalty is scale-free).
+class RewardComputer {
+ public:
+  explicit RewardComputer(RewardConfig config);
+
+  const RewardConfig& config() const { return config_; }
+
+  /// Normalised profit-efficiency term of one agent for one slot, from the
+  /// CNY profit it realised during that slot.
+  double PeTerm(double slot_profit_cny) const;
+
+  /// Normalised fairness penalty from the fleet's running PE statistics.
+  double FairnessPenalty(double fleet_pe_mean, double fleet_pe_variance) const;
+
+  /// Per-agent fairness gradient: positive when an *under*-earning agent
+  /// earns this slot, negative when an over-earner does. `pe_gap_cny` is
+  /// the agent's cumulative hourly PE minus the fleet mean.
+  double FairnessGradient(double pe_gap_cny, double pe_term) const;
+
+  /// alpha-weighted combination (Eq 5). `fairness_penalty` >= 0.
+  double Combined(double pe_term, double fairness_penalty) const {
+    return config_.alpha * pe_term -
+           (1.0 - config_.alpha) * fairness_penalty;
+  }
+
+ private:
+  RewardConfig config_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_CORE_REWARD_H_

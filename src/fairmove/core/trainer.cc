@@ -1,0 +1,192 @@
+#include "fairmove/core/trainer.h"
+
+#include <cmath>
+
+namespace fairmove {
+
+Status TrainerConfig::Validate() const {
+  if (episodes < 0) return Status::InvalidArgument("episodes must be >= 0");
+  if (slots_per_episode <= 0) {
+    return Status::InvalidArgument("slots_per_episode must be > 0");
+  }
+  return reward.Validate();
+}
+
+Trainer::Trainer(Simulator* sim, TrainerConfig config)
+    : sim_(sim), config_(config), reward_(config.reward) {
+  FM_CHECK(sim != nullptr);
+  FM_CHECK(config.Validate().ok()) << config.Validate();
+}
+
+void Trainer::StepAndCollect(
+    DisplacementPolicy* policy, bool learning,
+    std::vector<DisplacementPolicy::Transition>* closed,
+    EpisodeStats* stats) {
+  const int slot_of_day = sim_->now().SlotOfDay();
+  sim_->Step(policy);
+
+  // Per-slot reward components (Eq 5). The fairness penalty is a shared
+  // fleet-level term evaluated once per slot.
+  const double fairness_penalty = reward_.FairnessPenalty(
+      sim_->FleetMeanPe(), sim_->FleetPeVariance());
+  const double gamma = config_.reward.gamma;
+
+  // (a) Accumulate this slot's reward into every open window. The slot's
+  // profit events (fares credited, charging cost incurred) belong to the
+  // decision that caused them, i.e. the still-open previous window.
+  const auto& profits = sim_->slot_profits();
+  const double fleet_mean_pe = sim_->FleetMeanPe();
+  if (groups_ != nullptr) groups_->GroupMeans(*sim_, &group_means_);
+  for (TaxiId k = 0; k < sim_->num_taxis(); ++k) {
+    auto& pending = pendings_[static_cast<size_t>(k)];
+    if (!pending.has_value()) continue;
+    const double pe_term = reward_.PeTerm(profits[static_cast<size_t>(k)]);
+    // Fairness baseline: the fleet mean, or the driver's rating-group mean
+    // when group-aware fairness is enabled (paper SV).
+    const double baseline_pe =
+        groups_ != nullptr
+            ? group_means_[static_cast<size_t>(groups_->group(k))]
+            : fleet_mean_pe;
+    const double pe_gap = sim_->taxi(k).totals.hourly_pe() - baseline_pe;
+    const double r =
+        reward_.Combined(pe_term, fairness_penalty) +
+        (1.0 - config_.reward.alpha) *
+            reward_.FairnessGradient(pe_gap, pe_term);
+    const double w = std::pow(gamma, static_cast<double>(
+                                          pending->elapsed_slots));
+    pending->acc_reward += w * r;
+    pending->acc_reward_own += w * pe_term;
+    pending->elapsed_slots += 1;
+  }
+
+  // (b) Close windows of taxis that decided again this slot and open the
+  // new ones. Features (if the policy computes any) align with the
+  // decision order.
+  const std::vector<Decision>& decisions = sim_->last_decisions();
+  const std::vector<std::vector<float>>* features =
+      policy != nullptr ? policy->LastFeatures() : nullptr;
+  if (features != nullptr && features->size() != decisions.size()) {
+    features = nullptr;  // policy does not cache per-decision features
+  }
+  for (size_t i = 0; i < decisions.size(); ++i) {
+    const Decision& d = decisions[i];
+    auto& pending = pendings_[static_cast<size_t>(d.taxi)];
+    if (pending.has_value()) {
+      DisplacementPolicy::Transition t;
+      t.state = std::move(pending->state);
+      t.action_index = pending->action_index;
+      t.reward = pending->acc_reward;
+      t.reward_own = pending->acc_reward_own;
+      t.discount = std::pow(gamma, static_cast<double>(
+                                        pending->elapsed_slots));
+      t.terminal = false;
+      t.region = pending->region;
+      t.slot_of_day = pending->slot_of_day;
+      t.must_charge = pending->must_charge;
+      t.may_charge = pending->may_charge;
+      t.next_region = d.region;
+      t.next_slot_of_day = slot_of_day;
+      t.next_must_charge = d.must_charge;
+      t.next_may_charge = d.may_charge;
+      if (features != nullptr) t.next_state = (*features)[i];
+      stats->avg_reward += t.reward;
+      stats->avg_reward_own += t.reward_own;
+      stats->transitions += 1;
+      if (learning) closed->push_back(std::move(t));
+    }
+    Pending fresh;
+    if (features != nullptr) fresh.state = (*features)[i];
+    fresh.action_index = d.action_index;
+    fresh.region = d.region;
+    fresh.slot_of_day = slot_of_day;
+    fresh.must_charge = d.must_charge;
+    fresh.may_charge = d.may_charge;
+    pending = std::move(fresh);
+  }
+}
+
+void Trainer::FlushPendings(
+    std::vector<DisplacementPolicy::Transition>* closed,
+    EpisodeStats* stats) {
+  for (auto& pending : pendings_) {
+    if (!pending.has_value()) continue;
+    DisplacementPolicy::Transition t;
+    t.state = std::move(pending->state);
+    t.action_index = pending->action_index;
+    t.reward = pending->acc_reward;
+    t.reward_own = pending->acc_reward_own;
+    t.discount =
+        std::pow(config_.reward.gamma,
+                 static_cast<double>(pending->elapsed_slots));
+    t.terminal = true;
+    t.region = pending->region;
+    t.slot_of_day = pending->slot_of_day;
+    t.must_charge = pending->must_charge;
+    t.may_charge = pending->may_charge;
+    stats->avg_reward += t.reward;
+    stats->avg_reward_own += t.reward_own;
+    stats->transitions += 1;
+    if (closed != nullptr) closed->push_back(std::move(t));
+    pending.reset();
+  }
+}
+
+std::vector<Trainer::EpisodeStats> Trainer::Train(
+    DisplacementPolicy* policy) {
+  FM_CHECK(policy != nullptr);
+  std::vector<EpisodeStats> all_stats;
+  all_stats.reserve(static_cast<size_t>(config_.episodes));
+  const bool learns = policy->WantsTransitions();
+  std::vector<DisplacementPolicy::Transition> closed;
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    const uint64_t seed =
+        config_.seed_base != 0
+            ? config_.seed_base + static_cast<uint64_t>(episode)
+            : 0;
+    sim_->Reset(seed);
+    pendings_.assign(static_cast<size_t>(sim_->num_taxis()), std::nullopt);
+    policy->SetTraining(true);
+    policy->BeginEpisode(*sim_);
+    EpisodeStats stats;
+    for (int64_t slot = 0; slot < config_.slots_per_episode; ++slot) {
+      closed.clear();
+      StepAndCollect(policy, learns, &closed, &stats);
+      if (learns && !closed.empty()) policy->Learn(closed);
+    }
+    closed.clear();
+    FlushPendings(learns ? &closed : nullptr, &stats);
+    if (learns && !closed.empty()) policy->Learn(closed);
+    if (stats.transitions > 0) {
+      stats.avg_reward /= static_cast<double>(stats.transitions);
+      stats.avg_reward_own /= static_cast<double>(stats.transitions);
+    }
+    stats.fleet_pe_mean = sim_->FleetMeanPe();
+    stats.fleet_pf = sim_->FleetPeVariance();
+    all_stats.push_back(stats);
+  }
+  return all_stats;
+}
+
+Trainer::EpisodeStats Trainer::RunEvaluationEpisode(
+    DisplacementPolicy* policy, uint64_t seed, int64_t slots) {
+  sim_->Reset(seed);
+  pendings_.assign(static_cast<size_t>(sim_->num_taxis()), std::nullopt);
+  EpisodeStats stats;
+  if (policy != nullptr) {
+    policy->SetTraining(false);
+    policy->BeginEpisode(*sim_);
+  }
+  for (int64_t slot = 0; slot < slots; ++slot) {
+    StepAndCollect(policy, /*learning=*/false, nullptr, &stats);
+  }
+  FlushPendings(nullptr, &stats);
+  if (stats.transitions > 0) {
+    stats.avg_reward /= static_cast<double>(stats.transitions);
+    stats.avg_reward_own /= static_cast<double>(stats.transitions);
+  }
+  stats.fleet_pe_mean = sim_->FleetMeanPe();
+  stats.fleet_pf = sim_->FleetPeVariance();
+  return stats;
+}
+
+}  // namespace fairmove

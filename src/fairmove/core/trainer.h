@@ -1,0 +1,97 @@
+#ifndef FAIRMOVE_CORE_TRAINER_H_
+#define FAIRMOVE_CORE_TRAINER_H_
+
+#include <optional>
+#include <vector>
+
+#include "fairmove/core/group_fairness.h"
+#include "fairmove/core/reward.h"
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+struct TrainerConfig {
+  /// Training episodes (Algorithm 1's outer loop).
+  int episodes = 4;
+  /// Slots per episode (default one simulated day).
+  int64_t slots_per_episode = kSlotsPerDay;
+  /// Episode e resets the simulator with seed_base + e (0 keeps the sim's
+  /// own seed for every episode).
+  uint64_t seed_base = 9000;
+  RewardConfig reward;
+
+  Status Validate() const;
+};
+
+/// Runs Algorithm 1: repeatedly rolls the simulator forward under the
+/// policy, converts the per-slot profit/fairness signals into Eq-5 rewards,
+/// assembles semi-MDP transitions (one per displacement decision, rewards
+/// accumulated and discounted until the agent's next decision), and feeds
+/// them to the policy's Learn(). Heuristic policies (GT/SD2) train as a
+/// no-op but still produce episode statistics.
+class Trainer {
+ public:
+  struct EpisodeStats {
+    /// Mean Eq-5 reward per closed transition (the quantity of Table IV).
+    double avg_reward = 0.0;
+    /// Mean own-profit-only reward per transition.
+    double avg_reward_own = 0.0;
+    int64_t transitions = 0;
+    double fleet_pe_mean = 0.0;
+    double fleet_pf = 0.0;
+  };
+
+  /// `sim` must outlive the trainer; it is Reset() per episode.
+  Trainer(Simulator* sim, TrainerConfig config);
+
+  /// Trains `policy` in place; returns one stats entry per episode.
+  std::vector<EpisodeStats> Train(DisplacementPolicy* policy);
+
+  /// Switches the per-agent fairness term of the reward to compare each
+  /// driver against the mean of its *rating group* instead of the whole
+  /// fleet (the §V extension). `groups` must outlive the trainer; nullptr
+  /// restores fleet-level fairness.
+  void SetDriverGroups(const DriverGroups* groups) { groups_ = groups; }
+
+  /// Rolls one episode without learning (policy in evaluation mode) and
+  /// returns its stats; the simulator retains the episode's full state so
+  /// callers can read metrics/trace afterwards.
+  EpisodeStats RunEvaluationEpisode(DisplacementPolicy* policy,
+                                    uint64_t seed, int64_t slots);
+
+  const TrainerConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    std::vector<float> state;
+    int action_index = 0;
+    RegionId region = kInvalidRegion;
+    int slot_of_day = 0;
+    bool must_charge = false;
+    bool may_charge = false;
+    double acc_reward = 0.0;
+    double acc_reward_own = 0.0;
+    int64_t elapsed_slots = 0;
+  };
+
+  /// One simulator step plus transition bookkeeping. Appends closed
+  /// transitions to `closed`; updates `stats`.
+  void StepAndCollect(DisplacementPolicy* policy, bool learning,
+                      std::vector<DisplacementPolicy::Transition>* closed,
+                      EpisodeStats* stats);
+
+  /// Closes every open pending as terminal (episode end).
+  void FlushPendings(std::vector<DisplacementPolicy::Transition>* closed,
+                     EpisodeStats* stats);
+
+  Simulator* sim_;
+  TrainerConfig config_;
+  RewardComputer reward_;
+  const DriverGroups* groups_ = nullptr;
+  std::vector<std::optional<Pending>> pendings_;  // per taxi
+  std::vector<double> group_means_;               // scratch
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_CORE_TRAINER_H_

@@ -1,0 +1,116 @@
+#include "fairmove/data/analysis.h"
+
+namespace fairmove {
+
+std::vector<double> PerTripRevenueByRegion(const Simulator& sim,
+                                           int hour_from, int hour_to) {
+  FM_CHECK(hour_from >= 0 && hour_to <= kHoursPerDay && hour_from < hour_to);
+  const int n = sim.city().num_regions();
+  std::vector<double> fare_sum(static_cast<size_t>(n), 0.0);
+  std::vector<int64_t> count(static_cast<size_t>(n), 0);
+  for (const TripRecord& trip : sim.trace().trips()) {
+    const int hour = TimeSlot(trip.pickup_slot).HourOfDay();
+    if (hour < hour_from || hour >= hour_to) continue;
+    fare_sum[static_cast<size_t>(trip.origin)] += trip.fare_cny;
+    ++count[static_cast<size_t>(trip.origin)];
+  }
+  std::vector<double> out(static_cast<size_t>(n), 0.0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (count[i] > 0) out[i] = fare_sum[i] / static_cast<double>(count[i]);
+  }
+  return out;
+}
+
+std::map<StationId, Sample> FirstCruiseByStation(const Simulator& sim,
+                                                 size_t min_events) {
+  std::map<StationId, Sample> by_station;
+  for (const ChargeEvent& event : sim.trace().charge_events()) {
+    if (event.first_cruise_min >= 0.0f) {
+      by_station[event.station].Add(event.first_cruise_min);
+    }
+  }
+  for (auto it = by_station.begin(); it != by_station.end();) {
+    if (it->second.size() < min_events) {
+      it = by_station.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return by_station;
+}
+
+Sample FirstCruiseSample(const Simulator& sim) {
+  Sample sample;
+  for (const ChargeEvent& event : sim.trace().charge_events()) {
+    if (event.first_cruise_min >= 0.0f) sample.Add(event.first_cruise_min);
+  }
+  return sample;
+}
+
+Sample ChargeDurationSample(const Simulator& sim) {
+  Sample sample;
+  for (const ChargeEvent& event : sim.trace().charge_events()) {
+    sample.Add(event.charge_min);
+  }
+  return sample;
+}
+
+std::array<double, kHoursPerDay> ChargeStartShareByHour(
+    const Simulator& sim) {
+  std::array<double, kHoursPerDay> out{};
+  const auto& starts = sim.trace().charge_starts_by_hour();
+  int64_t total = 0;
+  for (int64_t v : starts) total += v;
+  if (total == 0) return out;
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    out[static_cast<size_t>(h)] =
+        static_cast<double>(starts[static_cast<size_t>(h)]) /
+        static_cast<double>(total);
+  }
+  return out;
+}
+
+Sample HourlyPeSample(const Simulator& sim) {
+  Sample sample;
+  for (const Taxi& taxi : sim.taxis()) {
+    sample.Add(taxi.totals.hourly_pe());
+  }
+  return sample;
+}
+
+double PeP80OverP20Gap(const Simulator& sim) {
+  Sample sample = HourlyPeSample(sim);
+  if (sample.size() < 5) return 0.0;
+  const double p20 = sample.Percentile(20.0);
+  const double p80 = sample.Percentile(80.0);
+  return p20 > 0.0 ? (p80 - p20) / p20 : 0.0;
+}
+
+std::vector<std::array<double, kHoursPerDay>> StationUtilizationByHour(
+    const Simulator& sim, int days) {
+  FM_CHECK(days > 0);
+  const int num_stations = sim.city().num_stations();
+  std::vector<std::array<double, kHoursPerDay>> plug_minutes(
+      static_cast<size_t>(num_stations));
+  for (auto& row : plug_minutes) row.fill(0.0);
+  for (const ChargeEvent& event : sim.trace().charge_events()) {
+    // Spread the session's plugged time over the hours it spans.
+    for (int64_t slot = event.plugin_slot; slot < event.finish_slot;
+         ++slot) {
+      const int hour = TimeSlot(slot).HourOfDay();
+      plug_minutes[static_cast<size_t>(event.station)]
+                  [static_cast<size_t>(hour)] += kMinutesPerSlot;
+    }
+  }
+  for (StationId s = 0; s < num_stations; ++s) {
+    const double capacity_min_per_hour =
+        60.0 * sim.city().station(s).num_points * days;
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      plug_minutes[static_cast<size_t>(s)][static_cast<size_t>(h)] /=
+          capacity_min_per_hour;
+    }
+  }
+  return plug_minutes;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,52 @@
+#ifndef FAIRMOVE_DATA_ANALYSIS_H_
+#define FAIRMOVE_DATA_ANALYSIS_H_
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "fairmove/common/stats.h"
+#include "fairmove/common/time_types.h"
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+/// The data-driven investigation of paper §II-C, run over a simulation
+/// trace instead of the proprietary Shenzhen feeds. Each function feeds one
+/// finding / figure.
+
+/// Fig 7: average per-trip revenue by *origin region* within an
+/// hour-of-day window [hour_from, hour_to). Regions with no trips get 0.
+std::vector<double> PerTripRevenueByRegion(const Simulator& sim,
+                                           int hour_from, int hour_to);
+
+/// Fig 6: distribution of the first cruise time after charging, per
+/// station (only stations with >= min_events samples are returned).
+std::map<StationId, Sample> FirstCruiseByStation(const Simulator& sim,
+                                                 size_t min_events = 5);
+
+/// Fig 5 CDF support: the pooled first-cruise-after-charge sample.
+Sample FirstCruiseSample(const Simulator& sim);
+
+/// Fig 3: per-charge plugged duration sample.
+Sample ChargeDurationSample(const Simulator& sim);
+
+/// Fig 4: share of charging sessions started per hour of day.
+std::array<double, kHoursPerDay> ChargeStartShareByHour(const Simulator& sim);
+
+/// Fig 8 / finding (v): per-taxi hourly profit efficiency sample.
+Sample HourlyPeSample(const Simulator& sim);
+
+/// Finding (v) headline: PE gap between the 80th and 20th percentile
+/// drivers, as a fraction of the 20th percentile.
+double PeP80OverP20Gap(const Simulator& sim);
+
+/// Infrastructure planning view: per-station per-hour plug occupancy
+/// (plug-minutes used / plug-minutes available), estimated from charge
+/// events. Row = station, column = hour of day.
+std::vector<std::array<double, kHoursPerDay>> StationUtilizationByHour(
+    const Simulator& sim, int days);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_DATA_ANALYSIS_H_

@@ -1,0 +1,119 @@
+#include "fairmove/data/generator.h"
+
+#include <cmath>
+
+namespace fairmove {
+
+namespace {
+constexpr int kSecondsPerSlot = kMinutesPerSlot * 60;
+}  // namespace
+
+DatasetGenerator::DatasetGenerator(const Simulator* sim, uint64_t seed)
+    : sim_(sim), rng_(seed) {
+  FM_CHECK(sim != nullptr);
+}
+
+LatLng DatasetGenerator::JitteredPosition(RegionId region) {
+  const Region& r = sim_->city().region(region);
+  const double jitter = 0.6;  // km
+  PointKm p = r.centroid_km;
+  p.x += rng_.Uniform(-jitter, jitter);
+  p.y += rng_.Uniform(-jitter, jitter);
+  return PlanarToLatLng(p);
+}
+
+std::vector<GpsRecord> DatasetGenerator::GenerateGps(int interval_s,
+                                                     size_t max_records) {
+  FM_CHECK(interval_s > 0);
+  std::vector<GpsRecord> out;
+  const City& city = sim_->city();
+  for (const TripRecord& trip : sim_->trace().trips()) {
+    if (out.size() >= max_records) break;
+    const int64_t start_s = trip.pickup_slot * kSecondsPerSlot;
+    const int64_t end_s = trip.dropoff_slot * kSecondsPerSlot;
+    if (end_s <= start_s) continue;
+    const PointKm a = city.region(trip.origin).centroid_km;
+    const PointKm b = city.region(trip.dest).centroid_km;
+    const double heading =
+        std::atan2(b.y - a.y, b.x - a.x) * 180.0 / 3.14159265358979 ;
+    const double duration_s = static_cast<double>(end_s - start_s);
+    const double speed =
+        trip.distance_km / (duration_s / 3600.0);
+    for (int64_t t = start_s; t <= end_s && out.size() < max_records;
+         t += interval_s) {
+      const double frac = static_cast<double>(t - start_s) / duration_s;
+      GpsRecord rec;
+      rec.vehicle_id = trip.taxi;
+      rec.timestamp_s = t;
+      PointKm p{a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)};
+      p.x += rng_.Uniform(-0.05, 0.05);  // GPS noise
+      p.y += rng_.Uniform(-0.05, 0.05);
+      rec.position = PlanarToLatLng(p);
+      rec.speed_kmh = static_cast<float>(speed * rng_.Uniform(0.7, 1.3));
+      rec.heading_deg = static_cast<float>(heading < 0 ? heading + 360.0
+                                                       : heading);
+      rec.occupied = true;
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+std::vector<TransactionRecord> DatasetGenerator::GenerateTransactions() {
+  std::vector<TransactionRecord> out;
+  out.reserve(sim_->trace().trips().size());
+  for (const TripRecord& trip : sim_->trace().trips()) {
+    TransactionRecord rec;
+    rec.vehicle_id = trip.taxi;
+    rec.pickup_time_s = trip.pickup_slot * kSecondsPerSlot;
+    rec.dropoff_time_s = trip.dropoff_slot * kSecondsPerSlot;
+    rec.pickup = JitteredPosition(trip.origin);
+    rec.dropoff = JitteredPosition(trip.dest);
+    rec.operating_km = trip.distance_km;
+    // Cruising distance before the pickup, from cruise time at class speed.
+    const double kmh =
+        City::ClassSpeedKmh(sim_->city().region(trip.origin).cls);
+    rec.cruising_km = static_cast<float>(trip.cruise_min / 60.0 * kmh * 0.5);
+    rec.fare_cny = trip.fare_cny;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<StationRecord> DatasetGenerator::GenerateStations() const {
+  std::vector<StationRecord> out;
+  out.reserve(static_cast<size_t>(sim_->city().num_stations()));
+  for (const ChargingStation& st : sim_->city().stations()) {
+    StationRecord rec;
+    rec.station_id = st.id;
+    rec.name = st.name;
+    rec.position = st.location;
+    rec.num_fast_points = st.num_points;
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<RegionRecord> DatasetGenerator::GenerateRegions() const {
+  std::vector<RegionRecord> out;
+  const City& city = sim_->city();
+  out.reserve(static_cast<size_t>(city.num_regions()));
+  const double half = 1.0;  // km, synthetic cell half-size for boundaries
+  for (const Region& region : city.regions()) {
+    RegionRecord rec;
+    rec.region_id = region.id;
+    rec.centroid = region.centroid;
+    rec.land_use = RegionClassName(region.cls);
+    const PointKm c = region.centroid_km;
+    rec.boundary = {
+        PlanarToLatLng({c.x - half, c.y - half}),
+        PlanarToLatLng({c.x + half, c.y - half}),
+        PlanarToLatLng({c.x + half, c.y + half}),
+        PlanarToLatLng({c.x - half, c.y + half}),
+    };
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,45 @@
+#ifndef FAIRMOVE_DATA_GENERATOR_H_
+#define FAIRMOVE_DATA_GENERATOR_H_
+
+#include <vector>
+
+#include "fairmove/common/rng.h"
+#include "fairmove/data/records.h"
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+/// Materialises the paper's five datasets (Table I) from a finished
+/// simulation run: the GPS stream is interpolated along each trip, the
+/// transaction log maps 1:1 onto the simulator's trip records, and the
+/// metadata tables come from the synthetic city. This is the proprietary-
+/// data substitution layer: downstream code that would have consumed the
+/// Shenzhen feeds consumes these records instead.
+class DatasetGenerator {
+ public:
+  /// `sim` must have been run (records are read from its trace) and must
+  /// outlive the generator.
+  DatasetGenerator(const Simulator* sim, uint64_t seed);
+
+  /// One interpolated GPS ping every `interval_s` seconds along every trip
+  /// (caps at `max_records` to bound memory).
+  std::vector<GpsRecord> GenerateGps(int interval_s,
+                                     size_t max_records = 1000000);
+
+  /// All trips of the run as transaction records.
+  std::vector<TransactionRecord> GenerateTransactions();
+
+  std::vector<StationRecord> GenerateStations() const;
+  std::vector<RegionRecord> GenerateRegions() const;
+
+ private:
+  /// Jittered position inside a region (streets, not centroids).
+  LatLng JitteredPosition(RegionId region);
+
+  const Simulator* sim_;
+  Rng rng_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_DATA_GENERATOR_H_

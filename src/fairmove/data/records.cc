@@ -1,0 +1,72 @@
+#include "fairmove/data/records.h"
+
+namespace fairmove {
+
+Table GpsRecordsTable(const std::vector<GpsRecord>& records) {
+  Table table({"vehicle_id", "timestamp_s", "lat", "lng", "speed_kmh",
+               "heading_deg", "occupied"});
+  for (const GpsRecord& r : records) {
+    table.Row()
+        .Int(r.vehicle_id)
+        .Int(r.timestamp_s)
+        .Num(r.position.lat, 6)
+        .Num(r.position.lng, 6)
+        .Num(r.speed_kmh, 1)
+        .Num(r.heading_deg, 1)
+        .Str(r.occupied ? "1" : "0")
+        .Done();
+  }
+  return table;
+}
+
+Table TransactionRecordsTable(const std::vector<TransactionRecord>& records) {
+  Table table({"vehicle_id", "pickup_time_s", "dropoff_time_s", "pickup_lat",
+               "pickup_lng", "dropoff_lat", "dropoff_lng", "operating_km",
+               "cruising_km", "fare_cny"});
+  for (const TransactionRecord& r : records) {
+    table.Row()
+        .Int(r.vehicle_id)
+        .Int(r.pickup_time_s)
+        .Int(r.dropoff_time_s)
+        .Num(r.pickup.lat, 6)
+        .Num(r.pickup.lng, 6)
+        .Num(r.dropoff.lat, 6)
+        .Num(r.dropoff.lng, 6)
+        .Num(r.operating_km, 2)
+        .Num(r.cruising_km, 2)
+        .Num(r.fare_cny, 2)
+        .Done();
+  }
+  return table;
+}
+
+Table StationRecordsTable(const std::vector<StationRecord>& records) {
+  Table table({"station_id", "name", "lat", "lng", "num_fast_points"});
+  for (const StationRecord& r : records) {
+    table.Row()
+        .Int(r.station_id)
+        .Str(r.name)
+        .Num(r.position.lat, 6)
+        .Num(r.position.lng, 6)
+        .Int(r.num_fast_points)
+        .Done();
+  }
+  return table;
+}
+
+Table RegionRecordsTable(const std::vector<RegionRecord>& records) {
+  Table table({"region_id", "centroid_lat", "centroid_lng", "land_use",
+               "num_boundary_points"});
+  for (const RegionRecord& r : records) {
+    table.Row()
+        .Int(r.region_id)
+        .Num(r.centroid.lat, 6)
+        .Num(r.centroid.lng, 6)
+        .Str(r.land_use)
+        .Int(static_cast<int64_t>(r.boundary.size()))
+        .Done();
+  }
+  return table;
+}
+
+}  // namespace fairmove

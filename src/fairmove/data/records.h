@@ -1,0 +1,65 @@
+#ifndef FAIRMOVE_DATA_RECORDS_H_
+#define FAIRMOVE_DATA_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fairmove/common/csv.h"
+#include "fairmove/geo/point.h"
+#include "fairmove/geo/region.h"
+
+namespace fairmove {
+
+/// The five dataset schemas of paper §II-A / Table I, in the synthetic
+/// equivalents the generator emits. Timestamps are seconds since the start
+/// of the simulated horizon.
+
+/// (i) E-taxi GPS stream.
+struct GpsRecord {
+  int32_t vehicle_id = 0;
+  int64_t timestamp_s = 0;
+  LatLng position;
+  float speed_kmh = 0.0f;
+  float heading_deg = 0.0f;
+  bool occupied = false;
+};
+
+/// (ii) Transaction (trip fare) record.
+struct TransactionRecord {
+  int32_t vehicle_id = 0;
+  int64_t pickup_time_s = 0;
+  int64_t dropoff_time_s = 0;
+  LatLng pickup;
+  LatLng dropoff;
+  float operating_km = 0.0f;
+  float cruising_km = 0.0f;
+  float fare_cny = 0.0f;
+};
+
+/// (iii) Charging station metadata.
+struct StationRecord {
+  int32_t station_id = 0;
+  std::string name;
+  LatLng position;
+  int num_fast_points = 0;
+};
+
+/// (iv) Urban partition record.
+struct RegionRecord {
+  int32_t region_id = 0;
+  LatLng centroid;
+  std::string land_use;  // region class name
+  /// Simplified boundary: the 4 corners of the region's lattice cell.
+  std::vector<LatLng> boundary;
+};
+
+// Tabular renderers (Table I / dataset export).
+Table GpsRecordsTable(const std::vector<GpsRecord>& records);
+Table TransactionRecordsTable(const std::vector<TransactionRecord>& records);
+Table StationRecordsTable(const std::vector<StationRecord>& records);
+Table RegionRecordsTable(const std::vector<RegionRecord>& records);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_DATA_RECORDS_H_

@@ -1,0 +1,175 @@
+#include "fairmove/demand/demand_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairmove {
+
+namespace {
+
+/// Baseline per-region demand magnitude by class (relative units).
+double ClassBaseWeight(RegionClass cls) {
+  switch (cls) {
+    case RegionClass::kDowntownCore:
+      return 8.0;
+    case RegionClass::kUrban:
+      return 4.0;
+    case RegionClass::kSuburb:
+      return 1.0;
+    case RegionClass::kAirport:
+      return 11.0;  // one region, many trips
+    case RegionClass::kPort:
+      return 3.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double DemandModel::DiurnalWeight(RegionClass cls, int hour) {
+  FM_CHECK(hour >= 0 && hour < kHoursPerDay);
+  switch (cls) {
+    case RegionClass::kDowntownCore: {
+      if (hour < 2) return 0.55;   // nightlife tail
+      if (hour < 6) return 0.25;
+      if (hour < 7) return 0.55;
+      if (hour < 10) return 1.65;  // AM rush
+      if (hour < 17) return 1.00;
+      if (hour < 21) return 1.85;  // PM rush
+      return 1.05;
+    }
+    case RegionClass::kUrban: {
+      if (hour < 2) return 0.25;
+      if (hour < 6) return 0.10;
+      if (hour < 7) return 0.55;
+      if (hour < 10) return 1.75;
+      if (hour < 17) return 0.80;
+      if (hour < 21) return 1.55;
+      return 0.60;
+    }
+    case RegionClass::kSuburb: {
+      if (hour < 6) return 0.05;
+      if (hour < 7) return 0.45;
+      if (hour < 10) return 1.35;
+      if (hour < 17) return 0.50;
+      if (hour < 21) return 1.05;
+      return 0.25;
+    }
+    case RegionClass::kAirport: {
+      if (hour < 6) return 0.70;   // red-eye arrivals
+      if (hour < 10) return 1.30;
+      if (hour < 20) return 1.00;
+      return 1.30;                  // evening arrivals
+    }
+    case RegionClass::kPort: {
+      if (hour < 7) return 0.20;
+      if (hour < 18) return 1.20;
+      return 0.35;
+    }
+  }
+  return 1.0;
+}
+
+double DemandModel::AttractivenessWeight(RegionClass cls, int hour) {
+  FM_CHECK(hour >= 0 && hour < kHoursPerDay);
+  const bool morning = hour >= 6 && hour < 10;
+  const bool midday = hour >= 10 && hour < 16;
+  const bool evening = hour >= 16 && hour < 21;
+  switch (cls) {
+    case RegionClass::kDowntownCore:
+      return morning ? 8.0 : midday ? 5.0 : evening ? 3.0 : 4.0;
+    case RegionClass::kUrban:
+      return morning ? 3.0 : midday ? 4.0 : evening ? 6.0 : 4.0;
+    case RegionClass::kSuburb:
+      return morning ? 0.8 : midday ? 1.5 : evening ? 3.0 : 2.0;
+    case RegionClass::kAirport:
+      return morning ? 3.0 : midday ? 2.0 : evening ? 2.0 : 2.0;
+    case RegionClass::kPort:
+      return morning ? 2.0 : midday ? 2.0 : evening ? 1.0 : 0.5;
+  }
+  return 1.0;
+}
+
+StatusOr<DemandModel> DemandModel::Create(const City* city,
+                                          DemandConfig config) {
+  if (city == nullptr) return Status::InvalidArgument("city is null");
+  if (config.trips_per_taxi_per_day <= 0.0) {
+    return Status::InvalidArgument("trips_per_taxi_per_day must be > 0");
+  }
+  if (config.num_taxis <= 0) {
+    return Status::InvalidArgument("num_taxis must be > 0");
+  }
+  if (config.gravity_scale_km <= 0.0) {
+    return Status::InvalidArgument("gravity_scale_km must be > 0");
+  }
+  if (config.intra_region_km < 0.0) {
+    return Status::InvalidArgument("intra_region_km must be >= 0");
+  }
+  return DemandModel(city, config);
+}
+
+DemandModel::DemandModel(const City* city, DemandConfig config)
+    : city_(city),
+      config_(config),
+      num_regions_(static_cast<size_t>(city->num_regions())) {
+  // --- Per-region per-slot rates, normalised to the target daily volume ---
+  rates_.assign(num_regions_ * kSlotsPerDay, 0.0f);
+  double raw_total = 0.0;
+  for (size_t r = 0; r < num_regions_; ++r) {
+    const RegionClass cls = city_->region(static_cast<RegionId>(r)).cls;
+    const double base = ClassBaseWeight(cls);
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      const int hour = s / kSlotsPerHour;
+      const double w = base * DiurnalWeight(cls, hour);
+      rates_[r * kSlotsPerDay + static_cast<size_t>(s)] =
+          static_cast<float>(w);
+      raw_total += w;
+    }
+  }
+  const double target =
+      config_.trips_per_taxi_per_day * config_.num_taxis;
+  const double norm = target / raw_total;
+  for (float& v : rates_) v = static_cast<float>(v * norm);
+  total_per_day_ = target;
+
+  // --- Gravity destination CDFs per (hour bucket, origin) ----------------
+  dest_cdf_.assign(static_cast<size_t>(kNumBuckets) * num_regions_ *
+                       num_regions_,
+                   0.0f);
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const int hour = b * kHourBucket + kHourBucket / 2;  // bucket midpoint
+    for (size_t o = 0; o < num_regions_; ++o) {
+      float cum = 0.0f;
+      float* cdf = &dest_cdf_[CdfIndex(b, static_cast<RegionId>(o))];
+      for (size_t d = 0; d < num_regions_; ++d) {
+        const RegionClass cls = city_->region(static_cast<RegionId>(d)).cls;
+        const double km = TripKm(static_cast<RegionId>(o),
+                                 static_cast<RegionId>(d));
+        const double w = AttractivenessWeight(cls, hour) *
+                         std::exp(-km / config_.gravity_scale_km);
+        cum += static_cast<float>(w);
+        cdf[d] = cum;
+      }
+      FM_CHECK(cum > 0.0f) << "degenerate destination distribution";
+    }
+  }
+}
+
+RegionId DemandModel::SampleDestination(RegionId origin, TimeSlot slot,
+                                        Rng& rng) const {
+  const int bucket = slot.HourOfDay() / kHourBucket;
+  const float* cdf = &dest_cdf_[CdfIndex(bucket, origin)];
+  const float total = cdf[num_regions_ - 1];
+  const float r = static_cast<float>(rng.NextDouble()) * total;
+  const float* it = std::lower_bound(cdf, cdf + num_regions_, r);
+  size_t idx = static_cast<size_t>(it - cdf);
+  if (idx >= num_regions_) idx = num_regions_ - 1;
+  return static_cast<RegionId>(idx);
+}
+
+double DemandModel::TripKm(RegionId origin, RegionId dest) const {
+  if (origin == dest) return config_.intra_region_km;
+  return city_->DrivingKm(origin, dest);
+}
+
+}  // namespace fairmove

@@ -1,0 +1,94 @@
+#ifndef FAIRMOVE_DEMAND_DEMAND_MODEL_H_
+#define FAIRMOVE_DEMAND_DEMAND_MODEL_H_
+
+#include <vector>
+
+#include "fairmove/common/rng.h"
+#include "fairmove/common/status.h"
+#include "fairmove/common/time_types.h"
+#include "fairmove/demand/demand_source.h"
+#include "fairmove/geo/city.h"
+
+namespace fairmove {
+
+/// Parameters of the synthetic passenger-demand surface.
+struct DemandConfig {
+  /// Fleet-wide demand volume: average requested trips per taxi per day.
+  /// Dec-2019 Shenzhen served 23.2M trips / 20130 taxis / 31 days ≈ 37
+  /// per taxi-day; we request more because the simulated fleet is on duty
+  /// around the clock (no shift breaks), which calibrates the ground-truth
+  /// cruise time and profit efficiency to the paper's Figs 8/10.
+  double trips_per_taxi_per_day = 52.0;
+  /// Fleet size used to normalise total demand volume.
+  int num_taxis = 20130;
+  /// Distance-decay scale (km) of the gravity destination model.
+  double gravity_scale_km = 8.0;
+  /// Average intra-region trip distance (km) when origin == destination.
+  double intra_region_km = 1.5;
+};
+
+/// Spatiotemporal Poisson demand: each region emits passenger requests at a
+/// per-slot rate driven by its class diurnal profile; destinations follow a
+/// gravity model (attractiveness x distance decay) whose attractiveness
+/// flips between downtown (morning) and residential (evening). This is the
+/// structural source of the paper's Fig 7 revenue skew: airport/suburb trips
+/// are long and high-fare, downtown trips short and cheap.
+class DemandModel : public DemandSource {
+ public:
+  /// `city` must outlive the model. InvalidArgument on bad config.
+  static StatusOr<DemandModel> Create(const City* city, DemandConfig config);
+
+  /// Expected number of requests in region `r` during `slot`.
+  double Rate(RegionId r, TimeSlot slot) const override {
+    return rates_[RateIndex(r, slot)];
+  }
+
+  /// Samples a trip destination for a request originating in `origin`.
+  RegionId SampleDestination(RegionId origin, TimeSlot slot,
+                             Rng& rng) const override;
+
+  /// Driving distance of a trip between the two regions, using the config's
+  /// intra-region distance when they coincide.
+  double TripKm(RegionId origin, RegionId dest) const override;
+
+  /// Sum of Rate over all regions and one day's slots.
+  double TotalTripsPerDay() const override { return total_per_day_; }
+
+  const DemandConfig& config() const { return config_; }
+
+  /// Relative demand weight of a region class at a given hour (exposed for
+  /// tests and for documentation plots).
+  static double DiurnalWeight(RegionClass cls, int hour);
+  /// Relative attractiveness of a region class as a *destination* at `hour`.
+  static double AttractivenessWeight(RegionClass cls, int hour);
+
+ private:
+  DemandModel(const City* city, DemandConfig config);
+
+  size_t RateIndex(RegionId r, TimeSlot slot) const {
+    return static_cast<size_t>(r) * kSlotsPerDay +
+           static_cast<size_t>(slot.SlotOfDay());
+  }
+
+  /// Destination CDFs are bucketed by hour to bound memory:
+  /// kHourBucket-hour buckets.
+  static constexpr int kHourBucket = 4;
+  static constexpr int kNumBuckets = kHoursPerDay / kHourBucket;
+
+  size_t CdfIndex(int bucket, RegionId origin) const {
+    return (static_cast<size_t>(bucket) * num_regions_ +
+            static_cast<size_t>(origin)) *
+           num_regions_;
+  }
+
+  const City* city_;
+  DemandConfig config_;
+  size_t num_regions_;
+  std::vector<float> rates_;     // [region][slot_of_day]
+  std::vector<float> dest_cdf_;  // [bucket][origin][dest], cumulative
+  double total_per_day_ = 0.0;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_DEMAND_DEMAND_MODEL_H_

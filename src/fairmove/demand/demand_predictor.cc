@@ -1,0 +1,47 @@
+#include "fairmove/demand/demand_predictor.h"
+
+namespace fairmove {
+
+DemandPredictor::DemandPredictor(int num_regions, double history_weight,
+                                 double realtime_blend)
+    : num_regions_(num_regions),
+      history_weight_(history_weight),
+      realtime_blend_(realtime_blend) {
+  FM_CHECK(num_regions > 0);
+  FM_CHECK(history_weight >= 0.0 && history_weight < 1.0);
+  FM_CHECK(realtime_blend >= 0.0 && realtime_blend <= 1.0);
+  historical_.assign(static_cast<size_t>(num_regions) * kSlotsPerDay, 0.0);
+  last_seen_.assign(static_cast<size_t>(num_regions), 0.0);
+  last_slot_.assign(static_cast<size_t>(num_regions), -1);
+}
+
+void DemandPredictor::PrimeFromModel(const DemandSource& model) {
+  for (RegionId r = 0; r < num_regions_; ++r) {
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      historical_[Index(r, TimeSlot(s))] = model.Rate(r, TimeSlot(s));
+    }
+  }
+}
+
+void DemandPredictor::Observe(RegionId region, TimeSlot slot, double count) {
+  FM_CHECK(region >= 0 && region < num_regions_);
+  double& h = historical_[Index(region, slot)];
+  h = history_weight_ * h + (1.0 - history_weight_) * count;
+  last_seen_[static_cast<size_t>(region)] = count;
+  last_slot_[static_cast<size_t>(region)] = slot.index;
+}
+
+double DemandPredictor::Predict(RegionId region, TimeSlot slot) const {
+  FM_CHECK(region >= 0 && region < num_regions_);
+  const double historical = historical_[Index(region, slot)];
+  // Blend in the real-time observation only when it is fresh (previous
+  // slot); stale observations say little about the queried slot.
+  const int64_t last = last_slot_[static_cast<size_t>(region)];
+  if (last >= 0 && slot.index - last == 1) {
+    return (1.0 - realtime_blend_) * historical +
+           realtime_blend_ * last_seen_[static_cast<size_t>(region)];
+  }
+  return historical;
+}
+
+}  // namespace fairmove

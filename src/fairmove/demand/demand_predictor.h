@@ -1,0 +1,54 @@
+#ifndef FAIRMOVE_DEMAND_DEMAND_PREDICTOR_H_
+#define FAIRMOVE_DEMAND_DEMAND_PREDICTOR_H_
+
+#include <vector>
+
+#include "fairmove/common/status.h"
+#include "fairmove/common/time_types.h"
+#include "fairmove/demand/demand_source.h"
+
+namespace fairmove {
+
+/// "The expected number of passengers in each region at the next time slot,
+/// which is predicted with historical and real-time data" (paper §III-C,
+/// global-view state, feature iii). Implemented as a per-(region,
+/// slot-of-day) exponentially weighted historical average, optionally
+/// blended with the most recent real-time observation of the same region.
+class DemandPredictor {
+ public:
+  /// `num_regions` regions; `history_weight` is the EWMA decay (closer to 1
+  /// = slower adaptation); `realtime_blend` is the weight of the last
+  /// observed count vs the historical average in Predict().
+  DemandPredictor(int num_regions, double history_weight = 0.9,
+                  double realtime_blend = 0.3);
+
+  /// Seeds the historical table from the generator model (equivalent to
+  /// training the predictor on an unbounded history of model samples).
+  void PrimeFromModel(const DemandSource& model);
+
+  /// Feeds the realised request count of `region` during `slot`.
+  void Observe(RegionId region, TimeSlot slot, double count);
+
+  /// Predicted request count of `region` during `slot` (typically queried
+  /// for the *next* slot).
+  double Predict(RegionId region, TimeSlot slot) const;
+
+  int num_regions() const { return num_regions_; }
+
+ private:
+  size_t Index(RegionId region, TimeSlot slot) const {
+    return static_cast<size_t>(region) * kSlotsPerDay +
+           static_cast<size_t>(slot.SlotOfDay());
+  }
+
+  int num_regions_;
+  double history_weight_;
+  double realtime_blend_;
+  std::vector<double> historical_;   // [region][slot_of_day] EWMA
+  std::vector<double> last_seen_;    // [region] most recent count
+  std::vector<int64_t> last_slot_;   // [region] slot of that count
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_DEMAND_DEMAND_PREDICTOR_H_

@@ -1,0 +1,39 @@
+#ifndef FAIRMOVE_DEMAND_DEMAND_SOURCE_H_
+#define FAIRMOVE_DEMAND_DEMAND_SOURCE_H_
+
+#include "fairmove/common/rng.h"
+#include "fairmove/common/time_types.h"
+#include "fairmove/geo/region.h"
+
+namespace fairmove {
+
+/// Where passenger requests come from. The simulator and the policies only
+/// depend on this interface, so demand can be the synthetic generative
+/// model (DemandModel) or an empirical surface estimated from transaction
+/// data (EmpiricalDemandModel) — the paper's "data-driven" pipeline.
+class DemandSource {
+ public:
+  virtual ~DemandSource() = default;
+
+  /// Expected number of requests in region `r` during `slot`.
+  virtual double Rate(RegionId r, TimeSlot slot) const = 0;
+
+  /// Poisson sample of the number of requests in `r` during `slot`.
+  virtual int SampleCount(RegionId r, TimeSlot slot, Rng& rng) const {
+    return rng.Poisson(Rate(r, slot));
+  }
+
+  /// Samples a trip destination for a request originating in `origin`.
+  virtual RegionId SampleDestination(RegionId origin, TimeSlot slot,
+                                     Rng& rng) const = 0;
+
+  /// Driving distance of a trip between the two regions.
+  virtual double TripKm(RegionId origin, RegionId dest) const = 0;
+
+  /// Sum of Rate over all regions and one day's slots.
+  virtual double TotalTripsPerDay() const = 0;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_DEMAND_DEMAND_SOURCE_H_

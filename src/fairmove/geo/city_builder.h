@@ -1,0 +1,61 @@
+#ifndef FAIRMOVE_GEO_CITY_BUILDER_H_
+#define FAIRMOVE_GEO_CITY_BUILDER_H_
+
+#include <cstdint>
+
+#include "fairmove/common/status.h"
+#include "fairmove/geo/city.h"
+
+namespace fairmove {
+
+/// Parameters of the synthetic Shenzhen-like city. Defaults reproduce the
+/// paper's setting: 491 regions, 123 charging stations with 5,000+ fast
+/// charging points in total. `scale` shrinks the instance proportionally
+/// (benches default to a sub-city so the full table/figure suite finishes
+/// on one core; see DESIGN.md §2).
+struct CityConfig {
+  int num_regions = 491;
+  int num_stations = 123;
+  int total_charge_points = 5000;
+  /// East-west to north-south extent ratio (Shenzhen is elongated).
+  double aspect_ratio = 2.45;
+  /// Average region area in km^2 (Shenzhen: ~2000 km^2 / 491 regions).
+  double region_area_km2 = 4.0;
+  /// Random jitter of region centroids within their lattice cell, as a
+  /// fraction of the cell size.
+  double centroid_jitter = 0.25;
+  /// Terrain: fraction of the lattice carved out as impassable blobs
+  /// (mountains / lakes / bays). The paper argues its census partition is
+  /// "more practical [than grids] as it considers the geological structure
+  /// of the city"; obstacles reproduce that irregular adjacency. 0 = flat
+  /// city (the calibrated default).
+  double obstacle_fraction = 0.0;
+  /// Number of obstacle blobs the carved area is split into.
+  int obstacle_blobs = 4;
+  uint64_t seed = 20130;
+
+  /// Returns a copy with counts multiplied by `scale` (floored at small
+  /// minimums that keep the instance meaningful).
+  CityConfig Scaled(double scale) const;
+};
+
+/// Deterministically generates the synthetic city: a jittered lattice of
+/// regions classed as downtown/urban/suburb plus one airport and one port
+/// cell, an 8-neighbourhood adjacency graph, and charging stations whose
+/// density tracks region class (dense downtown, sparse in suburbs) — the
+/// spatial structure behind the paper's findings (ii)-(v) in §II-C.
+class CityBuilder {
+ public:
+  explicit CityBuilder(CityConfig config) : config_(config) {}
+
+  /// Validates the config and builds the city. InvalidArgument on bad
+  /// parameters (e.g. fewer regions than stations need).
+  StatusOr<City> Build() const;
+
+ private:
+  CityConfig config_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_GEO_CITY_BUILDER_H_

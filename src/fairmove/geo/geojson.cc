@@ -1,0 +1,82 @@
+#include "fairmove/geo/geojson.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace fairmove {
+
+namespace {
+
+void AppendCoordinate(std::ostringstream& os, LatLng position) {
+  os << '[' << position.lng << ',' << position.lat << ']';
+}
+
+void AppendRegionPolygon(std::ostringstream& os, const Region& region,
+                         double half_km) {
+  const PointKm c = region.centroid_km;
+  const LatLng corners[5] = {
+      PlanarToLatLng({c.x - half_km, c.y - half_km}),
+      PlanarToLatLng({c.x + half_km, c.y - half_km}),
+      PlanarToLatLng({c.x + half_km, c.y + half_km}),
+      PlanarToLatLng({c.x - half_km, c.y + half_km}),
+      PlanarToLatLng({c.x - half_km, c.y - half_km}),  // closed ring
+  };
+  os << R"({"type":"Feature","properties":{"kind":"region","region_id":)"
+     << region.id << R"(,"land_use":")" << RegionClassName(region.cls)
+     << R"("},"geometry":{"type":"Polygon","coordinates":[[)";
+  for (int i = 0; i < 5; ++i) {
+    if (i) os << ',';
+    AppendCoordinate(os, corners[i]);
+  }
+  os << "]]}}";
+}
+
+void AppendStationPoint(std::ostringstream& os,
+                        const ChargingStation& station) {
+  os << R"({"type":"Feature","properties":{"kind":"station","station_id":)"
+     << station.id << R"(,"name":")" << station.name
+     << R"(","num_points":)" << station.num_points
+     << R"(},"geometry":{"type":"Point","coordinates":)";
+  AppendCoordinate(os, station.location);
+  os << "}}";
+}
+
+}  // namespace
+
+std::string CityToGeoJson(const City& city) {
+  // Region footprint: half the average cell edge, inferred from density.
+  double min_gap = 1e9;
+  const Region& first = city.region(0);
+  for (const Region& other : city.regions()) {
+    if (other.id == first.id) continue;
+    min_gap = std::min(min_gap,
+                       DistanceKm(first.centroid_km, other.centroid_km));
+  }
+  const double half_km = std::max(0.25, min_gap * 0.45);
+
+  std::ostringstream os;
+  os << R"({"type":"FeatureCollection","features":[)";
+  bool need_comma = false;
+  for (const Region& region : city.regions()) {
+    if (need_comma) os << ',';
+    AppendRegionPolygon(os, region, half_km);
+    need_comma = true;
+  }
+  for (const ChargingStation& station : city.stations()) {
+    os << ',';
+    AppendStationPoint(os, station);
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status WriteCityGeoJson(const City& city, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << CityToGeoJson(city);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace fairmove

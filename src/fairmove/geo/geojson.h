@@ -1,0 +1,23 @@
+#ifndef FAIRMOVE_GEO_GEOJSON_H_
+#define FAIRMOVE_GEO_GEOJSON_H_
+
+#include <string>
+
+#include "fairmove/common/status.h"
+#include "fairmove/geo/city.h"
+
+namespace fairmove {
+
+/// Renders the synthetic city as a GeoJSON FeatureCollection: one square
+/// polygon per region (with `region_id` / `land_use` properties) and one
+/// point per charging station (with `station_id` / `num_points`). Drop the
+/// output into any GeoJSON viewer to eyeball the partition, the land-use
+/// rings and the station distribution.
+std::string CityToGeoJson(const City& city);
+
+/// Writes CityToGeoJson(city) to `path`.
+Status WriteCityGeoJson(const City& city, const std::string& path);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_GEO_GEOJSON_H_

@@ -1,0 +1,76 @@
+#ifndef FAIRMOVE_GEO_POINT_H_
+#define FAIRMOVE_GEO_POINT_H_
+
+#include <cmath>
+#include <numbers>
+
+namespace fairmove {
+
+/// Planar coordinate in kilometres within the synthetic city frame
+/// (x grows east, y grows north, origin at the city's south-west corner).
+struct PointKm {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const PointKm&) const = default;
+};
+
+/// Euclidean distance in km between planar points.
+inline double DistanceKm(PointKm a, PointKm b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// WGS-84 coordinate. The synthetic generator emits records with plausible
+/// Shenzhen lat/lng so the dataset schemas match Table I of the paper.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+
+  bool operator==(const LatLng&) const = default;
+};
+
+inline constexpr double kEarthRadiusKm = 6371.0088;
+
+/// Great-circle distance in km (haversine).
+inline double HaversineKm(LatLng a, LatLng b) {
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double s = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2.0) *
+                       std::sin(dlng / 2.0);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+/// Anchor of the synthetic city frame: planar (0, 0) maps to this corner of
+/// Shenzhen's bounding box.
+inline constexpr LatLng kCityOrigin{22.45, 113.75};
+
+/// Converts a planar point in the city frame to an approximate WGS-84
+/// coordinate (local equirectangular projection around the origin latitude).
+inline LatLng PlanarToLatLng(PointKm p) {
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double lat = kCityOrigin.lat + p.y / 111.32;
+  const double lng = kCityOrigin.lng +
+                     p.x / (111.32 * std::cos(kCityOrigin.lat * kDegToRad));
+  return LatLng{lat, lng};
+}
+
+/// Inverse of PlanarToLatLng: projects a WGS-84 coordinate into the city's
+/// planar km frame.
+inline PointKm LatLngToPlanar(LatLng position) {
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  return PointKm{
+      (position.lng - kCityOrigin.lng) *
+          (111.32 * std::cos(kCityOrigin.lat * kDegToRad)),
+      (position.lat - kCityOrigin.lat) * 111.32,
+  };
+}
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_GEO_POINT_H_

@@ -1,0 +1,21 @@
+#include "fairmove/geo/region.h"
+
+namespace fairmove {
+
+const char* RegionClassName(RegionClass cls) {
+  switch (cls) {
+    case RegionClass::kDowntownCore:
+      return "downtown";
+    case RegionClass::kUrban:
+      return "urban";
+    case RegionClass::kSuburb:
+      return "suburb";
+    case RegionClass::kAirport:
+      return "airport";
+    case RegionClass::kPort:
+      return "port";
+  }
+  return "unknown";
+}
+
+}  // namespace fairmove

@@ -1,0 +1,61 @@
+#ifndef FAIRMOVE_GEO_REGION_H_
+#define FAIRMOVE_GEO_REGION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fairmove/geo/point.h"
+
+namespace fairmove {
+
+using RegionId = int32_t;
+using StationId = int32_t;
+
+inline constexpr RegionId kInvalidRegion = -1;
+inline constexpr StationId kInvalidStation = -1;
+
+/// Land-use class of a region. The synthetic city uses these to drive the
+/// spatial skew the paper observes in the Shenzhen data (Fig 7): demand,
+/// trip fares, traffic speed and charging-station density all vary by class.
+enum class RegionClass : uint8_t {
+  kDowntownCore = 0,  // CBD: dense short trips, high demand, slow traffic
+  kUrban = 1,         // inner residential/commercial ring
+  kSuburb = 2,        // sparse demand, low fares, faster roads
+  kAirport = 3,       // few but long, high-fare trips at all hours
+  kPort = 4,          // industrial; freight-driven daytime demand
+};
+
+inline constexpr int kNumRegionClasses = 5;
+
+/// Stable display name ("downtown", "urban", ...).
+const char* RegionClassName(RegionClass cls);
+
+/// One cell of the urban partition (paper §II-A dataset iv: 491 regions).
+struct Region {
+  RegionId id = kInvalidRegion;
+  RegionClass cls = RegionClass::kSuburb;
+  PointKm centroid_km;
+  LatLng centroid;
+  /// Row-major grid coordinates inside the builder lattice (diagnostics).
+  int grid_row = 0;
+  int grid_col = 0;
+  /// Adjacent regions (8-neighbourhood on the lattice); the second action
+  /// type of §III-C moves a taxi to one of these.
+  std::vector<RegionId> neighbors;
+};
+
+/// Metadata of one charging station (paper §II-A dataset iii).
+struct ChargingStation {
+  StationId id = kInvalidStation;
+  std::string name;
+  RegionId region = kInvalidRegion;
+  PointKm location_km;
+  LatLng location;
+  /// Number of fast-charging points (plugs) at this station.
+  int num_points = 0;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_GEO_REGION_H_

@@ -1,0 +1,73 @@
+#include "fairmove/nn/adam.h"
+
+#include <cmath>
+
+namespace fairmove {
+
+Adam::Adam(Mlp* net, Options options) : net_(net), options_(options) {
+  FM_CHECK(net != nullptr);
+  FM_CHECK(options.learning_rate > 0.0);
+  FM_CHECK(options.beta1 >= 0.0 && options.beta1 < 1.0);
+  FM_CHECK(options.beta2 >= 0.0 && options.beta2 < 1.0);
+  FM_CHECK(options.epsilon > 0.0);
+  FM_CHECK(options.max_grad_norm >= 0.0);
+  m_ = net->MakeGradients();
+  v_ = net->MakeGradients();
+}
+
+double Adam::GradNorm(const Mlp::Gradients& grads) {
+  double sq = 0.0;
+  for (const Matrix& g : grads.dw) {
+    for (size_t i = 0; i < g.size(); ++i) {
+      sq += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  for (const auto& b : grads.db) {
+    for (float v : b) sq += static_cast<double>(v) * v;
+  }
+  return std::sqrt(sq);
+}
+
+void Adam::Step(const Mlp::Gradients& grads) {
+  FM_CHECK(grads.dw.size() == m_.dw.size()) << "gradient shape mismatch";
+  ++t_;
+  double clip = 1.0;
+  if (options_.max_grad_norm > 0.0) {
+    const double norm = GradNorm(grads);
+    if (norm > options_.max_grad_norm) clip = options_.max_grad_norm / norm;
+  }
+  const double b1 = options_.beta1, b2 = options_.beta2;
+  const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double lr = options_.learning_rate;
+
+  auto update = [&](float* param, float* m, float* v, float grad) {
+    const double g = grad * clip;
+    *m = static_cast<float>(b1 * *m + (1.0 - b1) * g);
+    *v = static_cast<float>(b2 * *v + (1.0 - b2) * g * g);
+    const double mhat = *m / bias1;
+    const double vhat = *v / bias2;
+    *param -= static_cast<float>(lr * mhat /
+                                 (std::sqrt(vhat) + options_.epsilon));
+  };
+
+  auto& weights = net_->weights();
+  auto& biases = net_->biases();
+  for (size_t l = 0; l < weights.size(); ++l) {
+    Matrix& w = weights[l];
+    const Matrix& gw = grads.dw[l];
+    FM_CHECK(gw.size() == w.size());
+    for (size_t i = 0; i < w.size(); ++i) {
+      update(&w.data()[i], &m_.dw[l].data()[i], &v_.dw[l].data()[i],
+             gw.data()[i]);
+    }
+    auto& b = biases[l];
+    const auto& gb = grads.db[l];
+    FM_CHECK(gb.size() == b.size());
+    for (size_t i = 0; i < b.size(); ++i) {
+      update(&b[i], &m_.db[l][i], &v_.db[l][i], gb[i]);
+    }
+  }
+}
+
+}  // namespace fairmove

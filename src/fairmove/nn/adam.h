@@ -1,0 +1,47 @@
+#ifndef FAIRMOVE_NN_ADAM_H_
+#define FAIRMOVE_NN_ADAM_H_
+
+#include <vector>
+
+#include "fairmove/nn/mlp.h"
+
+namespace fairmove {
+
+/// Adam optimizer bound to one Mlp (paper §IV-A: "we utilize AdamOptimizer
+/// with a learning rate of 0.001"). Maintains first/second moment estimates
+/// per parameter and applies optional global-norm gradient clipping.
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    /// 0 disables clipping.
+    double max_grad_norm = 5.0;
+  };
+
+  /// `net` must outlive the optimizer.
+  Adam(Mlp* net, Options options);
+
+  /// Applies one update from accumulated gradients (gradients are not
+  /// modified; scale them before calling if averaging over a batch).
+  void Step(const Mlp::Gradients& grads);
+
+  /// Global L2 norm of the gradients (diagnostic).
+  static double GradNorm(const Mlp::Gradients& grads);
+
+  int64_t steps() const { return t_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Mlp* net_;
+  Options options_;
+  Mlp::Gradients m_;
+  Mlp::Gradients v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_NN_ADAM_H_

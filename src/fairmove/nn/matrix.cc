@@ -1,0 +1,80 @@
+#include "fairmove/nn/matrix.h"
+
+#include <cmath>
+
+namespace fairmove {
+
+void Matrix::RandomGaussian(Rng& rng, double stddev) {
+  for (float& v : data_) {
+    v = static_cast<float>(rng.Gaussian(0.0, stddev));
+  }
+}
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix* out) {
+  FM_CHECK(a.cols() == b.rows())
+      << "MatMul shape mismatch: " << a.cols() << " vs " << b.rows();
+  out->Resize(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    float* out_row = out->Row(i);
+    const float* a_row = a.Row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) continue;
+      const float* b_row = b.Row(p);
+      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  FM_CHECK(a.rows() == b.rows())
+      << "MatMulTransA shape mismatch: " << a.rows() << " vs " << b.rows();
+  out->Resize(a.cols(), b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* a_row = a.Row(p);
+    const float* b_row = b.Row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = out->Row(i);
+      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  FM_CHECK(a.cols() == b.cols())
+      << "MatMulTransB shape mismatch: " << a.cols() << " vs " << b.cols();
+  out->Resize(a.rows(), b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out->Row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b.Row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+}
+
+void AddRowBias(const std::vector<float>& bias, Matrix* m) {
+  FM_CHECK(static_cast<int>(bias.size()) == m->cols());
+  for (int i = 0; i < m->rows(); ++i) {
+    float* row = m->Row(i);
+    for (int j = 0; j < m->cols(); ++j) row[j] += bias[static_cast<size_t>(j)];
+  }
+}
+
+void SumRows(const Matrix& m, std::vector<float>* out) {
+  out->assign(static_cast<size_t>(m.cols()), 0.0f);
+  for (int i = 0; i < m.rows(); ++i) {
+    const float* row = m.Row(i);
+    for (int j = 0; j < m.cols(); ++j) (*out)[static_cast<size_t>(j)] += row[j];
+  }
+}
+
+}  // namespace fairmove

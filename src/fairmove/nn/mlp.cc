@@ -1,0 +1,289 @@
+#include "fairmove/nn/mlp.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <cmath>
+#include <cstring>
+
+namespace fairmove {
+
+Mlp::Mlp(const std::vector<int>& sizes, Activation hidden_activation,
+         uint64_t seed)
+    : sizes_(sizes), hidden_activation_(hidden_activation) {
+  FM_CHECK(sizes.size() >= 2) << "need at least input and output sizes";
+  for (int s : sizes) FM_CHECK(s > 0) << "layer size " << s;
+  Rng rng(seed);
+  weights_.reserve(sizes.size() - 1);
+  biases_.reserve(sizes.size() - 1);
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    Matrix w(sizes[i], sizes[i + 1]);
+    const bool last = i + 2 == sizes.size();
+    if (!last && hidden_activation == Activation::kRelu) {
+      w.HeInit(rng);
+    } else {
+      w.XavierInit(rng);
+    }
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(static_cast<size_t>(sizes[i + 1]), 0.0f);
+  }
+}
+
+void Mlp::ApplyActivation(Matrix* m, bool is_last) const {
+  if (is_last) return;  // linear output head
+  switch (hidden_activation_) {
+    case Activation::kLinear:
+      return;
+    case Activation::kRelu:
+      for (size_t i = 0; i < m->size(); ++i) {
+        m->data()[i] = std::max(0.0f, m->data()[i]);
+      }
+      return;
+    case Activation::kTanh:
+      for (size_t i = 0; i < m->size(); ++i) {
+        m->data()[i] = std::tanh(m->data()[i]);
+      }
+      return;
+  }
+}
+
+void Mlp::Forward(const Matrix& x, Matrix* y) const {
+  FM_CHECK(x.cols() == input_dim())
+      << "input dim " << x.cols() << " != " << input_dim();
+  Matrix current = x;
+  Matrix next;
+  for (int layer = 0; layer < num_layers(); ++layer) {
+    MatMul(current, weights_[static_cast<size_t>(layer)], &next);
+    AddRowBias(biases_[static_cast<size_t>(layer)], &next);
+    ApplyActivation(&next, layer + 1 == num_layers());
+    current = std::move(next);
+    next = Matrix();
+  }
+  *y = std::move(current);
+}
+
+std::vector<float> Mlp::Forward1(const std::vector<float>& x) const {
+  FM_CHECK(static_cast<int>(x.size()) == input_dim());
+  Matrix in(1, input_dim());
+  std::copy(x.begin(), x.end(), in.Row(0));
+  Matrix out;
+  Forward(in, &out);
+  return std::vector<float>(out.Row(0), out.Row(0) + out.cols());
+}
+
+void Mlp::ForwardTape(const Matrix& x, Tape* tape) const {
+  FM_CHECK(x.cols() == input_dim());
+  tape->input = x;
+  tape->pre.assign(static_cast<size_t>(num_layers()), Matrix());
+  tape->post.assign(static_cast<size_t>(num_layers()), Matrix());
+  const Matrix* current = &tape->input;
+  for (int layer = 0; layer < num_layers(); ++layer) {
+    Matrix& pre = tape->pre[static_cast<size_t>(layer)];
+    MatMul(*current, weights_[static_cast<size_t>(layer)], &pre);
+    AddRowBias(biases_[static_cast<size_t>(layer)], &pre);
+    Matrix& post = tape->post[static_cast<size_t>(layer)];
+    post = pre;
+    ApplyActivation(&post, layer + 1 == num_layers());
+    current = &post;
+  }
+}
+
+Mlp::Gradients Mlp::MakeGradients() const {
+  Gradients g;
+  g.dw.reserve(weights_.size());
+  g.db.reserve(biases_.size());
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    g.dw.emplace_back(weights_[i].rows(), weights_[i].cols());
+    g.db.emplace_back(biases_[i].size(), 0.0f);
+  }
+  return g;
+}
+
+void Mlp::Gradients::Zero() {
+  for (Matrix& m : dw) m.Zero();
+  for (auto& b : db) std::fill(b.begin(), b.end(), 0.0f);
+}
+
+void Mlp::Backward(const Tape& tape, const Matrix& grad_output,
+                   Gradients* grads) const {
+  FM_CHECK(grad_output.cols() == output_dim());
+  FM_CHECK(grad_output.rows() == tape.input.rows());
+  FM_CHECK(grads->dw.size() == weights_.size());
+
+  Matrix delta = grad_output;  // dL/d(pre) of the current layer
+  for (int layer = num_layers() - 1; layer >= 0; --layer) {
+    const size_t li = static_cast<size_t>(layer);
+    // Output layer is linear; hidden layers need the activation derivative.
+    if (layer != num_layers() - 1) {
+      const Matrix& post = tape.post[li];
+      switch (hidden_activation_) {
+        case Activation::kLinear:
+          break;
+        case Activation::kRelu:
+          for (size_t i = 0; i < delta.size(); ++i) {
+            if (post.data()[i] <= 0.0f) delta.data()[i] = 0.0f;
+          }
+          break;
+        case Activation::kTanh:
+          for (size_t i = 0; i < delta.size(); ++i) {
+            const float t = post.data()[i];
+            delta.data()[i] *= 1.0f - t * t;
+          }
+          break;
+      }
+    }
+    const Matrix& layer_input =
+        layer == 0 ? tape.input : tape.post[li - 1];
+    // dW += input^T * delta;  db += column sums of delta.
+    Matrix dw;
+    MatMulTransA(layer_input, delta, &dw);
+    Matrix& acc = grads->dw[li];
+    FM_CHECK(acc.rows() == dw.rows() && acc.cols() == dw.cols());
+    for (size_t i = 0; i < dw.size(); ++i) acc.data()[i] += dw.data()[i];
+    std::vector<float> db;
+    SumRows(delta, &db);
+    for (size_t i = 0; i < db.size(); ++i) grads->db[li][i] += db[i];
+    if (layer > 0) {
+      // Propagate: delta_prev = delta * W^T.
+      Matrix prev;
+      MatMulTransB(delta, weights_[li], &prev);
+      delta = std::move(prev);
+    }
+  }
+}
+
+void Mlp::CopyParametersFrom(const Mlp& other) {
+  FM_CHECK(sizes_ == other.sizes_) << "network shape mismatch";
+  weights_ = other.weights_;
+  biases_ = other.biases_;
+}
+
+void Mlp::SoftUpdateFrom(const Mlp& other, double tau) {
+  FM_CHECK(sizes_ == other.sizes_) << "network shape mismatch";
+  FM_CHECK(tau >= 0.0 && tau <= 1.0);
+  const float t = static_cast<float>(tau);
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    for (size_t i = 0; i < weights_[l].size(); ++i) {
+      weights_[l].data()[i] = (1.0f - t) * weights_[l].data()[i] +
+                              t * other.weights_[l].data()[i];
+    }
+    for (size_t i = 0; i < biases_[l].size(); ++i) {
+      biases_[l][i] = (1.0f - t) * biases_[l][i] + t * other.biases_[l][i];
+    }
+  }
+}
+
+size_t Mlp::num_parameters() const {
+  size_t n = 0;
+  for (const Matrix& w : weights_) n += w.size();
+  for (const auto& b : biases_) n += b.size();
+  return n;
+}
+
+namespace {
+
+constexpr char kMlpMagic[5] = {'F', 'M', 'L', 'P', '1'};
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status Mlp::Serialize(std::ostream& out) const {
+  out.write(kMlpMagic, sizeof(kMlpMagic));
+  WritePod(out, static_cast<int32_t>(hidden_activation_));
+  WritePod(out, static_cast<int32_t>(sizes_.size()));
+  for (int s : sizes_) WritePod(out, static_cast<int32_t>(s));
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    out.write(reinterpret_cast<const char*>(weights_[l].data()),
+              static_cast<std::streamsize>(weights_[l].size() *
+                                           sizeof(float)));
+    out.write(reinterpret_cast<const char*>(biases_[l].data()),
+              static_cast<std::streamsize>(biases_[l].size() *
+                                           sizeof(float)));
+  }
+  if (!out) return Status::IOError("MLP serialization write failed");
+  return Status::OK();
+}
+
+StatusOr<Mlp> Mlp::Deserialize(std::istream& in) {
+  char magic[sizeof(kMlpMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMlpMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not an FMLP1 network blob");
+  }
+  int32_t activation = 0, num_sizes = 0;
+  if (!ReadPod(in, &activation) || !ReadPod(in, &num_sizes)) {
+    return Status::InvalidArgument("truncated MLP header");
+  }
+  if (activation < 0 || activation > 2 || num_sizes < 2 ||
+      num_sizes > 64) {
+    return Status::InvalidArgument("corrupt MLP header");
+  }
+  std::vector<int> sizes;
+  sizes.reserve(static_cast<size_t>(num_sizes));
+  for (int i = 0; i < num_sizes; ++i) {
+    int32_t s = 0;
+    if (!ReadPod(in, &s) || s <= 0 || s > 1 << 20) {
+      return Status::InvalidArgument("corrupt MLP layer size");
+    }
+    sizes.push_back(s);
+  }
+  Mlp net(sizes, static_cast<Activation>(activation), /*seed=*/0);
+  for (size_t l = 0; l < net.weights_.size(); ++l) {
+    in.read(reinterpret_cast<char*>(net.weights_[l].data()),
+            static_cast<std::streamsize>(net.weights_[l].size() *
+                                         sizeof(float)));
+    in.read(reinterpret_cast<char*>(net.biases_[l].data()),
+            static_cast<std::streamsize>(net.biases_[l].size() *
+                                         sizeof(float)));
+    if (!in) return Status::InvalidArgument("truncated MLP parameters");
+  }
+  return net;
+}
+
+Status Mlp::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  return Serialize(out);
+}
+
+StatusOr<Mlp> Mlp::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  return Deserialize(in);
+}
+
+void MaskedSoftmax(const std::vector<bool>& valid,
+                   std::vector<float>* logits) {
+  FM_CHECK(valid.size() == logits->size());
+  float max_logit = -1e30f;
+  bool any = false;
+  for (size_t i = 0; i < logits->size(); ++i) {
+    if (valid[i]) {
+      max_logit = std::max(max_logit, (*logits)[i]);
+      any = true;
+    }
+  }
+  FM_CHECK(any) << "masked softmax with no valid action";
+  float total = 0.0f;
+  for (size_t i = 0; i < logits->size(); ++i) {
+    if (valid[i]) {
+      (*logits)[i] = std::exp((*logits)[i] - max_logit);
+      total += (*logits)[i];
+    } else {
+      (*logits)[i] = 0.0f;
+    }
+  }
+  for (float& v : *logits) v /= total;
+}
+
+}  // namespace fairmove

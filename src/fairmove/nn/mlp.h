@@ -1,0 +1,97 @@
+#ifndef FAIRMOVE_NN_MLP_H_
+#define FAIRMOVE_NN_MLP_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "fairmove/common/status.h"
+#include "fairmove/nn/matrix.h"
+
+namespace fairmove {
+
+enum class Activation : uint8_t { kLinear = 0, kRelu = 1, kTanh = 2 };
+
+/// Fully connected feed-forward network with a linear output layer.
+/// Supports batched forward passes and tape-based backprop; parameters are
+/// updated externally (see Adam). This is the function approximator behind
+/// CMA2C's actor/critic and the DQN baseline.
+class Mlp {
+ public:
+  /// `sizes` = {input, hidden..., output}; at least {in, out}. All hidden
+  /// layers use `hidden_activation`.
+  Mlp(const std::vector<int>& sizes, Activation hidden_activation,
+      uint64_t seed);
+
+  int input_dim() const { return sizes_.front(); }
+  int output_dim() const { return sizes_.back(); }
+  int num_layers() const { return static_cast<int>(weights_.size()); }
+
+  /// Inference for a single input vector.
+  std::vector<float> Forward1(const std::vector<float>& x) const;
+
+  /// Batched inference: `x` is [batch x input_dim], `y` [batch x out_dim].
+  void Forward(const Matrix& x, Matrix* y) const;
+
+  /// Cached activations of one batched forward pass, consumed by Backward.
+  struct Tape {
+    Matrix input;
+    std::vector<Matrix> pre;   // pre-activation of each layer
+    std::vector<Matrix> post;  // post-activation of each layer
+  };
+  void ForwardTape(const Matrix& x, Tape* tape) const;
+  /// The network output of a taped pass.
+  const Matrix& Output(const Tape& tape) const { return tape.post.back(); }
+
+  /// Per-parameter gradient accumulators (same shapes as the parameters).
+  struct Gradients {
+    std::vector<Matrix> dw;
+    std::vector<std::vector<float>> db;
+    void Zero();
+  };
+  Gradients MakeGradients() const;
+
+  /// Backprop of dL/d(output) through the taped pass; accumulates into
+  /// `grads` (call grads->Zero() between batches unless accumulating).
+  void Backward(const Tape& tape, const Matrix& grad_output,
+                Gradients* grads) const;
+
+  // --- Parameter access (optimizer / target-network support) -------------
+  std::vector<Matrix>& weights() { return weights_; }
+  const std::vector<Matrix>& weights() const { return weights_; }
+  std::vector<std::vector<float>>& biases() { return biases_; }
+  const std::vector<std::vector<float>>& biases() const { return biases_; }
+
+  /// Copies parameters from another identically shaped network (target-
+  /// network sync). CHECK-fails on shape mismatch.
+  void CopyParametersFrom(const Mlp& other);
+
+  /// Polyak soft update: params <- (1 - tau) * params + tau * other.
+  void SoftUpdateFrom(const Mlp& other, double tau);
+
+  size_t num_parameters() const;
+
+  // --- Serialization ------------------------------------------------------
+  /// Writes the architecture and parameters in a small binary format
+  /// ("FMLP1"). Stream variants allow packing several networks (e.g. an
+  /// actor-critic pair) into one file.
+  Status Serialize(std::ostream& out) const;
+  static StatusOr<Mlp> Deserialize(std::istream& in);
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<Mlp> LoadFromFile(const std::string& path);
+
+ private:
+  void ApplyActivation(Matrix* m, bool is_last) const;
+
+  std::vector<int> sizes_;
+  Activation hidden_activation_;
+  std::vector<Matrix> weights_;             // [in x out] per layer
+  std::vector<std::vector<float>> biases_;  // [out] per layer
+};
+
+/// In-place masked softmax over `logits`: invalid entries get probability 0.
+/// At least one entry must be valid. Numerically stabilised.
+void MaskedSoftmax(const std::vector<bool>& valid, std::vector<float>* logits);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_NN_MLP_H_

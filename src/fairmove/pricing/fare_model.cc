@@ -1,0 +1,37 @@
+#include "fairmove/pricing/fare_model.h"
+
+#include <algorithm>
+
+namespace fairmove {
+
+double FareSchedule::Fare(double km, double minutes, TimeSlot slot) const {
+  FM_CHECK(km >= 0.0 && minutes >= 0.0);
+  double fare = flag_fare_cny;
+  if (km > flag_km) {
+    double metered = km - flag_km;
+    double long_part = 0.0;
+    if (km > 25.0) {
+      long_part = km - 25.0;
+      metered -= long_part;
+    }
+    fare += metered * per_km_cny;
+    fare += long_part * per_km_cny * (1.0 + long_trip_surcharge);
+  }
+  fare += minutes * per_minute_cny;
+  const int hour = slot.HourOfDay();
+  if (hour >= 23 || hour < 6) fare *= 1.0 + night_surcharge;
+  return fare;
+}
+
+Status FareSchedule::Validate() const {
+  if (flag_fare_cny < 0.0 || flag_km < 0.0 || per_km_cny < 0.0 ||
+      per_minute_cny < 0.0 || night_surcharge < 0.0 ||
+      long_trip_surcharge < 0.0) {
+    return Status::InvalidArgument("fare components must be non-negative");
+  }
+  return Status::OK();
+}
+
+FareSchedule ShenzhenFares() { return FareSchedule{}; }
+
+}  // namespace fairmove

@@ -1,0 +1,37 @@
+#ifndef FAIRMOVE_PRICING_FARE_MODEL_H_
+#define FAIRMOVE_PRICING_FARE_MODEL_H_
+
+#include "fairmove/common/rng.h"
+#include "fairmove/common/status.h"
+#include "fairmove/common/time_types.h"
+#include "fairmove/geo/region.h"
+
+namespace fairmove {
+
+/// Shenzhen-style metered taxi fare. Revenue of a trip is a function of
+/// distance and duration (paper §II-B: "profit is typically a function of
+/// time and distance"), which is why trip length drives per-trip revenue in
+/// Fig 7.
+struct FareSchedule {
+  double flag_fare_cny = 12.0;      // covers the first `flag_km`
+  double flag_km = 2.0;
+  double per_km_cny = 2.95;         // beyond flag_km
+  double per_minute_cny = 0.3;      // slow-traffic/time component
+  double night_surcharge = 0.2;     // multiplier added 23:00-06:00
+  double long_trip_surcharge = 0.3; // multiplier on km beyond 25 km
+
+  /// Fare in CNY of a trip of `km` / `minutes` starting at `slot`.
+  double Fare(double km, double minutes, TimeSlot slot) const;
+
+  /// InvalidArgument when any component is negative.
+  Status Validate() const;
+};
+
+/// Default schedule calibrated so a fleet operating the synthetic city has
+/// the paper's ground-truth hourly profit efficiency (median ~45 CNY/h,
+/// Fig 8 / Fig 14).
+FareSchedule ShenzhenFares();
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_PRICING_FARE_MODEL_H_

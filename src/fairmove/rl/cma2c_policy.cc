@@ -1,0 +1,221 @@
+#include "fairmove/rl/cma2c_policy.h"
+
+#include <algorithm>
+#include <fstream>
+#include <cmath>
+
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+Cma2cPolicy::Cma2cPolicy(const Simulator& sim)
+    : Cma2cPolicy(sim, Options()) {}
+
+Cma2cPolicy::Cma2cPolicy(const Simulator& sim, Options options)
+    : options_(options),
+      space_(&sim.action_space()),
+      features_(&sim),
+      num_actions_(sim.action_space().size()),
+      rng_(options.seed) {
+  std::vector<int> actor_sizes{features_.dim()};
+  for (int h : options_.actor_hidden) actor_sizes.push_back(h);
+  actor_sizes.push_back(num_actions_);
+  actor_ = std::make_unique<Mlp>(actor_sizes, Activation::kTanh,
+                                 options.seed);
+  for (int a = space_->first_charge_index(); a < num_actions_; ++a) {
+    actor_->biases().back()[static_cast<size_t>(a)] =
+        static_cast<float>(options_.charge_logit_bias);
+  }
+
+  std::vector<int> critic_sizes{features_.dim()};
+  for (int h : options_.critic_hidden) critic_sizes.push_back(h);
+  critic_sizes.push_back(1);
+  critic_ = std::make_unique<Mlp>(critic_sizes, Activation::kRelu,
+                                  options.seed + 1);
+  critic_target_ = std::make_unique<Mlp>(critic_sizes, Activation::kRelu,
+                                         options.seed + 2);
+  critic_target_->CopyParametersFrom(*critic_);
+
+  actor_opt_ = std::make_unique<Adam>(
+      actor_.get(),
+      Adam::Options{.learning_rate = options.actor_learning_rate});
+  critic_opt_ = std::make_unique<Adam>(
+      critic_.get(),
+      Adam::Options{.learning_rate = options.critic_learning_rate});
+}
+
+void Cma2cPolicy::DecideActions(const Simulator& sim,
+                                const std::vector<TaxiObs>& vacant,
+                                std::vector<Action>* actions) {
+  (void)sim;  // state is read through the cached pointers
+  actions->clear();
+  actions->reserve(vacant.size());
+  last_features_.assign(vacant.size(), {});
+  for (size_t i = 0; i < vacant.size(); ++i) {
+    const TaxiObs& obs = vacant[i];
+    features_.Extract(obs, &last_features_[i]);
+    std::vector<float> probs = actor_->Forward1(last_features_[i]);
+    if (!training_ && options_.eval_temperature != 1.0) {
+      const float inv_t =
+          static_cast<float>(1.0 / options_.eval_temperature);
+      for (float& v : probs) v *= inv_t;
+    }
+    space_->Mask(obs.region, obs.must_charge, obs.may_charge, &mask_scratch_);
+    MaskedSoftmax(mask_scratch_, &probs);
+    // Sampled both in training and evaluation: the stochastic policy is the
+    // coordination mechanism (it load-balances simultaneous decisions).
+    const size_t pick = rng_.WeightedIndex(probs);
+    FM_CHECK(mask_scratch_[pick]) << "sampled a masked action";
+    actions->push_back(space_->Materialize(obs.region, static_cast<int>(pick)));
+  }
+}
+
+Status Cma2cPolicy::SaveModel(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  FM_RETURN_IF_ERROR(actor_->Serialize(out));
+  FM_RETURN_IF_ERROR(critic_->Serialize(out));
+  return Status::OK();
+}
+
+Status Cma2cPolicy::LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  FM_ASSIGN_OR_RETURN(Mlp actor, Mlp::Deserialize(in));
+  FM_ASSIGN_OR_RETURN(Mlp critic, Mlp::Deserialize(in));
+  if (actor.input_dim() != actor_->input_dim() ||
+      actor.output_dim() != actor_->output_dim() ||
+      critic.input_dim() != critic_->input_dim()) {
+    return Status::InvalidArgument(
+        "saved model does not match this policy's architecture");
+  }
+  *actor_ = std::move(actor);
+  *critic_ = std::move(critic);
+  critic_target_->CopyParametersFrom(*critic_);
+  return Status::OK();
+}
+
+double Cma2cPolicy::Value(const std::vector<float>& state) const {
+  return critic_->Forward1(state)[0];
+}
+
+void Cma2cPolicy::Learn(const std::vector<Transition>& transitions) {
+  if (!training_ || transitions.empty()) return;
+  buffer_.insert(buffer_.end(), transitions.begin(), transitions.end());
+  if (buffer_.size() < options_.batch_size) return;
+  for (int pass = 0; pass < options_.passes_per_batch; ++pass) {
+    Update(buffer_);
+  }
+  buffer_.clear();
+}
+
+void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
+  const int n = static_cast<int>(transitions.size());
+  const int dim = features_.dim();
+
+  Matrix x(n, dim);
+  Matrix next_x(n, dim);
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = transitions[static_cast<size_t>(i)];
+    FM_CHECK(static_cast<int>(t.state.size()) == dim)
+        << "CMA2C transition carries foreign features";
+    std::copy(t.state.begin(), t.state.end(), x.Row(i));
+    if (!t.terminal) {
+      std::copy(t.next_state.begin(), t.next_state.end(), next_x.Row(i));
+    }
+  }
+
+  // --- Critic: minimise (V(s) - y)^2 with y from the target net (Eq 6-7).
+  Matrix next_v;
+  critic_target_->Forward(next_x, &next_v);
+  std::vector<double> targets(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = transitions[static_cast<size_t>(i)];
+    targets[static_cast<size_t>(i)] =
+        t.reward + (t.terminal ? 0.0 : t.discount * next_v.At(i, 0));
+  }
+
+  Mlp::Tape critic_tape;
+  critic_->ForwardTape(x, &critic_tape);
+  const Matrix& v = critic_->Output(critic_tape);
+  Matrix critic_grad(n, 1);
+  double critic_loss = 0.0;
+  std::vector<double> advantages(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double diff = v.At(i, 0) - targets[static_cast<size_t>(i)];
+    critic_loss += diff * diff;
+    critic_grad.At(i, 0) = static_cast<float>(2.0 * diff / n);
+    // Advantage = TD error (Eq 11).
+    advantages[static_cast<size_t>(i)] = -diff;
+  }
+  last_critic_loss_ = critic_loss / n;
+  Mlp::Gradients critic_grads = critic_->MakeGradients();
+  critic_->Backward(critic_tape, critic_grad, &critic_grads);
+  critic_opt_->Step(critic_grads);
+
+  if (options_.normalize_advantages && n > 1) {
+    double mean = 0.0;
+    for (double a : advantages) mean += a;
+    mean /= n;
+    double var = 0.0;
+    for (double a : advantages) var += (a - mean) * (a - mean);
+    var /= n;
+    const double stddev = std::sqrt(var) + 1e-6;
+    for (double& a : advantages) a = (a - mean) / stddev;
+  }
+
+  if (learn_batches_ < options_.actor_warmup_batches) {
+    // Critic warm-up: skip the policy update until values are usable.
+    critic_target_->SoftUpdateFrom(*critic_, options_.target_tau);
+    ++learn_batches_;
+    return;
+  }
+
+  const double entropy_bonus = std::max(
+      options_.entropy_bonus_floor,
+      options_.entropy_bonus *
+          std::pow(options_.entropy_decay,
+                   static_cast<double>(learn_batches_)));
+
+  // --- Actor: policy gradient with entropy regularisation (Eq 8).
+  Mlp::Tape actor_tape;
+  actor_->ForwardTape(x, &actor_tape);
+  const Matrix& logits = actor_->Output(actor_tape);
+  Matrix actor_grad(n, num_actions_);
+  double total_entropy = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = transitions[static_cast<size_t>(i)];
+    space_->Mask(t.region, t.must_charge, t.may_charge, &mask_scratch_);
+    std::vector<float> probs(logits.Row(i), logits.Row(i) + num_actions_);
+    MaskedSoftmax(mask_scratch_, &probs);
+    double entropy = 0.0;
+    for (int a = 0; a < num_actions_; ++a) {
+      const double p = probs[static_cast<size_t>(a)];
+      if (p > 0.0) entropy -= p * std::log(p);
+    }
+    total_entropy += entropy;
+    const double adv = advantages[static_cast<size_t>(i)];
+    for (int a = 0; a < num_actions_; ++a) {
+      if (!mask_scratch_[static_cast<size_t>(a)]) {
+        actor_grad.At(i, a) = 0.0f;
+        continue;
+      }
+      const double p = probs[static_cast<size_t>(a)];
+      // dL/dlogit = adv*(pi - onehot) + c*pi*(log pi + H)
+      double g = adv * (p - (a == t.action_index ? 1.0 : 0.0));
+      if (p > 0.0) {
+        g += entropy_bonus * p * (std::log(p) + entropy);
+      }
+      actor_grad.At(i, a) = static_cast<float>(g / n);
+    }
+  }
+  last_entropy_ = total_entropy / n;
+  Mlp::Gradients actor_grads = actor_->MakeGradients();
+  actor_->Backward(actor_tape, actor_grad, &actor_grads);
+  actor_opt_->Step(actor_grads);
+
+  critic_target_->SoftUpdateFrom(*critic_, options_.target_tau);
+  ++learn_batches_;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,184 @@
+#include "fairmove/rl/dqn_policy.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+DqnPolicy::DqnPolicy(const Simulator& sim) : DqnPolicy(sim, Options()) {}
+
+DqnPolicy::DqnPolicy(const Simulator& sim, Options options)
+    : options_(options),
+      space_(&sim.action_space()),
+      features_(&sim),
+      num_actions_(sim.action_space().size()),
+      replay_(options.replay_capacity),
+      rng_(options.seed) {
+  std::vector<int> sizes;
+  sizes.push_back(features_.dim());
+  for (int h : options_.hidden) sizes.push_back(h);
+  sizes.push_back(num_actions_);
+  q_net_ = std::make_unique<Mlp>(sizes, Activation::kRelu, options.seed);
+  for (int a = space_->first_charge_index(); a < num_actions_; ++a) {
+    q_net_->biases().back()[static_cast<size_t>(a)] =
+        static_cast<float>(options_.charge_q_bias);
+  }
+  target_net_ =
+      std::make_unique<Mlp>(sizes, Activation::kRelu, options.seed + 1);
+  target_net_->CopyParametersFrom(*q_net_);
+  optimizer_ = std::make_unique<Adam>(
+      q_net_.get(), Adam::Options{.learning_rate = options.learning_rate});
+}
+
+double DqnPolicy::CurrentEpsilon() const {
+  const double frac =
+      std::min(1.0, static_cast<double>(learn_batches_) /
+                        std::max(1, options_.epsilon_decay_batches));
+  return options_.epsilon_start +
+         frac * (options_.epsilon_end - options_.epsilon_start);
+}
+
+void DqnPolicy::DecideActions(const Simulator& sim,
+                              const std::vector<TaxiObs>& vacant,
+                              std::vector<Action>* actions) {
+  (void)sim;  // state is read through the cached pointers
+  actions->clear();
+  actions->reserve(vacant.size());
+  last_features_.assign(vacant.size(), {});
+  const double epsilon = training_ ? CurrentEpsilon() : options_.epsilon_eval;
+  for (size_t i = 0; i < vacant.size(); ++i) {
+    const TaxiObs& obs = vacant[i];
+    features_.Extract(obs, &last_features_[i]);
+    space_->Mask(obs.region, obs.must_charge, obs.may_charge, &mask_scratch_);
+    int chosen = -1;
+    if (rng_.NextDouble() < epsilon) {
+      int valid = 0;
+      for (bool b : mask_scratch_) valid += b ? 1 : 0;
+      int pick =
+          static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(valid)));
+      for (int a = 0; a < num_actions_; ++a) {
+        if (!mask_scratch_[static_cast<size_t>(a)]) continue;
+        if (pick-- == 0) {
+          chosen = a;
+          break;
+        }
+      }
+    } else {
+      const std::vector<float> q = q_net_->Forward1(last_features_[i]);
+      float best = -1e30f;
+      for (int a = 0; a < num_actions_; ++a) {
+        if (!mask_scratch_[static_cast<size_t>(a)]) continue;
+        if (q[static_cast<size_t>(a)] > best) {
+          best = q[static_cast<size_t>(a)];
+          chosen = a;
+        }
+      }
+    }
+    FM_CHECK(chosen >= 0);
+    actions->push_back(space_->Materialize(obs.region, chosen));
+  }
+}
+
+Status DqnPolicy::SaveModel(const std::string& path) const {
+  return q_net_->SaveToFile(path);
+}
+
+Status DqnPolicy::LoadModel(const std::string& path) {
+  FM_ASSIGN_OR_RETURN(Mlp net, Mlp::LoadFromFile(path));
+  if (net.input_dim() != q_net_->input_dim() ||
+      net.output_dim() != q_net_->output_dim()) {
+    return Status::InvalidArgument(
+        "saved model does not match this policy's architecture");
+  }
+  *q_net_ = std::move(net);
+  target_net_->CopyParametersFrom(*q_net_);
+  return Status::OK();
+}
+
+void DqnPolicy::Learn(const std::vector<Transition>& transitions) {
+  if (!training_) return;
+  for (const Transition& t : transitions) {
+    FM_CHECK(static_cast<int>(t.state.size()) == features_.dim())
+        << "DQN transition carries foreign features";
+    replay_.Add(t);
+  }
+  ++learn_batches_;
+  if (replay_.size() < options_.min_replay) return;
+  for (int u = 0; u < options_.updates_per_learn; ++u) GradientStep();
+}
+
+void DqnPolicy::GradientStep() {
+  std::vector<const Transition*> batch;
+  replay_.Sample(static_cast<size_t>(options_.minibatch), rng_, &batch);
+  const int n = static_cast<int>(batch.size());
+  const int dim = features_.dim();
+
+  Matrix x(n, dim);
+  Matrix next_x(n, dim);
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = *batch[static_cast<size_t>(i)];
+    std::copy(t.state.begin(), t.state.end(), x.Row(i));
+    if (!t.terminal) {
+      std::copy(t.next_state.begin(), t.next_state.end(), next_x.Row(i));
+    }
+  }
+
+  // Targets: y = r + gamma^k * max_{a' valid} Q_target(s', a'); Double DQN
+  // selects a' with the online network and scores it with the target.
+  Matrix next_q;
+  target_net_->Forward(next_x, &next_q);
+  Matrix next_q_online;
+  if (options_.double_dqn) q_net_->Forward(next_x, &next_q_online);
+  std::vector<float> targets(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = *batch[static_cast<size_t>(i)];
+    double y = t.reward;
+    if (!t.terminal) {
+      space_->Mask(t.next_region, t.next_must_charge, t.next_may_charge,
+                   &mask_scratch_);
+      float best = -1e30f;
+      if (options_.double_dqn) {
+        int argmax = -1;
+        float best_online = -1e30f;
+        for (int a = 0; a < num_actions_; ++a) {
+          if (!mask_scratch_[static_cast<size_t>(a)]) continue;
+          if (next_q_online.At(i, a) > best_online) {
+            best_online = next_q_online.At(i, a);
+            argmax = a;
+          }
+        }
+        best = next_q.At(i, argmax);
+      } else {
+        for (int a = 0; a < num_actions_; ++a) {
+          if (!mask_scratch_[static_cast<size_t>(a)]) continue;
+          best = std::max(best, next_q.At(i, a));
+        }
+      }
+      y += t.discount * best;
+    }
+    targets[static_cast<size_t>(i)] = static_cast<float>(y);
+  }
+
+  // MSE on the taken action's Q value only.
+  Mlp::Tape tape;
+  q_net_->ForwardTape(x, &tape);
+  const Matrix& q = q_net_->Output(tape);
+  Matrix grad(n, num_actions_);
+  for (int i = 0; i < n; ++i) {
+    const Transition& t = *batch[static_cast<size_t>(i)];
+    const float diff =
+        q.At(i, t.action_index) - targets[static_cast<size_t>(i)];
+    grad.At(i, t.action_index) = 2.0f * diff / static_cast<float>(n);
+  }
+  Mlp::Gradients grads = q_net_->MakeGradients();
+  q_net_->Backward(tape, grad, &grads);
+  optimizer_->Step(grads);
+
+  if (++grad_steps_ % options_.target_sync_steps == 0) {
+    target_net_->CopyParametersFrom(*q_net_);
+  }
+}
+
+}  // namespace fairmove

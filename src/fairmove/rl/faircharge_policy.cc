@@ -1,0 +1,78 @@
+#include "fairmove/rl/faircharge_policy.h"
+
+#include <limits>
+
+#include "fairmove/pricing/tou_tariff.h"
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+void FairChargePolicy::BeginEpisode(const Simulator& sim) {
+  (void)sim;
+  rng_.Seed(options_.seed);
+}
+
+StationId FairChargePolicy::BestStation(const Simulator& sim,
+                                        RegionId region) const {
+  const City& city = sim.city();
+  StationId best = city.NearestStations(region).front();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (StationId s : city.NearestStations(region)) {
+    const StationQueue& queue = sim.station_queue(s);
+    const int excess =
+        std::max(0, queue.load() - queue.num_points());
+    const double expected_wait =
+        options_.wait_minutes_per_queued_taxi * excess /
+        std::max(1, queue.num_points());
+    const double cost =
+        city.TravelMinutesToStation(region, s) + expected_wait;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void FairChargePolicy::DecideActions(const Simulator& sim,
+                                     const std::vector<TaxiObs>& vacant,
+                                     std::vector<Action>* actions) {
+  const City& city = sim.city();
+  const bool off_peak =
+      sim.tariff().PeriodAt(sim.now()) == PricePeriod::kOffPeak;
+  actions->clear();
+  actions->reserve(vacant.size());
+  for (const TaxiObs& obs : vacant) {
+    if (obs.must_charge) {
+      actions->push_back(Action::Charge(BestStation(sim, obs.region)));
+      continue;
+    }
+    if (off_peak && obs.may_charge && obs.soc < options_.cheap_charge_soc &&
+        rng_.NextDouble() < options_.cheap_charge_prob) {
+      actions->push_back(Action::Charge(BestStation(sim, obs.region)));
+      continue;
+    }
+    // Cruising: drivers on their own, as in GT (the recommender only
+    // covers charging).
+    if (rng_.NextDouble() < options_.stay_bias) {
+      actions->push_back(Action::Stay());
+      continue;
+    }
+    const auto& neighbors = city.Neighbors(obs.region);
+    weight_scratch_.clear();
+    weight_scratch_.push_back(
+        1.0 + options_.demand_bias * sim.demand().Rate(obs.region, sim.now()));
+    for (RegionId n : neighbors) {
+      weight_scratch_.push_back(
+          1.0 + options_.demand_bias * sim.demand().Rate(n, sim.now()));
+    }
+    const size_t pick = rng_.WeightedIndex(weight_scratch_);
+    if (pick == 0) {
+      actions->push_back(Action::Stay());
+    } else {
+      actions->push_back(Action::Move(neighbors[pick - 1]));
+    }
+  }
+}
+
+}  // namespace fairmove

@@ -1,0 +1,136 @@
+#include "fairmove/rl/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace fairmove {
+
+namespace {
+
+constexpr int kTimeFeatures = 4;
+constexpr int kClassFeatures = kNumRegionClasses;
+constexpr int kCoordFeatures = 2;
+constexpr int kSocFeatures = 3;
+constexpr int kLocalDemandFeatures = 4;
+constexpr int kNeighborFeatures = 3;
+constexpr int kPerStationFeatures = 3;
+constexpr int kPriceFeatures = 2;
+constexpr int kFairnessFeatures = 2;
+
+double Clamp1(double v) { return std::clamp(v, -1.0, 1.0); }
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const Simulator* sim) : sim_(sim) {
+  FM_CHECK(sim != nullptr);
+  const City& city = sim->city();
+  dim_ = kTimeFeatures + kClassFeatures + kCoordFeatures + kSocFeatures +
+         kLocalDemandFeatures + kNeighborFeatures +
+         City::kNearestStations * kPerStationFeatures + kPriceFeatures +
+         kFairnessFeatures;
+  taxis_per_region_ = std::max(
+      1.0, static_cast<double>(sim->num_taxis()) / city.num_regions());
+  mean_slot_rate_ = std::max(
+      1e-6, sim->demand().TotalTripsPerDay() /
+                (static_cast<double>(city.num_regions()) * kSlotsPerDay));
+  max_coord_x_ = 1.0;
+  max_coord_y_ = 1.0;
+  for (const Region& r : city.regions()) {
+    max_coord_x_ = std::max(max_coord_x_, r.centroid_km.x);
+    max_coord_y_ = std::max(max_coord_y_, r.centroid_km.y);
+  }
+}
+
+void FeatureExtractor::Extract(const TaxiObs& obs,
+                               std::vector<float>* out) const {
+  out->clear();
+  out->reserve(static_cast<size_t>(dim_));
+  const City& city = sim_->city();
+  const TimeSlot now = sim_->now();
+  const Region& region = city.region(obs.region);
+
+  // --- Local view: time ---------------------------------------------------
+  const double phase =
+      2.0 * std::numbers::pi * now.SlotOfDay() / kSlotsPerDay;
+  out->push_back(static_cast<float>(std::sin(phase)));
+  out->push_back(static_cast<float>(std::cos(phase)));
+  out->push_back(static_cast<float>(std::sin(2.0 * phase)));
+  out->push_back(static_cast<float>(std::cos(2.0 * phase)));
+
+  // --- Local view: location ----------------------------------------------
+  for (int c = 0; c < kNumRegionClasses; ++c) {
+    out->push_back(region.cls == static_cast<RegionClass>(c) ? 1.0f : 0.0f);
+  }
+  out->push_back(static_cast<float>(region.centroid_km.x / max_coord_x_));
+  out->push_back(static_cast<float>(region.centroid_km.y / max_coord_y_));
+
+  // --- Own energy state ----------------------------------------------------
+  out->push_back(static_cast<float>(obs.soc));
+  out->push_back(obs.must_charge ? 1.0f : 0.0f);
+  out->push_back(obs.may_charge ? 1.0f : 0.0f);
+
+  // --- Global view: demand & supply of own region -------------------------
+  const auto norm_count = [&](double v) {
+    return static_cast<float>(Clamp1(v / (2.0 * taxis_per_region_)));
+  };
+  const auto norm_rate = [&](double v) {
+    return static_cast<float>(Clamp1(v / (4.0 * mean_slot_rate_)));
+  };
+  out->push_back(norm_count(sim_->VacantCount(obs.region)));
+  out->push_back(norm_rate(sim_->PendingRequests(obs.region)));
+  out->push_back(norm_rate(sim_->predictor().Predict(obs.region, now.Next())));
+  out->push_back(norm_rate(sim_->demand().Rate(obs.region, now)));
+
+  // --- Global view: neighbourhood aggregates ------------------------------
+  double nbr_vacant = 0.0, nbr_pending = 0.0, nbr_pred = 0.0;
+  const auto& neighbors = city.Neighbors(obs.region);
+  if (!neighbors.empty()) {
+    for (RegionId n : neighbors) {
+      nbr_vacant += sim_->VacantCount(n);
+      nbr_pending += sim_->PendingRequests(n);
+      nbr_pred += sim_->predictor().Predict(n, now.Next());
+    }
+    const double k = static_cast<double>(neighbors.size());
+    nbr_vacant /= k;
+    nbr_pending /= k;
+    nbr_pred /= k;
+  }
+  out->push_back(norm_count(nbr_vacant));
+  out->push_back(norm_rate(nbr_pending));
+  out->push_back(norm_rate(nbr_pred));
+
+  // --- Global view: the five nearest stations -----------------------------
+  const auto& stations = city.NearestStations(obs.region);
+  for (int j = 0; j < City::kNearestStations; ++j) {
+    if (j < static_cast<int>(stations.size())) {
+      const StationId s = stations[static_cast<size_t>(j)];
+      const StationQueue& q = sim_->station_queue(s);
+      out->push_back(static_cast<float>(q.free_points()) /
+                     static_cast<float>(q.num_points()));
+      out->push_back(static_cast<float>(
+          Clamp1(static_cast<double>(q.waiting()) / q.num_points())));
+      out->push_back(static_cast<float>(Clamp1(
+          city.TravelMinutesToStation(obs.region, s) / 60.0)));
+    } else {
+      out->push_back(0.0f);
+      out->push_back(1.0f);  // "infinitely long queue"
+      out->push_back(1.0f);
+    }
+  }
+
+  // --- Global view: TOU price now and next hour ---------------------------
+  const auto& tariff = sim_->tariff();
+  out->push_back(static_cast<float>(tariff.RateAt(now) / kPeakRate));
+  out->push_back(static_cast<float>(
+      tariff.RateAt(now + kSlotsPerHour) / kPeakRate));
+
+  // --- Fairness signal -----------------------------------------------------
+  out->push_back(static_cast<float>(Clamp1(obs.pe_gap / 30.0)));
+  out->push_back(static_cast<float>(Clamp1(sim_->FleetMeanPe() / 100.0)));
+
+  FM_CHECK(static_cast<int>(out->size()) == dim_)
+      << out->size() << " != " << dim_;
+}
+
+}  // namespace fairmove

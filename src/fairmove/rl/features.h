@@ -1,0 +1,42 @@
+#ifndef FAIRMOVE_RL_FEATURES_H_
+#define FAIRMOVE_RL_FEATURES_H_
+
+#include <vector>
+
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+/// Builds the per-agent state vector of §III-C:
+///  * local view  s_lo = (time, location): slot-of-day Fourier features,
+///    region class one-hot, normalised coordinates, own SoC/charging flags;
+///  * global view s_go: supply (vacant taxis), pending and predicted demand
+///    of the taxi's region and its neighbourhood, occupancy / queue /
+///    distance of the five nearest charging stations, and the current and
+///    upcoming TOU price;
+///  * a fairness signal: the taxi's cumulative-PE gap to the fleet mean.
+///
+/// All features are normalised to roughly [-1, 1] so one network serves all
+/// agents (the centralised shared-parameter design of §III-D).
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(const Simulator* sim);
+
+  int dim() const { return dim_; }
+
+  /// Fills `out` (resized to dim()) for one vacant taxi.
+  void Extract(const TaxiObs& obs, std::vector<float>* out) const;
+
+ private:
+  const Simulator* sim_;
+  int dim_;
+  // Normalisation constants, fixed at construction.
+  double taxis_per_region_;
+  double mean_slot_rate_;
+  double max_coord_x_;
+  double max_coord_y_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_RL_FEATURES_H_

@@ -1,0 +1,133 @@
+#include "fairmove/rl/gt_policy.h"
+
+#include <cmath>
+
+#include "fairmove/pricing/tou_tariff.h"
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+namespace {
+
+/// SplitMix64 finaliser: cheap deterministic hash for per-driver traits.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double HashUnit(uint64_t seed, uint64_t salt) {
+  return static_cast<double>(Mix(seed ^ Mix(salt)) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+void GtPolicy::BeginEpisode(const Simulator& sim) {
+  (void)sim;
+  rng_.Seed(options_.seed);
+}
+
+double GtPolicy::DriverSkill(TaxiId taxi) const {
+  const double u = HashUnit(options_.seed, static_cast<uint64_t>(taxi) + 1);
+  // Squared to skew the fleet toward average drivers with a skilled tail.
+  return options_.demand_bias_min +
+         (options_.demand_bias_max - options_.demand_bias_min) * u * u;
+}
+
+RegionId GtPolicy::DriverHome(TaxiId taxi, int num_regions) const {
+  const double u = HashUnit(options_.seed, static_cast<uint64_t>(taxi) + 2);
+  return static_cast<RegionId>(u * num_regions);
+}
+
+double GtPolicy::DriverLeash(TaxiId taxi) const {
+  const double u = HashUnit(options_.seed, static_cast<uint64_t>(taxi) + 3);
+  return options_.leash_min_minutes +
+         (options_.leash_max_minutes - options_.leash_min_minutes) * u;
+}
+
+void GtPolicy::DecideActions(const Simulator& sim,
+                             const std::vector<TaxiObs>& vacant,
+                             std::vector<Action>* actions) {
+  const City& city = sim.city();
+  const bool off_peak =
+      sim.tariff().PeriodAt(sim.now()) == PricePeriod::kOffPeak;
+  actions->clear();
+  actions->reserve(vacant.size());
+  // Drivers know one or two stations near them; most head for the closest.
+  auto pick_station = [&](RegionId region) {
+    const auto& stations = city.NearestStations(region);
+    if (stations.size() > 1 &&
+        rng_.NextDouble() > options_.nearest_station_bias) {
+      return stations[1];
+    }
+    return stations[0];
+  };
+  for (const TaxiObs& obs : vacant) {
+    if (obs.must_charge) {
+      // Forced: a close station, whatever its queue — the uncoordinated
+      // behaviour behind the paper's crowded-station finding.
+      actions->push_back(Action::Charge(pick_station(obs.region)));
+      continue;
+    }
+    const bool undisciplined =
+        HashUnit(options_.seed, static_cast<uint64_t>(obs.taxi) + 4) <
+        options_.undisciplined_share;
+    if (obs.may_charge && obs.soc < options_.cheap_charge_soc) {
+      if (off_peak && rng_.NextDouble() < options_.cheap_charge_prob) {
+        // Cheap-hour top-up (Fig 4's charging peaks in the price valleys).
+        actions->push_back(Action::Charge(pick_station(obs.region)));
+        continue;
+      }
+      if (undisciplined &&
+          rng_.NextDouble() < options_.undisciplined_charge_prob) {
+        // Price-blind top-up at whatever the current tariff is.
+        actions->push_back(Action::Charge(pick_station(obs.region)));
+        continue;
+      }
+    }
+    const double stay_bias =
+        options_.stay_bias_min +
+        (options_.stay_bias_max - options_.stay_bias_min) *
+            HashUnit(options_.seed, static_cast<uint64_t>(obs.taxi) + 5);
+    if (rng_.NextDouble() < stay_bias) {
+      actions->push_back(Action::Stay());
+      continue;
+    }
+    // Demand-biased random walk over {stay} + neighbours; the bias strength
+    // is the driver's persistent skill, damped by distance from the
+    // driver's home turf (the leash).
+    const double skill = DriverSkill(obs.taxi);
+    const RegionId home = DriverHome(obs.taxi, city.num_regions());
+    const double leash = DriverLeash(obs.taxi);
+    const auto& neighbors = city.Neighbors(obs.region);
+    weight_scratch_.clear();
+    auto weight_of = [&](RegionId r) {
+      // The driver's belief about region r's demand: the true rate warped
+      // by a persistent personal distortion.
+      const double u = HashUnit(
+          options_.seed ^ (static_cast<uint64_t>(obs.taxi) << 20),
+          static_cast<uint64_t>(r) + 7);
+      const double distortion =
+          std::exp(options_.belief_noise_sigma * 2.0 * (u - 0.5) * 1.7);
+      const double believed_demand =
+          std::pow(sim.demand().Rate(r, sim.now()) * distortion,
+                   options_.herding_exponent);
+      const double anchoring =
+          std::exp(-city.TravelMinutes(r, home) / leash);
+      return (1.0 + skill * believed_demand) * anchoring;
+    };
+    weight_scratch_.push_back(weight_of(obs.region));
+    for (RegionId n : neighbors) {
+      weight_scratch_.push_back(weight_of(n));
+    }
+    const size_t pick = rng_.WeightedIndex(weight_scratch_);
+    if (pick == 0) {
+      actions->push_back(Action::Stay());
+    } else {
+      actions->push_back(Action::Move(neighbors[pick - 1]));
+    }
+  }
+}
+
+}  // namespace fairmove

@@ -1,0 +1,91 @@
+#ifndef FAIRMOVE_RL_GT_POLICY_H_
+#define FAIRMOVE_RL_GT_POLICY_H_
+
+#include "fairmove/common/rng.h"
+#include "fairmove/sim/policy.h"
+
+namespace fairmove {
+
+/// GT — the Ground Truth baseline (paper §IV-A): driver behaviour *without*
+/// any displacement system. In the paper this is the replayed real fleet;
+/// here it is the standard behavioural model of uncoordinated drivers:
+///
+///  * demand-biased random-walk cruising, with *heterogeneous skill* —
+///    drivers differ persistently in how well they track the city's demand
+///    hot spots, which reproduces the fleet's wide PE dispersion
+///    (finding (v), Fig 8);
+///  * nearest-station charging when the battery forces it;
+///  * *price-responsive opportunistic charging*: during off-peak tariff
+///    windows drivers with a half-empty pack top up early, producing the
+///    intensive charging peaks of Fig 4 at exactly the cheap hours.
+class GtPolicy : public DisplacementPolicy {
+ public:
+  struct Options {
+    /// Repositioning laziness: each driver's per-slot probability of
+    /// staying put is drawn from [stay_bias_min, stay_bias_max].
+    double stay_bias_min = 0.30;
+    double stay_bias_max = 0.90;
+    /// Per-driver demand-following skill is drawn from
+    /// [demand_bias_min, demand_bias_max] (deterministic per taxi id).
+    double demand_bias_min = 0.0;
+    double demand_bias_max = 1.0;
+    /// Opportunistic charging: per-slot probability of starting a cheap
+    /// top-up when the tariff is off-peak and SoC is below the may-charge
+    /// threshold.
+    double cheap_charge_prob = 0.22;
+    /// Opportunistic top-ups only below this SoC.
+    double cheap_charge_soc = 0.50;
+    /// Probability of picking the nearest station (otherwise the second
+    /// nearest) — drivers don't all converge on one station.
+    double nearest_station_bias = 0.7;
+    /// Home-turf anchoring: each driver has a home region and a "leash"
+    /// (minutes) drawn from [leash_min, leash_max]; cruising weights decay
+    /// with distance from home. Short-leashed drivers homed in dead
+    /// suburbs starve — a real source of the fleet's PE inequality.
+    double leash_min_minutes = 8.0;
+    double leash_max_minutes = 30.0;
+    /// Hotspot herding: drivers overweight the hottest regions
+    /// (believed demand is raised to this exponent), so uncoordinated
+    /// fleets oversupply the famous spots and starve mid-tier regions —
+    /// the misallocation displacement systems exploit.
+    double herding_exponent = 1.6;
+    /// Per-(driver, region) demand-belief distortion: drivers act on a
+    /// noisy memory of the city's demand surface, lognormal with this
+    /// sigma. 0 = perfect knowledge.
+    double belief_noise_sigma = 0.6;
+    /// Share of drivers with no price discipline: they top up whenever the
+    /// pack is below the may-charge threshold, whatever the tariff —
+    /// heterogeneous charging costs are another PE-inequality source.
+    double undisciplined_share = 0.30;
+    double undisciplined_charge_prob = 0.10;
+    uint64_t seed = 101;
+  };
+
+  GtPolicy() : GtPolicy(Options()) {}
+  explicit GtPolicy(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  std::string name() const override { return "GT"; }
+
+  void BeginEpisode(const Simulator& sim) override;
+
+  void DecideActions(const Simulator& sim, const std::vector<TaxiObs>& vacant,
+                     std::vector<Action>* actions) override;
+
+  /// The persistent demand-following skill of one driver (exposed for
+  /// tests; deterministic in (seed, taxi)).
+  double DriverSkill(TaxiId taxi) const;
+  /// The driver's home region (deterministic in (seed, taxi)).
+  RegionId DriverHome(TaxiId taxi, int num_regions) const;
+  /// The driver's leash strength in minutes.
+  double DriverLeash(TaxiId taxi) const;
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::vector<double> weight_scratch_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_RL_GT_POLICY_H_

@@ -1,0 +1,37 @@
+#include "fairmove/rl/replay_buffer.h"
+
+namespace fairmove {
+
+ReplayBuffer::ReplayBuffer(size_t capacity) : capacity_(capacity) {
+  FM_CHECK(capacity > 0);
+  data_.reserve(capacity);
+}
+
+void ReplayBuffer::Add(DisplacementPolicy::Transition transition) {
+  if (size_ < capacity_) {
+    data_.push_back(std::move(transition));
+    ++size_;
+  } else {
+    data_[next_] = std::move(transition);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+void ReplayBuffer::Sample(
+    size_t n, Rng& rng,
+    std::vector<const DisplacementPolicy::Transition*>* out) const {
+  FM_CHECK(size_ > 0) << "sampling from an empty replay buffer";
+  out->clear();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(&data_[rng.NextBounded(size_)]);
+  }
+}
+
+void ReplayBuffer::Clear() {
+  data_.clear();
+  size_ = 0;
+  next_ = 0;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,40 @@
+#ifndef FAIRMOVE_RL_REPLAY_BUFFER_H_
+#define FAIRMOVE_RL_REPLAY_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fairmove/common/rng.h"
+#include "fairmove/sim/policy.h"
+
+namespace fairmove {
+
+/// Fixed-capacity uniform-sampling experience replay (for DQN). New
+/// transitions overwrite the oldest once the ring is full.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(size_t capacity);
+
+  void Add(DisplacementPolicy::Transition transition);
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Samples `n` transitions uniformly with replacement into `out`
+  /// (pointers remain valid until the next Add).
+  void Sample(size_t n, Rng& rng,
+              std::vector<const DisplacementPolicy::Transition*>* out) const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  size_t size_ = 0;
+  size_t next_ = 0;
+  std::vector<DisplacementPolicy::Transition> data_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_RL_REPLAY_BUFFER_H_

@@ -1,0 +1,52 @@
+#include "fairmove/rl/sd2_policy.h"
+
+#include <limits>
+
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+void Sd2Policy::DecideActions(const Simulator& sim,
+                              const std::vector<TaxiObs>& vacant,
+                              std::vector<Action>* actions) {
+  const City& city = sim.city();
+  // Snapshot of regions with waiting passengers this slot.
+  pending_regions_.clear();
+  for (RegionId r = 0; r < city.num_regions(); ++r) {
+    if (sim.PendingRequests(r) > 0) pending_regions_.push_back(r);
+  }
+
+  actions->clear();
+  actions->reserve(vacant.size());
+  for (const TaxiObs& obs : vacant) {
+    if (obs.must_charge) {
+      actions->push_back(
+          Action::Charge(city.NearestStations(obs.region).front()));
+      continue;
+    }
+    if (pending_regions_.empty() || sim.PendingRequests(obs.region) > 0) {
+      // Already co-located with demand (or nothing anywhere): stay.
+      actions->push_back(Action::Stay());
+      continue;
+    }
+    RegionId best = obs.region;
+    double best_minutes = std::numeric_limits<double>::infinity();
+    for (RegionId r : pending_regions_) {
+      const double t = city.TravelMinutes(obs.region, r);
+      if (t < best_minutes) {
+        best_minutes = t;
+        best = r;
+      }
+    }
+    if (best_minutes > kChaseRadiusMinutes) {
+      // Nothing reachable before it expires; hold position.
+      actions->push_back(Action::Stay());
+      continue;
+    }
+    const RegionId next = city.StepToward(obs.region, best);
+    actions->push_back(next == obs.region ? Action::Stay()
+                                          : Action::Move(next));
+  }
+}
+
+}  // namespace fairmove

@@ -1,0 +1,33 @@
+#ifndef FAIRMOVE_RL_SD2_POLICY_H_
+#define FAIRMOVE_RL_SD2_POLICY_H_
+
+#include <vector>
+
+#include "fairmove/sim/policy.h"
+
+namespace fairmove {
+
+/// SD2 — Shortest Distance based Displacement (paper §IV-A, [21]): every
+/// vacant taxi is displaced one hop toward the nearest region with a
+/// waiting passenger; taxis that need energy charge at the nearest
+/// station, regardless of its queue. Greedy, myopic, easy to deploy — and
+/// structurally prone to herding many taxis into the same station, which is
+/// what produces its negative PRIT in Table III.
+class Sd2Policy : public DisplacementPolicy {
+ public:
+  /// Drivers only chase passengers within this travel time; a request two
+  /// districts away would be gone on arrival.
+  static constexpr double kChaseRadiusMinutes = 15.0;
+
+  std::string name() const override { return "SD2"; }
+
+  void DecideActions(const Simulator& sim, const std::vector<TaxiObs>& vacant,
+                     std::vector<Action>* actions) override;
+
+ private:
+  std::vector<RegionId> pending_regions_;  // scratch
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_RL_SD2_POLICY_H_

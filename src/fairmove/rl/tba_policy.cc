@@ -1,0 +1,145 @@
+#include "fairmove/rl/tba_policy.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+namespace {
+constexpr int kTbaFeatureDim = 4 + kNumRegionClasses + 2 + 3;
+}  // namespace
+
+TbaPolicy::TbaPolicy(const Simulator& sim) : TbaPolicy(sim, Options()) {}
+
+TbaPolicy::TbaPolicy(const Simulator& sim, Options options)
+    : options_(options),
+      space_(&sim.action_space()),
+      feature_dim_(kTbaFeatureDim),
+      num_actions_(sim.action_space().size()),
+      rng_(options.seed) {
+  std::vector<int> sizes;
+  sizes.push_back(feature_dim_);
+  for (int h : options_.hidden) sizes.push_back(h);
+  sizes.push_back(num_actions_);
+  net_ = std::make_unique<Mlp>(sizes, Activation::kTanh, options.seed);
+  for (int a = space_->first_charge_index(); a < num_actions_; ++a) {
+    net_->biases().back()[static_cast<size_t>(a)] =
+        static_cast<float>(options_.charge_logit_bias);
+  }
+  optimizer_ = std::make_unique<Adam>(
+      net_.get(), Adam::Options{.learning_rate = options.learning_rate});
+}
+
+void TbaPolicy::LocalFeatures(const Simulator& sim, const TaxiObs& obs,
+                              std::vector<float>* out) const {
+  out->clear();
+  out->reserve(static_cast<size_t>(feature_dim_));
+  const double phase =
+      2.0 * std::numbers::pi * sim.now().SlotOfDay() / kSlotsPerDay;
+  out->push_back(static_cast<float>(std::sin(phase)));
+  out->push_back(static_cast<float>(std::cos(phase)));
+  out->push_back(static_cast<float>(std::sin(2.0 * phase)));
+  out->push_back(static_cast<float>(std::cos(2.0 * phase)));
+  const Region& region = sim.city().region(obs.region);
+  for (int c = 0; c < kNumRegionClasses; ++c) {
+    out->push_back(region.cls == static_cast<RegionClass>(c) ? 1.0f : 0.0f);
+  }
+  out->push_back(static_cast<float>(region.grid_col) /
+                 static_cast<float>(std::max(1, sim.city().num_regions())));
+  out->push_back(static_cast<float>(region.grid_row) /
+                 static_cast<float>(std::max(1, sim.city().num_regions())));
+  out->push_back(static_cast<float>(obs.soc));
+  out->push_back(obs.must_charge ? 1.0f : 0.0f);
+  out->push_back(obs.may_charge ? 1.0f : 0.0f);
+  FM_CHECK(static_cast<int>(out->size()) == feature_dim_);
+}
+
+void TbaPolicy::DecideActions(const Simulator& sim,
+                              const std::vector<TaxiObs>& vacant,
+                              std::vector<Action>* actions) {
+  const ActionSpace& space = sim.action_space();
+  actions->clear();
+  actions->reserve(vacant.size());
+  last_features_.assign(vacant.size(), {});
+  for (size_t i = 0; i < vacant.size(); ++i) {
+    const TaxiObs& obs = vacant[i];
+    LocalFeatures(sim, obs, &last_features_[i]);
+    std::vector<float> logits = net_->Forward1(last_features_[i]);
+    space.Mask(obs.region, obs.must_charge, obs.may_charge, &mask_scratch_);
+    MaskedSoftmax(mask_scratch_, &logits);
+    const size_t pick = rng_.WeightedIndex(logits);
+    FM_CHECK(mask_scratch_[pick]) << "sampled a masked action";
+    actions->push_back(space.Materialize(obs.region, static_cast<int>(pick)));
+  }
+}
+
+void TbaPolicy::Learn(const std::vector<Transition>& transitions) {
+  if (!training_ || transitions.empty()) return;
+  buffer_.insert(buffer_.end(), transitions.begin(), transitions.end());
+  if (buffer_.size() < options_.batch_size) return;
+  Update(buffer_);
+  buffer_.clear();
+}
+
+void TbaPolicy::Update(const std::vector<Transition>& transitions) {
+  // REINFORCE with a moving-average baseline on the *own-profit* reward.
+  const int batch = static_cast<int>(transitions.size());
+  Matrix x(batch, feature_dim_);
+  for (int i = 0; i < batch; ++i) {
+    FM_CHECK(static_cast<int>(transitions[static_cast<size_t>(i)].state
+                                  .size()) == feature_dim_)
+        << "TBA transition carries foreign features";
+    std::copy(transitions[static_cast<size_t>(i)].state.begin(),
+              transitions[static_cast<size_t>(i)].state.end(), x.Row(i));
+  }
+  Mlp::Tape tape;
+  net_->ForwardTape(x, &tape);
+  const Matrix& logits = net_->Output(tape);
+
+  Matrix grad(batch, num_actions_);
+  for (int i = 0; i < batch; ++i) {
+    const Transition& t = transitions[static_cast<size_t>(i)];
+    if (!baseline_init_) {
+      baseline_ = t.reward_own;
+      baseline_init_ = true;
+    }
+    const double advantage = t.reward_own - baseline_;
+    baseline_ = options_.baseline_decay * baseline_ +
+                (1.0 - options_.baseline_decay) * t.reward_own;
+
+    // Rebuild the behaviour-time mask from the discrete context (masks are
+    // deterministic functions of region + charge flags).
+    space_->Mask(t.region, t.must_charge, t.may_charge, &mask_scratch_);
+    std::vector<float> probs(logits.Row(i), logits.Row(i) + num_actions_);
+    MaskedSoftmax(mask_scratch_, &probs);
+
+    // dL/dlogit = A*(pi - onehot) + c*pi*(log pi + H)
+    double entropy = 0.0;
+    for (int a = 0; a < num_actions_; ++a) {
+      if (probs[static_cast<size_t>(a)] > 0.0f) {
+        entropy -= probs[static_cast<size_t>(a)] *
+                   std::log(probs[static_cast<size_t>(a)]);
+      }
+    }
+    for (int a = 0; a < num_actions_; ++a) {
+      const double p = probs[static_cast<size_t>(a)];
+      if (!mask_scratch_[static_cast<size_t>(a)]) {
+        grad.At(i, a) = 0.0f;
+        continue;
+      }
+      double g = advantage * (p - (a == t.action_index ? 1.0 : 0.0));
+      if (p > 0.0) {
+        g += options_.entropy_bonus * p * (std::log(p) + entropy);
+      }
+      grad.At(i, a) = static_cast<float>(g / batch);
+    }
+  }
+
+  Mlp::Gradients grads = net_->MakeGradients();
+  net_->Backward(tape, grad, &grads);
+  optimizer_->Step(grads);
+}
+
+}  // namespace fairmove

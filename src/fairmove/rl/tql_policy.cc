@@ -1,0 +1,167 @@
+#include "fairmove/rl/tql_policy.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+
+TqlPolicy::TqlPolicy(const Simulator& sim) : TqlPolicy(sim, Options()) {}
+
+TqlPolicy::TqlPolicy(const Simulator& sim, Options options)
+    : options_(options),
+      space_(&sim.action_space()),
+      num_regions_(sim.city().num_regions()),
+      num_actions_(sim.action_space().size()),
+      rng_(options.seed) {
+  table_.assign(static_cast<size_t>(kHoursPerDay) * num_regions_ * 3 *
+                    num_actions_,
+                0.0f);
+  // Pessimistic prior on voluntary charging: unexplored charge actions
+  // must not look as good as unexplored relocations.
+  const int first_charge = space_->first_charge_index();
+  for (size_t s = 0; s < table_.size() / num_actions_; ++s) {
+    for (int a = first_charge; a < num_actions_; ++a) {
+      table_[s * num_actions_ + static_cast<size_t>(a)] = -0.5f;
+    }
+  }
+}
+
+size_t TqlPolicy::StateOffset(int hour, RegionId region,
+                              int soc_bucket) const {
+  FM_CHECK(hour >= 0 && hour < kHoursPerDay);
+  FM_CHECK(region >= 0 && region < num_regions_);
+  FM_CHECK(soc_bucket >= 0 && soc_bucket < 3);
+  return ((static_cast<size_t>(hour) * num_regions_ +
+           static_cast<size_t>(region)) *
+              3 +
+          static_cast<size_t>(soc_bucket)) *
+         static_cast<size_t>(num_actions_);
+}
+
+float TqlPolicy::Q(int hour, RegionId region, int soc_bucket,
+                   int action) const {
+  return table_[StateOffset(hour, region, soc_bucket) +
+                static_cast<size_t>(action)];
+}
+
+double TqlPolicy::CurrentEpsilon() const {
+  const double frac =
+      std::min(1.0, static_cast<double>(learn_batches_) /
+                        std::max(1, options_.epsilon_decay_batches));
+  return options_.epsilon_start +
+         frac * (options_.epsilon_end - options_.epsilon_start);
+}
+
+void TqlPolicy::DecideActions(const Simulator& sim,
+                              const std::vector<TaxiObs>& vacant,
+                              std::vector<Action>* actions) {
+  const ActionSpace& space = sim.action_space();
+  const int hour = sim.now().HourOfDay();
+  const double epsilon = training_ ? CurrentEpsilon() : options_.epsilon_eval;
+  actions->clear();
+  actions->reserve(vacant.size());
+  for (const TaxiObs& obs : vacant) {
+    space.Mask(obs.region, obs.must_charge, obs.may_charge, &mask_scratch_);
+    int chosen = -1;
+    if (rng_.NextDouble() < epsilon) {
+      // Uniform over valid actions.
+      int valid = 0;
+      for (bool b : mask_scratch_) valid += b ? 1 : 0;
+      int pick = static_cast<int>(rng_.NextBounded(
+          static_cast<uint64_t>(valid)));
+      for (int a = 0; a < space.size(); ++a) {
+        if (!mask_scratch_[static_cast<size_t>(a)]) continue;
+        if (pick-- == 0) {
+          chosen = a;
+          break;
+        }
+      }
+    } else {
+      const size_t base = StateOffset(
+          hour, obs.region, SocBucket(obs.must_charge, obs.may_charge));
+      float best = -1e30f;
+      for (int a = 0; a < space.size(); ++a) {
+        if (!mask_scratch_[static_cast<size_t>(a)]) continue;
+        const float q = table_[base + static_cast<size_t>(a)];
+        if (q > best) {
+          best = q;
+          chosen = a;
+        }
+      }
+    }
+    FM_CHECK(chosen >= 0) << "no valid action in region " << obs.region;
+    actions->push_back(space.Materialize(obs.region, chosen));
+  }
+}
+
+namespace {
+constexpr char kTqlMagic[5] = {'F', 'M', 'T', 'Q', '1'};
+}  // namespace
+
+Status TqlPolicy::SaveModel(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(kTqlMagic, sizeof(kTqlMagic));
+  const int32_t regions = num_regions_, actions = num_actions_;
+  out.write(reinterpret_cast<const char*>(&regions), sizeof(regions));
+  out.write(reinterpret_cast<const char*>(&actions), sizeof(actions));
+  out.write(reinterpret_cast<const char*>(table_.data()),
+            static_cast<std::streamsize>(table_.size() * sizeof(float)));
+  if (!out) return Status::IOError("Q-table write failed");
+  return Status::OK();
+}
+
+Status TqlPolicy::LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char magic[sizeof(kTqlMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kTqlMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not an FMTQ1 Q-table blob");
+  }
+  int32_t regions = 0, actions = 0;
+  in.read(reinterpret_cast<char*>(&regions), sizeof(regions));
+  in.read(reinterpret_cast<char*>(&actions), sizeof(actions));
+  if (!in || regions != num_regions_ || actions != num_actions_) {
+    return Status::InvalidArgument(
+        "saved Q-table does not match this policy's city/action space");
+  }
+  in.read(reinterpret_cast<char*>(table_.data()),
+          static_cast<std::streamsize>(table_.size() * sizeof(float)));
+  if (!in) return Status::InvalidArgument("truncated Q-table blob");
+  return Status::OK();
+}
+
+void TqlPolicy::Learn(const std::vector<Transition>& transitions) {
+  if (!training_) return;
+  for (const Transition& t : transitions) {
+    const int hour = TimeSlot(t.slot_of_day).HourOfDay();
+    const size_t base = StateOffset(
+        hour, t.region, SocBucket(t.must_charge, t.may_charge));
+    float& q = table_[base + static_cast<size_t>(t.action_index)];
+    double target = t.reward;
+    if (!t.terminal) {
+      const int next_hour = TimeSlot(t.next_slot_of_day).HourOfDay();
+      const size_t next_base =
+          StateOffset(next_hour, t.next_region,
+                      SocBucket(t.next_must_charge, t.next_may_charge));
+      // The next-state maximum ranges over that state's *valid* actions
+      // only (invalid, never-updated slots would leak optimistic zeros).
+      space_->Mask(t.next_region, t.next_must_charge, t.next_may_charge,
+                   &mask_scratch_);
+      float best = -1e30f;
+      for (int a = 0; a < num_actions_; ++a) {
+        if (!mask_scratch_[static_cast<size_t>(a)]) continue;
+        best = std::max(best, table_[next_base + static_cast<size_t>(a)]);
+      }
+      target += t.discount * best;
+    }
+    q += static_cast<float>(options_.learning_rate * (target - q));
+  }
+  ++learn_batches_;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,95 @@
+#include "fairmove/sim/action.h"
+
+#include <algorithm>
+
+namespace fairmove {
+
+std::string Action::ToString() const {
+  switch (type) {
+    case Type::kStay:
+      return "stay";
+    case Type::kMove:
+      return "move->" + std::to_string(move_to);
+    case Type::kCharge:
+      return "charge@" + std::to_string(station);
+  }
+  return "?";
+}
+
+ActionSpace::ActionSpace(const City* city)
+    : city_(city),
+      max_neighbors_(city->max_neighbors()),
+      num_station_slots_(
+          std::min<int>(City::kNearestStations, city->num_stations())),
+      size_(1 + max_neighbors_ + num_station_slots_) {
+  FM_CHECK(city != nullptr);
+}
+
+bool ActionSpace::IsValid(RegionId region, int index, bool must_charge,
+                          bool may_charge) const {
+  if (index < 0 || index >= size_) return false;
+  const bool is_charge = index >= first_charge_index();
+  if (must_charge && !is_charge) return false;
+  if (is_charge) {
+    if (!may_charge && !must_charge) return false;
+    const int j = index - first_charge_index();
+    return j < static_cast<int>(city_->NearestStations(region).size());
+  }
+  if (index == stay_index()) return true;
+  const int i = index - first_move_index();
+  return i < static_cast<int>(city_->Neighbors(region).size());
+}
+
+Action ActionSpace::Materialize(RegionId region, int index) const {
+  FM_CHECK(index >= 0 && index < size_) << "action index " << index;
+  if (index == stay_index()) return Action::Stay();
+  if (index < first_charge_index()) {
+    const auto& neighbors = city_->Neighbors(region);
+    const int i = index - first_move_index();
+    FM_CHECK(i < static_cast<int>(neighbors.size()))
+        << "move slot " << i << " invalid in region " << region;
+    return Action::Move(neighbors[static_cast<size_t>(i)]);
+  }
+  const auto& stations = city_->NearestStations(region);
+  const int j = index - first_charge_index();
+  FM_CHECK(j < static_cast<int>(stations.size()))
+      << "charge slot " << j << " invalid in region " << region;
+  return Action::Charge(stations[static_cast<size_t>(j)]);
+}
+
+void ActionSpace::Mask(RegionId region, bool must_charge, bool may_charge,
+                       std::vector<bool>* out) const {
+  out->assign(static_cast<size_t>(size_), false);
+  for (int i = 0; i < size_; ++i) {
+    (*out)[static_cast<size_t>(i)] =
+        IsValid(region, i, must_charge, may_charge);
+  }
+}
+
+int ActionSpace::IndexOf(RegionId region, const Action& action) const {
+  switch (action.type) {
+    case Action::Type::kStay:
+      return stay_index();
+    case Action::Type::kMove: {
+      const auto& neighbors = city_->Neighbors(region);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        if (neighbors[i] == action.move_to) {
+          return first_move_index() + static_cast<int>(i);
+        }
+      }
+      return -1;
+    }
+    case Action::Type::kCharge: {
+      const auto& stations = city_->NearestStations(region);
+      for (size_t j = 0; j < stations.size(); ++j) {
+        if (stations[j] == action.station) {
+          return first_charge_index() + static_cast<int>(j);
+        }
+      }
+      return -1;
+    }
+  }
+  return -1;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,84 @@
+#ifndef FAIRMOVE_SIM_ACTION_H_
+#define FAIRMOVE_SIM_ACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fairmove/geo/city.h"
+
+namespace fairmove {
+
+/// One displacement decision for one vacant e-taxi (paper §III-C): stay in
+/// the current region, move to an adjacent region, or drive to one of the
+/// nearest charging stations.
+struct Action {
+  enum class Type : uint8_t { kStay = 0, kMove = 1, kCharge = 2 };
+
+  Type type = Type::kStay;
+  /// Target region for kMove.
+  RegionId move_to = kInvalidRegion;
+  /// Target station for kCharge.
+  StationId station = kInvalidStation;
+
+  static Action Stay() { return Action{}; }
+  static Action Move(RegionId to) {
+    return Action{Type::kMove, to, kInvalidStation};
+  }
+  static Action Charge(StationId s) {
+    return Action{Type::kCharge, kInvalidRegion, s};
+  }
+
+  bool operator==(const Action&) const = default;
+
+  std::string ToString() const;
+};
+
+/// Enumerates and indexes the discrete action set of a taxi in a region.
+/// The layout is fixed so learned policies can use one output head:
+///   index 0                      -> stay
+///   1 .. max_neighbors           -> move to Neighbors(region)[i-1]
+///   1+max_neighbors .. +k-1      -> charge at NearestStations(region)[j]
+/// Indices beyond a region's actual neighbour/station count are invalid and
+/// must be masked.
+class ActionSpace {
+ public:
+  explicit ActionSpace(const City* city);
+
+  /// Total number of action slots (same for every region).
+  int size() const { return size_; }
+
+  int stay_index() const { return 0; }
+  int first_move_index() const { return 1; }
+  int first_charge_index() const { return 1 + max_neighbors_; }
+
+  /// Whether slot `index` is a valid action for a taxi in `region` given
+  /// its charging constraints. `must_charge` restricts to charge actions;
+  /// `may_charge` enables them (taxis with a full battery shouldn't queue).
+  bool IsValid(RegionId region, int index, bool must_charge,
+               bool may_charge) const;
+
+  /// Materialises the action for slot `index` in `region`. CHECK-fails on
+  /// invalid indices (call IsValid first).
+  Action Materialize(RegionId region, int index) const;
+
+  /// Validity mask for all slots (size() entries).
+  void Mask(RegionId region, bool must_charge, bool may_charge,
+            std::vector<bool>* out) const;
+
+  /// Index whose Materialize equals `action`, or -1 when the action is not
+  /// in the region's action set.
+  int IndexOf(RegionId region, const Action& action) const;
+
+  const City& city() const { return *city_; }
+
+ private:
+  const City* city_;
+  int max_neighbors_;
+  int num_station_slots_;
+  int size_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_SIM_ACTION_H_

@@ -1,0 +1,87 @@
+#include "fairmove/sim/battery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairmove {
+
+Status BatteryConfig::Validate() const {
+  if (capacity_kwh <= 0.0) {
+    return Status::InvalidArgument("capacity_kwh must be > 0");
+  }
+  if (consumption_kwh_per_km <= 0.0) {
+    return Status::InvalidArgument("consumption_kwh_per_km must be > 0");
+  }
+  if (max_charge_kw <= 0.0 || min_charge_kw <= 0.0 ||
+      min_charge_kw > max_charge_kw) {
+    return Status::InvalidArgument(
+        "need 0 < min_charge_kw <= max_charge_kw");
+  }
+  if (taper_soc <= 0.0 || taper_soc > 1.0) {
+    return Status::InvalidArgument("taper_soc must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+Battery::Battery(const BatteryConfig& config, double initial_soc)
+    : config_(config), soc_(initial_soc) {
+  FM_CHECK(config.Validate().ok()) << config.Validate();
+  FM_CHECK(initial_soc >= 0.0 && initial_soc <= 1.0)
+      << "initial_soc=" << initial_soc;
+}
+
+double Battery::ConsumeKm(double km) {
+  FM_CHECK(km >= 0.0);
+  const double possible_km = RangeKm();
+  const double driven = std::min(km, possible_km);
+  soc_ = std::max(0.0, soc_ - KwhForKm(driven) / config_.capacity_kwh);
+  return driven;
+}
+
+double Battery::PowerKwAt(double soc) const {
+  if (soc < config_.taper_soc) return config_.max_charge_kw;
+  if (soc >= 1.0) return 0.0;
+  const double frac = (soc - config_.taper_soc) / (1.0 - config_.taper_soc);
+  return config_.max_charge_kw +
+         frac * (config_.min_charge_kw - config_.max_charge_kw);
+}
+
+double Battery::ChargeFor(double minutes, double power_scale) {
+  FM_CHECK(minutes >= 0.0);
+  FM_CHECK(power_scale > 0.0);
+  double added = 0.0;
+  double remaining = minutes;
+  // 1-minute integration steps: accurate enough for a 10-minute slot and
+  // keeps charging deterministic and O(minutes).
+  while (remaining > 0.0 && soc_ < 1.0) {
+    const double dt_min = std::min(1.0, remaining);
+    const double kwh = power_scale * PowerKwAt(soc_) * dt_min / 60.0;
+    const double capped =
+        std::min(kwh, (1.0 - soc_) * config_.capacity_kwh);
+    soc_ += capped / config_.capacity_kwh;
+    added += capped;
+    remaining -= dt_min;
+  }
+  return added;
+}
+
+double Battery::MinutesToReach(double target_soc,
+                               double power_scale) const {
+  FM_CHECK(target_soc >= 0.0 && target_soc <= 1.0);
+  FM_CHECK(power_scale > 0.0);
+  if (target_soc <= soc_) return 0.0;
+  // Mirror ChargeFor's integration so the two agree.
+  double soc = soc_;
+  double minutes = 0.0;
+  while (soc < target_soc) {
+    const double kw = power_scale * PowerKwAt(soc);
+    if (kw <= 0.0) break;
+    const double kwh = kw / 60.0;
+    soc += kwh / config_.capacity_kwh;
+    minutes += 1.0;
+    if (minutes > 24.0 * 60.0) break;  // safety: never more than a day
+  }
+  return minutes;
+}
+
+}  // namespace fairmove

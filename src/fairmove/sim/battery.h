@@ -1,0 +1,74 @@
+#ifndef FAIRMOVE_SIM_BATTERY_H_
+#define FAIRMOVE_SIM_BATTERY_H_
+
+#include "fairmove/common/status.h"
+
+namespace fairmove {
+
+/// Electrical parameters of the fleet's vehicle model. Defaults are the
+/// BYD e6 the whole Shenzhen fleet uses (paper §II-A): 80 kWh pack,
+/// 400 km range.
+struct BatteryConfig {
+  double capacity_kwh = 80.0;
+  double consumption_kwh_per_km = 0.2;  // => 400 km range
+  /// DC fast-charge power while below `taper_soc` (BYD e6 fast chargers
+  /// in the paper's era were ~40 kW).
+  double max_charge_kw = 40.0;
+  /// State of charge above which charging power tapers linearly...
+  double taper_soc = 0.80;
+  /// ...down to this power at 100% SoC.
+  double min_charge_kw = 10.0;
+
+  Status Validate() const;
+};
+
+/// Battery state of one e-taxi. SoC is kept in [0, 1]; drains with
+/// driven km and refills through ChargeFor with a CC/taper power curve —
+/// the curve is what stretches top-ups into the 45–120 min sessions the
+/// paper reports in Fig 3.
+class Battery {
+ public:
+  /// CHECK-fails on invalid config (validate at the config boundary).
+  Battery(const BatteryConfig& config, double initial_soc);
+
+  double soc() const { return soc_; }
+  double kwh() const { return soc_ * config_.capacity_kwh; }
+  bool empty() const { return soc_ <= 0.0; }
+
+  /// Driving range remaining at nominal consumption.
+  double RangeKm() const {
+    return kwh() / config_.consumption_kwh_per_km;
+  }
+
+  /// Energy needed to drive `km`.
+  double KwhForKm(double km) const {
+    return km * config_.consumption_kwh_per_km;
+  }
+
+  /// Drains the battery by `km` of driving; returns the km actually covered
+  /// before the pack hit empty (== km unless the taxi stranded).
+  double ConsumeKm(double km);
+
+  /// Charges for `minutes` at the plug. Returns kWh absorbed (0 when
+  /// already full). Uses 1-minute numeric integration of the power curve.
+  /// `power_scale` derates the plug (a 0.5 plug charges at half power —
+  /// stations have a share of slower points).
+  double ChargeFor(double minutes, double power_scale = 1.0);
+
+  /// Minutes at the plug needed to reach `target_soc` (0 when already
+  /// there) at the given plug derating.
+  double MinutesToReach(double target_soc, double power_scale = 1.0) const;
+
+  /// Instantaneous charging power at the current SoC.
+  double PowerKwAt(double soc) const;
+
+  const BatteryConfig& config() const { return config_; }
+
+ private:
+  BatteryConfig config_;
+  double soc_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_SIM_BATTERY_H_

@@ -1,0 +1,49 @@
+#include "fairmove/sim/matching.h"
+
+#include "fairmove/common/macros.h"
+
+namespace fairmove {
+
+MatchingEngine::MatchingEngine(int num_regions, int patience_slots)
+    : patience_slots_(patience_slots) {
+  FM_CHECK(num_regions > 0);
+  FM_CHECK(patience_slots >= 0);
+  queues_.resize(static_cast<size_t>(num_regions));
+}
+
+void MatchingEngine::AddRequest(const Request& request) {
+  FM_CHECK(request.origin >= 0 &&
+           request.origin < static_cast<RegionId>(queues_.size()))
+      << "request origin " << request.origin;
+  queues_[static_cast<size_t>(request.origin)].push_back(request);
+  ++total_pending_;
+}
+
+Request MatchingEngine::PopOldest(RegionId region) {
+  auto& q = queues_.at(static_cast<size_t>(region));
+  FM_CHECK(!q.empty()) << "no pending request in region " << region;
+  Request r = q.front();
+  q.pop_front();
+  --total_pending_;
+  return r;
+}
+
+int64_t MatchingEngine::ExpireOld(TimeSlot now) {
+  int64_t expired = 0;
+  for (auto& q : queues_) {
+    while (!q.empty() &&
+           now.index - q.front().created_slot > patience_slots_) {
+      q.pop_front();
+      ++expired;
+      --total_pending_;
+    }
+  }
+  return expired;
+}
+
+void MatchingEngine::Clear() {
+  for (auto& q : queues_) q.clear();
+  total_pending_ = 0;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,54 @@
+#ifndef FAIRMOVE_SIM_MATCHING_H_
+#define FAIRMOVE_SIM_MATCHING_H_
+
+#include <deque>
+#include <vector>
+
+#include "fairmove/common/time_types.h"
+#include "fairmove/geo/region.h"
+
+namespace fairmove {
+
+/// One passenger request waiting in a region.
+struct Request {
+  RegionId origin = kInvalidRegion;
+  RegionId dest = kInvalidRegion;
+  int64_t created_slot = 0;
+};
+
+/// Per-region FIFO request queues with patience-based expiry. The paper's
+/// matching assumption (§III-C): "passengers in a region will always be
+/// served by the vacant and available e-taxis" in that region, nearest
+/// first — region-local FIFO is the slot-granular equivalent.
+class MatchingEngine {
+ public:
+  /// `patience_slots`: a request unserved for this many whole slots expires.
+  MatchingEngine(int num_regions, int patience_slots);
+
+  void AddRequest(const Request& request);
+
+  /// Number of requests currently waiting in `region`.
+  int PendingCount(RegionId region) const {
+    return static_cast<int>(queues_[static_cast<size_t>(region)].size());
+  }
+
+  int64_t TotalPending() const { return total_pending_; }
+
+  /// Pops the oldest request of `region`; CHECK-fails when empty.
+  Request PopOldest(RegionId region);
+
+  /// Drops requests older than the patience window; returns how many
+  /// expired (lost demand).
+  int64_t ExpireOld(TimeSlot now);
+
+  void Clear();
+
+ private:
+  int patience_slots_;
+  std::vector<std::deque<Request>> queues_;
+  int64_t total_pending_ = 0;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_SIM_MATCHING_H_

@@ -1,0 +1,100 @@
+#ifndef FAIRMOVE_SIM_POLICY_H_
+#define FAIRMOVE_SIM_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "fairmove/sim/action.h"
+#include "fairmove/sim/taxi.h"
+
+namespace fairmove {
+
+class Simulator;
+
+/// What a policy sees about each vacant taxi asking for a decision.
+struct TaxiObs {
+  TaxiId taxi = -1;
+  RegionId region = kInvalidRegion;
+  double soc = 1.0;
+  /// SoC at/below the forced-charging threshold: only charge actions valid.
+  bool must_charge = false;
+  /// SoC low enough that charging is permitted.
+  bool may_charge = false;
+  /// This taxi's cumulative hourly PE minus the fleet mean, in CNY/h
+  /// (a fairness signal; 0 early in an episode).
+  double pe_gap = 0.0;
+};
+
+/// A displacement strategy: given the simulator's observable state and the
+/// set of vacant taxis this slot, choose one Action per taxi. Implemented
+/// by GT, SD2, TQL, DQN, TBA and CMA2C (FairMove).
+///
+/// Contract: `actions->size() == vacant.size()` on return, and each action
+/// must be valid for its taxi's region/charging constraints (the simulator
+/// CHECK-fails otherwise — an invalid action is a policy bug, not an
+/// environment condition).
+class DisplacementPolicy {
+ public:
+  virtual ~DisplacementPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called when an evaluation/training episode starts.
+  virtual void BeginEpisode(const Simulator& sim) { (void)sim; }
+
+  /// Chooses an action for every vacant taxi.
+  virtual void DecideActions(const Simulator& sim,
+                             const std::vector<TaxiObs>& vacant,
+                             std::vector<Action>* actions) = 0;
+
+  /// Training-mode switch: exploring policies should only explore/learn
+  /// while training.
+  virtual void SetTraining(bool training) { (void)training; }
+
+  /// One closed semi-MDP transition of one agent (emitted by the Trainer).
+  struct Transition {
+    std::vector<float> state;
+    int action_index = 0;
+    /// Discounted accumulated reward (Eq 5: alpha-weighted PE + fairness)
+    /// between this decision and the next.
+    double reward = 0.0;
+    /// Same accumulation but of the agent's own profit only (alpha = 1);
+    /// used by the purely competitive TBA baseline.
+    double reward_own = 0.0;
+    std::vector<float> next_state;
+    /// gamma^k where k is the number of slots until the next decision.
+    double discount = 1.0;
+    /// True when the episode ended before the agent decided again.
+    bool terminal = false;
+    // Discrete context (used by the tabular baseline).
+    RegionId region = kInvalidRegion;       // region at decision time
+    RegionId next_region = kInvalidRegion;  // region at next decision
+    int slot_of_day = 0;
+    int next_slot_of_day = 0;
+    bool must_charge = false;
+    bool may_charge = false;
+    bool next_must_charge = false;
+    bool next_may_charge = false;
+  };
+
+  /// Feeds a batch of closed transitions; learning policies update here.
+  virtual void Learn(const std::vector<Transition>& transitions) {
+    (void)transitions;
+  }
+
+  /// Whether the policy consumes Transition batches (saves the Trainer the
+  /// bookkeeping when not).
+  virtual bool WantsTransitions() const { return false; }
+
+  /// Feature vectors the policy computed during its last DecideActions
+  /// call, aligned with that call's `vacant` list. Policies that learn from
+  /// feature-based states must provide this so the Trainer can assemble
+  /// transitions; nullptr for feature-free (heuristic/tabular) policies.
+  virtual const std::vector<std::vector<float>>* LastFeatures() const {
+    return nullptr;
+  }
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_SIM_POLICY_H_

@@ -1,0 +1,673 @@
+#include "fairmove/sim/simulator.h"
+
+#include "fairmove/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fairmove {
+
+Status SimConfig::Validate() const {
+  if (num_taxis <= 0) return Status::InvalidArgument("num_taxis must be > 0");
+  if (soc_force_charge <= 0.0 || soc_force_charge >= 1.0) {
+    return Status::InvalidArgument("soc_force_charge must be in (0, 1)");
+  }
+  if (soc_may_charge < soc_force_charge || soc_may_charge > 1.0) {
+    return Status::InvalidArgument(
+        "soc_may_charge must be in [soc_force_charge, 1]");
+  }
+  if (charge_target_min <= soc_force_charge || charge_target_max > 1.0 ||
+      charge_target_min > charge_target_max) {
+    return Status::InvalidArgument(
+        "need soc_force_charge < charge_target_min <= charge_target_max <= 1");
+  }
+  if (request_patience_slots < 0) {
+    return Status::InvalidArgument("request_patience_slots must be >= 0");
+  }
+  if (pickup_overhead_min < 0.0) {
+    return Status::InvalidArgument("pickup_overhead_min must be >= 0");
+  }
+  if (cruise_drive_factor < 0.0 || cruise_drive_factor > 1.0) {
+    return Status::InvalidArgument("cruise_drive_factor must be in [0, 1]");
+  }
+  if (initial_soc_min < 0.0 || initial_soc_max > 1.0 ||
+      initial_soc_min > initial_soc_max) {
+    return Status::InvalidArgument("bad initial SoC range");
+  }
+  if (stranding_penalty_min < 0.0) {
+    return Status::InvalidArgument("stranding_penalty_min must be >= 0");
+  }
+  if (slow_plug_prob < 0.0 || slow_plug_prob > 1.0) {
+    return Status::InvalidArgument("slow_plug_prob must be in [0, 1]");
+  }
+  if (slow_plug_factor <= 0.0 || slow_plug_factor > 1.0) {
+    return Status::InvalidArgument("slow_plug_factor must be in (0, 1]");
+  }
+  if (renege_queue_factor < 0.0) {
+    return Status::InvalidArgument("renege_queue_factor must be >= 0");
+  }
+  if (max_charge_redirects < 0) {
+    return Status::InvalidArgument("max_charge_redirects must be >= 0");
+  }
+  if (hustle_sigma < 0.0) {
+    return Status::InvalidArgument("hustle_sigma must be >= 0");
+  }
+  if (dispatch_radius_minutes < 0.0) {
+    return Status::InvalidArgument("dispatch_radius_minutes must be >= 0");
+  }
+  FM_RETURN_IF_ERROR(battery.Validate());
+  FM_RETURN_IF_ERROR(fares.Validate());
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Simulator>> Simulator::Create(
+    const City* city, const DemandSource* demand, const TouTariff& tariff,
+    const SimConfig& config) {
+  if (city == nullptr) return Status::InvalidArgument("city is null");
+  if (demand == nullptr) return Status::InvalidArgument("demand is null");
+  if (city->num_stations() == 0) {
+    return Status::InvalidArgument("an e-taxi city needs charging stations");
+  }
+  FM_RETURN_IF_ERROR(config.Validate());
+  // Not std::make_unique: the constructor is private.
+  return std::unique_ptr<Simulator>(
+      new Simulator(city, demand, tariff, config));
+}
+
+Simulator::Simulator(const City* city, const DemandSource* demand,
+                     const TouTariff& tariff, const SimConfig& config)
+    : city_(city),
+      demand_(demand),
+      tariff_(tariff),
+      config_(config),
+      action_space_(city),
+      predictor_(city->num_regions()),
+      matching_(city->num_regions(), config.request_patience_slots),
+      trace_(config.trace_level),
+      rng_(config.seed) {
+  Reset();
+}
+
+void Simulator::Reset(uint64_t seed_override) {
+  rng_.Seed(seed_override != 0 ? seed_override : config_.seed);
+  now_ = TimeSlot(0);
+  trace_.Clear();
+  matching_.Clear();
+  total_requests_ = 0;
+  fleet_mean_pe_ = 0.0;
+  fleet_pe_variance_ = 0.0;
+
+  stations_.clear();
+  stations_.reserve(static_cast<size_t>(city_->num_stations()));
+  for (const ChargingStation& st : city_->stations()) {
+    stations_.emplace_back(st.num_points);
+  }
+
+  // Initial taxi placement follows the daily demand share of each region,
+  // which is where an operating fleet would be.
+  std::vector<double> weights(static_cast<size_t>(city_->num_regions()));
+  for (RegionId r = 0; r < city_->num_regions(); ++r) {
+    double total = 0.0;
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      total += demand_->Rate(r, TimeSlot(s));
+    }
+    weights[static_cast<size_t>(r)] = total;
+  }
+  taxis_.clear();
+  taxis_.reserve(static_cast<size_t>(config_.num_taxis));
+  hustle_.clear();
+  hustle_.reserve(static_cast<size_t>(config_.num_taxis));
+  for (int i = 0; i < config_.num_taxis; ++i) {
+    const RegionId region = static_cast<RegionId>(rng_.WeightedIndex(weights));
+    const double soc =
+        rng_.Uniform(config_.initial_soc_min, config_.initial_soc_max);
+    taxis_.emplace_back(static_cast<TaxiId>(i), region, config_.battery, soc);
+    hustle_.push_back(rng_.LogNormal(0.0, config_.hustle_sigma));
+  }
+
+  predictor_ = DemandPredictor(city_->num_regions());
+  predictor_.PrimeFromModel(*demand_);
+
+  vacant_count_.assign(static_cast<size_t>(city_->num_regions()), 0);
+  slot_profit_.assign(taxis_.size(), 0.0);
+  decisions_.clear();
+
+  // Dispatch mode: precompute, per region, the other regions within the
+  // radius (nearest first).
+  dispatch_neighbors_.clear();
+  if (config_.dispatch_radius_minutes > 0.0) {
+    const int n = city_->num_regions();
+    dispatch_neighbors_.assign(static_cast<size_t>(n), {});
+    for (RegionId r = 0; r < n; ++r) {
+      std::vector<RegionId> near;
+      for (RegionId other = 0; other < n; ++other) {
+        if (other == r) continue;
+        if (city_->TravelMinutes(other, r) <=
+            config_.dispatch_radius_minutes) {
+          near.push_back(other);
+        }
+      }
+      std::sort(near.begin(), near.end(), [&](RegionId a, RegionId b) {
+        return city_->TravelMinutes(a, r) < city_->TravelMinutes(b, r);
+      });
+      dispatch_neighbors_[static_cast<size_t>(r)] = std::move(near);
+    }
+  }
+}
+
+void Simulator::Step(DisplacementPolicy* policy) {
+  std::fill(slot_profit_.begin(), slot_profit_.end(), 0.0);
+  decisions_.clear();
+
+  CompleteArrivals();
+  PlugInWaiting();
+  AdvanceCharging();
+  SpawnRequests();
+  MatchPassengers();
+  DecideAndApply(policy);
+  ExpireRequests();
+  AccountTimeAndStranding();
+  RefreshFleetPeStats();
+
+  now_ = now_.Next();
+}
+
+void Simulator::RunSlots(DisplacementPolicy* policy, int64_t slots) {
+  for (int64_t i = 0; i < slots; ++i) Step(policy);
+}
+
+void Simulator::CompleteArrivals() {
+  for (Taxi& taxi : taxis_) {
+    if (taxi.busy_until > now_.index) continue;
+    switch (taxi.phase) {
+      case TaxiPhase::kServing: {
+        // Drop-off: credit the fare, become vacant at the destination.
+        taxi.totals.revenue_cny += taxi.pending_fare;
+        slot_profit_[static_cast<size_t>(taxi.id)] += taxi.pending_fare;
+        taxi.pending_fare = 0.0;
+        taxi.region = taxi.trip_dest;
+        taxi.trip_dest = kInvalidRegion;
+        taxi.phase = TaxiPhase::kCruising;
+        taxi.vacant_since = now_.index;
+        break;
+      }
+      case TaxiPhase::kToStation: {
+        ArriveAtStationOrRenege(taxi);
+        break;
+      }
+      default:
+        break;  // cruising / queuing / charging handled elsewhere
+    }
+  }
+}
+
+void Simulator::PlugInWaiting() {
+  for (auto& station : stations_) {
+    while (station.CanPlugIn()) {
+      const TaxiId id = station.PlugInNext();
+      Taxi& taxi = taxis_[static_cast<size_t>(id)];
+      FM_CHECK(taxi.phase == TaxiPhase::kQueuing)
+          << "plugged a non-queuing taxi " << id;
+      taxi.phase = TaxiPhase::kCharging;
+      taxi.plugged_at = now_.index;
+      taxi.charge_target_soc = rng_.Uniform(config_.charge_target_min,
+                                            config_.charge_target_max);
+      if (taxi.charge_target_soc <= taxi.battery.soc()) {
+        taxi.charge_target_soc =
+            std::min(1.0, taxi.battery.soc() + 0.05);
+      }
+      taxi.session_power_factor =
+          rng_.Bernoulli(config_.slow_plug_prob) ? config_.slow_plug_factor
+                                                 : 1.0;
+      taxi.session_kwh = 0.0;
+      taxi.session_cost = 0.0;
+      taxi.session_charge_min = 0.0;
+      taxi.session_start_soc = taxi.battery.soc();
+    }
+  }
+}
+
+void Simulator::AdvanceCharging() {
+  for (Taxi& taxi : taxis_) {
+    if (taxi.phase != TaxiPhase::kCharging) continue;
+    const double needed = taxi.battery.MinutesToReach(
+        taxi.charge_target_soc, taxi.session_power_factor);
+    const double minutes = std::min<double>(kMinutesPerSlot, needed);
+    const double added =
+        taxi.battery.ChargeFor(minutes, taxi.session_power_factor);
+    const double cost = tariff_.CostOf(now_, added);
+    taxi.session_kwh += added;
+    taxi.session_cost += cost;
+    taxi.session_charge_min += minutes;
+    taxi.totals.charge_cost_cny += cost;
+    slot_profit_[static_cast<size_t>(taxi.id)] -= cost;
+    if (taxi.battery.soc() >= taxi.charge_target_soc - 1e-9 ||
+        minutes <= 0.0) {
+      FinishChargeSession(taxi);
+    }
+  }
+}
+
+void Simulator::FinishChargeSession(Taxi& taxi) {
+  ChargeEvent event;
+  event.taxi = taxi.id;
+  event.station = taxi.station;
+  event.seek_slot = taxi.idle_since;
+  event.plugin_slot = taxi.plugged_at;
+  event.finish_slot = now_.index + 1;
+  const int64_t queue_slots =
+      taxi.plugged_at - taxi.idle_since - taxi.charge_travel_slots;
+  event.idle_min = static_cast<float>(
+      taxi.session_travel_min +
+      kMinutesPerSlot * std::max<int64_t>(0, queue_slots));
+  event.charge_min = static_cast<float>(taxi.session_charge_min);
+  event.kwh = static_cast<float>(taxi.session_kwh);
+  event.cost_cny = static_cast<float>(taxi.session_cost);
+  event.soc_start = static_cast<float>(taxi.session_start_soc);
+  event.soc_end = static_cast<float>(taxi.battery.soc());
+  const int64_t index = trace_.AddChargeEvent(event);
+
+  stations_[static_cast<size_t>(taxi.station)].Release();
+  taxi.totals.num_charges += 1;
+  taxi.totals.kwh_charged += taxi.session_kwh;
+
+  // Close the working cycle t0 -> t5 (paper SII-B): the delta of the
+  // taxi's totals since the previous charge completed.
+  CycleRecord cycle;
+  cycle.taxi = taxi.id;
+  cycle.start_slot = taxi.cycle_start_slot;
+  cycle.end_slot = now_.index + 1;
+  cycle.cruise_min = static_cast<float>(taxi.totals.cruise_min -
+                                        taxi.cycle_baseline.cruise_min);
+  cycle.serve_min = static_cast<float>(taxi.totals.serve_min -
+                                       taxi.cycle_baseline.serve_min);
+  cycle.op_min = cycle.cruise_min + cycle.serve_min;
+  cycle.idle_min = static_cast<float>(taxi.totals.idle_min -
+                                      taxi.cycle_baseline.idle_min);
+  cycle.charge_min = static_cast<float>(taxi.totals.charge_min -
+                                        taxi.cycle_baseline.charge_min);
+  cycle.revenue_cny = static_cast<float>(taxi.totals.revenue_cny -
+                                         taxi.cycle_baseline.revenue_cny);
+  cycle.charge_cost_cny = static_cast<float>(
+      taxi.totals.charge_cost_cny - taxi.cycle_baseline.charge_cost_cny);
+  cycle.trips = taxi.totals.num_trips - taxi.cycle_baseline.num_trips;
+  trace_.AddCycle(cycle);
+  taxi.cycle_baseline = taxi.totals;
+  taxi.cycle_start_slot = now_.index + 1;
+  taxi.phase = TaxiPhase::kCruising;
+  taxi.busy_until = now_.index + 1;  // available from the next slot
+  taxi.vacant_since = now_.index + 1;
+  taxi.station = kInvalidStation;
+  taxi.awaiting_first_pickup = true;
+  taxi.last_charge_event = index;
+}
+
+void Simulator::SpawnRequests() {
+  for (RegionId r = 0; r < city_->num_regions(); ++r) {
+    const int n = demand_->SampleCount(r, now_, rng_);
+    predictor_.Observe(r, now_, n);
+    total_requests_ += n;
+    for (int i = 0; i < n; ++i) {
+      Request request;
+      request.origin = r;
+      request.dest = demand_->SampleDestination(r, now_, rng_);
+      request.created_slot = now_.index;
+      matching_.AddRequest(request);
+    }
+  }
+}
+
+void Simulator::MatchPassengers() {
+  // Group vacant taxis by region, longest-vacant first (region-local FIFO
+  // on both sides).
+  std::vector<std::vector<TaxiId>> vacant_by_region(
+      static_cast<size_t>(city_->num_regions()));
+  for (const Taxi& taxi : taxis_) {
+    if (taxi.IsVacant(now_.index)) {
+      vacant_by_region[static_cast<size_t>(taxi.region)].push_back(taxi.id);
+    }
+  }
+  for (RegionId r = 0; r < city_->num_regions(); ++r) {
+    auto& cands = vacant_by_region[static_cast<size_t>(r)];
+    if (cands.empty() || matching_.PendingCount(r) == 0) continue;
+    // Weighted street-hailing lottery: each driver's "clock" fires at an
+    // exponential time scaled by hustle; earliest clocks get the trips.
+    match_scores_.clear();
+    for (TaxiId id : cands) {
+      match_scores_.push_back(
+          rng_.Exponential(1.0) / hustle_[static_cast<size_t>(id)]);
+    }
+    std::vector<size_t> order(cands.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return match_scores_[a] < match_scores_[b];
+    });
+    std::vector<TaxiId> sorted;
+    sorted.reserve(cands.size());
+    for (size_t i : order) sorted.push_back(cands[i]);
+    cands.swap(sorted);
+    for (TaxiId id : cands) {
+      if (matching_.PendingCount(r) == 0) break;
+      Taxi& taxi = taxis_[static_cast<size_t>(id)];
+      // A nearly empty pack cannot take a trip; leave it for the policy's
+      // forced charge decision.
+      if (taxi.battery.soc() <= config_.soc_force_charge) continue;
+      BeginServing(taxi, matching_.PopOldest(r));
+    }
+  }
+  if (config_.dispatch_radius_minutes > 0.0) {
+    DispatchRemoteMatches(&vacant_by_region);
+  }
+}
+
+void Simulator::DispatchRemoteMatches(
+    std::vector<std::vector<TaxiId>>* vacant_by_region) {
+  // Centralized e-hailing pass (SV generalisation): leftover requests are
+  // offered to the nearest still-vacant taxi within the radius. Requests
+  // are walked region by region, nearest supply region first, so the
+  // assignment approximates a greedy global nearest-dispatch.
+  for (RegionId r = 0; r < city_->num_regions(); ++r) {
+    if (matching_.PendingCount(r) == 0) continue;
+    for (RegionId src : dispatch_neighbors_[static_cast<size_t>(r)]) {
+      if (matching_.PendingCount(r) == 0) break;
+      auto& cands = (*vacant_by_region)[static_cast<size_t>(src)];
+      while (!cands.empty() && matching_.PendingCount(r) > 0) {
+        const TaxiId id = cands.back();
+        cands.pop_back();
+        Taxi& taxi = taxis_[static_cast<size_t>(id)];
+        if (!taxi.IsVacant(now_.index) ||
+            taxi.battery.soc() <= config_.soc_force_charge) {
+          continue;
+        }
+        const double pickup_minutes = city_->TravelMinutes(src, r);
+        const double pickup_km = city_->DrivingKm(src, r);
+        BeginServing(taxi, matching_.PopOldest(r), pickup_minutes,
+                     pickup_km);
+      }
+    }
+  }
+}
+
+void Simulator::BeginServing(Taxi& taxi, const Request& request,
+                             double pickup_minutes, double pickup_km) {
+  const double km = demand_->TripKm(request.origin, request.dest);
+  double trip_min;
+  if (request.origin == request.dest) {
+    trip_min = km / RegionSpeedKmh(request.origin) * 60.0;
+  } else {
+    trip_min = city_->TravelMinutes(request.origin, request.dest);
+  }
+  const double serve_min =
+      config_.pickup_overhead_min + pickup_minutes + trip_min;
+  const int64_t busy_slots =
+      std::max<int64_t>(1, MinutesToSlotsCeil(serve_min));
+  const double fare = config_.fares.Fare(km, trip_min, now_);
+
+  TripRecord trip;
+  trip.taxi = taxi.id;
+  trip.pickup_slot = now_.index;
+  trip.dropoff_slot = now_.index + busy_slots;
+  trip.origin = request.origin;
+  trip.dest = request.dest;
+  trip.distance_km = static_cast<float>(km);
+  trip.fare_cny = static_cast<float>(fare);
+  // Sub-slot pickup jitter keeps the cruise-time distribution continuous
+  // (decisions are slot-granular but street pickups are not).
+  const double cruise_min =
+      static_cast<double>(now_.index - taxi.vacant_since) * kMinutesPerSlot +
+      pickup_minutes + rng_.Uniform(0.0, kMinutesPerSlot);
+  trip.cruise_min = static_cast<float>(cruise_min);
+  trip.first_after_charge = taxi.awaiting_first_pickup;
+  trace_.AddTrip(trip);
+
+  if (taxi.awaiting_first_pickup) {
+    trace_.SetFirstCruise(taxi.last_charge_event,
+                          static_cast<float>(cruise_min));
+    taxi.awaiting_first_pickup = false;
+    taxi.last_charge_event = -1;
+  }
+
+  taxi.phase = TaxiPhase::kServing;
+  taxi.busy_until = now_.index + busy_slots;
+  taxi.trip_dest = request.dest;
+  taxi.pending_fare = fare;
+  taxi.totals.num_trips += 1;
+  const double driven =
+      taxi.battery.ConsumeKm(km + 0.5 + pickup_km);  // +approach leg
+  taxi.totals.km_driven += driven;
+}
+
+void Simulator::DecideAndApply(DisplacementPolicy* policy) {
+  // Supply snapshot for the policy's global view.
+  std::fill(vacant_count_.begin(), vacant_count_.end(), 0);
+  vacant_obs_.clear();
+  for (const Taxi& taxi : taxis_) {
+    if (taxi.phase == TaxiPhase::kCruising) {
+      ++vacant_count_[static_cast<size_t>(taxi.region)];
+    }
+    if (!taxi.IsVacant(now_.index)) continue;
+    TaxiObs obs;
+    obs.taxi = taxi.id;
+    obs.region = taxi.region;
+    obs.soc = taxi.battery.soc();
+    obs.must_charge = taxi.battery.soc() <= config_.soc_force_charge;
+    obs.may_charge = taxi.battery.soc() <= config_.soc_may_charge;
+    obs.pe_gap = taxi.totals.hourly_pe() - fleet_mean_pe_;
+    vacant_obs_.push_back(obs);
+  }
+  if (vacant_obs_.empty()) return;
+
+  actions_.clear();
+  if (policy != nullptr) {
+    policy->DecideActions(*this, vacant_obs_, &actions_);
+    FM_CHECK(actions_.size() == vacant_obs_.size())
+        << policy->name() << " returned " << actions_.size()
+        << " actions for " << vacant_obs_.size() << " taxis";
+  } else {
+    // Null policy: stay, but honour the forced-charge rule.
+    actions_.reserve(vacant_obs_.size());
+    for (const TaxiObs& obs : vacant_obs_) {
+      if (obs.must_charge) {
+        actions_.push_back(
+            Action::Charge(city_->NearestStations(obs.region).front()));
+      } else {
+        actions_.push_back(Action::Stay());
+      }
+    }
+  }
+
+  for (size_t i = 0; i < vacant_obs_.size(); ++i) {
+    const TaxiObs& obs = vacant_obs_[i];
+    const Action& action = actions_[i];
+    const int index = action_space_.IndexOf(obs.region, action);
+    FM_CHECK(index >= 0) << "action " << action.ToString()
+                         << " not in the action set of region " << obs.region;
+    FM_CHECK(action_space_.IsValid(obs.region, index, obs.must_charge,
+                                   obs.may_charge))
+        << "invalid action " << action.ToString() << " for taxi " << obs.taxi
+        << " (soc=" << obs.soc << ")";
+    Decision decision;
+    decision.taxi = obs.taxi;
+    decision.region = obs.region;
+    decision.action_index = index;
+    decision.must_charge = obs.must_charge;
+    decision.may_charge = obs.may_charge;
+    decisions_.push_back(decision);
+    ApplyAction(taxis_[static_cast<size_t>(obs.taxi)], action);
+  }
+}
+
+void Simulator::ApplyAction(Taxi& taxi, const Action& action) {
+  switch (action.type) {
+    case Action::Type::kStay: {
+      // Circling the current region looking for flags.
+      const double km = RegionSpeedKmh(taxi.region) *
+                        config_.cruise_drive_factor *
+                        (kMinutesPerSlot / 60.0);
+      taxi.totals.km_driven += taxi.battery.ConsumeKm(km);
+      break;
+    }
+    case Action::Type::kMove: {
+      const double km = city_->DrivingKm(taxi.region, action.move_to);
+      taxi.totals.km_driven += taxi.battery.ConsumeKm(km);
+      taxi.region = action.move_to;
+      taxi.busy_until = now_.index + 1;  // hop takes the slot
+      break;
+    }
+    case Action::Type::kCharge: {
+      StartChargeTrip(taxi, action.station);
+      break;
+    }
+  }
+}
+
+bool Simulator::ArriveAtStationOrRenege(Taxi& taxi) {
+  const ChargingStation& st = city_->station(taxi.station);
+  taxi.region = st.region;
+  StationQueue& queue = stations_[static_cast<size_t>(taxi.station)];
+  const bool overloaded =
+      queue.waiting() >=
+      static_cast<int>(config_.renege_queue_factor * queue.num_points());
+  if (overloaded && taxi.charge_redirects < config_.max_charge_redirects) {
+    // Balk: head for the least-loaded nearby alternative (drivers see
+    // station occupancy in the charging app).
+    StationId best = kInvalidStation;
+    double best_cost = 1e18;
+    for (StationId s : city_->NearestStations(st.region)) {
+      if (s == taxi.station) continue;
+      const StationQueue& alt = stations_[static_cast<size_t>(s)];
+      const double load =
+          static_cast<double>(alt.load()) / alt.num_points();
+      const double travel = city_->TravelMinutesToStation(st.region, s);
+      const double cost = 30.0 * load + travel;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = s;
+      }
+    }
+    if (best != kInvalidStation) {
+      taxi.charge_redirects += 1;
+      const double travel_min =
+          city_->TravelMinutesToStation(st.region, best);
+      const double km = city_->DrivingKmToStation(st.region, best);
+      taxi.totals.km_driven += taxi.battery.ConsumeKm(km);
+      taxi.session_travel_min += travel_min;
+      const int64_t travel_slots =
+          travel_min <= 0.0 ? 0 : MinutesToSlotsCeil(travel_min);
+      taxi.charge_travel_slots += travel_slots;
+      taxi.station = best;
+      if (travel_slots == 0) {
+        taxi.region = city_->station(best).region;
+        taxi.phase = TaxiPhase::kQueuing;
+        taxi.busy_until = now_.index;
+        stations_[static_cast<size_t>(best)].Enqueue(taxi.id);
+        return true;
+      }
+      taxi.phase = TaxiPhase::kToStation;
+      taxi.busy_until = now_.index + travel_slots;
+      return false;
+    }
+  }
+  taxi.phase = TaxiPhase::kQueuing;
+  queue.Enqueue(taxi.id);
+  return true;
+}
+
+void Simulator::StartChargeTrip(Taxi& taxi, StationId station) {
+  const ChargingStation& st = city_->station(station);
+  const double travel_min = city_->TravelMinutesToStation(taxi.region, station);
+  const double km = city_->DrivingKmToStation(taxi.region, station);
+  const int64_t travel_slots =
+      travel_min <= 0.0 ? 0 : MinutesToSlotsCeil(travel_min);
+  taxi.station = station;
+  taxi.idle_since = now_.index;
+  taxi.session_travel_min = travel_min;
+  taxi.charge_travel_slots = travel_slots;
+  taxi.charge_redirects = 0;
+  taxi.totals.km_driven += taxi.battery.ConsumeKm(km);
+  if (travel_slots == 0) {
+    // Station in the current region: arrive immediately (may balk).
+    taxi.busy_until = now_.index;
+    ArriveAtStationOrRenege(taxi);
+  } else {
+    taxi.phase = TaxiPhase::kToStation;
+    taxi.busy_until = now_.index + travel_slots;
+  }
+}
+
+void Simulator::ExpireRequests() {
+  trace_.CountExpiredRequests(matching_.ExpireOld(now_));
+}
+
+void Simulator::AccountTimeAndStranding() {
+  PhaseCounts counts;
+  counts.slot = now_.index;
+  for (Taxi& taxi : taxis_) {
+    switch (taxi.phase) {
+      case TaxiPhase::kCruising:
+        ++counts.cruising;
+        break;
+      case TaxiPhase::kServing:
+        ++counts.serving;
+        break;
+      case TaxiPhase::kToStation:
+        ++counts.to_station;
+        break;
+      case TaxiPhase::kQueuing:
+        ++counts.queuing;
+        break;
+      case TaxiPhase::kCharging:
+        ++counts.charging;
+        break;
+    }
+  }
+  trace_.RecordPhaseCounts(counts);
+  for (Taxi& taxi : taxis_) {
+    switch (taxi.phase) {
+      case TaxiPhase::kCruising:
+        taxi.totals.cruise_min += kMinutesPerSlot;
+        break;
+      case TaxiPhase::kServing:
+        taxi.totals.serve_min += kMinutesPerSlot;
+        break;
+      case TaxiPhase::kToStation:
+      case TaxiPhase::kQueuing:
+        taxi.totals.idle_min += kMinutesPerSlot;
+        break;
+      case TaxiPhase::kCharging:
+        taxi.totals.charge_min += kMinutesPerSlot;
+        break;
+    }
+    // Stranding: an empty pack outside a charging context is towed to the
+    // nearest station and pays an idle-time penalty.
+    if (taxi.battery.empty() && (taxi.phase == TaxiPhase::kCruising ||
+                                 taxi.phase == TaxiPhase::kServing)) {
+      if (taxi.phase == TaxiPhase::kServing) {
+        taxi.pending_fare = 0.0;  // trip abandoned
+        taxi.trip_dest = kInvalidRegion;
+      }
+      taxi.totals.num_strandings += 1;
+      taxi.totals.idle_min += config_.stranding_penalty_min;
+      const StationId station =
+          city_->NearestStations(taxi.region).front();
+      taxi.station = station;
+      taxi.region = city_->station(station).region;
+      taxi.phase = TaxiPhase::kQueuing;
+      taxi.idle_since = now_.index;
+      taxi.session_travel_min = config_.stranding_penalty_min;
+      taxi.charge_travel_slots = 0;
+      taxi.charge_redirects = config_.max_charge_redirects;  // no balking
+      taxi.busy_until = now_.index;
+      stations_[static_cast<size_t>(station)].Enqueue(taxi.id);
+    }
+  }
+}
+
+void Simulator::RefreshFleetPeStats() {
+  RunningStats stats;
+  for (const Taxi& taxi : taxis_) stats.Add(taxi.totals.hourly_pe());
+  fleet_mean_pe_ = stats.mean();
+  fleet_pe_variance_ = stats.variance();
+}
+
+}  // namespace fairmove

@@ -1,0 +1,235 @@
+#ifndef FAIRMOVE_SIM_SIMULATOR_H_
+#define FAIRMOVE_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "fairmove/common/rng.h"
+#include "fairmove/common/status.h"
+#include "fairmove/common/time_types.h"
+#include "fairmove/demand/demand_source.h"
+#include "fairmove/demand/demand_predictor.h"
+#include "fairmove/geo/city.h"
+#include "fairmove/pricing/fare_model.h"
+#include "fairmove/pricing/tou_tariff.h"
+#include "fairmove/sim/action.h"
+#include "fairmove/sim/matching.h"
+#include "fairmove/sim/policy.h"
+#include "fairmove/sim/station_queue.h"
+#include "fairmove/sim/taxi.h"
+#include "fairmove/sim/trace.h"
+
+namespace fairmove {
+
+/// Simulation parameters. Defaults follow the paper: eta = 20% forced
+/// charging threshold (§III-C), 10-minute slots, BYD-e6 batteries.
+struct SimConfig {
+  int num_taxis = 20130;
+  /// Forced-charging SoC threshold eta: at/below this the policy must pick
+  /// a charging action.
+  double soc_force_charge = 0.20;
+  /// Below this SoC charging actions become *available* to the policy.
+  double soc_may_charge = 0.60;
+  /// A charging session unplugs at a per-session target SoC drawn
+  /// uniformly from [charge_target_min, charge_target_max] — drivers do
+  /// not all charge to full, which spreads the Fig-3 duration distribution.
+  double charge_target_min = 0.70;
+  double charge_target_max = 1.00;
+  /// Whole slots an unserved request waits before expiring.
+  int request_patience_slots = 2;
+  /// Minutes from match to passenger on board (approach + boarding).
+  double pickup_overhead_min = 1.5;
+  /// Fraction of a cruising slot actually spent driving (battery drain).
+  double cruise_drive_factor = 0.5;
+  /// Initial SoC is drawn uniformly from this range at Reset.
+  double initial_soc_min = 0.55;
+  double initial_soc_max = 1.00;
+  /// Idle-time penalty charged to a taxi that strands with an empty pack
+  /// (tow to the nearest station).
+  double stranding_penalty_min = 60.0;
+  /// A share of plug-ins land on derated points (ageing plugs / load
+  /// sharing), stretching the charge-duration tail of Fig 3.
+  double slow_plug_prob = 0.15;
+  double slow_plug_factor = 0.5;
+  /// Balking: a taxi arriving at a station whose waiting line is at least
+  /// renege_queue_factor * num_points drives on to a less loaded nearby
+  /// station (at most max_charge_redirects times per errand).
+  double renege_queue_factor = 1.0;
+  int max_charge_redirects = 2;
+  /// Ridesharing generalisation (paper SV): when > 0, unserved requests
+  /// may be dispatched to vacant taxis in *other* regions within this
+  /// travel-time radius (nearest region first), modelling a centralized
+  /// e-hailing fleet where origins are known. 0 = pure street hailing
+  /// (the paper's e-taxi setting).
+  double dispatch_radius_minutes = 0.0;
+  /// Street-hailing competitiveness: per-driver "hustle" is drawn from
+  /// lognormal(0, hustle_sigma) at Reset; within a region, waiting
+  /// passengers go to drivers in proportion to hustle (a weighted lottery
+  /// each slot). This is the persistent, displacement-addressable
+  /// inequality behind the paper's Fig 8: low-hustle drivers starve in
+  /// contested regions but earn normally where supply is scarce.
+  double hustle_sigma = 0.45;
+  BatteryConfig battery;
+  FareSchedule fares;
+  TraceLevel trace_level = TraceLevel::kFull;
+  uint64_t seed = 7;
+
+  Status Validate() const;
+};
+
+/// One displacement decision as executed, kept for the RL trainer.
+struct Decision {
+  TaxiId taxi = -1;
+  RegionId region = kInvalidRegion;  // region at decision time
+  int action_index = 0;
+  bool must_charge = false;
+  bool may_charge = false;
+};
+
+/// Discrete-time fleet simulator. Each Step() advances one 10-minute slot:
+/// trips complete, stations plug in and charge queued taxis, new passenger
+/// requests spawn, region-local matching runs, and the supplied policy
+/// decides a displacement action for every still-vacant taxi.
+///
+/// The simulator is the "environment" of the paper's MDP (§III-C); all
+/// stochasticity flows from the seed in SimConfig, so runs are reproducible.
+class Simulator {
+ public:
+  /// `city` and `demand` must outlive the simulator.
+  static StatusOr<std::unique_ptr<Simulator>> Create(
+      const City* city, const DemandSource* demand, const TouTariff& tariff,
+      const SimConfig& config);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Re-initialises the fleet (positions, SoCs) and clears all accounting.
+  /// Uses the config seed unless `seed_override` is non-zero.
+  void Reset(uint64_t seed_override = 0);
+
+  /// Advances one slot under `policy` (nullptr = every taxi stays, charging
+  /// forced at the threshold via the nearest station).
+  void Step(DisplacementPolicy* policy);
+
+  /// Convenience: run `slots` consecutive steps.
+  void RunSlots(DisplacementPolicy* policy, int64_t slots);
+  void RunDays(DisplacementPolicy* policy, int days) {
+    RunSlots(policy, static_cast<int64_t>(days) * kSlotsPerDay);
+  }
+
+  // --- Observable state (what policies/features may read) ---------------
+  TimeSlot now() const { return now_; }
+  const City& city() const { return *city_; }
+  const DemandSource& demand() const { return *demand_; }
+  const TouTariff& tariff() const { return tariff_; }
+  const SimConfig& config() const { return config_; }
+  const ActionSpace& action_space() const { return action_space_; }
+  const DemandPredictor& predictor() const { return predictor_; }
+
+  int num_taxis() const { return static_cast<int>(taxis_.size()); }
+  const Taxi& taxi(TaxiId id) const {
+    return taxis_.at(static_cast<size_t>(id));
+  }
+  const std::vector<Taxi>& taxis() const { return taxis_; }
+
+  /// Persistent street-hailing competitiveness of one driver (constant
+  /// between Resets).
+  double hustle(TaxiId id) const {
+    return hustle_.at(static_cast<size_t>(id));
+  }
+
+  /// Cruising (available) taxis currently in `region`.
+  int VacantCount(RegionId region) const {
+    return vacant_count_.at(static_cast<size_t>(region));
+  }
+  /// Requests currently waiting in `region`.
+  int PendingRequests(RegionId region) const {
+    return matching_.PendingCount(region);
+  }
+  const StationQueue& station_queue(StationId s) const {
+    return stations_.at(static_cast<size_t>(s));
+  }
+
+  /// Fleet-mean hourly PE so far (0 early on).
+  double FleetMeanPe() const { return fleet_mean_pe_; }
+  /// Fleet population variance of hourly PE so far (the running Eq-3 PF).
+  double FleetPeVariance() const { return fleet_pe_variance_; }
+
+  // --- Trainer hooks ------------------------------------------------------
+  /// Decisions taken during the last Step().
+  const std::vector<Decision>& last_decisions() const { return decisions_; }
+  /// Per-taxi profit (fares credited minus charging cost) during the last
+  /// Step(), CNY.
+  const std::vector<double>& slot_profits() const { return slot_profit_; }
+
+  /// Event log of the run since the last Reset().
+  const Trace& trace() const { return trace_; }
+
+  /// Total requests spawned since Reset (served + expired + pending).
+  int64_t total_requests() const { return total_requests_; }
+
+ private:
+  Simulator(const City* city, const DemandSource* demand,
+            const TouTariff& tariff, const SimConfig& config);
+
+  // Step phases, in execution order.
+  void CompleteArrivals();
+  void PlugInWaiting();
+  void AdvanceCharging();
+  void SpawnRequests();
+  void MatchPassengers();
+  void DecideAndApply(DisplacementPolicy* policy);
+  void ExpireRequests();
+  void AccountTimeAndStranding();
+  void RefreshFleetPeStats();
+
+  void ApplyAction(Taxi& taxi, const Action& action);
+  /// Second matching pass in dispatch mode: assigns remaining requests to
+  /// vacant taxis within the dispatch radius.
+  void DispatchRemoteMatches(
+      std::vector<std::vector<TaxiId>>* vacant_by_region);
+  void StartChargeTrip(Taxi& taxi, StationId station);
+  /// Arrival at `taxi.station`: join the line, or balk and redirect when
+  /// it is overloaded. Returns true if the taxi queued here.
+  bool ArriveAtStationOrRenege(Taxi& taxi);
+  /// `pickup_minutes`/`pickup_km` cover a remote-dispatch approach leg
+  /// (0 for street hails).
+  void BeginServing(Taxi& taxi, const Request& request,
+                    double pickup_minutes = 0.0, double pickup_km = 0.0);
+  void FinishChargeSession(Taxi& taxi);
+
+  double RegionSpeedKmh(RegionId r) const {
+    return City::ClassSpeedKmh(city_->region(r).cls);
+  }
+
+  const City* city_;
+  const DemandSource* demand_;
+  TouTariff tariff_;
+  SimConfig config_;
+  ActionSpace action_space_;
+  DemandPredictor predictor_;
+  MatchingEngine matching_;
+  std::vector<Taxi> taxis_;
+  std::vector<double> hustle_;  // per taxi
+  std::vector<StationQueue> stations_;
+  Trace trace_;
+  Rng rng_;
+  TimeSlot now_{0};
+
+  std::vector<int> vacant_count_;      // per region, refreshed each step
+  std::vector<double> slot_profit_;    // per taxi, this step
+  std::vector<Decision> decisions_;    // this step
+  std::vector<TaxiObs> vacant_obs_;    // scratch
+  std::vector<Action> actions_;        // scratch
+  std::vector<double> match_scores_;   // scratch
+  double fleet_mean_pe_ = 0.0;
+  double fleet_pe_variance_ = 0.0;
+  int64_t total_requests_ = 0;
+  // Regions within the dispatch radius of each region, nearest first
+  // (built lazily when dispatch mode is on).
+  std::vector<std::vector<RegionId>> dispatch_neighbors_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_SIM_SIMULATOR_H_

@@ -1,0 +1,38 @@
+#include "fairmove/sim/station_queue.h"
+
+#include <algorithm>
+
+#include "fairmove/common/macros.h"
+
+namespace fairmove {
+
+StationQueue::StationQueue(int num_points) : num_points_(num_points) {
+  FM_CHECK(num_points > 0);
+}
+
+TaxiId StationQueue::PlugInNext() {
+  FM_CHECK(CanPlugIn());
+  const TaxiId taxi = queue_.front();
+  queue_.pop_front();
+  ++occupied_;
+  return taxi;
+}
+
+void StationQueue::Release() {
+  FM_CHECK(occupied_ > 0) << "release on an empty station";
+  --occupied_;
+}
+
+bool StationQueue::RemoveWaiting(TaxiId taxi) {
+  const auto it = std::find(queue_.begin(), queue_.end(), taxi);
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+void StationQueue::Clear() {
+  occupied_ = 0;
+  queue_.clear();
+}
+
+}  // namespace fairmove

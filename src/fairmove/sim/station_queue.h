@@ -1,0 +1,53 @@
+#ifndef FAIRMOVE_SIM_STATION_QUEUE_H_
+#define FAIRMOVE_SIM_STATION_QUEUE_H_
+
+#include <deque>
+#include <vector>
+
+#include "fairmove/geo/region.h"
+#include "fairmove/sim/taxi.h"
+
+namespace fairmove {
+
+/// Occupancy and FIFO waiting line of one charging station. The simulator
+/// owns one per station; taxis enter via Enqueue, are plugged in as points
+/// free up, and release their point when the session ends.
+class StationQueue {
+ public:
+  explicit StationQueue(int num_points);
+
+  int num_points() const { return num_points_; }
+  int occupied() const { return occupied_; }
+  int free_points() const { return num_points_ - occupied_; }
+  int waiting() const { return static_cast<int>(queue_.size()); }
+
+  /// Taxis plugged in or waiting (load signal for the global state).
+  int load() const { return occupied_ + waiting(); }
+
+  void Enqueue(TaxiId taxi) { queue_.push_back(taxi); }
+
+  /// True when a point is free and someone is waiting.
+  bool CanPlugIn() const { return free_points() > 0 && !queue_.empty(); }
+
+  /// Pops the head of the line and occupies a point; CHECK-fails unless
+  /// CanPlugIn().
+  TaxiId PlugInNext();
+
+  /// Releases one occupied point (a charging session finished).
+  void Release();
+
+  /// Removes `taxi` from the waiting line (e.g. reneging); returns whether
+  /// it was present.
+  bool RemoveWaiting(TaxiId taxi);
+
+  void Clear();
+
+ private:
+  int num_points_;
+  int occupied_ = 0;
+  std::deque<TaxiId> queue_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_SIM_STATION_QUEUE_H_

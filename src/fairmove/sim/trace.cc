@@ -1,0 +1,71 @@
+#include "fairmove/sim/trace.h"
+
+namespace fairmove {
+
+const char* TaxiPhaseName(TaxiPhase phase) {
+  switch (phase) {
+    case TaxiPhase::kCruising:
+      return "cruising";
+    case TaxiPhase::kServing:
+      return "serving";
+    case TaxiPhase::kToStation:
+      return "to-station";
+    case TaxiPhase::kQueuing:
+      return "queuing";
+    case TaxiPhase::kCharging:
+      return "charging";
+  }
+  return "unknown";
+}
+
+int64_t Trace::AddTrip(const TripRecord& trip) {
+  ++total_trips_;
+  total_fares_ += trip.fare_cny;
+  if (level_ != TraceLevel::kFull) return -1;
+  trips_.push_back(trip);
+  return static_cast<int64_t>(trips_.size()) - 1;
+}
+
+int64_t Trace::AddChargeEvent(const ChargeEvent& event) {
+  ++total_charges_;
+  total_charge_cost_ += event.cost_cny;
+  const int hour =
+      TimeSlot(event.plugin_slot).HourOfDay();
+  ++charge_starts_by_hour_[static_cast<size_t>(hour)];
+  if (level_ != TraceLevel::kFull) return -1;
+  charge_events_.push_back(event);
+  return static_cast<int64_t>(charge_events_.size()) - 1;
+}
+
+void Trace::SetFirstCruise(int64_t index, float minutes) {
+  if (index < 0 ||
+      index >= static_cast<int64_t>(charge_events_.size())) {
+    return;
+  }
+  charge_events_[static_cast<size_t>(index)].first_cruise_min = minutes;
+}
+
+void Trace::RecordPhaseCounts(const PhaseCounts& counts) {
+  if (level_ != TraceLevel::kFull) return;
+  phase_counts_.push_back(counts);
+}
+
+void Trace::AddCycle(const CycleRecord& cycle) {
+  if (level_ != TraceLevel::kFull) return;
+  cycles_.push_back(cycle);
+}
+
+void Trace::Clear() {
+  trips_.clear();
+  phase_counts_.clear();
+  cycles_.clear();
+  charge_events_.clear();
+  total_trips_ = 0;
+  total_charges_ = 0;
+  total_fares_ = 0.0;
+  total_charge_cost_ = 0.0;
+  expired_requests_ = 0;
+  charge_starts_by_hour_.assign(kHoursPerDay, 0);
+}
+
+}  // namespace fairmove

@@ -1,0 +1,145 @@
+#ifndef FAIRMOVE_SIM_TRACE_H_
+#define FAIRMOVE_SIM_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fairmove/common/time_types.h"
+#include "fairmove/geo/region.h"
+#include "fairmove/sim/taxi.h"
+
+namespace fairmove {
+
+/// One served trip (the simulator-side equivalent of the paper's
+/// transaction-fare dataset, Table I).
+struct TripRecord {
+  TaxiId taxi = -1;
+  int64_t pickup_slot = 0;
+  int64_t dropoff_slot = 0;
+  RegionId origin = kInvalidRegion;
+  RegionId dest = kInvalidRegion;
+  float distance_km = 0.0f;
+  float fare_cny = 0.0f;
+  /// Vacant time before this pickup, minutes (cruise time of the trip).
+  float cruise_min = 0.0f;
+  /// True when this was the first pickup after a charging session
+  /// (the t_cruise^(1) population of Figs 5/6).
+  bool first_after_charge = false;
+};
+
+/// One charging event: t3 (seek) -> t4 (plug) -> t5 (unplug) of Fig 1.
+struct ChargeEvent {
+  TaxiId taxi = -1;
+  StationId station = kInvalidStation;
+  int64_t seek_slot = 0;    // t3
+  int64_t plugin_slot = 0;  // t4
+  int64_t finish_slot = 0;  // t5
+  float idle_min = 0.0f;    // t4 - t3
+  float charge_min = 0.0f;  // t5 - t4
+  float kwh = 0.0f;
+  float cost_cny = 0.0f;
+  float soc_start = 0.0f;
+  float soc_end = 0.0f;
+  /// Cruise time to the first passenger found after this charge; negative
+  /// until known (back-filled by the simulator at that pickup).
+  float first_cruise_min = -1.0f;
+};
+
+/// One working cycle (paper §II-B, Fig 1): the span between two
+/// consecutive charging events, T_cycle = T_op + T_idle + T_charge.
+struct CycleRecord {
+  TaxiId taxi = -1;
+  int64_t start_slot = 0;  // t0: previous charge finished (or shift start)
+  int64_t end_slot = 0;    // t5: this charge finished
+  float op_min = 0.0f;     // T_op = T_cruise + T_serve
+  float cruise_min = 0.0f;
+  float serve_min = 0.0f;
+  float idle_min = 0.0f;
+  float charge_min = 0.0f;
+  float revenue_cny = 0.0f;
+  float charge_cost_cny = 0.0f;
+  int trips = 0;
+
+  float cycle_min() const { return op_min + idle_min + charge_min; }
+  float profit_cny() const { return revenue_cny - charge_cost_cny; }
+};
+
+/// Recording granularity. Aggregate counters are always kept; kFull also
+/// retains every trip/charge record (needed by the distribution figures).
+enum class TraceLevel : uint8_t { kAggregatesOnly = 0, kFull = 1 };
+
+/// Per-slot fleet composition (how many taxis in each phase) — the
+/// aggregate view behind "fleet state over the day" plots.
+struct PhaseCounts {
+  int64_t slot = 0;
+  int cruising = 0;
+  int serving = 0;
+  int to_station = 0;
+  int queuing = 0;
+  int charging = 0;
+};
+
+/// Event log of one simulation run.
+class Trace {
+ public:
+  explicit Trace(TraceLevel level = TraceLevel::kFull) : level_(level) {}
+
+  TraceLevel level() const { return level_; }
+
+  /// Returns the index of the stored event, or -1 in aggregate-only mode.
+  int64_t AddTrip(const TripRecord& trip);
+  int64_t AddChargeEvent(const ChargeEvent& event);
+
+  /// Back-fills the first-cruise time of charge event `index` (no-op when
+  /// the event was not retained).
+  void SetFirstCruise(int64_t index, float minutes);
+
+  const std::vector<TripRecord>& trips() const { return trips_; }
+  const std::vector<ChargeEvent>& charge_events() const {
+    return charge_events_;
+  }
+
+  int64_t total_trips() const { return total_trips_; }
+  int64_t total_charge_events() const { return total_charges_; }
+  double total_fares() const { return total_fares_; }
+  double total_charge_cost() const { return total_charge_cost_; }
+
+  /// Number of passenger requests that expired unserved.
+  int64_t expired_requests() const { return expired_requests_; }
+  void CountExpiredRequests(int64_t n) { expired_requests_ += n; }
+
+  /// Charging sessions *started* during each hour of day (Fig 4).
+  const std::vector<int64_t>& charge_starts_by_hour() const {
+    return charge_starts_by_hour_;
+  }
+
+  /// Appends a per-slot fleet snapshot (kFull level only).
+  void RecordPhaseCounts(const PhaseCounts& counts);
+  const std::vector<PhaseCounts>& phase_counts() const {
+    return phase_counts_;
+  }
+
+  /// Appends a completed working cycle (kFull level only).
+  void AddCycle(const CycleRecord& cycle);
+  const std::vector<CycleRecord>& cycles() const { return cycles_; }
+
+  void Clear();
+
+ private:
+  TraceLevel level_;
+  std::vector<TripRecord> trips_;
+  std::vector<ChargeEvent> charge_events_;
+  int64_t total_trips_ = 0;
+  int64_t total_charges_ = 0;
+  double total_fares_ = 0.0;
+  double total_charge_cost_ = 0.0;
+  int64_t expired_requests_ = 0;
+  std::vector<int64_t> charge_starts_by_hour_ =
+      std::vector<int64_t>(kHoursPerDay, 0);
+  std::vector<PhaseCounts> phase_counts_;
+  std::vector<CycleRecord> cycles_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_SIM_TRACE_H_

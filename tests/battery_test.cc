@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "fairmove/sim/battery.h"
+
+namespace fairmove {
+namespace {
+
+TEST(BatteryConfigTest, DefaultIsBydE6) {
+  const BatteryConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.capacity_kwh, 80.0);
+  EXPECT_DOUBLE_EQ(cfg.consumption_kwh_per_km, 0.2);
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(BatteryConfigTest, ValidateRejectsBadValues) {
+  BatteryConfig cfg;
+  cfg.capacity_kwh = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = BatteryConfig{};
+  cfg.consumption_kwh_per_km = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = BatteryConfig{};
+  cfg.min_charge_kw = 100.0;  // > max
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = BatteryConfig{};
+  cfg.taper_soc = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(BatteryTest, FullPackHas400KmRange) {
+  Battery b(BatteryConfig{}, 1.0);
+  EXPECT_DOUBLE_EQ(b.RangeKm(), 400.0);
+  EXPECT_DOUBLE_EQ(b.kwh(), 80.0);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(BatteryTest, ConsumeDrainsProportionally) {
+  Battery b(BatteryConfig{}, 1.0);
+  EXPECT_DOUBLE_EQ(b.ConsumeKm(100.0), 100.0);
+  EXPECT_NEAR(b.soc(), 0.75, 1e-12);
+  EXPECT_NEAR(b.RangeKm(), 300.0, 1e-9);
+}
+
+TEST(BatteryTest, ConsumeBeyondRangeStopsAtEmpty) {
+  Battery b(BatteryConfig{}, 0.1);  // 40 km range
+  const double driven = b.ConsumeKm(100.0);
+  EXPECT_NEAR(driven, 40.0, 1e-9);
+  EXPECT_TRUE(b.empty());
+  EXPECT_DOUBLE_EQ(b.ConsumeKm(10.0), 0.0);
+}
+
+TEST(BatteryTest, ChargePowerConstantBelowTaper) {
+  Battery b(BatteryConfig{}, 0.2);
+  EXPECT_DOUBLE_EQ(b.PowerKwAt(0.2), b.config().max_charge_kw);
+  EXPECT_DOUBLE_EQ(b.PowerKwAt(0.79), b.config().max_charge_kw);
+}
+
+TEST(BatteryTest, ChargePowerTapersAboveKnee) {
+  Battery b(BatteryConfig{}, 0.9);
+  const double p90 = b.PowerKwAt(0.9);
+  EXPECT_LT(p90, b.config().max_charge_kw);
+  EXPECT_GT(p90, b.config().min_charge_kw - 1e-9);
+  EXPECT_DOUBLE_EQ(b.PowerKwAt(1.0), 0.0);
+}
+
+TEST(BatteryTest, ChargeForAddsExpectedEnergy) {
+  Battery b(BatteryConfig{}, 0.2);
+  // 60 minutes at 40 kW (all below taper) = 40 kWh.
+  const double added = b.ChargeFor(60.0);
+  EXPECT_NEAR(added, 40.0, 0.5);
+  EXPECT_NEAR(b.soc(), 0.7, 0.01);
+}
+
+TEST(BatteryTest, ChargeForNeverOvershootsFull) {
+  Battery b(BatteryConfig{}, 0.99);
+  b.ChargeFor(600.0);
+  EXPECT_LE(b.soc(), 1.0 + 1e-12);
+  EXPECT_DOUBLE_EQ(b.ChargeFor(10.0), 0.0);
+}
+
+TEST(BatteryTest, PowerScaleDeratesCharging) {
+  Battery fast(BatteryConfig{}, 0.2);
+  Battery slow(BatteryConfig{}, 0.2);
+  const double fast_added = fast.ChargeFor(30.0, 1.0);
+  const double slow_added = slow.ChargeFor(30.0, 0.5);
+  EXPECT_NEAR(slow_added, fast_added / 2.0, 0.3);
+}
+
+TEST(BatteryTest, MinutesToReachAgreesWithChargeFor) {
+  for (double start : {0.1, 0.2, 0.5, 0.75}) {
+    for (double target : {0.6, 0.85, 0.95, 1.0}) {
+      if (target <= start) continue;
+      Battery b(BatteryConfig{}, start);
+      const double minutes = b.MinutesToReach(target);
+      b.ChargeFor(minutes);
+      EXPECT_GE(b.soc(), target - 0.02)
+          << "start=" << start << " target=" << target;
+    }
+  }
+}
+
+TEST(BatteryTest, MinutesToReachZeroWhenAlreadyThere) {
+  Battery b(BatteryConfig{}, 0.9);
+  EXPECT_DOUBLE_EQ(b.MinutesToReach(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(b.MinutesToReach(0.9), 0.0);
+}
+
+TEST(BatteryTest, TypicalSessionMatchesPaperDurations) {
+  // Forced charge at 20% to ~95% should land in the paper's dominant
+  // 45-120 min band (Fig 3).
+  Battery b(BatteryConfig{}, 0.2);
+  const double minutes = b.MinutesToReach(0.95);
+  EXPECT_GT(minutes, 45.0);
+  EXPECT_LT(minutes, 120.0);
+}
+
+class BatteryRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BatteryRoundTrip, DriveChargeCycleConservesEnergyAccounting) {
+  const double initial = std::get<0>(GetParam());
+  const double km = std::get<1>(GetParam());
+  Battery b(BatteryConfig{}, initial);
+  const double driven = b.ConsumeKm(km);
+  const double kwh_used = driven * b.config().consumption_kwh_per_km;
+  const double added = b.ChargeFor(b.MinutesToReach(initial));
+  // Energy put back ~= energy used (within the 1-minute integration step).
+  EXPECT_NEAR(added, kwh_used, 1.0);
+  EXPECT_NEAR(b.soc(), initial, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cycles, BatteryRoundTrip,
+    ::testing::Combine(::testing::Values(0.5, 0.7, 0.9),
+                       ::testing::Values(10.0, 60.0, 150.0)));
+
+}  // namespace
+}  // namespace fairmove

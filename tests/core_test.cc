@@ -1,0 +1,344 @@
+// Tests of the core layer: Eq-5 reward, Eq 1-3 / 12-15 metrics, the
+// semi-MDP Trainer bookkeeping, and the Evaluator harness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fairmove/core/evaluator.h"
+#include "fairmove/core/fairmove.h"
+#include "fairmove/core/metrics.h"
+#include "fairmove/core/reward.h"
+#include "fairmove/core/trainer.h"
+#include "fairmove/rl/gt_policy.h"
+
+namespace fairmove {
+namespace {
+
+// ---------------------------------------------------------------- Reward --
+
+TEST(RewardConfigTest, ValidateBounds) {
+  RewardConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.alpha = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = RewardConfig{};
+  cfg.gamma = 1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = RewardConfig{};
+  cfg.pe_scale_cny_per_hour = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(RewardComputerTest, PeTermConvertsSlotProfitToHourlyUnits) {
+  RewardConfig cfg;
+  cfg.pe_scale_cny_per_hour = 45.0;
+  RewardComputer reward(cfg);
+  // 7.5 CNY in a 10-min slot = 45 CNY/h = 1.0 normalised.
+  EXPECT_NEAR(reward.PeTerm(7.5), 1.0, 1e-9);
+  EXPECT_NEAR(reward.PeTerm(0.0), 0.0, 1e-9);
+  EXPECT_LT(reward.PeTerm(-5.0), 0.0);
+}
+
+TEST(RewardComputerTest, FairnessPenaltyIsScaleFreeAndClipped) {
+  RewardConfig cfg;
+  cfg.fairness_clip = 2.0;
+  cfg.fairness_cv2_scale = 0.025;
+  RewardComputer reward(cfg);
+  // CV^2 = var / mean^2, normalised by the typical-fleet cv^2 scale.
+  EXPECT_NEAR(reward.FairnessPenalty(40.0, 40.0), 0.025 / 0.025, 1e-6);
+  // Scale-free: doubling mean and quadrupling variance changes nothing.
+  EXPECT_NEAR(reward.FairnessPenalty(80.0, 160.0),
+              reward.FairnessPenalty(40.0, 40.0), 1e-6);
+  EXPECT_DOUBLE_EQ(reward.FairnessPenalty(1.0, 1000.0), 2.0);  // clipped
+  RewardConfig bad = cfg;
+  bad.fairness_cv2_scale = 0.0;
+  EXPECT_FALSE(bad.Validate().ok());
+}
+
+TEST(RewardComputerTest, CombinedFollowsEq5Boundaries) {
+  RewardConfig cfg;
+  cfg.alpha = 1.0;
+  EXPECT_DOUBLE_EQ(RewardComputer(cfg).Combined(0.8, 0.5), 0.8);
+  cfg.alpha = 0.0;
+  EXPECT_DOUBLE_EQ(RewardComputer(cfg).Combined(0.8, 0.5), -0.5);
+  cfg.alpha = 0.6;
+  EXPECT_NEAR(RewardComputer(cfg).Combined(1.0, 0.5),
+              0.6 * 1.0 - 0.4 * 0.5, 1e-12);
+}
+
+TEST(RewardComputerTest, FairnessGradientSigns) {
+  RewardComputer reward(RewardConfig{});
+  // Over-earner earning now: negative adjustment.
+  EXPECT_LT(reward.FairnessGradient(+20.0, 1.0), 0.0);
+  // Under-earner earning now: positive adjustment.
+  EXPECT_GT(reward.FairnessGradient(-20.0, 1.0), 0.0);
+  // No earnings: no adjustment.
+  EXPECT_DOUBLE_EQ(reward.FairnessGradient(20.0, 0.0), 0.0);
+}
+
+// --------------------------------------------------------------- Metrics --
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+    system_ = std::move(FairMoveSystem::Create(cfg)).value();
+  }
+  std::unique_ptr<FairMoveSystem> system_;
+};
+
+TEST_F(MetricsTest, FleetMetricsMatchRawTotals) {
+  GtPolicy policy;
+  system_->sim().RunDays(&policy, 1);
+  const FleetMetrics m = ComputeFleetMetrics(system_->sim());
+  EXPECT_EQ(m.pe.size(), static_cast<size_t>(system_->sim().num_taxis()));
+  double revenue = 0.0;
+  int64_t trips = 0;
+  for (const Taxi& taxi : system_->sim().taxis()) {
+    revenue += taxi.totals.revenue_cny;
+    trips += taxi.totals.num_trips;
+  }
+  EXPECT_DOUBLE_EQ(m.revenue_cny, revenue);
+  EXPECT_EQ(m.trips, trips);
+  EXPECT_NEAR(m.pf, m.pe.Variance(), 1e-9);
+  EXPECT_GT(m.ServiceRate(), 0.3);
+  EXPECT_LE(m.ServiceRate(), 1.0);
+}
+
+TEST_F(MetricsTest, HourlyAggregatesSumToDistributionTotals) {
+  GtPolicy policy;
+  system_->sim().RunDays(&policy, 1);
+  const FleetMetrics m = ComputeFleetMetrics(system_->sim());
+  int64_t trips = 0, charges = 0;
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    trips += m.trips_by_hour[static_cast<size_t>(h)];
+    charges += m.charges_by_hour[static_cast<size_t>(h)];
+  }
+  EXPECT_EQ(trips, static_cast<int64_t>(m.trip_cruise_min.size()));
+  EXPECT_EQ(charges, static_cast<int64_t>(m.charge_idle_min.size()));
+}
+
+TEST(ComparisonMetricsTest, SelfComparisonIsZero) {
+  FleetMetrics m;
+  m.pe_sum = 100.0;
+  m.pf = 10.0;
+  m.trip_cruise_min.Add(5.0);
+  m.charge_idle_min.Add(10.0);
+  const ComparisonMetrics c = CompareToGroundTruth(m, m);
+  EXPECT_DOUBLE_EQ(c.prct, 0.0);
+  EXPECT_DOUBLE_EQ(c.prit, 0.0);
+  EXPECT_DOUBLE_EQ(c.pipe, 0.0);
+  EXPECT_DOUBLE_EQ(c.pipf, 0.0);
+}
+
+TEST(ComparisonMetricsTest, SignsFollowDefinitions) {
+  FleetMetrics gt, d;
+  gt.pe_sum = 100.0;
+  gt.pf = 20.0;
+  gt.trip_cruise_min.Add(10.0);
+  gt.charge_idle_min.Add(30.0);
+  d.pe_sum = 120.0;              // better efficiency
+  d.pf = 10.0;                   // fairer
+  d.trip_cruise_min.Add(8.0);    // less cruising
+  d.charge_idle_min.Add(45.0);   // worse idling
+  const ComparisonMetrics c = CompareToGroundTruth(gt, d);
+  EXPECT_NEAR(c.pipe, 0.2, 1e-9);
+  EXPECT_NEAR(c.pipf, 0.5, 1e-9);
+  EXPECT_NEAR(c.prct, 0.2, 1e-9);
+  EXPECT_NEAR(c.prit, -0.5, 1e-9);
+}
+
+TEST(ComparisonMetricsTest, EmptyDistributionsYieldZeroes) {
+  FleetMetrics gt, d;
+  const ComparisonMetrics c = CompareToGroundTruth(gt, d);
+  EXPECT_DOUBLE_EQ(c.prct, 0.0);
+  EXPECT_DOUBLE_EQ(c.pipe, 0.0);
+}
+
+// --------------------------------------------------------------- Trainer --
+
+/// Policy that records how many transitions it received.
+class CountingPolicy : public DisplacementPolicy {
+ public:
+  std::string name() const override { return "counting"; }
+  void DecideActions(const Simulator& sim, const std::vector<TaxiObs>& vacant,
+                     std::vector<Action>* actions) override {
+    actions->clear();
+    for (const TaxiObs& obs : vacant) {
+      if (obs.must_charge) {
+        actions->push_back(
+            Action::Charge(sim.city().NearestStations(obs.region).front()));
+      } else {
+        actions->push_back(Action::Stay());
+      }
+    }
+  }
+  bool WantsTransitions() const override { return true; }
+  void Learn(const std::vector<Transition>& transitions) override {
+    received += static_cast<int64_t>(transitions.size());
+    for (const Transition& t : transitions) {
+      EXPECT_GE(t.action_index, 0);
+      EXPECT_GE(t.discount, 0.0);
+      EXPECT_LE(t.discount, 1.0);
+      EXPECT_GE(t.region, 0);
+      if (!t.terminal) EXPECT_GE(t.next_region, 0);
+      last_rewards.push_back(t.reward);
+    }
+  }
+  int64_t received = 0;
+  std::vector<double> last_rewards;
+};
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+    cfg.trainer.episodes = 1;
+    cfg.trainer.slots_per_episode = 60;
+    system_ = std::move(FairMoveSystem::Create(cfg)).value();
+  }
+  std::unique_ptr<FairMoveSystem> system_;
+};
+
+TEST_F(TrainerTest, ConfigValidation) {
+  TrainerConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.episodes = -1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = TrainerConfig{};
+  cfg.slots_per_episode = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = TrainerConfig{};
+  cfg.reward.alpha = 2.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST_F(TrainerTest, EveryDecisionBecomesExactlyOneTransition) {
+  CountingPolicy policy;
+  Trainer trainer = system_->MakeTrainer();
+  const auto stats = trainer.Train(&policy);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].transitions, policy.received);
+  EXPECT_GT(policy.received, 0);
+}
+
+TEST_F(TrainerTest, EvaluationEpisodeDoesNotLearn) {
+  CountingPolicy policy;
+  Trainer trainer = system_->MakeTrainer();
+  const auto stats = trainer.RunEvaluationEpisode(&policy, 123, 60);
+  EXPECT_EQ(policy.received, 0);
+  EXPECT_GT(stats.transitions, 0);
+}
+
+TEST_F(TrainerTest, RewardsAreFiniteAndBounded) {
+  CountingPolicy policy;
+  Trainer trainer = system_->MakeTrainer();
+  trainer.Train(&policy);
+  ASSERT_FALSE(policy.last_rewards.empty());
+  for (double r : policy.last_rewards) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_LT(std::abs(r), 100.0);
+  }
+}
+
+TEST_F(TrainerTest, TrainingIsDeterministic) {
+  CountingPolicy a, b;
+  {
+    Trainer trainer = system_->MakeTrainer();
+    trainer.Train(&a);
+  }
+  {
+    Trainer trainer = system_->MakeTrainer();
+    trainer.Train(&b);
+  }
+  ASSERT_EQ(a.last_rewards.size(), b.last_rewards.size());
+  for (size_t i = 0; i < a.last_rewards.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.last_rewards[i], b.last_rewards[i]);
+  }
+}
+
+// ------------------------------------------------------------- Evaluator --
+
+TEST(EvaluatorTest, PolicyKindNamesAndFactory) {
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kGroundTruth), "GT");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kFairMove), "FairMove");
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  for (PolicyKind kind :
+       {PolicyKind::kGroundTruth, PolicyKind::kSd2, PolicyKind::kTql,
+        PolicyKind::kDqn, PolicyKind::kTba, PolicyKind::kFairMove}) {
+    auto policy = MakePolicy(kind, system->sim(), 1);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), PolicyKindName(kind));
+  }
+}
+
+TEST(EvaluatorTest, GroundTruthSelfComparisonIsZero) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+  cfg.eval.days = 1;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  Evaluator evaluator = system->MakeEvaluator();
+  const MethodResult gt = evaluator.RunGroundTruth();
+  EXPECT_EQ(gt.name, "GT");
+  EXPECT_DOUBLE_EQ(gt.vs_gt.pipe, 0.0);
+  EXPECT_DOUBLE_EQ(gt.vs_gt.pipf, 0.0);
+  EXPECT_GT(gt.metrics.trips, 0);
+}
+
+TEST(EvaluatorTest, RunComparesAllRequestedMethods) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+  cfg.eval.days = 1;
+  cfg.trainer.episodes = 1;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  const auto results =
+      system->RunComparison({PolicyKind::kSd2, PolicyKind::kTql});
+  ASSERT_EQ(results.size(), 3u);  // GT + 2
+  EXPECT_EQ(results[0].name, "GT");
+  EXPECT_EQ(results[1].name, "SD2");
+  EXPECT_EQ(results[2].name, "TQL");
+  for (const MethodResult& r : results) {
+    EXPECT_GT(r.metrics.trips, 0);
+    EXPECT_TRUE(std::isfinite(r.vs_gt.pipe));
+    EXPECT_TRUE(std::isfinite(r.vs_gt.pipf));
+  }
+}
+
+// -------------------------------------------------------- FairMoveConfig --
+
+TEST(FairMoveConfigTest, FullShenzhenMatchesPaper) {
+  const FairMoveConfig cfg = FairMoveConfig::FullShenzhen();
+  EXPECT_EQ(cfg.city.num_regions, 491);
+  EXPECT_EQ(cfg.city.num_stations, 123);
+  EXPECT_EQ(cfg.sim.num_taxis, 20130);
+  EXPECT_EQ(cfg.demand.num_taxis, 20130);
+}
+
+TEST(FairMoveConfigTest, ScaledKeepsDemandCoupledToFleet) {
+  const FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.1);
+  EXPECT_EQ(cfg.demand.num_taxis, cfg.sim.num_taxis);
+  EXPECT_LT(cfg.sim.num_taxis, 20130);
+  EXPECT_GE(cfg.sim.num_taxis, 50);
+}
+
+TEST(FairMoveSystemTest, CreateWiresTheStack) {
+  auto system_or =
+      FairMoveSystem::Create(FairMoveConfig::FullShenzhen().Scaled(0.04));
+  ASSERT_TRUE(system_or.ok());
+  auto& system = *system_or.value();
+  EXPECT_EQ(system.sim().num_taxis(), system.config().sim.num_taxis);
+  EXPECT_EQ(system.city().num_regions(), system.config().city.num_regions);
+  EXPECT_EQ(FairMoveSystem::AllMethods().size(), 6u);
+}
+
+TEST(FairMoveSystemTest, CreateRejectsInvalidConfig) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+  cfg.trainer.reward.alpha = 5.0;
+  EXPECT_FALSE(FairMoveSystem::Create(cfg).ok());
+  cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+  cfg.sim.num_taxis = -1;
+  EXPECT_FALSE(FairMoveSystem::Create(cfg).ok());
+}
+
+}  // namespace
+}  // namespace fairmove

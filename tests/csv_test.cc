@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fairmove/common/csv.h"
+
+namespace fairmove {
+namespace {
+
+TEST(TableTest, HeaderAndRows) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"x", "y"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.row(1)[0], "x");
+}
+
+TEST(TableTest, CellByColumnName) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "0.6"});
+  EXPECT_EQ(t.Cell(0, "value"), "0.6");
+  EXPECT_EQ(t.Cell(0, "name"), "alpha");
+}
+
+TEST(TableTest, RowBuilderFormats) {
+  Table t({"s", "n", "i", "p"});
+  t.Row().Str("hi").Num(3.14159, 2).Int(42).Pct(0.256).Done();
+  EXPECT_EQ(t.row(0)[0], "hi");
+  EXPECT_EQ(t.row(0)[1], "3.14");
+  EXPECT_EQ(t.row(0)[2], "42");
+  EXPECT_EQ(t.row(0)[3], "25.6%");
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CsvQuotesSpecialCharacters) {
+  Table t({"text"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  t.AddRow({"has\nnewline"});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST(TableTest, AlignedTextContainsAllCells) {
+  Table t({"method", "score"});
+  t.AddRow({"FairMove", "25.2"});
+  const std::string text = t.ToAlignedText();
+  EXPECT_NE(text.find("method"), std::string::npos);
+  EXPECT_NE(text.find("FairMove"), std::string::npos);
+  EXPECT_NE(text.find("25.2"), std::string::npos);
+}
+
+TEST(TableTest, WriteCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.AddRow({"x", "1"});
+  const std::string path = ::testing::TempDir() + "/fairmove_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "k,v\nx,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvToBadPathFails) {
+  Table t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent_dir_zz/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace fairmove

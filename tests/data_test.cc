@@ -1,0 +1,171 @@
+// Tests of the dataset-substitution layer (Table I records, generator) and
+// the §II-C data-driven analysis functions.
+
+#include <gtest/gtest.h>
+
+#include "fairmove/core/fairmove.h"
+#include "fairmove/data/analysis.h"
+#include "fairmove/data/generator.h"
+#include "fairmove/data/records.h"
+#include "fairmove/rl/gt_policy.h"
+
+namespace fairmove {
+namespace {
+
+class DataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.05);
+    system_ = std::move(FairMoveSystem::Create(cfg)).value();
+    GtPolicy policy;
+    system_->sim().RunDays(&policy, 1);
+  }
+  std::unique_ptr<FairMoveSystem> system_;
+};
+
+TEST_F(DataTest, TransactionsMatchTripRecords) {
+  DatasetGenerator generator(&system_->sim(), 5);
+  const auto transactions = generator.GenerateTransactions();
+  const auto& trips = system_->sim().trace().trips();
+  ASSERT_EQ(transactions.size(), trips.size());
+  for (size_t i = 0; i < transactions.size(); ++i) {
+    EXPECT_EQ(transactions[i].vehicle_id, trips[i].taxi);
+    EXPECT_FLOAT_EQ(transactions[i].fare_cny, trips[i].fare_cny);
+    EXPECT_FLOAT_EQ(transactions[i].operating_km, trips[i].distance_km);
+    EXPECT_LT(transactions[i].pickup_time_s, transactions[i].dropoff_time_s);
+    EXPECT_GE(transactions[i].cruising_km, 0.0f);
+  }
+}
+
+TEST_F(DataTest, TransactionCoordinatesLookLikeShenzhen) {
+  DatasetGenerator generator(&system_->sim(), 5);
+  const auto transactions = generator.GenerateTransactions();
+  ASSERT_FALSE(transactions.empty());
+  for (const auto& t : transactions) {
+    EXPECT_GT(t.pickup.lat, 21.5);
+    EXPECT_LT(t.pickup.lat, 23.5);
+    EXPECT_GT(t.pickup.lng, 113.0);
+    EXPECT_LT(t.pickup.lng, 115.5);
+  }
+}
+
+TEST_F(DataTest, GpsStreamInterpolatesTrips) {
+  DatasetGenerator generator(&system_->sim(), 5);
+  const auto gps = generator.GenerateGps(/*interval_s=*/60, 20000);
+  ASSERT_FALSE(gps.empty());
+  EXPECT_LE(gps.size(), 20000u);
+  for (const auto& rec : gps) {
+    EXPECT_TRUE(rec.occupied);
+    EXPECT_GE(rec.speed_kmh, 0.0f);
+    EXPECT_LT(rec.speed_kmh, 150.0f);
+    EXPECT_GE(rec.heading_deg, 0.0f);
+    EXPECT_LT(rec.heading_deg, 360.0f);
+  }
+  // Timestamps per vehicle within a trip are non-decreasing overall order.
+  EXPECT_GE(gps[1].timestamp_s, gps[0].timestamp_s - 86400);
+}
+
+TEST_F(DataTest, StationAndRegionRecordsMatchCity) {
+  DatasetGenerator generator(&system_->sim(), 5);
+  const auto stations = generator.GenerateStations();
+  EXPECT_EQ(static_cast<int>(stations.size()),
+            system_->city().num_stations());
+  int points = 0;
+  for (const auto& s : stations) points += s.num_fast_points;
+  EXPECT_EQ(points, system_->city().total_charge_points());
+
+  const auto regions = generator.GenerateRegions();
+  EXPECT_EQ(static_cast<int>(regions.size()), system_->city().num_regions());
+  for (const auto& r : regions) {
+    EXPECT_EQ(r.boundary.size(), 4u);
+    EXPECT_FALSE(r.land_use.empty());
+  }
+}
+
+TEST_F(DataTest, RecordTablesHaveTableIColumns) {
+  DatasetGenerator generator(&system_->sim(), 5);
+  const Table gps = GpsRecordsTable(generator.GenerateGps(300, 100));
+  EXPECT_EQ(gps.header()[0], "vehicle_id");
+  const Table tx = TransactionRecordsTable(generator.GenerateTransactions());
+  EXPECT_EQ(tx.num_cols(), 10u);
+  const Table st = StationRecordsTable(generator.GenerateStations());
+  EXPECT_EQ(st.num_rows(), static_cast<size_t>(system_->city().num_stations()));
+  const Table rg = RegionRecordsTable(generator.GenerateRegions());
+  EXPECT_EQ(rg.num_rows(), static_cast<size_t>(system_->city().num_regions()));
+}
+
+// ---------------------------------------------------------------- Analysis --
+
+TEST_F(DataTest, PerTripRevenueByRegionIsNonNegative) {
+  const auto revenue = PerTripRevenueByRegion(system_->sim(), 8, 9);
+  EXPECT_EQ(static_cast<int>(revenue.size()), system_->city().num_regions());
+  for (double v : revenue) EXPECT_GE(v, 0.0);
+}
+
+TEST_F(DataTest, AirportTripsEarnMoreThanDowntownTrips) {
+  // Finding (iv): the airport's per-trip revenue dwarfs downtown's.
+  const auto revenue = PerTripRevenueByRegion(system_->sim(), 0, 24);
+  double airport = 0.0;
+  double downtown_sum = 0.0;
+  int downtown_n = 0;
+  for (const Region& region : system_->city().regions()) {
+    if (region.cls == RegionClass::kAirport) {
+      airport = revenue[static_cast<size_t>(region.id)];
+    } else if (region.cls == RegionClass::kDowntownCore &&
+               revenue[static_cast<size_t>(region.id)] > 0.0) {
+      downtown_sum += revenue[static_cast<size_t>(region.id)];
+      ++downtown_n;
+    }
+  }
+  ASSERT_GT(downtown_n, 0);
+  // At bench scale the city is small, so the airport's distance premium is
+  // compressed; it must still clearly beat the downtown average.
+  EXPECT_GT(airport, downtown_sum / downtown_n);
+}
+
+TEST_F(DataTest, ChargeDurationSampleMatchesTrace) {
+  const Sample durations = ChargeDurationSample(system_->sim());
+  EXPECT_EQ(durations.size(),
+            system_->sim().trace().charge_events().size());
+  if (!durations.empty()) {
+    EXPECT_GT(durations.Median(), 10.0);
+    EXPECT_LT(durations.Median(), 180.0);
+  }
+}
+
+TEST_F(DataTest, ChargeStartSharesSumToOne) {
+  const auto shares = ChargeStartShareByHour(system_->sim());
+  double total = 0.0;
+  for (double s : shares) {
+    EXPECT_GE(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(DataTest, FirstCruiseSampleOnlyBackfilledEvents) {
+  const Sample first = FirstCruiseSample(system_->sim());
+  for (double v : first.values()) EXPECT_GE(v, 0.0);
+  // Some charge events near the end of the run never see a next pickup.
+  EXPECT_LE(first.size(), system_->sim().trace().charge_events().size());
+}
+
+TEST_F(DataTest, FirstCruiseByStationFiltersSmallSamples) {
+  const auto by_station = FirstCruiseByStation(system_->sim(), 5);
+  for (const auto& [station, sample] : by_station) {
+    EXPECT_GE(station, 0);
+    EXPECT_LT(station, system_->city().num_stations());
+    EXPECT_GE(sample.size(), 5u);
+  }
+}
+
+TEST_F(DataTest, PeStatisticsPlausible) {
+  const Sample pe = HourlyPeSample(system_->sim());
+  EXPECT_EQ(pe.size(), static_cast<size_t>(system_->sim().num_taxis()));
+  EXPECT_GT(pe.Median(), 20.0);
+  EXPECT_LT(pe.Median(), 80.0);
+  EXPECT_GT(PeP80OverP20Gap(system_->sim()), 0.0);
+}
+
+}  // namespace
+}  // namespace fairmove

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fairmove/demand/demand_model.h"
+#include "fairmove/demand/demand_predictor.h"
+#include "fairmove/geo/city_builder.h"
+
+namespace fairmove {
+namespace {
+
+class DemandModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto city_or = CityBuilder(CityConfig{}.Scaled(0.1)).Build();
+    ASSERT_TRUE(city_or.ok());
+    city_ = std::make_unique<City>(std::move(city_or).value());
+    DemandConfig cfg;
+    cfg.num_taxis = 1000;
+    auto model_or = DemandModel::Create(city_.get(), cfg);
+    ASSERT_TRUE(model_or.ok());
+    model_ = std::make_unique<DemandModel>(std::move(model_or).value());
+  }
+
+  std::unique_ptr<City> city_;
+  std::unique_ptr<DemandModel> model_;
+};
+
+TEST_F(DemandModelTest, CreateRejectsBadConfigs) {
+  DemandConfig cfg;
+  EXPECT_FALSE(DemandModel::Create(nullptr, cfg).ok());
+  cfg.trips_per_taxi_per_day = 0.0;
+  EXPECT_FALSE(DemandModel::Create(city_.get(), cfg).ok());
+  cfg = DemandConfig{};
+  cfg.num_taxis = 0;
+  EXPECT_FALSE(DemandModel::Create(city_.get(), cfg).ok());
+  cfg = DemandConfig{};
+  cfg.gravity_scale_km = 0.0;
+  EXPECT_FALSE(DemandModel::Create(city_.get(), cfg).ok());
+  cfg = DemandConfig{};
+  cfg.intra_region_km = -1.0;
+  EXPECT_FALSE(DemandModel::Create(city_.get(), cfg).ok());
+}
+
+TEST_F(DemandModelTest, TotalVolumeMatchesTarget) {
+  double total = 0.0;
+  for (RegionId r = 0; r < city_->num_regions(); ++r) {
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      total += model_->Rate(r, TimeSlot(s));
+    }
+  }
+  const double target =
+      model_->config().trips_per_taxi_per_day * model_->config().num_taxis;
+  EXPECT_NEAR(total, target, target * 1e-3);
+  EXPECT_NEAR(model_->TotalTripsPerDay(), target, 1e-6);
+}
+
+TEST_F(DemandModelTest, RatesNonNegativeEverywhere) {
+  for (RegionId r = 0; r < city_->num_regions(); ++r) {
+    for (int s = 0; s < kSlotsPerDay; ++s) {
+      EXPECT_GE(model_->Rate(r, TimeSlot(s)), 0.0);
+    }
+  }
+}
+
+TEST_F(DemandModelTest, DowntownBeatsSuburbAtRushHour) {
+  double downtown_rate = 0.0, suburb_rate = 0.0;
+  int downtown_count = 0, suburb_count = 0;
+  const TimeSlot rush(8 * kSlotsPerHour);
+  for (const Region& region : city_->regions()) {
+    if (region.cls == RegionClass::kDowntownCore) {
+      downtown_rate += model_->Rate(region.id, rush);
+      ++downtown_count;
+    } else if (region.cls == RegionClass::kSuburb) {
+      suburb_rate += model_->Rate(region.id, rush);
+      ++suburb_count;
+    }
+  }
+  ASSERT_GT(downtown_count, 0);
+  ASSERT_GT(suburb_count, 0);
+  EXPECT_GT(downtown_rate / downtown_count,
+            5.0 * suburb_rate / suburb_count);
+}
+
+TEST_F(DemandModelTest, NightDemandLowerThanRushDemand) {
+  double night = 0.0, rush = 0.0;
+  for (RegionId r = 0; r < city_->num_regions(); ++r) {
+    night += model_->Rate(r, TimeSlot(3 * kSlotsPerHour));
+    rush += model_->Rate(r, TimeSlot(8 * kSlotsPerHour));
+  }
+  EXPECT_GT(rush, 2.0 * night);
+}
+
+TEST_F(DemandModelTest, RatesRepeatDaily) {
+  for (RegionId r = 0; r < city_->num_regions(); r += 5) {
+    for (int s = 0; s < kSlotsPerDay; s += 13) {
+      EXPECT_DOUBLE_EQ(model_->Rate(r, TimeSlot(s)),
+                       model_->Rate(r, TimeSlot(s + kSlotsPerDay)));
+    }
+  }
+}
+
+TEST_F(DemandModelTest, SampleCountIsPoissonLike) {
+  Rng rng(5);
+  // Pick the busiest region at rush hour.
+  RegionId busiest = 0;
+  const TimeSlot rush(8 * kSlotsPerHour);
+  for (RegionId r = 1; r < city_->num_regions(); ++r) {
+    if (model_->Rate(r, rush) > model_->Rate(busiest, rush)) busiest = r;
+  }
+  const double rate = model_->Rate(busiest, rush);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += model_->SampleCount(busiest, rush, rng);
+  EXPECT_NEAR(sum / n, rate, rate * 0.1 + 0.1);
+}
+
+TEST_F(DemandModelTest, DestinationsAreValidRegions) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const RegionId origin =
+        static_cast<RegionId>(rng.NextBounded(city_->num_regions()));
+    const RegionId dest =
+        model_->SampleDestination(origin, TimeSlot(i % kSlotsPerDay), rng);
+    EXPECT_GE(dest, 0);
+    EXPECT_LT(dest, city_->num_regions());
+  }
+}
+
+TEST_F(DemandModelTest, DestinationsFavorNearbyRegions) {
+  // Gravity decay: the mean sampled trip distance should be well below the
+  // mean distance to a uniformly random region.
+  Rng rng(7);
+  const RegionId origin = 0;
+  const TimeSlot noon(12 * kSlotsPerHour);
+  double sampled_km = 0.0, uniform_km = 0.0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    sampled_km += model_->TripKm(
+        origin, model_->SampleDestination(origin, noon, rng));
+    uniform_km += model_->TripKm(
+        origin, static_cast<RegionId>(rng.NextBounded(city_->num_regions())));
+  }
+  EXPECT_LT(sampled_km, 0.8 * uniform_km);
+}
+
+TEST_F(DemandModelTest, TripKmIntraRegionUsesConfig) {
+  EXPECT_DOUBLE_EQ(model_->TripKm(3, 3), model_->config().intra_region_km);
+  EXPECT_GT(model_->TripKm(0, city_->num_regions() - 1), 0.0);
+}
+
+TEST_F(DemandModelTest, DiurnalAndAttractivenessWeightsPositive) {
+  for (int c = 0; c < kNumRegionClasses; ++c) {
+    for (int h = 0; h < kHoursPerDay; ++h) {
+      EXPECT_GT(DemandModel::DiurnalWeight(static_cast<RegionClass>(c), h),
+                0.0);
+      EXPECT_GT(
+          DemandModel::AttractivenessWeight(static_cast<RegionClass>(c), h),
+          0.0);
+    }
+  }
+}
+
+TEST_F(DemandModelTest, MorningAttractsDowntownEveningAttractsResidential) {
+  EXPECT_GT(
+      DemandModel::AttractivenessWeight(RegionClass::kDowntownCore, 8),
+      DemandModel::AttractivenessWeight(RegionClass::kDowntownCore, 18));
+  EXPECT_LT(DemandModel::AttractivenessWeight(RegionClass::kSuburb, 8),
+            DemandModel::AttractivenessWeight(RegionClass::kSuburb, 18));
+}
+
+// -------------------------------------------------------- DemandPredictor --
+
+TEST(DemandPredictorTest, PrimedPredictorReturnsModelRates) {
+  auto city_or = CityBuilder(CityConfig{}.Scaled(0.06)).Build();
+  ASSERT_TRUE(city_or.ok());
+  City city = std::move(city_or).value();
+  DemandConfig cfg;
+  cfg.num_taxis = 500;
+  auto model = DemandModel::Create(&city, cfg).value();
+  DemandPredictor predictor(city.num_regions());
+  predictor.PrimeFromModel(model);
+  for (RegionId r = 0; r < city.num_regions(); r += 3) {
+    const TimeSlot t(40);
+    EXPECT_NEAR(predictor.Predict(r, t), model.Rate(r, t), 1e-9);
+  }
+}
+
+TEST(DemandPredictorTest, ObservationsMoveTheEwma) {
+  DemandPredictor predictor(4, /*history_weight=*/0.5);
+  const TimeSlot t(10);
+  EXPECT_DOUBLE_EQ(predictor.Predict(0, t), 0.0);
+  predictor.Observe(0, t, 8.0);
+  // 0.5 * 0 + 0.5 * 8 = 4 historical; the fresh same-slot observation does
+  // not blend for a same-slot query (realtime applies to slot+1 queries).
+  const double p = predictor.Predict(0, TimeSlot(10 + kSlotsPerDay));
+  EXPECT_GT(p, 0.0);
+  EXPECT_LE(p, 8.0);
+}
+
+TEST(DemandPredictorTest, RealtimeBlendOnNextSlot) {
+  DemandPredictor predictor(2, 0.9, /*realtime_blend=*/1.0);
+  predictor.Observe(1, TimeSlot(5), 10.0);
+  // Query for slot 6: the realtime component (weight 1) dominates.
+  EXPECT_DOUBLE_EQ(predictor.Predict(1, TimeSlot(6)), 10.0);
+  // Stale queries ignore the realtime component.
+  EXPECT_LT(predictor.Predict(1, TimeSlot(9)), 10.0);
+}
+
+TEST(DemandPredictorTest, LearnsPeriodicPatternFromObservations) {
+  DemandPredictor predictor(1, 0.7, 0.0);
+  // Feed 30 days of: 6 at slot 12, 1 at slot 100.
+  for (int day = 0; day < 30; ++day) {
+    predictor.Observe(0, TimeSlot(day * kSlotsPerDay + 12), 6.0);
+    predictor.Observe(0, TimeSlot(day * kSlotsPerDay + 100), 1.0);
+  }
+  EXPECT_NEAR(predictor.Predict(0, TimeSlot(12)), 6.0, 0.2);
+  EXPECT_NEAR(predictor.Predict(0, TimeSlot(100)), 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace fairmove

@@ -1,0 +1,329 @@
+// Tests of the extension layers: CSV parsing, spatial lookup, the
+// empirical (data-driven) demand model, driver-group fairness (§V), and
+// the ridesharing dispatch matching mode (§V).
+
+#include <gtest/gtest.h>
+
+#include "fairmove/common/csv.h"
+#include "fairmove/core/fairmove.h"
+#include "fairmove/core/group_fairness.h"
+#include "fairmove/data/empirical_demand.h"
+#include "fairmove/data/generator.h"
+#include "fairmove/rl/gt_policy.h"
+
+namespace fairmove {
+namespace {
+
+// ------------------------------------------------------------- ParseCsv --
+
+TEST(ParseCsvTest, RoundTripsTableOutput) {
+  Table table({"a", "b", "c"});
+  table.AddRow({"1", "two", "3.5"});
+  table.AddRow({"x,y", "with \"quotes\"", "line\nbreak"});
+  auto parsed_or = ParseCsv(table.ToCsv());
+  ASSERT_TRUE(parsed_or.ok()) << parsed_or.status();
+  const Table& parsed = parsed_or.value();
+  ASSERT_EQ(parsed.num_rows(), 2u);
+  EXPECT_EQ(parsed.row(0), table.row(0));
+  EXPECT_EQ(parsed.row(1), table.row(1));
+  EXPECT_EQ(parsed.header(), table.header());
+}
+
+TEST(ParseCsvTest, HandlesCrlfAndBlankLines) {
+  auto parsed = ParseCsv("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->Cell(1, "b"), "4");
+}
+
+TEST(ParseCsvTest, EmptyCellsPreserved) {
+  auto parsed = ParseCsv("a,b,c\n,mid,\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->row(0)[0], "");
+  EXPECT_EQ(parsed->row(0)[1], "mid");
+  EXPECT_EQ(parsed->row(0)[2], "");
+}
+
+TEST(ParseCsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n").ok());     // ragged row
+  EXPECT_FALSE(ParseCsv("a\n\"unterminated\n").ok());
+  EXPECT_FALSE(ParseCsv("a\nbad\"quote\n").ok());
+}
+
+TEST(ParseCsvTest, ReadCsvFileMissingPathFails) {
+  EXPECT_FALSE(ReadCsvFile("/no/such/file.csv").ok());
+}
+
+// -------------------------------------------------------- NearestRegion --
+
+TEST(NearestRegionTest, CentroidsMapToThemselves) {
+  auto city = std::move(CityBuilder(CityConfig{}.Scaled(0.1)).Build()).value();
+  for (const Region& r : city.regions()) {
+    EXPECT_EQ(city.NearestRegion(r.centroid_km), r.id);
+    EXPECT_EQ(city.NearestRegion(r.centroid), r.id);
+  }
+}
+
+TEST(NearestRegionTest, MatchesLinearScan) {
+  auto city = std::move(CityBuilder(CityConfig{}.Scaled(0.08)).Build()).value();
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const PointKm p{rng.Uniform(-5.0, 60.0), rng.Uniform(-5.0, 30.0)};
+    RegionId brute = 0;
+    double best = DistanceKm(p, city.region(0).centroid_km);
+    for (const Region& r : city.regions()) {
+      const double d = DistanceKm(p, r.centroid_km);
+      if (d < best) {
+        best = d;
+        brute = r.id;
+      }
+    }
+    const RegionId indexed = city.NearestRegion(p);
+    EXPECT_NEAR(DistanceKm(p, city.region(indexed).centroid_km), best, 1e-9)
+        << "p=(" << p.x << "," << p.y << ") brute=" << brute
+        << " indexed=" << indexed;
+  }
+}
+
+TEST(PointTest, LatLngPlanarRoundTrip) {
+  const PointKm p{12.3, 7.8};
+  const PointKm back = LatLngToPlanar(PlanarToLatLng(p));
+  EXPECT_NEAR(back.x, p.x, 1e-6);
+  EXPECT_NEAR(back.y, p.y, 1e-6);
+}
+
+// -------------------------------------------------- EmpiricalDemandModel --
+
+class EmpiricalDemandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.05);
+    system_ = std::move(FairMoveSystem::Create(cfg)).value();
+    GtPolicy policy;
+    system_->sim().RunDays(&policy, 2);
+    DatasetGenerator generator(&system_->sim(), 9);
+    transactions_ = generator.GenerateTransactions();
+  }
+  std::unique_ptr<FairMoveSystem> system_;
+  std::vector<TransactionRecord> transactions_;
+};
+
+TEST_F(EmpiricalDemandTest, RejectsBadInputs) {
+  EmpiricalDemandModel::Options options;
+  EXPECT_FALSE(EmpiricalDemandModel::FromTransactions(nullptr, transactions_,
+                                                      options)
+                   .ok());
+  EXPECT_FALSE(
+      EmpiricalDemandModel::FromTransactions(&system_->city(), {}, options)
+          .ok());
+  options.od_hour_bucket = 5;  // does not divide 24
+  EXPECT_FALSE(EmpiricalDemandModel::FromTransactions(&system_->city(),
+                                                      transactions_, options)
+                   .ok());
+}
+
+TEST_F(EmpiricalDemandTest, VolumeMatchesObservations) {
+  EmpiricalDemandModel::Options options;
+  options.days = 2;
+  options.smoothing = 0.0;
+  auto model = std::move(EmpiricalDemandModel::FromTransactions(
+                             &system_->city(), transactions_, options))
+                   .value();
+  EXPECT_EQ(model.observations(),
+            static_cast<int64_t>(transactions_.size()));
+  EXPECT_NEAR(model.TotalTripsPerDay(),
+              static_cast<double>(transactions_.size()) / 2.0,
+              transactions_.size() * 0.01);
+}
+
+TEST_F(EmpiricalDemandTest, RatesCorrelateWithGenerativeModel) {
+  EmpiricalDemandModel::Options options;
+  options.days = 2;
+  auto model = std::move(EmpiricalDemandModel::FromTransactions(
+                             &system_->city(), transactions_, options))
+                   .value();
+  // Served demand is a censored version of requested demand, so the
+  // estimated surface must strongly correlate with the generative rates.
+  double sum_g = 0, sum_e = 0, sum_ge = 0, sum_gg = 0, sum_ee = 0;
+  int n = 0;
+  for (RegionId r = 0; r < system_->city().num_regions(); ++r) {
+    for (int hour = 0; hour < kHoursPerDay; ++hour) {
+      const TimeSlot slot(hour * kSlotsPerHour);
+      const double g = system_->demand().Rate(r, slot);
+      const double e = model.Rate(r, slot);
+      sum_g += g;
+      sum_e += e;
+      sum_ge += g * e;
+      sum_gg += g * g;
+      sum_ee += e * e;
+      ++n;
+    }
+  }
+  const double cov = sum_ge / n - (sum_g / n) * (sum_e / n);
+  const double var_g = sum_gg / n - (sum_g / n) * (sum_g / n);
+  const double var_e = sum_ee / n - (sum_e / n) * (sum_e / n);
+  const double corr = cov / std::sqrt(var_g * var_e);
+  // Served trips are a censored view of requested demand (expiry clips the
+  // busiest region-slots) and pickup coordinates carry street-level jitter
+  // across region borders, so the correlation is strong but not perfect.
+  EXPECT_GT(corr, 0.7) << "estimated surface lost the spatial structure";
+}
+
+TEST_F(EmpiricalDemandTest, DestinationsAreValidAndLocal) {
+  EmpiricalDemandModel::Options options;
+  options.days = 2;
+  auto model = std::move(EmpiricalDemandModel::FromTransactions(
+                             &system_->city(), transactions_, options))
+                   .value();
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const RegionId origin = static_cast<RegionId>(
+        rng.NextBounded(system_->city().num_regions()));
+    const RegionId dest = model.SampleDestination(
+        origin, TimeSlot(static_cast<int64_t>(rng.NextBounded(kSlotsPerDay))),
+        rng);
+    EXPECT_GE(dest, 0);
+    EXPECT_LT(dest, system_->city().num_regions());
+  }
+}
+
+TEST_F(EmpiricalDemandTest, CsvRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/fairmove_empirical_test.csv";
+  ASSERT_TRUE(
+      TransactionRecordsTable(transactions_).WriteCsv(path).ok());
+  EmpiricalDemandModel::Options options;
+  options.days = 2;
+  auto model_or =
+      EmpiricalDemandModel::FromCsvFile(&system_->city(), path, options);
+  ASSERT_TRUE(model_or.ok()) << model_or.status();
+  EXPECT_EQ(model_or->observations(),
+            static_cast<int64_t>(transactions_.size()));
+  std::remove(path.c_str());
+}
+
+TEST_F(EmpiricalDemandTest, DrivesTheSimulator) {
+  EmpiricalDemandModel::Options options;
+  options.days = 2;
+  auto model = std::move(EmpiricalDemandModel::FromTransactions(
+                             &system_->city(), transactions_, options))
+                   .value();
+  SimConfig sim_cfg = system_->config().sim;
+  auto sim = std::move(Simulator::Create(&system_->city(), &model,
+                                         TouTariff::Shenzhen(), sim_cfg))
+                 .value();
+  GtPolicy policy;
+  sim->RunDays(&policy, 1);
+  EXPECT_GT(sim->trace().total_trips(), 1000);
+}
+
+// ----------------------------------------------------------- DriverGroups --
+
+TEST(DriverGroupsTest, CreateValidatesInputs) {
+  EXPECT_FALSE(DriverGroups::Create(0, 5, 1).ok());
+  EXPECT_FALSE(DriverGroups::Create(10, 0, 1).ok());
+  EXPECT_FALSE(DriverGroups::Create(3, 5, 1).ok());
+  EXPECT_TRUE(DriverGroups::Create(100, 5, 1).ok());
+}
+
+TEST(DriverGroupsTest, AssignmentIsDeterministicAndBalanced) {
+  auto a = std::move(DriverGroups::Create(1000, 5, 7)).value();
+  auto b = std::move(DriverGroups::Create(1000, 5, 7)).value();
+  for (TaxiId id = 0; id < 1000; ++id) {
+    EXPECT_EQ(a.group(id), b.group(id));
+    EXPECT_GE(a.group(id), 0);
+    EXPECT_LT(a.group(id), 5);
+  }
+  for (int g = 0; g < 5; ++g) {
+    EXPECT_GT(a.members(g).size(), 100u);  // roughly balanced
+    EXPECT_LT(a.members(g).size(), 300u);
+  }
+}
+
+TEST(DriverGroupsTest, StatsPartitionTheFleet) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.05);
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  GtPolicy policy;
+  system->sim().RunDays(&policy, 1);
+  auto groups =
+      std::move(DriverGroups::Create(system->sim().num_taxis(), 5, 3))
+          .value();
+  const auto stats = groups.ComputeStats(system->sim());
+  int64_t total = 0;
+  for (const auto& s : stats) {
+    total += s.taxis;
+    EXPECT_GT(s.pe_mean, 0.0);
+    EXPECT_GE(s.pe_variance, 0.0);
+  }
+  EXPECT_EQ(total, system->sim().num_taxis());
+  // Within-group PF is at most slightly above fleet PF for a random
+  // (rating-independent) assignment, and must be positive.
+  const double within = groups.WithinGroupPf(system->sim());
+  EXPECT_GT(within, 0.0);
+  const FleetMetrics m = ComputeFleetMetrics(system->sim());
+  EXPECT_LT(within, m.pf * 1.2);
+}
+
+TEST(DriverGroupsTest, TrainerAcceptsGroupBaseline) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+  cfg.trainer.episodes = 1;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  auto groups =
+      std::move(DriverGroups::Create(system->sim().num_taxis(), 5, 3))
+          .value();
+  Trainer trainer = system->MakeTrainer();
+  trainer.SetDriverGroups(&groups);
+  GtPolicy policy;
+  const auto stats = trainer.RunEvaluationEpisode(&policy, 11, 72);
+  EXPECT_GT(stats.transitions, 0);
+}
+
+// ------------------------------------------------------- Dispatch mode --
+
+TEST(DispatchModeTest, ValidatesRadius) {
+  SimConfig cfg;
+  cfg.dispatch_radius_minutes = -1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(DispatchModeTest, RaisesServiceRateOverStreetHail) {
+  FairMoveConfig base = FairMoveConfig::FullShenzhen().Scaled(0.05);
+  auto street_system = std::move(FairMoveSystem::Create(base)).value();
+  GtPolicy p1;
+  street_system->sim().RunDays(&p1, 1);
+  const FleetMetrics street = ComputeFleetMetrics(street_system->sim());
+
+  FairMoveConfig dispatch_cfg = base;
+  dispatch_cfg.sim.dispatch_radius_minutes = 12.0;
+  auto dispatch_system =
+      std::move(FairMoveSystem::Create(dispatch_cfg)).value();
+  GtPolicy p2;
+  dispatch_system->sim().RunDays(&p2, 1);
+  const FleetMetrics dispatch = ComputeFleetMetrics(dispatch_system->sim());
+
+  EXPECT_GT(dispatch.ServiceRate(), street.ServiceRate());
+  EXPECT_GT(dispatch.trips, street.trips);
+}
+
+TEST(DispatchModeTest, InvariantsStillHold) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.05);
+  cfg.sim.dispatch_radius_minutes = 15.0;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  GtPolicy policy;
+  system->sim().RunDays(&policy, 1);
+  int64_t pending = 0;
+  for (RegionId r = 0; r < system->city().num_regions(); ++r) {
+    pending += system->sim().PendingRequests(r);
+  }
+  EXPECT_EQ(system->sim().total_requests(),
+            system->sim().trace().total_trips() +
+                system->sim().trace().expired_requests() + pending);
+  for (const Taxi& taxi : system->sim().taxis()) {
+    EXPECT_GE(taxi.battery.soc(), 0.0);
+    EXPECT_LE(taxi.battery.soc(), 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fairmove

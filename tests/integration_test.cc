@@ -1,0 +1,142 @@
+// End-to-end integration tests: the whole stack (city -> demand -> sim ->
+// training -> evaluation -> metrics), with assertions on the *qualitative*
+// reproduction targets that are stable at small scale.
+
+#include <gtest/gtest.h>
+
+#include "fairmove/core/fairmove.h"
+#include "fairmove/data/analysis.h"
+#include "fairmove/rl/cma2c_policy.h"
+#include "fairmove/rl/gt_policy.h"
+
+namespace fairmove {
+namespace {
+
+FairMoveConfig SmallConfig() {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.05);
+  cfg.trainer.episodes = 2;
+  cfg.eval.days = 1;
+  return cfg;
+}
+
+TEST(IntegrationTest, GroundTruthReproducesSectionIIFindings) {
+  auto system = std::move(FairMoveSystem::Create(SmallConfig())).value();
+  GtPolicy policy;
+  system->sim().RunDays(&policy, 2);
+  const FleetMetrics m = ComputeFleetMetrics(system->sim());
+
+  // Finding (i) / Fig 3: charging takes 45-120 min for most sessions —
+  // nothing like a 3-5 minute refuel.
+  ASSERT_FALSE(m.charge_duration_min.empty());
+  EXPECT_GT(m.charge_duration_min.FractionIn(45.0, 120.0), 0.5);
+  EXPECT_GT(m.charge_duration_min.Median(), 40.0);
+
+  // Finding (ii) / Fig 4: charging concentrates in the TOU price valleys.
+  const auto shares = ChargeStartShareByHour(system->sim());
+  double valley = 0.0, business_peak = 0.0;
+  for (int h : {2, 3, 4, 5, 12, 13, 17}) valley += shares[h];
+  for (int h : {8, 9, 10, 11, 14, 15, 16}) business_peak += shares[h];
+  EXPECT_GT(valley, business_peak);
+
+  // Finding (iii) / Fig 5: first cruise after charging has a wide spread —
+  // a meaningful share finds passengers quickly, a tail does not.
+  ASSERT_GT(m.first_cruise_min.size(), 20u);
+  EXPECT_GT(m.first_cruise_min.CdfAt(10.0), 0.15);
+  EXPECT_LT(m.first_cruise_min.CdfAt(10.0), 0.8);
+
+  // Finding (v) / Fig 8: persistent PE inequality across drivers.
+  EXPECT_GT(PeP80OverP20Gap(system->sim()), 0.08);
+
+  // Headline calibration: GT hourly PE in the paper's ballpark.
+  EXPECT_GT(m.pe.Median(), 30.0);
+  EXPECT_LT(m.pe.Median(), 60.0);
+}
+
+TEST(IntegrationTest, ChargingStationsSeeQueues) {
+  auto system = std::move(FairMoveSystem::Create(SmallConfig())).value();
+  GtPolicy policy;
+  system->sim().RunDays(&policy, 1);
+  const FleetMetrics m = ComputeFleetMetrics(system->sim());
+  ASSERT_FALSE(m.charge_idle_min.empty());
+  // Some sessions wait (queues exist)...
+  EXPECT_GT(m.charge_idle_min.Percentile(90), 10.0);
+  // ...but balking keeps the tail civilised.
+  EXPECT_LT(m.charge_idle_min.Percentile(90), 400.0);
+}
+
+TEST(IntegrationTest, FullComparisonPipelineRuns) {
+  auto system = std::move(FairMoveSystem::Create(SmallConfig())).value();
+  const auto results = system->RunComparison(
+      {PolicyKind::kSd2, PolicyKind::kFairMove});
+  ASSERT_EQ(results.size(), 3u);
+  const MethodResult& gt = results[0];
+  const MethodResult& sd2 = results[1];
+  const MethodResult& fairmove = results[2];
+  EXPECT_GT(gt.metrics.trips, 0);
+  EXPECT_GT(sd2.metrics.trips, 0);
+  EXPECT_GT(fairmove.metrics.trips, 0);
+  // Structural finding of the paper (Fig 16): the purely competitive
+  // greedy baseline concentrates earnings (herding + winner-takes-all),
+  // so the fairness-aware learned policy always ends up with the lower PE
+  // variance. This holds even for a barely trained FairMove.
+  EXPECT_LT(fairmove.metrics.pf, sd2.metrics.pf);
+  EXPECT_GT(fairmove.vs_gt.pipf, sd2.vs_gt.pipf);
+}
+
+TEST(IntegrationTest, TrainingImprovesCma2cReward) {
+  FairMoveConfig cfg = SmallConfig();
+  cfg.trainer.episodes = 6;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  Cma2cPolicy::Options options;
+  options.seed = 7055;
+  Cma2cPolicy policy(system->sim(), options);
+  Trainer trainer = system->MakeTrainer();
+  const auto stats = trainer.Train(&policy);
+  ASSERT_EQ(stats.size(), 6u);
+  // Mean reward of the last two episodes beats the first episode: the
+  // policy is learning, not flat-lining.
+  const double early = stats[0].avg_reward;
+  const double late =
+      0.5 * (stats[4].avg_reward + stats[5].avg_reward);
+  EXPECT_GT(late, early - 0.05);
+}
+
+TEST(IntegrationTest, AlphaOneIgnoresFairnessAlphaZeroIgnoresProfit) {
+  // The Eq-5 boundary cases produce different training rewards.
+  FairMoveConfig cfg = SmallConfig();
+  cfg.trainer.episodes = 1;
+  cfg.trainer.reward.alpha = 1.0;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  GtPolicy gt_a, gt_b;
+  Trainer t1 = system->MakeTrainer();
+  const auto profit_only = t1.RunEvaluationEpisode(&gt_a, 5, 144);
+
+  cfg.trainer.reward.alpha = 0.0;
+  auto system2 = std::move(FairMoveSystem::Create(cfg)).value();
+  Trainer t2 = system2->MakeTrainer();
+  const auto fairness_only = t2.RunEvaluationEpisode(&gt_b, 5, 144);
+
+  // alpha=1: reward ~ profit (positive on average).
+  EXPECT_GT(profit_only.avg_reward, 0.0);
+  // alpha=0: reward is a pure penalty (non-positive).
+  EXPECT_LE(fairness_only.avg_reward, 1e-9);
+}
+
+TEST(IntegrationTest, FullScaleCitySmokeTest) {
+  // The paper's full 491-region / 123-station / 20,130-taxi instance must
+  // construct and run a few slots (memory + wiring check).
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen();
+  cfg.sim.trace_level = TraceLevel::kAggregatesOnly;
+  auto system_or = FairMoveSystem::Create(cfg);
+  ASSERT_TRUE(system_or.ok());
+  auto& system = *system_or.value();
+  EXPECT_EQ(system.city().num_regions(), 491);
+  EXPECT_EQ(system.city().num_stations(), 123);
+  EXPECT_EQ(system.sim().num_taxis(), 20130);
+  GtPolicy policy;
+  system.sim().RunSlots(&policy, 12);  // two hours
+  EXPECT_GT(system.sim().trace().total_trips(), 1000);
+}
+
+}  // namespace
+}  // namespace fairmove

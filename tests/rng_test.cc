@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fairmove/common/rng.h"
+#include "fairmove/common/stats.h"
+
+namespace fairmove {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(9);
+  const uint64_t first = a.NextU64();
+  a.NextU64();
+  a.Seed(9);
+  EXPECT_EQ(a.NextU64(), first);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(5);
+  for (uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(n), n);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng(6);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[rng.NextBounded(10)];
+  for (int c : seen) EXPECT_GT(c, 300);  // each bin ~500 expected
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.variance(), 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Gaussian(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(11);
+  for (double mean : {0.0, 0.5, 3.0, 12.0, 80.0}) {
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.Add(rng.Poisson(mean));
+    EXPECT_NEAR(s.mean(), mean, std::max(0.05, mean * 0.05)) << mean;
+  }
+}
+
+TEST(RngTest, PoissonNeverNegative) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Poisson(100.0), 0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+  EXPECT_GT(s.min(), 0.0);
+}
+
+TEST(RngTest, LogNormalPositive) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(15);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.6, 0.02);
+}
+
+TEST(RngTest, WeightedIndexZeroTotalFallsBackToUniform) {
+  Rng rng(16);
+  const std::vector<double> weights{0.0, 0.0, 0.0, 0.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.WeightedIndex(weights)];
+  for (int c : counts) EXPECT_GT(c, 1500);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(17);
+  Rng child = a.Fork();
+  // Child should differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+class RngDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngDeterminism, FullDistributionStackIsReproducible) {
+  Rng a(GetParam()), b(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(a.NextDouble(), b.NextDouble());
+    EXPECT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+    EXPECT_EQ(a.Poisson(4.0), b.Poisson(4.0));
+    EXPECT_DOUBLE_EQ(a.Exponential(1.0), b.Exponential(1.0));
+    EXPECT_EQ(a.NextBounded(97), b.NextBounded(97));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngDeterminism,
+                         ::testing::Values(0, 1, 42, 20130, 0xFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace fairmove

@@ -1,0 +1,126 @@
+// Tests of model persistence: MLP binary serialization and policy
+// save/load round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "fairmove/core/fairmove.h"
+#include "fairmove/nn/mlp.h"
+#include "fairmove/rl/cma2c_policy.h"
+#include "fairmove/rl/features.h"
+#include "fairmove/rl/dqn_policy.h"
+
+namespace fairmove {
+namespace {
+
+TEST(MlpSerializationTest, StreamRoundTripPreservesOutputs) {
+  Mlp original({7, 16, 3}, Activation::kTanh, 42);
+  std::stringstream stream;
+  ASSERT_TRUE(original.Serialize(stream).ok());
+  auto loaded_or = Mlp::Deserialize(stream);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status();
+  const Mlp& loaded = loaded_or.value();
+  EXPECT_EQ(loaded.input_dim(), 7);
+  EXPECT_EQ(loaded.output_dim(), 3);
+  const std::vector<float> x{0.1f, -0.4f, 0.9f, 0.0f, 0.3f, -1.0f, 0.5f};
+  const auto ya = original.Forward1(x);
+  const auto yb = loaded.Forward1(x);
+  for (size_t i = 0; i < ya.size(); ++i) EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(MlpSerializationTest, MultipleNetworksInOneStream) {
+  Mlp a({3, 4, 2}, Activation::kRelu, 1);
+  Mlp b({5, 6, 1}, Activation::kLinear, 2);
+  std::stringstream stream;
+  ASSERT_TRUE(a.Serialize(stream).ok());
+  ASSERT_TRUE(b.Serialize(stream).ok());
+  auto first = Mlp::Deserialize(stream);
+  auto second = Mlp::Deserialize(stream);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->input_dim(), 3);
+  EXPECT_EQ(second->input_dim(), 5);
+}
+
+TEST(MlpSerializationTest, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_FALSE(Mlp::Deserialize(empty).ok());
+  std::stringstream garbage("this is not a network");
+  EXPECT_FALSE(Mlp::Deserialize(garbage).ok());
+  // Truncated blob.
+  Mlp net({3, 2}, Activation::kRelu, 1);
+  std::stringstream stream;
+  ASSERT_TRUE(net.Serialize(stream).ok());
+  std::string blob = stream.str();
+  blob.resize(blob.size() / 2);
+  std::stringstream truncated(blob);
+  EXPECT_FALSE(Mlp::Deserialize(truncated).ok());
+}
+
+TEST(MlpSerializationTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fairmove_net_test.bin";
+  Mlp original({4, 8, 2}, Activation::kRelu, 9);
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto loaded = Mlp::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_parameters(), original.num_parameters());
+  std::remove(path.c_str());
+  EXPECT_FALSE(Mlp::LoadFromFile(path).ok());  // gone
+}
+
+class PolicyPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+    system_ = std::move(FairMoveSystem::Create(cfg)).value();
+  }
+  std::unique_ptr<FairMoveSystem> system_;
+};
+
+TEST_F(PolicyPersistenceTest, Cma2cSaveLoadPreservesBehaviour) {
+  const std::string path = ::testing::TempDir() + "/fairmove_cma2c.bin";
+  Cma2cPolicy::Options options;
+  options.seed = 11;
+  Cma2cPolicy trained(system_->sim(), options);
+  // Perturb the network away from init so the round trip is non-trivial:
+  // one quick training episode.
+  FairMoveConfig cfg = system_->config();
+  Trainer trainer = system_->MakeTrainer();
+  trained.SetTraining(true);
+  trained.BeginEpisode(system_->sim());
+  system_->sim().RunSlots(&trained, 40);
+  ASSERT_TRUE(trained.SaveModel(path).ok());
+
+  Cma2cPolicy restored(system_->sim(), options);
+  ASSERT_TRUE(restored.LoadModel(path).ok());
+  // Identical critic values on an arbitrary state.
+  std::vector<float> state(
+      static_cast<size_t>(FeatureExtractor(&system_->sim()).dim()), 0.1f);
+  EXPECT_NEAR(restored.Value(state), trained.Value(state), 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST_F(PolicyPersistenceTest, DqnSaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/fairmove_dqn.bin";
+  DqnPolicy::Options options;
+  options.seed = 12;
+  DqnPolicy policy(system_->sim(), options);
+  ASSERT_TRUE(policy.SaveModel(path).ok());
+  DqnPolicy restored(system_->sim(), options);
+  ASSERT_TRUE(restored.LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(PolicyPersistenceTest, LoadRejectsWrongArchitecture) {
+  const std::string path = ::testing::TempDir() + "/fairmove_wrong.bin";
+  Mlp tiny({2, 2}, Activation::kRelu, 1);
+  ASSERT_TRUE(tiny.SaveToFile(path).ok());
+  DqnPolicy policy(system_->sim());
+  EXPECT_FALSE(policy.LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fairmove

@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fairmove/common/stats.h"
+#include "fairmove/demand/demand_model.h"
+#include "fairmove/geo/city_builder.h"
+#include "fairmove/pricing/tou_tariff.h"
+#include "fairmove/sim/simulator.h"
+
+namespace fairmove {
+namespace {
+
+/// Deterministic scripted policy: everyone stays unless forced to charge
+/// (then: nearest station).
+class StayPolicy : public DisplacementPolicy {
+ public:
+  std::string name() const override { return "stay"; }
+  void DecideActions(const Simulator& sim, const std::vector<TaxiObs>& vacant,
+                     std::vector<Action>* actions) override {
+    actions->clear();
+    for (const TaxiObs& obs : vacant) {
+      if (obs.must_charge) {
+        actions->push_back(
+            Action::Charge(sim.city().NearestStations(obs.region).front()));
+      } else {
+        actions->push_back(Action::Stay());
+      }
+    }
+  }
+};
+
+/// Charges at the first opportunity (soc below may-charge) — stresses the
+/// station/queue machinery.
+class EagerChargePolicy : public DisplacementPolicy {
+ public:
+  std::string name() const override { return "eager-charge"; }
+  void DecideActions(const Simulator& sim, const std::vector<TaxiObs>& vacant,
+                     std::vector<Action>* actions) override {
+    actions->clear();
+    for (const TaxiObs& obs : vacant) {
+      if (obs.must_charge || obs.may_charge) {
+        actions->push_back(
+            Action::Charge(sim.city().NearestStations(obs.region).front()));
+      } else {
+        actions->push_back(Action::Stay());
+      }
+    }
+  }
+};
+
+struct TestStack {
+  std::unique_ptr<City> city;
+  std::unique_ptr<DemandModel> demand;
+  std::unique_ptr<Simulator> sim;
+};
+
+TestStack MakeStack(int num_taxis = 300, double scale = 0.05,
+                    uint64_t seed = 77) {
+  TestStack stack;
+  CityConfig city_cfg = CityConfig{}.Scaled(scale);
+  city_cfg.seed = seed;
+  auto city_or = CityBuilder(city_cfg).Build();
+  EXPECT_TRUE(city_or.ok());
+  stack.city = std::make_unique<City>(std::move(city_or).value());
+  DemandConfig demand_cfg;
+  demand_cfg.num_taxis = num_taxis;
+  stack.demand = std::make_unique<DemandModel>(
+      DemandModel::Create(stack.city.get(), demand_cfg).value());
+  SimConfig sim_cfg;
+  sim_cfg.num_taxis = num_taxis;
+  sim_cfg.seed = seed;
+  auto sim_or = Simulator::Create(stack.city.get(), stack.demand.get(),
+                                  TouTariff::Shenzhen(), sim_cfg);
+  EXPECT_TRUE(sim_or.ok());
+  stack.sim = std::move(sim_or).value();
+  return stack;
+}
+
+TEST(SimConfigTest, ValidateCatchesBadKnobs) {
+  SimConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.num_taxis = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.soc_force_charge = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.soc_may_charge = 0.1;  // below force threshold
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.charge_target_min = 0.1;  // below force threshold
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.initial_soc_min = 0.9;
+  cfg.initial_soc_max = 0.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.renege_queue_factor = -1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.hustle_sigma = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(SimulatorTest, CreateRejectsNullInputs) {
+  TestStack stack = MakeStack();
+  SimConfig cfg;
+  EXPECT_FALSE(Simulator::Create(nullptr, stack.demand.get(),
+                                 TouTariff::Shenzhen(), cfg)
+                   .ok());
+  EXPECT_FALSE(Simulator::Create(stack.city.get(), nullptr,
+                                 TouTariff::Shenzhen(), cfg)
+                   .ok());
+}
+
+TEST(SimulatorTest, ResetInitialisesFleet) {
+  TestStack stack = MakeStack(200);
+  const Simulator& sim = *stack.sim;
+  EXPECT_EQ(sim.num_taxis(), 200);
+  EXPECT_EQ(sim.now().index, 0);
+  for (const Taxi& taxi : sim.taxis()) {
+    EXPECT_EQ(taxi.phase, TaxiPhase::kCruising);
+    EXPECT_GE(taxi.battery.soc(), sim.config().initial_soc_min - 1e-9);
+    EXPECT_LE(taxi.battery.soc(), sim.config().initial_soc_max + 1e-9);
+    EXPECT_GE(taxi.region, 0);
+    EXPECT_LT(taxi.region, sim.city().num_regions());
+  }
+}
+
+TEST(SimulatorTest, HustleIsPositiveAndHeterogeneous) {
+  TestStack stack = MakeStack(300);
+  double lo = 1e9, hi = 0.0;
+  for (TaxiId id = 0; id < stack.sim->num_taxis(); ++id) {
+    const double h = stack.sim->hustle(id);
+    EXPECT_GT(h, 0.0);
+    lo = std::min(lo, h);
+    hi = std::max(hi, h);
+  }
+  EXPECT_GT(hi / lo, 2.0);  // meaningfully heterogeneous
+}
+
+TEST(SimulatorTest, StepAdvancesTime) {
+  TestStack stack = MakeStack(100);
+  StayPolicy policy;
+  stack.sim->Step(&policy);
+  EXPECT_EQ(stack.sim->now().index, 1);
+  stack.sim->RunSlots(&policy, 10);
+  EXPECT_EQ(stack.sim->now().index, 11);
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  TestStack a = MakeStack(150, 0.05, 9);
+  TestStack b = MakeStack(150, 0.05, 9);
+  StayPolicy pa, pb;
+  a.sim->RunSlots(&pa, 100);
+  b.sim->RunSlots(&pb, 100);
+  EXPECT_EQ(a.sim->trace().total_trips(), b.sim->trace().total_trips());
+  EXPECT_EQ(a.sim->total_requests(), b.sim->total_requests());
+  for (TaxiId id = 0; id < a.sim->num_taxis(); ++id) {
+    EXPECT_DOUBLE_EQ(a.sim->taxi(id).totals.revenue_cny,
+                     b.sim->taxi(id).totals.revenue_cny);
+    EXPECT_DOUBLE_EQ(a.sim->taxi(id).battery.soc(),
+                     b.sim->taxi(id).battery.soc());
+  }
+}
+
+TEST(SimulatorTest, DifferentSeedsDiverge) {
+  TestStack a = MakeStack(150, 0.05, 9);
+  TestStack b = MakeStack(150, 0.05, 10);
+  StayPolicy pa, pb;
+  a.sim->RunSlots(&pa, 50);
+  b.sim->RunSlots(&pb, 50);
+  EXPECT_NE(a.sim->total_requests(), b.sim->total_requests());
+}
+
+TEST(SimulatorTest, ResetIsIdempotentReplay) {
+  TestStack stack = MakeStack(120);
+  StayPolicy policy;
+  stack.sim->RunSlots(&policy, 60);
+  const int64_t trips_first = stack.sim->trace().total_trips();
+  stack.sim->Reset();
+  stack.sim->RunSlots(&policy, 60);
+  EXPECT_EQ(stack.sim->trace().total_trips(), trips_first);
+}
+
+TEST(SimulatorTest, TimeAccountingSumsToWallClock) {
+  TestStack stack = MakeStack(200);
+  StayPolicy policy;
+  const int64_t slots = 200;
+  stack.sim->RunSlots(&policy, slots);
+  for (const Taxi& taxi : stack.sim->taxis()) {
+    const double expected =
+        slots * kMinutesPerSlot +
+        taxi.totals.num_strandings * stack.sim->config().stranding_penalty_min;
+    EXPECT_NEAR(taxi.totals.on_duty_min(), expected, 1e-6)
+        << "taxi " << taxi.id;
+  }
+}
+
+TEST(SimulatorTest, SocStaysInUnitInterval) {
+  TestStack stack = MakeStack(200);
+  EagerChargePolicy policy;
+  for (int i = 0; i < 300; ++i) {
+    stack.sim->Step(&policy);
+    for (const Taxi& taxi : stack.sim->taxis()) {
+      EXPECT_GE(taxi.battery.soc(), 0.0);
+      EXPECT_LE(taxi.battery.soc(), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(SimulatorTest, StationOccupancyNeverExceedsPoints) {
+  TestStack stack = MakeStack(400);
+  EagerChargePolicy policy;
+  for (int i = 0; i < 250; ++i) {
+    stack.sim->Step(&policy);
+    for (StationId s = 0; s < stack.sim->city().num_stations(); ++s) {
+      const StationQueue& q = stack.sim->station_queue(s);
+      EXPECT_LE(q.occupied(), q.num_points());
+      EXPECT_GE(q.occupied(), 0);
+    }
+  }
+}
+
+TEST(SimulatorTest, PhaseAndStationBookkeepingConsistent) {
+  TestStack stack = MakeStack(300);
+  EagerChargePolicy policy;
+  stack.sim->RunSlots(&policy, 150);
+  int charging = 0, queuing = 0;
+  for (const Taxi& taxi : stack.sim->taxis()) {
+    charging += taxi.phase == TaxiPhase::kCharging ? 1 : 0;
+    queuing += taxi.phase == TaxiPhase::kQueuing ? 1 : 0;
+  }
+  int occupied = 0, waiting = 0;
+  for (StationId s = 0; s < stack.sim->city().num_stations(); ++s) {
+    occupied += stack.sim->station_queue(s).occupied();
+    waiting += stack.sim->station_queue(s).waiting();
+  }
+  EXPECT_EQ(charging, occupied);
+  EXPECT_EQ(queuing, waiting);
+}
+
+TEST(SimulatorTest, RequestConservation) {
+  TestStack stack = MakeStack(250);
+  StayPolicy policy;
+  stack.sim->RunSlots(&policy, 144);
+  int64_t pending = 0;
+  for (RegionId r = 0; r < stack.sim->city().num_regions(); ++r) {
+    pending += stack.sim->PendingRequests(r);
+  }
+  EXPECT_EQ(stack.sim->total_requests(),
+            stack.sim->trace().total_trips() +
+                stack.sim->trace().expired_requests() + pending);
+}
+
+TEST(SimulatorTest, TripsMatchPerTaxiCounters) {
+  TestStack stack = MakeStack(200);
+  StayPolicy policy;
+  stack.sim->RunSlots(&policy, 144);
+  int64_t trips = 0;
+  double revenue = 0.0;
+  for (const Taxi& taxi : stack.sim->taxis()) {
+    trips += taxi.totals.num_trips;
+    revenue += taxi.totals.revenue_cny;
+  }
+  EXPECT_EQ(trips, stack.sim->trace().total_trips());
+  // Fares are credited at drop-off; trips still in progress at the end are
+  // recorded but unpaid, so the per-taxi revenue is at most the trace total.
+  EXPECT_LE(revenue, stack.sim->trace().total_fares() + 1e-6);
+  EXPECT_GT(revenue, 0.0);
+}
+
+TEST(SimulatorTest, LowBatteryTaxisEventuallyCharge) {
+  TestStack stack = MakeStack(150);
+  StayPolicy policy;
+  stack.sim->RunDays(&policy, 2);
+  int64_t charges = 0;
+  for (const Taxi& taxi : stack.sim->taxis()) {
+    charges += taxi.totals.num_charges;
+  }
+  EXPECT_GT(charges, stack.sim->num_taxis() / 2)
+      << "a two-day run must include plenty of charging";
+  EXPECT_EQ(charges, stack.sim->trace().total_charge_events());
+}
+
+TEST(SimulatorTest, ChargeEventsAreWellFormed) {
+  TestStack stack = MakeStack(200);
+  EagerChargePolicy policy;
+  stack.sim->RunDays(&policy, 1);
+  ASSERT_GT(stack.sim->trace().charge_events().size(), 0u);
+  for (const ChargeEvent& e : stack.sim->trace().charge_events()) {
+    EXPECT_LE(e.seek_slot, e.plugin_slot);
+    EXPECT_LT(e.plugin_slot, e.finish_slot);
+    EXPECT_GE(e.idle_min, 0.0f);
+    EXPECT_GT(e.charge_min, 0.0f);
+    EXPECT_GT(e.kwh, 0.0f);
+    EXPECT_GT(e.cost_cny, 0.0f);
+    EXPECT_GT(e.soc_end, e.soc_start);
+    // Cost must be within the tariff band for the energy delivered.
+    EXPECT_GE(e.cost_cny, e.kwh * kOffPeakRate - 1e-3);
+    EXPECT_LE(e.cost_cny, e.kwh * kPeakRate + 1e-3);
+  }
+}
+
+TEST(SimulatorTest, TripRecordsAreWellFormed) {
+  TestStack stack = MakeStack(200);
+  StayPolicy policy;
+  stack.sim->RunDays(&policy, 1);
+  ASSERT_GT(stack.sim->trace().trips().size(), 0u);
+  for (const TripRecord& t : stack.sim->trace().trips()) {
+    EXPECT_LT(t.pickup_slot, t.dropoff_slot);
+    EXPECT_GE(t.cruise_min, 0.0f);
+    EXPECT_GT(t.fare_cny, 0.0f);
+    EXPECT_GE(t.distance_km, 0.0f);
+    EXPECT_GE(t.origin, 0);
+    EXPECT_LT(t.origin, stack.sim->city().num_regions());
+    EXPECT_GE(t.dest, 0);
+    EXPECT_LT(t.dest, stack.sim->city().num_regions());
+  }
+}
+
+TEST(SimulatorTest, DecisionsOnlyForVacantTaxis) {
+  TestStack stack = MakeStack(150);
+  StayPolicy policy;
+  for (int i = 0; i < 100; ++i) {
+    const int64_t slot = stack.sim->now().index;
+    stack.sim->Step(&policy);
+    for (const Decision& d : stack.sim->last_decisions()) {
+      EXPECT_GE(d.taxi, 0);
+      EXPECT_LT(d.taxi, stack.sim->num_taxis());
+      EXPECT_GE(d.action_index, 0);
+      EXPECT_LT(d.action_index, stack.sim->action_space().size());
+      (void)slot;
+    }
+  }
+}
+
+TEST(SimulatorTest, NullPolicyRunsForcedChargingOnly) {
+  TestStack stack = MakeStack(150);
+  stack.sim->RunDays(nullptr, 1);
+  // Taxis must still have charged (forced at the threshold) and survived.
+  int64_t charges = 0;
+  for (const Taxi& taxi : stack.sim->taxis()) {
+    charges += taxi.totals.num_charges;
+    EXPECT_GE(taxi.battery.soc(), 0.0);
+  }
+  EXPECT_GT(charges, 0);
+}
+
+TEST(SimulatorTest, StrandingIsRareUnderForcedCharging) {
+  TestStack stack = MakeStack(250);
+  StayPolicy policy;
+  stack.sim->RunDays(&policy, 2);
+  int64_t strandings = 0;
+  for (const Taxi& taxi : stack.sim->taxis()) {
+    strandings += taxi.totals.num_strandings;
+  }
+  // Forced charging at 20% SoC leaves 80 km of range: stranding should be
+  // an exceptional event, not routine.
+  EXPECT_LT(strandings, stack.sim->num_taxis() / 20);
+}
+
+TEST(SimulatorTest, SlotProfitsMatchTotalsDelta) {
+  TestStack stack = MakeStack(150);
+  StayPolicy policy;
+  std::vector<double> cum(static_cast<size_t>(stack.sim->num_taxis()), 0.0);
+  for (int i = 0; i < 144; ++i) {
+    stack.sim->Step(&policy);
+    for (TaxiId id = 0; id < stack.sim->num_taxis(); ++id) {
+      cum[static_cast<size_t>(id)] +=
+          stack.sim->slot_profits()[static_cast<size_t>(id)];
+    }
+  }
+  for (TaxiId id = 0; id < stack.sim->num_taxis(); ++id) {
+    EXPECT_NEAR(cum[static_cast<size_t>(id)],
+                stack.sim->taxi(id).totals.profit_cny(), 1e-6);
+  }
+}
+
+TEST(SimulatorTest, FleetPeStatsMatchManualComputation) {
+  TestStack stack = MakeStack(120);
+  StayPolicy policy;
+  stack.sim->RunSlots(&policy, 100);
+  RunningStats manual;
+  for (const Taxi& taxi : stack.sim->taxis()) {
+    manual.Add(taxi.totals.hourly_pe());
+  }
+  EXPECT_NEAR(stack.sim->FleetMeanPe(), manual.mean(), 1e-9);
+  EXPECT_NEAR(stack.sim->FleetPeVariance(), manual.variance(), 1e-9);
+}
+
+TEST(SimulatorTest, VacantCountsMatchPhases) {
+  TestStack stack = MakeStack(180);
+  StayPolicy policy;
+  stack.sim->RunSlots(&policy, 37);
+  int vacant_by_count = 0;
+  for (RegionId r = 0; r < stack.sim->city().num_regions(); ++r) {
+    vacant_by_count += stack.sim->VacantCount(r);
+  }
+  int cruising = 0;
+  for (const Taxi& taxi : stack.sim->taxis()) {
+    cruising += taxi.phase == TaxiPhase::kCruising ? 1 : 0;
+  }
+  EXPECT_EQ(vacant_by_count, cruising);
+}
+
+// Invariants hold across fleet sizes and seeds (parameterized sweep).
+class SimulatorSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(SimulatorSweep, CoreInvariantsHold) {
+  TestStack stack =
+      MakeStack(std::get<0>(GetParam()), 0.05, std::get<1>(GetParam()));
+  EagerChargePolicy policy;
+  stack.sim->RunSlots(&policy, 144);
+  // Conservation and bounds.
+  int64_t pending = 0;
+  for (RegionId r = 0; r < stack.sim->city().num_regions(); ++r) {
+    pending += stack.sim->PendingRequests(r);
+  }
+  EXPECT_EQ(stack.sim->total_requests(),
+            stack.sim->trace().total_trips() +
+                stack.sim->trace().expired_requests() + pending);
+  for (const Taxi& taxi : stack.sim->taxis()) {
+    EXPECT_GE(taxi.battery.soc(), 0.0);
+    EXPECT_LE(taxi.battery.soc(), 1.0 + 1e-9);
+    EXPECT_GE(taxi.totals.revenue_cny, 0.0);
+    EXPECT_GE(taxi.totals.charge_cost_cny, 0.0);
+  }
+  for (StationId s = 0; s < stack.sim->city().num_stations(); ++s) {
+    EXPECT_LE(stack.sim->station_queue(s).occupied(),
+              stack.sim->station_queue(s).num_points());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FleetsAndSeeds, SimulatorSweep,
+    ::testing::Combine(::testing::Values(60, 200, 500),
+                       ::testing::Values(1u, 7u, 42u)));
+
+}  // namespace
+}  // namespace fairmove

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fairmove/common/rng.h"
+#include "fairmove/common/stats.h"
+
+namespace fairmove {
+namespace {
+
+// ---------------------------------------------------------- RunningStats --
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(3.0, 2.0);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats a_copy = a;
+  a.Merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.Merge(a_copy);  // empty lhs: becomes rhs
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+// ---------------------------------------------------------------- Sample --
+
+TEST(SampleTest, MeanVarianceSum) {
+  Sample s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 1.25);
+}
+
+TEST(SampleTest, PercentileInterpolates) {
+  Sample s;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(12.5), 15.0);  // midway between elements
+}
+
+TEST(SampleTest, PercentileSingleElement) {
+  Sample s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+}
+
+TEST(SampleTest, CdfAt) {
+  Sample s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.CdfAt(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.CdfAt(10.0), 1.0);
+}
+
+TEST(SampleTest, FractionIn) {
+  Sample s;
+  for (int i = 0; i < 10; ++i) s.Add(i);  // 0..9
+  EXPECT_DOUBLE_EQ(s.FractionIn(0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.FractionIn(2.0, 5.0), 0.3);  // 2,3,4
+  EXPECT_DOUBLE_EQ(s.FractionIn(9.5, 20.0), 0.0);
+}
+
+TEST(SampleTest, BoxSummary) {
+  Sample s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(v);
+  const auto box = s.Box();
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.q1, 2.0);
+  EXPECT_DOUBLE_EQ(box.median, 3.0);
+  EXPECT_DOUBLE_EQ(box.q3, 4.0);
+  EXPECT_DOUBLE_EQ(box.max, 5.0);
+}
+
+TEST(SampleTest, AddAfterQueryResortsCorrectly) {
+  Sample s;
+  s.Add(5.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  s.Add(100.0);  // added after a sorted query
+  EXPECT_DOUBLE_EQ(s.Median(), 5.0);
+}
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(HistogramTest, BucketsAndFractions) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_EQ(h.num_buckets(), 10);
+  h.Add(5.0);    // bucket 0
+  h.Add(15.0);   // bucket 1
+  h.Add(15.5);   // bucket 1
+  h.Add(99.9);   // bucket 9
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 2);
+  EXPECT_EQ(h.bucket_count(9), 1);
+  EXPECT_DOUBLE_EQ(h.bucket_fraction(1), 0.5);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBuckets) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(-5.0);
+  h.Add(50.0);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 1);
+}
+
+TEST(HistogramTest, BoundsAndLabels) {
+  Histogram h(0.0, 30.0, 3);
+  EXPECT_EQ(h.bucket_bounds(1).first, 10.0);
+  EXPECT_EQ(h.bucket_bounds(1).second, 20.0);
+  EXPECT_EQ(h.bucket_label(0), "[0, 10)");
+}
+
+// ------------------------------------------------------------------ Gini --
+
+TEST(GiniTest, PerfectEqualityIsZero) {
+  EXPECT_DOUBLE_EQ(Gini({5.0, 5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(GiniTest, ExtremeInequalityApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v.back() = 1000.0;
+  EXPECT_GT(Gini(v), 0.95);
+}
+
+TEST(GiniTest, KnownValue) {
+  // {0, 1}: G = 0.5 by definition.
+  EXPECT_DOUBLE_EQ(Gini({0.0, 1.0}), 0.5);
+}
+
+TEST(GiniTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Gini({}), 0.0);
+  EXPECT_DOUBLE_EQ(Gini({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Gini({0.0, 0.0}), 0.0);
+}
+
+TEST(GiniTest, ScaleInvariant) {
+  const std::vector<double> base{1.0, 2.0, 3.0, 10.0};
+  std::vector<double> scaled;
+  for (double v : base) scaled.push_back(v * 7.5);
+  EXPECT_NEAR(Gini(base), Gini(scaled), 1e-12);
+}
+
+// -------------------------------------------- property-style sweeps ------
+
+class SampleVsRunningStats : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SampleVsRunningStats, AgreeOnMeanAndVariance) {
+  Rng rng(GetParam());
+  Sample sample;
+  RunningStats running;
+  const int n = 200 + static_cast<int>(rng.NextBounded(300));
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Uniform(-50.0, 150.0);
+    sample.Add(v);
+    running.Add(v);
+  }
+  EXPECT_NEAR(sample.Mean(), running.mean(), 1e-9);
+  EXPECT_NEAR(sample.Variance(), running.variance(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SampleVsRunningStats,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class PercentileMonotone : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PercentileMonotone, NonDecreasingInP) {
+  Rng rng(GetParam());
+  Sample s;
+  for (int i = 0; i < 500; ++i) s.Add(rng.LogNormal(1.0, 1.0));
+  double prev = s.Percentile(0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = s.Percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace fairmove

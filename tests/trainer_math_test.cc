@@ -1,0 +1,175 @@
+// Hand-verified semi-MDP bookkeeping: the Trainer must accumulate
+// per-slot rewards into decision windows with the right discounting, close
+// windows at the next decision, and bootstrap with gamma^k.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fairmove/core/fairmove.h"
+#include "fairmove/core/trainer.h"
+#include "fairmove/rl/faircharge_policy.h"
+#include "fairmove/rl/gt_policy.h"
+
+namespace fairmove {
+namespace {
+
+/// Stays always (forced charges via nearest station) and records every
+/// transition it is fed.
+class RecordingPolicy : public DisplacementPolicy {
+ public:
+  std::string name() const override { return "recording"; }
+  void DecideActions(const Simulator& sim, const std::vector<TaxiObs>& vacant,
+                     std::vector<Action>* actions) override {
+    actions->clear();
+    for (const TaxiObs& obs : vacant) {
+      if (obs.must_charge) {
+        actions->push_back(
+            Action::Charge(sim.city().NearestStations(obs.region).front()));
+      } else {
+        actions->push_back(Action::Stay());
+      }
+    }
+  }
+  bool WantsTransitions() const override { return true; }
+  void Learn(const std::vector<Transition>& batch) override {
+    transitions.insert(transitions.end(), batch.begin(), batch.end());
+  }
+  std::vector<Transition> transitions;
+};
+
+class TrainerMathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+    cfg.trainer.episodes = 1;
+    cfg.trainer.slots_per_episode = 80;
+    system_ = std::move(FairMoveSystem::Create(cfg)).value();
+  }
+  std::unique_ptr<FairMoveSystem> system_;
+};
+
+TEST_F(TrainerMathTest, DiscountEqualsGammaToWindowLength) {
+  RecordingPolicy policy;
+  Trainer trainer = system_->MakeTrainer();
+  trainer.Train(&policy);
+  const double gamma = system_->config().trainer.reward.gamma;
+  ASSERT_FALSE(policy.transitions.empty());
+  for (const auto& t : policy.transitions) {
+    EXPECT_GT(t.discount, 0.0);
+    if (t.terminal && t.discount == 1.0) {
+      // A window opened in the final slot flushes immediately; its unused
+      // bootstrap discount is gamma^0.
+      continue;
+    }
+    // discount = gamma^k for integer k >= 1 (at least one slot passes
+    // between decisions).
+    const double k = std::log(t.discount) / std::log(gamma);
+    EXPECT_LE(t.discount, gamma + 1e-12);
+    EXPECT_NEAR(k, std::round(k), 1e-6) << "discount " << t.discount;
+  }
+}
+
+TEST_F(TrainerMathTest, StayingVacantTaxiDecidesEverySlot) {
+  // A taxi that stays and is never matched decides every slot, so its
+  // windows are exactly one slot long: discount == gamma.
+  RecordingPolicy policy;
+  Trainer trainer = system_->MakeTrainer();
+  trainer.Train(&policy);
+  const double gamma = system_->config().trainer.reward.gamma;
+  int one_slot = 0;
+  for (const auto& t : policy.transitions) {
+    one_slot += std::abs(t.discount - gamma) < 1e-12 ? 1 : 0;
+  }
+  // The overwhelming majority of stay-decisions close after one slot.
+  EXPECT_GT(one_slot, static_cast<int>(policy.transitions.size()) / 2);
+}
+
+TEST_F(TrainerMathTest, WindowRewardsAreDiscountedSums) {
+  // Zero-profit windows (no fare, no charge cost, with alpha=1 so the
+  // fairness penalty is off) must accumulate exactly 0.
+  FairMoveConfig cfg = system_->config();
+  cfg.trainer.reward.alpha = 1.0;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  RecordingPolicy policy;
+  Trainer trainer = system->MakeTrainer();
+  trainer.Train(&policy);
+  int zero_windows = 0;
+  for (const auto& t : policy.transitions) {
+    if (std::abs(t.reward) < 1e-12) ++zero_windows;
+    // And the pure-own reward never exceeds the Eq-5 reward at alpha=1.
+    EXPECT_NEAR(t.reward, t.reward_own, 1e-9);
+  }
+  EXPECT_GT(zero_windows, 0) << "some stay-windows earn nothing";
+}
+
+TEST_F(TrainerMathTest, TerminalTransitionsOnlyAtEpisodeEnd) {
+  RecordingPolicy policy;
+  Trainer trainer = system_->MakeTrainer();
+  trainer.Train(&policy);
+  int terminals = 0;
+  for (const auto& t : policy.transitions) terminals += t.terminal ? 1 : 0;
+  // At most one open window per taxi can flush as terminal.
+  EXPECT_LE(terminals, system_->sim().num_taxis());
+  EXPECT_GT(terminals, 0);
+}
+
+// --------------------------------------------------------- FairCharge --
+
+TEST(FairChargeTest, PicksLessLoadedStations) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.05);
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  FairChargePolicy policy;
+  // With idle stations the recommendation is simply the nearest.
+  const RegionId region = 0;
+  const StationId best = policy.BestStation(system->sim(), region);
+  EXPECT_EQ(best, system->city().NearestStations(region).front());
+}
+
+TEST(FairChargeTest, RunsAFullEpisode) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.05);
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  FairChargePolicy policy;
+  policy.BeginEpisode(system->sim());
+  system->sim().RunDays(&policy, 1);
+  EXPECT_GT(system->sim().trace().total_charge_events(), 0);
+}
+
+TEST(FairChargeTest, RegisteredInTheFactory) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  auto policy = MakePolicy(PolicyKind::kFairCharge, system->sim(), 1);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->name(), "FairCharge");
+  EXPECT_STREQ(PolicyKindName(PolicyKind::kFairCharge), "FairCharge");
+}
+
+// --------------------------------------------------------- PhaseCounts --
+
+TEST(PhaseCountsTest, SnapshotsPartitionTheFleetEverySlot) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.05);
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  GtPolicy policy;
+  system->sim().RunSlots(&policy, 100);
+  const auto& snapshots = system->sim().trace().phase_counts();
+  ASSERT_EQ(snapshots.size(), 100u);
+  for (const PhaseCounts& counts : snapshots) {
+    EXPECT_EQ(counts.cruising + counts.serving + counts.to_station +
+                  counts.queuing + counts.charging,
+              system->sim().num_taxis());
+  }
+  EXPECT_EQ(snapshots.front().slot, 0);
+  EXPECT_EQ(snapshots.back().slot, 99);
+}
+
+TEST(PhaseCountsTest, AggregateOnlyTraceSkipsSnapshots) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.05);
+  cfg.sim.trace_level = TraceLevel::kAggregatesOnly;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  GtPolicy policy;
+  system->sim().RunSlots(&policy, 20);
+  EXPECT_TRUE(system->sim().trace().phase_counts().empty());
+}
+
+}  // namespace
+}  // namespace fairmove
