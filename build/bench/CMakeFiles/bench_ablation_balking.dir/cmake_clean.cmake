@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_balking.dir/bench_ablation_balking.cc.o"
+  "CMakeFiles/bench_ablation_balking.dir/bench_ablation_balking.cc.o.d"
+  "bench_ablation_balking"
+  "bench_ablation_balking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_balking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_fairness.cc" "bench/CMakeFiles/bench_ablation_fairness.dir/bench_ablation_fairness.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_fairness.dir/bench_ablation_fairness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fairmove_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

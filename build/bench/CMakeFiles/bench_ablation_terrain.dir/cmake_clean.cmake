@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_terrain.dir/bench_ablation_terrain.cc.o"
+  "CMakeFiles/bench_ablation_terrain.dir/bench_ablation_terrain.cc.o.d"
+  "bench_ablation_terrain"
+  "bench_ablation_terrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_terrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

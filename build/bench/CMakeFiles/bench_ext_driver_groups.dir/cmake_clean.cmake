@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_driver_groups.dir/bench_ext_driver_groups.cc.o"
+  "CMakeFiles/bench_ext_driver_groups.dir/bench_ext_driver_groups.cc.o.d"
+  "bench_ext_driver_groups"
+  "bench_ext_driver_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_driver_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

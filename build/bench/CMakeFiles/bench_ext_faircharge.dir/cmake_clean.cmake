@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_faircharge.dir/bench_ext_faircharge.cc.o"
+  "CMakeFiles/bench_ext_faircharge.dir/bench_ext_faircharge.cc.o.d"
+  "bench_ext_faircharge"
+  "bench_ext_faircharge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_faircharge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ridesharing.dir/bench_ext_ridesharing.cc.o"
+  "CMakeFiles/bench_ext_ridesharing.dir/bench_ext_ridesharing.cc.o.d"
+  "bench_ext_ridesharing"
+  "bench_ext_ridesharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ridesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

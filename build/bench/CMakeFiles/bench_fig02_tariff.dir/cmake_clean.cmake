@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_tariff.dir/bench_fig02_tariff.cc.o"
+  "CMakeFiles/bench_fig02_tariff.dir/bench_fig02_tariff.cc.o.d"
+  "bench_fig02_tariff"
+  "bench_fig02_tariff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_tariff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_charge_duration.dir/bench_fig03_charge_duration.cc.o"
+  "CMakeFiles/bench_fig03_charge_duration.dir/bench_fig03_charge_duration.cc.o.d"
+  "bench_fig03_charge_duration"
+  "bench_fig03_charge_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_charge_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

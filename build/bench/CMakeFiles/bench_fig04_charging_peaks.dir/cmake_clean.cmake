@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_charging_peaks.dir/bench_fig04_charging_peaks.cc.o"
+  "CMakeFiles/bench_fig04_charging_peaks.dir/bench_fig04_charging_peaks.cc.o.d"
+  "bench_fig04_charging_peaks"
+  "bench_fig04_charging_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_charging_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_first_cruise_by_station.dir/bench_fig06_first_cruise_by_station.cc.o"
+  "CMakeFiles/bench_fig06_first_cruise_by_station.dir/bench_fig06_first_cruise_by_station.cc.o.d"
+  "bench_fig06_first_cruise_by_station"
+  "bench_fig06_first_cruise_by_station.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_first_cruise_by_station.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

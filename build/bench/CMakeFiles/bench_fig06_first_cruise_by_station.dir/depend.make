@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_first_cruise_by_station.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_trip_revenue.dir/bench_fig07_trip_revenue.cc.o"
+  "CMakeFiles/bench_fig07_trip_revenue.dir/bench_fig07_trip_revenue.cc.o.d"
+  "bench_fig07_trip_revenue"
+  "bench_fig07_trip_revenue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_trip_revenue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_prct_hourly.dir/bench_fig11_prct_hourly.cc.o"
+  "CMakeFiles/bench_fig11_prct_hourly.dir/bench_fig11_prct_hourly.cc.o.d"
+  "bench_fig11_prct_hourly"
+  "bench_fig11_prct_hourly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_prct_hourly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

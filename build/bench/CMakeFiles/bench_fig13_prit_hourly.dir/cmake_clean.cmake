@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_prit_hourly.dir/bench_fig13_prit_hourly.cc.o"
+  "CMakeFiles/bench_fig13_prit_hourly.dir/bench_fig13_prit_hourly.cc.o.d"
+  "bench_fig13_prit_hourly"
+  "bench_fig13_prit_hourly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_prit_hourly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

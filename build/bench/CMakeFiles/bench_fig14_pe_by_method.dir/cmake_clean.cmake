@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_pe_by_method.dir/bench_fig14_pe_by_method.cc.o"
+  "CMakeFiles/bench_fig14_pe_by_method.dir/bench_fig14_pe_by_method.cc.o.d"
+  "bench_fig14_pe_by_method"
+  "bench_fig14_pe_by_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_pe_by_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_pipe.dir/bench_fig15_pipe.cc.o"
+  "CMakeFiles/bench_fig15_pipe.dir/bench_fig15_pipe.cc.o.d"
+  "bench_fig15_pipe"
+  "bench_fig15_pipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_pipf.dir/bench_fig16_pipf.cc.o"
+  "CMakeFiles/bench_fig16_pipf.dir/bench_fig16_pipf.cc.o.d"
+  "bench_fig16_pipf"
+  "bench_fig16_pipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_pipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_report.dir/bench_full_report.cc.o"
+  "CMakeFiles/bench_full_report.dir/bench_full_report.cc.o.d"
+  "bench_full_report"
+  "bench_full_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

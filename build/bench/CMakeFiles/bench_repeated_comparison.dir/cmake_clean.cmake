@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repeated_comparison.dir/bench_repeated_comparison.cc.o"
+  "CMakeFiles/bench_repeated_comparison.dir/bench_repeated_comparison.cc.o.d"
+  "bench_repeated_comparison"
+  "bench_repeated_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repeated_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

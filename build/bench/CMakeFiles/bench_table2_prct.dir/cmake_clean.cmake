@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_prct.dir/bench_table2_prct.cc.o"
+  "CMakeFiles/bench_table2_prct.dir/bench_table2_prct.cc.o.d"
+  "bench_table2_prct"
+  "bench_table2_prct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_prct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

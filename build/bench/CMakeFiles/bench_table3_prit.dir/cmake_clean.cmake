@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_prit.dir/bench_table3_prit.cc.o"
+  "CMakeFiles/bench_table3_prit.dir/bench_table3_prit.cc.o.d"
+  "bench_table3_prit"
+  "bench_table3_prit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_prit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

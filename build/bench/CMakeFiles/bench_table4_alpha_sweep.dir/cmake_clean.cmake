@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_alpha_sweep.dir/bench_table4_alpha_sweep.cc.o"
+  "CMakeFiles/bench_table4_alpha_sweep.dir/bench_table4_alpha_sweep.cc.o.d"
+  "bench_table4_alpha_sweep"
+  "bench_table4_alpha_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_alpha_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/fairmove_bench_common.dir/bench_common.cc.o.d"
+  "libfairmove_bench_common.a"
+  "libfairmove_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

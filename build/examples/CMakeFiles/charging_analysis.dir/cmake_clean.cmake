@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charging_analysis.dir/charging_analysis.cpp.o"
+  "CMakeFiles/charging_analysis.dir/charging_analysis.cpp.o.d"
+  "charging_analysis"
+  "charging_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charging_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

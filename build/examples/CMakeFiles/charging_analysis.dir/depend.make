@@ -1,0 +1,2 @@
+# Empty dependencies file for charging_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_day.dir/fleet_day.cpp.o"
+  "CMakeFiles/fleet_day.dir/fleet_day.cpp.o.d"
+  "fleet_day"
+  "fleet_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

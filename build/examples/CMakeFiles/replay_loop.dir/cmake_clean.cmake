@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_loop.dir/replay_loop.cpp.o"
+  "CMakeFiles/replay_loop.dir/replay_loop.cpp.o.d"
+  "replay_loop"
+  "replay_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

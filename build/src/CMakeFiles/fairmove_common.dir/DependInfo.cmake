@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairmove/common/config.cc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/config.cc.o" "gcc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/config.cc.o.d"
+  "/root/repo/src/fairmove/common/csv.cc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/csv.cc.o" "gcc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/csv.cc.o.d"
+  "/root/repo/src/fairmove/common/flags.cc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/flags.cc.o" "gcc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/flags.cc.o.d"
+  "/root/repo/src/fairmove/common/stats.cc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/stats.cc.o" "gcc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/stats.cc.o.d"
+  "/root/repo/src/fairmove/common/status.cc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/status.cc.o" "gcc" "src/CMakeFiles/fairmove_common.dir/fairmove/common/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_common.dir/fairmove/common/config.cc.o"
+  "CMakeFiles/fairmove_common.dir/fairmove/common/config.cc.o.d"
+  "CMakeFiles/fairmove_common.dir/fairmove/common/csv.cc.o"
+  "CMakeFiles/fairmove_common.dir/fairmove/common/csv.cc.o.d"
+  "CMakeFiles/fairmove_common.dir/fairmove/common/flags.cc.o"
+  "CMakeFiles/fairmove_common.dir/fairmove/common/flags.cc.o.d"
+  "CMakeFiles/fairmove_common.dir/fairmove/common/stats.cc.o"
+  "CMakeFiles/fairmove_common.dir/fairmove/common/stats.cc.o.d"
+  "CMakeFiles/fairmove_common.dir/fairmove/common/status.cc.o"
+  "CMakeFiles/fairmove_common.dir/fairmove/common/status.cc.o.d"
+  "libfairmove_common.a"
+  "libfairmove_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

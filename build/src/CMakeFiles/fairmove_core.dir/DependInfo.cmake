@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairmove/core/evaluator.cc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/evaluator.cc.o" "gcc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/evaluator.cc.o.d"
+  "/root/repo/src/fairmove/core/experiment.cc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/experiment.cc.o" "gcc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/experiment.cc.o.d"
+  "/root/repo/src/fairmove/core/fairmove.cc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/fairmove.cc.o" "gcc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/fairmove.cc.o.d"
+  "/root/repo/src/fairmove/core/group_fairness.cc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/group_fairness.cc.o" "gcc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/group_fairness.cc.o.d"
+  "/root/repo/src/fairmove/core/metrics.cc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/metrics.cc.o" "gcc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/metrics.cc.o.d"
+  "/root/repo/src/fairmove/core/report.cc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/report.cc.o" "gcc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/report.cc.o.d"
+  "/root/repo/src/fairmove/core/reward.cc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/reward.cc.o" "gcc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/reward.cc.o.d"
+  "/root/repo/src/fairmove/core/trainer.cc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/trainer.cc.o" "gcc" "src/CMakeFiles/fairmove_core.dir/fairmove/core/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairmove_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_core.dir/fairmove/core/evaluator.cc.o"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/evaluator.cc.o.d"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/experiment.cc.o"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/experiment.cc.o.d"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/fairmove.cc.o"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/fairmove.cc.o.d"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/group_fairness.cc.o"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/group_fairness.cc.o.d"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/metrics.cc.o"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/metrics.cc.o.d"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/report.cc.o"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/report.cc.o.d"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/reward.cc.o"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/reward.cc.o.d"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/trainer.cc.o"
+  "CMakeFiles/fairmove_core.dir/fairmove/core/trainer.cc.o.d"
+  "libfairmove_core.a"
+  "libfairmove_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

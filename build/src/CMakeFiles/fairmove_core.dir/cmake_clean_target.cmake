@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfairmove_core.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fairmove_core.
+# This may be replaced when dependencies are built.

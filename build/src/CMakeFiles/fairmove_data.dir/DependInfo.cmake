@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairmove/data/analysis.cc" "src/CMakeFiles/fairmove_data.dir/fairmove/data/analysis.cc.o" "gcc" "src/CMakeFiles/fairmove_data.dir/fairmove/data/analysis.cc.o.d"
+  "/root/repo/src/fairmove/data/empirical_demand.cc" "src/CMakeFiles/fairmove_data.dir/fairmove/data/empirical_demand.cc.o" "gcc" "src/CMakeFiles/fairmove_data.dir/fairmove/data/empirical_demand.cc.o.d"
+  "/root/repo/src/fairmove/data/generator.cc" "src/CMakeFiles/fairmove_data.dir/fairmove/data/generator.cc.o" "gcc" "src/CMakeFiles/fairmove_data.dir/fairmove/data/generator.cc.o.d"
+  "/root/repo/src/fairmove/data/records.cc" "src/CMakeFiles/fairmove_data.dir/fairmove/data/records.cc.o" "gcc" "src/CMakeFiles/fairmove_data.dir/fairmove/data/records.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairmove_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_data.dir/fairmove/data/analysis.cc.o"
+  "CMakeFiles/fairmove_data.dir/fairmove/data/analysis.cc.o.d"
+  "CMakeFiles/fairmove_data.dir/fairmove/data/empirical_demand.cc.o"
+  "CMakeFiles/fairmove_data.dir/fairmove/data/empirical_demand.cc.o.d"
+  "CMakeFiles/fairmove_data.dir/fairmove/data/generator.cc.o"
+  "CMakeFiles/fairmove_data.dir/fairmove/data/generator.cc.o.d"
+  "CMakeFiles/fairmove_data.dir/fairmove/data/records.cc.o"
+  "CMakeFiles/fairmove_data.dir/fairmove/data/records.cc.o.d"
+  "libfairmove_data.a"
+  "libfairmove_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

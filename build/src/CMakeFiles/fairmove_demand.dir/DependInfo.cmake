@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairmove/demand/demand_model.cc" "src/CMakeFiles/fairmove_demand.dir/fairmove/demand/demand_model.cc.o" "gcc" "src/CMakeFiles/fairmove_demand.dir/fairmove/demand/demand_model.cc.o.d"
+  "/root/repo/src/fairmove/demand/demand_predictor.cc" "src/CMakeFiles/fairmove_demand.dir/fairmove/demand/demand_predictor.cc.o" "gcc" "src/CMakeFiles/fairmove_demand.dir/fairmove/demand/demand_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairmove_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_demand.dir/fairmove/demand/demand_model.cc.o"
+  "CMakeFiles/fairmove_demand.dir/fairmove/demand/demand_model.cc.o.d"
+  "CMakeFiles/fairmove_demand.dir/fairmove/demand/demand_predictor.cc.o"
+  "CMakeFiles/fairmove_demand.dir/fairmove/demand/demand_predictor.cc.o.d"
+  "libfairmove_demand.a"
+  "libfairmove_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairmove/geo/city.cc" "src/CMakeFiles/fairmove_geo.dir/fairmove/geo/city.cc.o" "gcc" "src/CMakeFiles/fairmove_geo.dir/fairmove/geo/city.cc.o.d"
+  "/root/repo/src/fairmove/geo/city_builder.cc" "src/CMakeFiles/fairmove_geo.dir/fairmove/geo/city_builder.cc.o" "gcc" "src/CMakeFiles/fairmove_geo.dir/fairmove/geo/city_builder.cc.o.d"
+  "/root/repo/src/fairmove/geo/geojson.cc" "src/CMakeFiles/fairmove_geo.dir/fairmove/geo/geojson.cc.o" "gcc" "src/CMakeFiles/fairmove_geo.dir/fairmove/geo/geojson.cc.o.d"
+  "/root/repo/src/fairmove/geo/region.cc" "src/CMakeFiles/fairmove_geo.dir/fairmove/geo/region.cc.o" "gcc" "src/CMakeFiles/fairmove_geo.dir/fairmove/geo/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairmove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

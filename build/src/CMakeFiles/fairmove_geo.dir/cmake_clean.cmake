@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_geo.dir/fairmove/geo/city.cc.o"
+  "CMakeFiles/fairmove_geo.dir/fairmove/geo/city.cc.o.d"
+  "CMakeFiles/fairmove_geo.dir/fairmove/geo/city_builder.cc.o"
+  "CMakeFiles/fairmove_geo.dir/fairmove/geo/city_builder.cc.o.d"
+  "CMakeFiles/fairmove_geo.dir/fairmove/geo/geojson.cc.o"
+  "CMakeFiles/fairmove_geo.dir/fairmove/geo/geojson.cc.o.d"
+  "CMakeFiles/fairmove_geo.dir/fairmove/geo/region.cc.o"
+  "CMakeFiles/fairmove_geo.dir/fairmove/geo/region.cc.o.d"
+  "libfairmove_geo.a"
+  "libfairmove_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

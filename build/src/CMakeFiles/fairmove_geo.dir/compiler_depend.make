@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fairmove_geo.
+# This may be replaced when dependencies are built.

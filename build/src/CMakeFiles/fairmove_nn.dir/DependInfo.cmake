@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairmove/nn/adam.cc" "src/CMakeFiles/fairmove_nn.dir/fairmove/nn/adam.cc.o" "gcc" "src/CMakeFiles/fairmove_nn.dir/fairmove/nn/adam.cc.o.d"
+  "/root/repo/src/fairmove/nn/matrix.cc" "src/CMakeFiles/fairmove_nn.dir/fairmove/nn/matrix.cc.o" "gcc" "src/CMakeFiles/fairmove_nn.dir/fairmove/nn/matrix.cc.o.d"
+  "/root/repo/src/fairmove/nn/mlp.cc" "src/CMakeFiles/fairmove_nn.dir/fairmove/nn/mlp.cc.o" "gcc" "src/CMakeFiles/fairmove_nn.dir/fairmove/nn/mlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairmove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

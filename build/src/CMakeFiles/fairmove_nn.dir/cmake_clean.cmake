@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_nn.dir/fairmove/nn/adam.cc.o"
+  "CMakeFiles/fairmove_nn.dir/fairmove/nn/adam.cc.o.d"
+  "CMakeFiles/fairmove_nn.dir/fairmove/nn/matrix.cc.o"
+  "CMakeFiles/fairmove_nn.dir/fairmove/nn/matrix.cc.o.d"
+  "CMakeFiles/fairmove_nn.dir/fairmove/nn/mlp.cc.o"
+  "CMakeFiles/fairmove_nn.dir/fairmove/nn/mlp.cc.o.d"
+  "libfairmove_nn.a"
+  "libfairmove_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_pricing.dir/fairmove/pricing/fare_model.cc.o"
+  "CMakeFiles/fairmove_pricing.dir/fairmove/pricing/fare_model.cc.o.d"
+  "CMakeFiles/fairmove_pricing.dir/fairmove/pricing/tou_tariff.cc.o"
+  "CMakeFiles/fairmove_pricing.dir/fairmove/pricing/tou_tariff.cc.o.d"
+  "libfairmove_pricing.a"
+  "libfairmove_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

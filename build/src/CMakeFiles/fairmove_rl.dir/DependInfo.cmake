@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairmove/rl/cma2c_policy.cc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/cma2c_policy.cc.o" "gcc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/cma2c_policy.cc.o.d"
+  "/root/repo/src/fairmove/rl/dqn_policy.cc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/dqn_policy.cc.o" "gcc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/dqn_policy.cc.o.d"
+  "/root/repo/src/fairmove/rl/faircharge_policy.cc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/faircharge_policy.cc.o" "gcc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/faircharge_policy.cc.o.d"
+  "/root/repo/src/fairmove/rl/features.cc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/features.cc.o" "gcc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/features.cc.o.d"
+  "/root/repo/src/fairmove/rl/gt_policy.cc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/gt_policy.cc.o" "gcc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/gt_policy.cc.o.d"
+  "/root/repo/src/fairmove/rl/replay_buffer.cc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/replay_buffer.cc.o" "gcc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/replay_buffer.cc.o.d"
+  "/root/repo/src/fairmove/rl/sd2_policy.cc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/sd2_policy.cc.o" "gcc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/sd2_policy.cc.o.d"
+  "/root/repo/src/fairmove/rl/tba_policy.cc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/tba_policy.cc.o" "gcc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/tba_policy.cc.o.d"
+  "/root/repo/src/fairmove/rl/tql_policy.cc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/tql_policy.cc.o" "gcc" "src/CMakeFiles/fairmove_rl.dir/fairmove/rl/tql_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairmove_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_demand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

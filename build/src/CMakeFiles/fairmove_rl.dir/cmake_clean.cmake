@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/cma2c_policy.cc.o"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/cma2c_policy.cc.o.d"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/dqn_policy.cc.o"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/dqn_policy.cc.o.d"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/faircharge_policy.cc.o"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/faircharge_policy.cc.o.d"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/features.cc.o"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/features.cc.o.d"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/gt_policy.cc.o"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/gt_policy.cc.o.d"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/replay_buffer.cc.o"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/replay_buffer.cc.o.d"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/sd2_policy.cc.o"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/sd2_policy.cc.o.d"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/tba_policy.cc.o"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/tba_policy.cc.o.d"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/tql_policy.cc.o"
+  "CMakeFiles/fairmove_rl.dir/fairmove/rl/tql_policy.cc.o.d"
+  "libfairmove_rl.a"
+  "libfairmove_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

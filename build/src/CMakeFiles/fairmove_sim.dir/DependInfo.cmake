@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairmove/sim/action.cc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/action.cc.o" "gcc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/action.cc.o.d"
+  "/root/repo/src/fairmove/sim/battery.cc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/battery.cc.o" "gcc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/battery.cc.o.d"
+  "/root/repo/src/fairmove/sim/matching.cc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/matching.cc.o" "gcc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/matching.cc.o.d"
+  "/root/repo/src/fairmove/sim/simulator.cc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/simulator.cc.o" "gcc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/simulator.cc.o.d"
+  "/root/repo/src/fairmove/sim/station_queue.cc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/station_queue.cc.o" "gcc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/station_queue.cc.o.d"
+  "/root/repo/src/fairmove/sim/trace.cc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/trace.cc.o" "gcc" "src/CMakeFiles/fairmove_sim.dir/fairmove/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fairmove_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fairmove_demand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/action.cc.o"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/action.cc.o.d"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/battery.cc.o"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/battery.cc.o.d"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/matching.cc.o"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/matching.cc.o.d"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/simulator.cc.o"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/simulator.cc.o.d"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/station_queue.cc.o"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/station_queue.cc.o.d"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/trace.cc.o"
+  "CMakeFiles/fairmove_sim.dir/fairmove/sim/trace.cc.o.d"
+  "libfairmove_sim.a"
+  "libfairmove_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairmove_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycles_report_test.dir/cycles_report_test.cc.o"
+  "CMakeFiles/cycles_report_test.dir/cycles_report_test.cc.o.d"
+  "cycles_report_test"
+  "cycles_report_test.pdb"
+  "cycles_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycles_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

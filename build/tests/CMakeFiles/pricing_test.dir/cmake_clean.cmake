@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pricing_test.dir/pricing_test.cc.o"
+  "CMakeFiles/pricing_test.dir/pricing_test.cc.o.d"
+  "pricing_test"
+  "pricing_test.pdb"
+  "pricing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_parts_test.dir/sim_parts_test.cc.o"
+  "CMakeFiles/sim_parts_test.dir/sim_parts_test.cc.o.d"
+  "sim_parts_test"
+  "sim_parts_test.pdb"
+  "sim_parts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_parts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_math_test.dir/trainer_math_test.cc.o"
+  "CMakeFiles/trainer_math_test.dir/trainer_math_test.cc.o.d"
+  "trainer_math_test"
+  "trainer_math_test.pdb"
+  "trainer_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
