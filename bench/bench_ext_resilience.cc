@@ -1,0 +1,84 @@
+// Extension experiment (resilience): how gracefully does each displacement
+// strategy degrade when the grid misbehaves? Every method is trained on a
+// clean city, then evaluated twice under the *same* demand realisation:
+// once clean and once under the standard outage scenario (the two largest
+// stations dark for 6h, a fleet-wide 2x demand surge, and a 1% per-slot
+// breakdown hazard). A robust policy keeps its service rate and fairness
+// close to the clean run; a brittle one strands drivers at dead stations.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fairmove/common/csv.h"
+#include "fairmove/core/metrics.h"
+#include "fairmove/resilience/fault_schedule.h"
+#include "fairmove/rl/cma2c_policy.h"
+
+int main() {
+  using namespace fairmove;
+  bench::BenchSetup setup = bench::MakeSetup(0.08, 16, 2);
+  bench::PrintHeader(
+      "Extension (resilience) — displacement under station outages, demand "
+      "surge and breakdowns",
+      setup);
+  auto system = bench::BuildSystem(setup.config);
+  Simulator& sim = system->sim();
+
+  const FaultSchedule schedule = StandardOutageScenario(system->city());
+  {
+    const Status st = schedule.ValidateFor(system->city().num_regions(),
+                                           system->city().num_stations());
+    FM_CHECK(st.ok()) << st;
+  }
+
+  const int64_t eval_slots =
+      static_cast<int64_t>(setup.config.eval.days) * kSlotsPerDay;
+  const uint64_t eval_seed = setup.config.eval.seed;
+
+  Table table({"method", "PE clean", "PE chaos", "PF clean", "PF chaos",
+               "served clean", "served chaos", "breakdowns", "fault events"});
+  for (const PolicyKind kind :
+       {PolicyKind::kGroundTruth, PolicyKind::kSd2, PolicyKind::kFairMove}) {
+    std::unique_ptr<DisplacementPolicy> policy =
+        MakePolicy(kind, sim, setup.config.eval.seed + 7);
+    if (auto* cma2c = dynamic_cast<Cma2cPolicy*>(policy.get())) {
+      cma2c->EnableDivergenceGuard();
+    }
+    Trainer trainer = system->MakeTrainer();
+    const Status trained = trainer.TrainGuarded(policy.get(), nullptr);
+    if (!trained.ok()) {
+      std::printf("%s: training aborted by divergence guard: %s\n",
+                  policy->name().c_str(), trained.ToString().c_str());
+      continue;
+    }
+
+    trainer.RunEvaluationEpisode(policy.get(), eval_seed, eval_slots);
+    const FleetMetrics clean = ComputeFleetMetrics(sim);
+
+    FM_CHECK(sim.SetFaultSchedule(&schedule).ok());
+    trainer.RunEvaluationEpisode(policy.get(), eval_seed, eval_slots);
+    const FleetMetrics chaos = ComputeFleetMetrics(sim);
+    FM_CHECK(sim.SetFaultSchedule(nullptr).ok());
+
+    table.Row()
+        .Str(policy->name())
+        .Num(clean.pe.Mean(), 1)
+        .Num(chaos.pe.Mean(), 1)
+        .Num(clean.pf, 1)
+        .Num(chaos.pf, 1)
+        .Pct(clean.ServiceRate())
+        .Pct(chaos.ServiceRate())
+        .Int(chaos.breakdowns)
+        .Int(chaos.fault_events)
+        .Done();
+  }
+  std::printf("%s\n", table.ToAlignedText().c_str());
+  std::printf("reading: the outage removes charging capacity exactly where "
+              "queues are longest while the surge adds trips; methods that "
+              "spread the fleet (SD2, FairMove) reroute around the dark "
+              "stations through the existing balking machinery and shed "
+              "less service rate and fairness than the ground-truth replay. "
+              "Breakdown/fault-event counts confirm the schedule actually "
+              "fired.\n");
+  return 0;
+}

@@ -189,6 +189,16 @@ Status SplitRecord(const std::string& text, size_t* pos,
   return Status::OK();
 }
 
+/// Embedded NUL bytes never occur in well-formed CSV; they are the
+/// signature of torn writes / disk corruption, and they silently truncate
+/// any later C-string handling of the cell.
+bool AnyCellHasNul(const std::vector<std::string>& cells) {
+  for (const auto& cell : cells) {
+    if (cell.find('\0') != std::string::npos) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 StatusOr<Table> ParseCsv(const std::string& text) {
@@ -197,10 +207,17 @@ StatusOr<Table> ParseCsv(const std::string& text) {
   bool saw_any = false;
   FM_RETURN_IF_ERROR(SplitRecord(text, &pos, &cells, &saw_any));
   if (!saw_any) return Status::InvalidArgument("empty CSV: no header line");
+  if (AnyCellHasNul(cells)) {
+    return Status::InvalidArgument("NUL byte in CSV header");
+  }
   Table table(cells);
   while (pos < text.size()) {
     FM_RETURN_IF_ERROR(SplitRecord(text, &pos, &cells, &saw_any));
     if (!saw_any) continue;  // blank line
+    if (AnyCellHasNul(cells)) {
+      return Status::InvalidArgument(
+          "NUL byte in row " + std::to_string(table.num_rows() + 1));
+    }
     if (cells.size() != table.num_cols()) {
       return Status::InvalidArgument(
           "row " + std::to_string(table.num_rows() + 1) + " has " +
@@ -218,6 +235,54 @@ StatusOr<Table> ReadCsvFile(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return ParseCsv(buf.str());
+}
+
+StatusOr<Table> ParseCsvLenient(const std::string& text,
+                                CsvQuarantine* quarantine) {
+  CsvQuarantine q;
+  size_t pos = 0;
+  std::vector<std::string> cells;
+  bool saw_any = false;
+  FM_RETURN_IF_ERROR(SplitRecord(text, &pos, &cells, &saw_any));
+  if (!saw_any) return Status::InvalidArgument("empty CSV: no header line");
+  if (AnyCellHasNul(cells)) {
+    return Status::InvalidArgument("NUL byte in CSV header");
+  }
+  Table table(cells);
+  while (pos < text.size()) {
+    const size_t record_start = pos;
+    const Status split = SplitRecord(text, &pos, &cells, &saw_any);
+    if (!split.ok()) {
+      // SplitRecord leaves `pos` untouched on error; resynchronise at the
+      // next physical line so one mangled record cannot poison the rest.
+      ++q.malformed_quoting;
+      const size_t next = text.find('\n', record_start);
+      if (next == std::string::npos) break;
+      pos = next + 1;
+      continue;
+    }
+    if (!saw_any) continue;  // blank line
+    if (AnyCellHasNul(cells)) {
+      ++q.nul_rows;
+      continue;
+    }
+    if (cells.size() != table.num_cols()) {
+      ++q.ragged_rows;
+      continue;
+    }
+    table.AddRow(cells);
+  }
+  if (quarantine != nullptr) *quarantine = q;
+  return table;
+}
+
+StatusOr<Table> ReadCsvFileLenient(const std::string& path,
+                                   CsvQuarantine* quarantine) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsvLenient(buf.str(), quarantine);
 }
 
 }  // namespace fairmove

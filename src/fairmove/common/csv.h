@@ -59,11 +59,36 @@ class Table {
 
 /// Parses RFC-4180-ish CSV text (quoted cells, escaped quotes, CR/LF line
 /// endings) produced by Table::ToCsv or external tooling. The first line is
-/// the header. Returns InvalidArgument on ragged rows or malformed quoting.
+/// the header. Returns InvalidArgument on ragged rows, malformed quoting,
+/// or embedded NUL bytes.
 StatusOr<Table> ParseCsv(const std::string& text);
 
 /// Reads and parses a CSV file.
 StatusOr<Table> ReadCsvFile(const std::string& path);
+
+/// What ParseCsvLenient skipped instead of failing on — the quarantine
+/// counters of a corrupted record stream.
+struct CsvQuarantine {
+  int64_t ragged_rows = 0;        // truncated / extra-cell rows
+  int64_t malformed_quoting = 0;  // unterminated or misplaced quotes
+  int64_t nul_rows = 0;           // rows containing embedded NUL bytes
+
+  int64_t total() const {
+    return ragged_rows + malformed_quoting + nul_rows;
+  }
+};
+
+/// Best-effort parse of a possibly corrupted record stream: the header must
+/// still parse cleanly (a broken header means the wrong file, not a flaky
+/// row), but damaged data rows — truncated, mis-quoted, NUL-ridden — are
+/// quarantined (counted in `quarantine` and skipped) instead of failing
+/// the whole batch. `quarantine` may be nullptr.
+StatusOr<Table> ParseCsvLenient(const std::string& text,
+                                CsvQuarantine* quarantine = nullptr);
+
+/// Reads and leniently parses a CSV file.
+StatusOr<Table> ReadCsvFileLenient(const std::string& path,
+                                   CsvQuarantine* quarantine = nullptr);
 
 }  // namespace fairmove
 

@@ -20,11 +20,13 @@ FleetMetrics ComputeFleetMetrics(const Simulator& sim) {
     m.trips += taxi.totals.num_trips;
     m.charge_events += taxi.totals.num_charges;
     m.strandings += taxi.totals.num_strandings;
+    m.breakdowns += taxi.totals.num_breakdowns;
   }
   m.pf = m.pe.Variance();
   m.pe_gini = Gini(std::move(pes));
 
   const Trace& trace = sim.trace();
+  m.fault_events = trace.total_fault_events();
   m.expired_requests = trace.expired_requests();
   m.total_requests = sim.total_requests();
   for (int h = 0; h < kHoursPerDay; ++h) {

@@ -33,6 +33,10 @@ struct FleetMetrics {
   int64_t trips = 0;
   int64_t charge_events = 0;
   int64_t strandings = 0;
+  /// Fault-injection breakdowns (0 without a FaultSchedule).
+  int64_t breakdowns = 0;
+  /// Fault events of any kind applied during the run.
+  int64_t fault_events = 0;
   int64_t expired_requests = 0;
   int64_t total_requests = 0;
 

@@ -131,40 +131,70 @@ void Trainer::FlushPendings(
   }
 }
 
+Trainer::EpisodeStats Trainer::RunTrainingEpisode(DisplacementPolicy* policy,
+                                                  int episode) {
+  const bool learns = policy->WantsTransitions();
+  const uint64_t seed =
+      config_.seed_base != 0
+          ? config_.seed_base + static_cast<uint64_t>(episode)
+          : 0;
+  sim_->Reset(seed);
+  pendings_.assign(static_cast<size_t>(sim_->num_taxis()), std::nullopt);
+  policy->SetTraining(true);
+  policy->BeginEpisode(*sim_);
+  EpisodeStats stats;
+  std::vector<DisplacementPolicy::Transition> closed;
+  for (int64_t slot = 0; slot < config_.slots_per_episode; ++slot) {
+    closed.clear();
+    StepAndCollect(policy, learns, &closed, &stats);
+    if (learns && !closed.empty()) policy->Learn(closed);
+  }
+  closed.clear();
+  FlushPendings(learns ? &closed : nullptr, &stats);
+  if (learns && !closed.empty()) policy->Learn(closed);
+  if (stats.transitions > 0) {
+    stats.avg_reward /= static_cast<double>(stats.transitions);
+    stats.avg_reward_own /= static_cast<double>(stats.transitions);
+  }
+  stats.fleet_pe_mean = sim_->FleetMeanPe();
+  stats.fleet_pf = sim_->FleetPeVariance();
+  return stats;
+}
+
 std::vector<Trainer::EpisodeStats> Trainer::Train(
     DisplacementPolicy* policy) {
   FM_CHECK(policy != nullptr);
   std::vector<EpisodeStats> all_stats;
   all_stats.reserve(static_cast<size_t>(config_.episodes));
-  const bool learns = policy->WantsTransitions();
-  std::vector<DisplacementPolicy::Transition> closed;
   for (int episode = 0; episode < config_.episodes; ++episode) {
-    const uint64_t seed =
-        config_.seed_base != 0
-            ? config_.seed_base + static_cast<uint64_t>(episode)
-            : 0;
-    sim_->Reset(seed);
-    pendings_.assign(static_cast<size_t>(sim_->num_taxis()), std::nullopt);
-    policy->SetTraining(true);
-    policy->BeginEpisode(*sim_);
-    EpisodeStats stats;
-    for (int64_t slot = 0; slot < config_.slots_per_episode; ++slot) {
-      closed.clear();
-      StepAndCollect(policy, learns, &closed, &stats);
-      if (learns && !closed.empty()) policy->Learn(closed);
-    }
-    closed.clear();
-    FlushPendings(learns ? &closed : nullptr, &stats);
-    if (learns && !closed.empty()) policy->Learn(closed);
-    if (stats.transitions > 0) {
-      stats.avg_reward /= static_cast<double>(stats.transitions);
-      stats.avg_reward_own /= static_cast<double>(stats.transitions);
-    }
-    stats.fleet_pe_mean = sim_->FleetMeanPe();
-    stats.fleet_pf = sim_->FleetPeVariance();
-    all_stats.push_back(stats);
+    all_stats.push_back(RunTrainingEpisode(policy, episode));
   }
   return all_stats;
+}
+
+Status Trainer::TrainGuarded(DisplacementPolicy* policy,
+                             std::vector<EpisodeStats>* stats) {
+  FM_CHECK(policy != nullptr);
+  if (stats != nullptr) stats->clear();
+  for (int episode = 0; episode < config_.episodes; ++episode) {
+    const EpisodeStats s = RunTrainingEpisode(policy, episode);
+    if (stats != nullptr) stats->push_back(s);
+    const Status health = policy->Health();
+    if (!health.ok()) {
+      return Status::Internal("training stopped after episode " +
+                              std::to_string(episode + 1) + "/" +
+                              std::to_string(config_.episodes) + ": " +
+                              health.message());
+    }
+    if (!std::isfinite(s.avg_reward) || !std::isfinite(s.fleet_pe_mean) ||
+        !std::isfinite(s.fleet_pf)) {
+      return Status::Internal(
+          "episode " + std::to_string(episode + 1) +
+          " produced non-finite statistics (reward/PE/PF) under policy " +
+          policy->name());
+    }
+  }
+  return Status::OK();
 }
 
 Trainer::EpisodeStats Trainer::RunEvaluationEpisode(

@@ -47,6 +47,16 @@ class Trainer {
   /// Trains `policy` in place; returns one stats entry per episode.
   std::vector<EpisodeStats> Train(DisplacementPolicy* policy);
 
+  /// Train() with divergence supervision: after every episode the policy's
+  /// Health() and the episode statistics (reward, fleet PE/PF) are checked
+  /// for NaN/Inf. Training stops early — returning a descriptive non-OK
+  /// Status with the episodes completed so far in `*stats` — when the
+  /// policy reports itself unhealthy (e.g. CMA2C's DivergenceGuard budget
+  /// is spent) or an episode produced non-finite statistics. A finished
+  /// healthy run returns OK. `stats` may be nullptr.
+  Status TrainGuarded(DisplacementPolicy* policy,
+                      std::vector<EpisodeStats>* stats);
+
   /// Switches the per-agent fairness term of the reward to compare each
   /// driver against the mean of its *rating group* instead of the whole
   /// fleet (the §V extension). `groups` must outlive the trainer; nullptr
@@ -83,6 +93,9 @@ class Trainer {
   /// Closes every open pending as terminal (episode end).
   void FlushPendings(std::vector<DisplacementPolicy::Transition>* closed,
                      EpisodeStats* stats);
+
+  /// Runs training episode `episode` (seeding, rollout, learning, stats).
+  EpisodeStats RunTrainingEpisode(DisplacementPolicy* policy, int episode);
 
   Simulator* sim_;
   TrainerConfig config_;

@@ -50,33 +50,15 @@ StatusOr<EmpiricalDemandModel> EmpiricalDemandModel::FromTransactions(
 }
 
 StatusOr<EmpiricalDemandModel> EmpiricalDemandModel::FromCsvFile(
-    const City* city, const std::string& path, Options options) {
-  FM_ASSIGN_OR_RETURN(Table table, ReadCsvFile(path));
-  const std::vector<std::string> required{
-      "vehicle_id", "pickup_time_s", "pickup_lat", "pickup_lng",
-      "dropoff_lat", "dropoff_lng"};
-  for (const std::string& column : required) {
-    if (std::find(table.header().begin(), table.header().end(), column) ==
-        table.header().end()) {
-      return Status::InvalidArgument("CSV missing column: " + column);
-    }
-  }
-  std::vector<TransactionRecord> transactions;
-  transactions.reserve(table.num_rows());
-  for (size_t i = 0; i < table.num_rows(); ++i) {
-    TransactionRecord rec;
-    FM_ASSIGN_OR_RETURN(int64_t pickup_s,
-                        ParseInt(table.Cell(i, "pickup_time_s")));
-    rec.pickup_time_s = pickup_s;
-    FM_ASSIGN_OR_RETURN(double plat, ParseDouble(table.Cell(i, "pickup_lat")));
-    FM_ASSIGN_OR_RETURN(double plng, ParseDouble(table.Cell(i, "pickup_lng")));
-    FM_ASSIGN_OR_RETURN(double dlat,
-                        ParseDouble(table.Cell(i, "dropoff_lat")));
-    FM_ASSIGN_OR_RETURN(double dlng,
-                        ParseDouble(table.Cell(i, "dropoff_lng")));
-    rec.pickup = LatLng{plat, plng};
-    rec.dropoff = LatLng{dlat, dlng};
-    transactions.push_back(rec);
+    const City* city, const std::string& path, Options options,
+    int64_t* quarantined) {
+  CsvQuarantine csv_quarantine;
+  FM_ASSIGN_OR_RETURN(Table table, ReadCsvFileLenient(path, &csv_quarantine));
+  int64_t bad_rows = 0;
+  FM_ASSIGN_OR_RETURN(std::vector<TransactionRecord> transactions,
+                      TransactionRecordsFromTable(table, &bad_rows));
+  if (quarantined != nullptr) {
+    *quarantined = csv_quarantine.total() + bad_rows;
   }
   return FromTransactions(city, transactions, options);
 }

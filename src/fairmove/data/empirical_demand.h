@@ -43,9 +43,13 @@ class EmpiricalDemandModel : public DemandSource {
   /// Convenience: estimates from a CSV in the dataset_export schema
   /// (vehicle_id, pickup_time_s, dropoff_time_s, pickup_lat, pickup_lng,
   /// dropoff_lat, dropoff_lng, operating_km, cruising_km, fare_cny).
-  static StatusOr<EmpiricalDemandModel> FromCsvFile(const City* city,
-                                                    const std::string& path,
-                                                    Options options);
+  /// Ingestion is hardened against corrupted record streams: truncated,
+  /// mis-quoted, NUL-ridden, or non-numeric rows are quarantined (counted
+  /// in `*quarantined` when non-null) and skipped; only a missing/broken
+  /// header or a fully quarantined file fails.
+  static StatusOr<EmpiricalDemandModel> FromCsvFile(
+      const City* city, const std::string& path, Options options,
+      int64_t* quarantined = nullptr);
 
   double Rate(RegionId r, TimeSlot slot) const override;
   RegionId SampleDestination(RegionId origin, TimeSlot slot,

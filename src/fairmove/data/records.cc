@@ -1,5 +1,10 @@
 #include "fairmove/data/records.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "fairmove/common/config.h"
+
 namespace fairmove {
 
 Table GpsRecordsTable(const std::vector<GpsRecord>& records) {
@@ -52,6 +57,105 @@ Table StationRecordsTable(const std::vector<StationRecord>& records) {
         .Done();
   }
   return table;
+}
+
+namespace {
+
+/// Column index in `header`, or -1 when absent.
+int FindColumn(const std::vector<std::string>& header,
+               const std::string& name) {
+  const auto it = std::find(header.begin(), header.end(), name);
+  return it == header.end() ? -1 : static_cast<int>(it - header.begin());
+}
+
+}  // namespace
+
+StatusOr<std::vector<TransactionRecord>> TransactionRecordsFromTable(
+    const Table& table, int64_t* quarantined) {
+  const std::vector<std::string>& header = table.header();
+  const int c_vehicle = FindColumn(header, "vehicle_id");
+  const int c_pickup_s = FindColumn(header, "pickup_time_s");
+  const int c_plat = FindColumn(header, "pickup_lat");
+  const int c_plng = FindColumn(header, "pickup_lng");
+  const int c_dlat = FindColumn(header, "dropoff_lat");
+  const int c_dlng = FindColumn(header, "dropoff_lng");
+  for (const auto& [col, name] :
+       {std::pair<int, const char*>{c_vehicle, "vehicle_id"},
+        {c_pickup_s, "pickup_time_s"},
+        {c_plat, "pickup_lat"},
+        {c_plng, "pickup_lng"},
+        {c_dlat, "dropoff_lat"},
+        {c_dlng, "dropoff_lng"}}) {
+    if (col < 0) {
+      return Status::InvalidArgument(std::string("CSV missing column: ") +
+                                     name);
+    }
+  }
+  const int c_dropoff_s = FindColumn(header, "dropoff_time_s");
+  const int c_op_km = FindColumn(header, "operating_km");
+  const int c_cr_km = FindColumn(header, "cruising_km");
+  const int c_fare = FindColumn(header, "fare_cny");
+
+  int64_t bad = 0;
+  std::vector<TransactionRecord> records;
+  records.reserve(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const std::vector<std::string>& row = table.row(i);
+    const auto cell = [&row](int col) -> const std::string& {
+      return row[static_cast<size_t>(col)];
+    };
+    // A row with any unparsable field is quarantined whole: a mangled
+    // record is more likely corruption than a single flaky column.
+    const auto vehicle = ParseInt(cell(c_vehicle));
+    const auto pickup_s = ParseInt(cell(c_pickup_s));
+    const auto plat = ParseDouble(cell(c_plat));
+    const auto plng = ParseDouble(cell(c_plng));
+    const auto dlat = ParseDouble(cell(c_dlat));
+    const auto dlng = ParseDouble(cell(c_dlng));
+    if (!vehicle.ok() || !pickup_s.ok() || !plat.ok() || !plng.ok() ||
+        !dlat.ok() || !dlng.ok()) {
+      ++bad;
+      continue;
+    }
+    TransactionRecord rec;
+    rec.vehicle_id = static_cast<int32_t>(*vehicle);
+    rec.pickup_time_s = *pickup_s;
+    rec.pickup = LatLng{*plat, *plng};
+    rec.dropoff = LatLng{*dlat, *dlng};
+    bool optional_ok = true;
+    const auto parse_float = [&](int col, float* out) {
+      if (col < 0) return;
+      const auto v = ParseDouble(cell(col));
+      if (!v.ok()) {
+        optional_ok = false;
+        return;
+      }
+      *out = static_cast<float>(*v);
+    };
+    if (c_dropoff_s >= 0) {
+      const auto v = ParseInt(cell(c_dropoff_s));
+      if (v.ok()) {
+        rec.dropoff_time_s = *v;
+      } else {
+        optional_ok = false;
+      }
+    }
+    parse_float(c_op_km, &rec.operating_km);
+    parse_float(c_cr_km, &rec.cruising_km);
+    parse_float(c_fare, &rec.fare_cny);
+    if (!optional_ok) {
+      ++bad;
+      continue;
+    }
+    records.push_back(rec);
+  }
+  if (quarantined != nullptr) *quarantined = bad;
+  if (records.empty() && bad > 0) {
+    return Status::InvalidArgument(
+        "every transaction row was quarantined (" + std::to_string(bad) +
+        " unparsable rows)");
+  }
+  return records;
 }
 
 Table RegionRecordsTable(const std::vector<RegionRecord>& records) {

@@ -60,6 +60,16 @@ Table TransactionRecordsTable(const std::vector<TransactionRecord>& records);
 Table StationRecordsTable(const std::vector<StationRecord>& records);
 Table RegionRecordsTable(const std::vector<RegionRecord>& records);
 
+/// Inverse of TransactionRecordsTable, hardened for field-operations data:
+/// the header must carry the core columns (vehicle_id, pickup_time_s,
+/// pickup_lat/lng, dropoff_lat/lng; the remaining schema columns are used
+/// when present), but individual rows whose cells fail numeric parsing are
+/// quarantined — counted in `*quarantined` and skipped — rather than
+/// failing the batch. Returns InvalidArgument only for a wrong header or
+/// when *every* row was quarantined. `quarantined` may be nullptr.
+StatusOr<std::vector<TransactionRecord>> TransactionRecordsFromTable(
+    const Table& table, int64_t* quarantined = nullptr);
+
 }  // namespace fairmove
 
 #endif  // FAIRMOVE_DATA_RECORDS_H_

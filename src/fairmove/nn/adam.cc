@@ -28,13 +28,22 @@ double Adam::GradNorm(const Mlp::Gradients& grads) {
   return std::sqrt(sq);
 }
 
+void Adam::set_learning_rate(double lr) {
+  FM_CHECK(lr > 0.0) << "learning rate must be > 0, got " << lr;
+  options_.learning_rate = lr;
+}
+
 void Adam::Step(const Mlp::Gradients& grads) {
   FM_CHECK(grads.dw.size() == m_.dw.size()) << "gradient shape mismatch";
+  const double norm = GradNorm(grads);
+  if (!std::isfinite(norm)) {
+    ++skipped_;
+    return;
+  }
   ++t_;
   double clip = 1.0;
-  if (options_.max_grad_norm > 0.0) {
-    const double norm = GradNorm(grads);
-    if (norm > options_.max_grad_norm) clip = options_.max_grad_norm / norm;
+  if (options_.max_grad_norm > 0.0 && norm > options_.max_grad_norm) {
+    clip = options_.max_grad_norm / norm;
   }
   const double b1 = options_.beta1, b2 = options_.beta2;
   const double bias1 = 1.0 - std::pow(b1, static_cast<double>(t_));

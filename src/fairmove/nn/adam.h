@@ -26,13 +26,21 @@ class Adam {
 
   /// Applies one update from accumulated gradients (gradients are not
   /// modified; scale them before calling if averaging over a batch).
+  /// A non-finite gradient norm (NaN/Inf anywhere in `grads`) skips the
+  /// update entirely — parameters and moments stay untouched — and bumps
+  /// skipped_steps(); one exploded backward pass must not poison the
+  /// moment estimates of every later update.
   void Step(const Mlp::Gradients& grads);
 
   /// Global L2 norm of the gradients (diagnostic).
   static double GradNorm(const Mlp::Gradients& grads);
 
   int64_t steps() const { return t_; }
+  int64_t skipped_steps() const { return skipped_; }
   const Options& options() const { return options_; }
+
+  /// Adjusts the learning rate mid-run (DivergenceGuard decay). Must be > 0.
+  void set_learning_rate(double lr);
 
  private:
   Mlp* net_;
@@ -40,6 +48,7 @@ class Adam {
   Mlp::Gradients m_;
   Mlp::Gradients v_;
   int64_t t_ = 0;
+  int64_t skipped_ = 0;
 };
 
 }  // namespace fairmove

@@ -1,0 +1,90 @@
+#include "fairmove/resilience/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fairmove/common/rng.h"
+
+namespace fairmove {
+
+namespace {
+
+Status CheckProb(double p, const char* name) {
+  if (!std::isfinite(p) || p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be in [0, 1], got " +
+                                   std::to_string(p));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RecordCorruption::Validate() const {
+  FM_RETURN_IF_ERROR(CheckProb(drop_prob, "drop_prob"));
+  FM_RETURN_IF_ERROR(CheckProb(truncate_prob, "truncate_prob"));
+  FM_RETURN_IF_ERROR(CheckProb(mangle_prob, "mangle_prob"));
+  FM_RETURN_IF_ERROR(CheckProb(nul_prob, "nul_prob"));
+  return Status::OK();
+}
+
+std::string CorruptCsvText(const std::string& text,
+                           const RecordCorruption& corruption,
+                           CorruptionStats* stats) {
+  CorruptionStats local;
+  Rng rng(corruption.seed ^ 0xC0110D1DC0FFEEULL);
+  std::string out;
+  out.reserve(text.size());
+
+  size_t pos = 0;
+  bool first_line = true;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    const bool has_newline = eol != std::string::npos;
+    if (!has_newline) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = has_newline ? eol + 1 : text.size();
+
+    if (first_line || line.empty()) {
+      // Header and blank lines pass through untouched.
+      first_line = false;
+      out += line;
+      if (has_newline) out += '\n';
+      continue;
+    }
+    ++local.rows_seen;
+
+    if (rng.Bernoulli(corruption.drop_prob)) {
+      ++local.dropped;
+      continue;  // the row never reaches the parser
+    }
+    if (rng.Bernoulli(corruption.truncate_prob)) {
+      ++local.truncated;
+      // Chop mid-row, leaving a ragged prefix (at least one byte survives
+      // so the line isn't just dropped).
+      const size_t max_keep = std::max<size_t>(1, line.size() - 1);
+      const size_t keep = 1 + static_cast<size_t>(rng.NextBounded(max_keep));
+      line.resize(std::min(keep, max_keep));
+    } else if (rng.Bernoulli(corruption.mangle_prob)) {
+      ++local.mangled;
+      // One cell turns into garbage text a numeric parser must reject.
+      const size_t comma = line.find(',');
+      if (comma != std::string::npos) {
+        line = "??garbage??" + line.substr(comma);
+      } else {
+        line = "??garbage??";
+      }
+    } else if (rng.Bernoulli(corruption.nul_prob)) {
+      ++local.nul_injected;
+      const size_t at = static_cast<size_t>(rng.NextBounded(line.size()));
+      line[at] = '\0';
+    }
+    out += line;
+    if (has_newline) out += '\n';
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace fairmove

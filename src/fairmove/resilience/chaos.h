@@ -1,0 +1,51 @@
+#ifndef FAIRMOVE_RESILIENCE_CHAOS_H_
+#define FAIRMOVE_RESILIENCE_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fairmove/common/status.h"
+
+namespace fairmove {
+
+/// Deterministic corruption model for a CSV record stream, exercising the
+/// data/analysis ingestion path the way a flaky collector or truncated
+/// upload would. Probabilities are per data row (the header is never
+/// touched); draws come from a dedicated stream seeded with `seed`, so the
+/// same input + same config always produce the same corrupted text.
+struct RecordCorruption {
+  double drop_prob = 0.0;      // row vanishes entirely
+  double truncate_prob = 0.0;  // row loses its tail mid-field
+  double mangle_prob = 0.0;    // one numeric-ish cell becomes garbage text
+  double nul_prob = 0.0;       // a NUL byte lands inside the row
+  uint64_t seed = 0;
+
+  /// Range/finiteness checks on all probabilities.
+  Status Validate() const;
+};
+
+/// Statistics of one corruption pass (what a lenient parser must survive).
+struct CorruptionStats {
+  int64_t rows_seen = 0;
+  int64_t dropped = 0;
+  int64_t truncated = 0;
+  int64_t mangled = 0;
+  int64_t nul_injected = 0;
+
+  int64_t total_corrupted() const {
+    return dropped + truncated + mangled + nul_injected;
+  }
+};
+
+/// Applies `corruption` to CSV `text` line by line. Operates on raw text —
+/// not a parsed Table — because the whole point is producing rows a strict
+/// parser rejects (ragged rows, NUL bytes). At most one corruption kind
+/// fires per row (drop beats truncate beats mangle beats NUL). Returns the
+/// corrupted text; `stats` (optional) reports what was done.
+std::string CorruptCsvText(const std::string& text,
+                           const RecordCorruption& corruption,
+                           CorruptionStats* stats = nullptr);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_RESILIENCE_CHAOS_H_

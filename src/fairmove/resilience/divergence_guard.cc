@@ -1,0 +1,80 @@
+#include "fairmove/resilience/divergence_guard.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "fairmove/nn/mlp.h"
+
+namespace fairmove {
+
+DivergenceGuard::DivergenceGuard() : DivergenceGuard(Options()) {}
+
+DivergenceGuard::DivergenceGuard(Options options) : options_(options) {
+  FM_CHECK(options.max_consecutive_rollbacks > 0);
+  FM_CHECK(options.lr_decay > 0.0 && options.lr_decay <= 1.0);
+}
+
+void DivergenceGuard::Register(Mlp* net) {
+  FM_CHECK(net != nullptr);
+  nets_.push_back(net);
+  snapshots_.clear();  // stale: snapshot set no longer covers all nets
+}
+
+Status DivergenceGuard::Checkpoint() {
+  std::vector<std::string> fresh;
+  fresh.reserve(nets_.size());
+  for (const Mlp* net : nets_) {
+    std::ostringstream out;
+    FM_RETURN_IF_ERROR(net->Serialize(out));
+    fresh.push_back(std::move(out).str());
+  }
+  snapshots_ = std::move(fresh);
+  return Status::OK();
+}
+
+bool DivergenceGuard::ParametersFinite() const {
+  for (const Mlp* net : nets_) {
+    for (const Matrix& w : net->weights()) {
+      for (size_t i = 0; i < w.size(); ++i) {
+        if (!std::isfinite(w.data()[i])) return false;
+      }
+    }
+    for (const auto& b : net->biases()) {
+      for (float v : b) {
+        if (!std::isfinite(v)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status DivergenceGuard::OnDivergence(const std::string& why) {
+  if (snapshots_.size() != nets_.size()) {
+    return Status::FailedPrecondition(
+        "DivergenceGuard::OnDivergence without a checkpoint covering all "
+        "registered networks");
+  }
+  for (size_t i = 0; i < nets_.size(); ++i) {
+    std::istringstream in(snapshots_[i]);
+    FM_ASSIGN_OR_RETURN(Mlp restored, Mlp::Deserialize(in));
+    *nets_[i] = std::move(restored);
+  }
+  ++consecutive_rollbacks_;
+  ++total_rollbacks_;
+  lr_scale_ *= options_.lr_decay;
+  if (consecutive_rollbacks_ >= options_.max_consecutive_rollbacks) {
+    status_ = Status::Internal(
+        "training diverged " + std::to_string(consecutive_rollbacks_) +
+        " consecutive times (last cause: " + why +
+        "); rolled back to last-good checkpoint and giving up");
+  }
+  return Status::OK();
+}
+
+Status DivergenceGuard::NoteHealthyUpdate() {
+  consecutive_rollbacks_ = 0;
+  return Checkpoint();
+}
+
+}  // namespace fairmove

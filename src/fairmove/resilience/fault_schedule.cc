@@ -1,0 +1,238 @@
+#include "fairmove/resilience/fault_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fairmove/common/config.h"
+#include "fairmove/common/csv.h"
+#include "fairmove/geo/city.h"
+
+namespace fairmove {
+
+namespace {
+
+Status CheckWindow(int64_t from_slot, int64_t until_slot, const char* what) {
+  if (from_slot < 0 || until_slot <= from_slot) {
+    return Status::InvalidArgument(
+        std::string(what) + " window must satisfy 0 <= from < until (got [" +
+        std::to_string(from_slot) + ", " + std::to_string(until_slot) + "))");
+  }
+  return Status::OK();
+}
+
+bool Covers(int64_t from_slot, int64_t until_slot, int64_t slot) {
+  return slot >= from_slot && slot < until_slot;
+}
+
+}  // namespace
+
+FaultSchedule& FaultSchedule::AddStationOutage(StationId station,
+                                               int64_t from_slot,
+                                               int64_t until_slot,
+                                               double capacity_factor) {
+  station_outages_.push_back(
+      StationOutage{station, from_slot, until_slot, capacity_factor});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::AddDemandShock(RegionId region,
+                                             int64_t from_slot,
+                                             int64_t until_slot,
+                                             double multiplier) {
+  demand_shocks_.push_back(
+      DemandShock{region, from_slot, until_slot, multiplier});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::AddBreakdownHazard(int64_t from_slot,
+                                                 int64_t until_slot,
+                                                 double per_slot_prob,
+                                                 int repair_slots) {
+  breakdown_hazards_.push_back(
+      BreakdownHazard{from_slot, until_slot, per_slot_prob, repair_slots});
+  return *this;
+}
+
+Status FaultSchedule::Validate() const {
+  for (const StationOutage& o : station_outages_) {
+    FM_RETURN_IF_ERROR(CheckWindow(o.from_slot, o.until_slot, "outage"));
+    if (o.station < 0) {
+      return Status::InvalidArgument("outage station id must be >= 0");
+    }
+    if (!std::isfinite(o.capacity_factor) || o.capacity_factor < 0.0 ||
+        o.capacity_factor >= 1.0) {
+      return Status::InvalidArgument(
+          "outage capacity_factor must be in [0, 1)");
+    }
+  }
+  for (const DemandShock& s : demand_shocks_) {
+    FM_RETURN_IF_ERROR(CheckWindow(s.from_slot, s.until_slot, "shock"));
+    if (s.region < DemandShock::kAllRegions) {
+      return Status::InvalidArgument("shock region must be >= -1");
+    }
+    if (!std::isfinite(s.multiplier) || s.multiplier < 0.0) {
+      return Status::InvalidArgument(
+          "shock multiplier must be finite and >= 0");
+    }
+  }
+  for (const BreakdownHazard& h : breakdown_hazards_) {
+    FM_RETURN_IF_ERROR(CheckWindow(h.from_slot, h.until_slot, "hazard"));
+    if (!std::isfinite(h.per_slot_prob) || h.per_slot_prob < 0.0 ||
+        h.per_slot_prob > 1.0) {
+      return Status::InvalidArgument(
+          "hazard per_slot_prob must be in [0, 1]");
+    }
+    if (h.repair_slots <= 0) {
+      return Status::InvalidArgument("hazard repair_slots must be > 0");
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultSchedule::ValidateFor(int num_regions, int num_stations) const {
+  FM_RETURN_IF_ERROR(Validate());
+  for (const StationOutage& o : station_outages_) {
+    if (o.station >= num_stations) {
+      return Status::OutOfRange("outage station " + std::to_string(o.station) +
+                                " >= num_stations " +
+                                std::to_string(num_stations));
+    }
+  }
+  for (const DemandShock& s : demand_shocks_) {
+    if (s.region >= num_regions) {
+      return Status::OutOfRange("shock region " + std::to_string(s.region) +
+                                " >= num_regions " +
+                                std::to_string(num_regions));
+    }
+  }
+  return Status::OK();
+}
+
+double FaultSchedule::StationCapacityFactor(StationId station,
+                                            int64_t slot) const {
+  double factor = 1.0;
+  for (const StationOutage& o : station_outages_) {
+    if (o.station == station && Covers(o.from_slot, o.until_slot, slot)) {
+      factor *= o.capacity_factor;
+    }
+  }
+  return factor;
+}
+
+double FaultSchedule::DemandMultiplier(RegionId region, int64_t slot) const {
+  double mult = 1.0;
+  for (const DemandShock& s : demand_shocks_) {
+    if ((s.region == DemandShock::kAllRegions || s.region == region) &&
+        Covers(s.from_slot, s.until_slot, slot)) {
+      mult *= s.multiplier;
+    }
+  }
+  return mult;
+}
+
+bool FaultSchedule::HazardActive(int64_t slot) const {
+  for (const BreakdownHazard& h : breakdown_hazards_) {
+    if (Covers(h.from_slot, h.until_slot, slot)) return true;
+  }
+  return false;
+}
+
+StatusOr<FaultSchedule> FaultSchedule::FromCsv(const std::string& text) {
+  FM_ASSIGN_OR_RETURN(Table table, ParseCsv(text));
+  const std::vector<std::string> expected{"kind",       "target",
+                                          "from_slot",  "until_slot",
+                                          "magnitude",  "param"};
+  if (table.header() != expected) {
+    return Status::InvalidArgument(
+        "fault schedule CSV needs header kind,target,from_slot,until_slot,"
+        "magnitude,param");
+  }
+  FaultSchedule schedule;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const std::string& kind = table.Cell(i, "kind");
+    FM_ASSIGN_OR_RETURN(int64_t target, ParseInt(table.Cell(i, "target")));
+    FM_ASSIGN_OR_RETURN(int64_t from, ParseInt(table.Cell(i, "from_slot")));
+    FM_ASSIGN_OR_RETURN(int64_t until, ParseInt(table.Cell(i, "until_slot")));
+    FM_ASSIGN_OR_RETURN(double magnitude,
+                        ParseDouble(table.Cell(i, "magnitude")));
+    FM_ASSIGN_OR_RETURN(int64_t param, ParseInt(table.Cell(i, "param")));
+    if (kind == "station_outage") {
+      schedule.AddStationOutage(static_cast<StationId>(target), from, until,
+                                magnitude);
+    } else if (kind == "demand_shock") {
+      schedule.AddDemandShock(static_cast<RegionId>(target), from, until,
+                              magnitude);
+    } else if (kind == "breakdown") {
+      schedule.AddBreakdownHazard(from, until, magnitude,
+                                  static_cast<int>(param));
+    } else {
+      return Status::InvalidArgument("unknown fault kind: '" + kind + "'");
+    }
+  }
+  FM_RETURN_IF_ERROR(schedule.Validate());
+  return schedule;
+}
+
+std::string FaultSchedule::ToCsv() const {
+  Table table({"kind", "target", "from_slot", "until_slot", "magnitude",
+               "param"});
+  for (const StationOutage& o : station_outages_) {
+    table.Row()
+        .Str("station_outage")
+        .Int(o.station)
+        .Int(o.from_slot)
+        .Int(o.until_slot)
+        .Num(o.capacity_factor, 6)
+        .Int(0)
+        .Done();
+  }
+  for (const DemandShock& s : demand_shocks_) {
+    table.Row()
+        .Str("demand_shock")
+        .Int(s.region)
+        .Int(s.from_slot)
+        .Int(s.until_slot)
+        .Num(s.multiplier, 6)
+        .Int(0)
+        .Done();
+  }
+  for (const BreakdownHazard& h : breakdown_hazards_) {
+    table.Row()
+        .Str("breakdown")
+        .Int(-1)
+        .Int(h.from_slot)
+        .Int(h.until_slot)
+        .Num(h.per_slot_prob, 6)
+        .Int(h.repair_slots)
+        .Done();
+  }
+  return table.ToCsv();
+}
+
+FaultSchedule StandardOutageScenario(const City& city, int64_t start_slot) {
+  const int64_t six_hours = 6 * kSlotsPerHour;
+  // Dark the two highest-capacity stations: losing the biggest sites is the
+  // worst single-point outage the grid can deal the fleet.
+  std::vector<StationId> by_capacity(
+      static_cast<size_t>(city.num_stations()));
+  for (StationId s = 0; s < city.num_stations(); ++s) {
+    by_capacity[static_cast<size_t>(s)] = s;
+  }
+  std::sort(by_capacity.begin(), by_capacity.end(),
+            [&](StationId a, StationId b) {
+              return city.station(a).num_points > city.station(b).num_points;
+            });
+  FaultSchedule schedule;
+  const int dark = std::min<int>(2, city.num_stations());
+  for (int i = 0; i < dark; ++i) {
+    schedule.AddStationOutage(by_capacity[static_cast<size_t>(i)], start_slot,
+                              start_slot + six_hours, 0.0);
+  }
+  schedule.AddDemandShock(DemandShock::kAllRegions, start_slot,
+                          start_slot + 2 * six_hours, 2.0);
+  schedule.AddBreakdownHazard(start_slot, start_slot + six_hours, 0.01,
+                              kSlotsPerHour);
+  return schedule;
+}
+
+}  // namespace fairmove

@@ -1,0 +1,124 @@
+#ifndef FAIRMOVE_RESILIENCE_FAULT_SCHEDULE_H_
+#define FAIRMOVE_RESILIENCE_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fairmove/common/status.h"
+#include "fairmove/common/time_types.h"
+#include "fairmove/geo/region.h"
+
+namespace fairmove {
+
+class City;
+
+/// A charging station loses capacity during [from_slot, until_slot):
+/// capacity_factor 0 = dark (power cut, no point usable), (0, 1) = derated
+/// (load shedding, construction). Overlapping windows multiply.
+struct StationOutage {
+  StationId station = kInvalidStation;
+  int64_t from_slot = 0;
+  int64_t until_slot = 0;  // exclusive
+  double capacity_factor = 0.0;
+};
+
+/// Passenger demand in `region` (kAllRegions = everywhere) is scaled by
+/// `multiplier` during [from_slot, until_slot): > 1 is a surge (concert,
+/// storm), < 1 a blackout (lockdown, outage of the hailing app).
+struct DemandShock {
+  static constexpr RegionId kAllRegions = -1;
+  RegionId region = kAllRegions;
+  int64_t from_slot = 0;
+  int64_t until_slot = 0;  // exclusive
+  double multiplier = 1.0;
+};
+
+/// During [from_slot, until_slot) every cruising/serving taxi breaks down
+/// with `per_slot_prob` each slot (towed, passenger lost), rejoining vacant
+/// after `repair_slots`.
+struct BreakdownHazard {
+  int64_t from_slot = 0;
+  int64_t until_slot = 0;  // exclusive
+  double per_slot_prob = 0.0;
+  int repair_slots = 6;
+};
+
+/// A validated, deterministic description of timed faults injected into a
+/// simulation run. Built from code (Add*) or from a small CSV spec; the
+/// simulator applies it via Simulator::SetFaultSchedule. The schedule itself
+/// carries no randomness — all stochastic draws (breakdowns) happen in the
+/// simulator from a dedicated seeded stream, so the same seed + the same
+/// schedule reproduce the same trace bit-for-bit.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  FaultSchedule& AddStationOutage(StationId station, int64_t from_slot,
+                                  int64_t until_slot,
+                                  double capacity_factor = 0.0);
+  FaultSchedule& AddDemandShock(RegionId region, int64_t from_slot,
+                                int64_t until_slot, double multiplier);
+  FaultSchedule& AddBreakdownHazard(int64_t from_slot, int64_t until_slot,
+                                    double per_slot_prob, int repair_slots);
+
+  /// Range/finiteness checks on every entry (windows ordered, factors in
+  /// [0, 1], probabilities in [0, 1], repair durations positive).
+  Status Validate() const;
+
+  /// Validate() plus id checks against a concrete city size.
+  Status ValidateFor(int num_regions, int num_stations) const;
+
+  bool empty() const {
+    return station_outages_.empty() && demand_shocks_.empty() &&
+           breakdown_hazards_.empty();
+  }
+
+  // --- Per-slot queries (what the simulator reads) -----------------------
+  /// Product of the capacity factors of every outage window active on
+  /// `station` at `slot`; 1.0 when unaffected, 0.0 when dark.
+  double StationCapacityFactor(StationId station, int64_t slot) const;
+
+  /// Product of the multipliers of every shock window covering `region`
+  /// (region-specific and fleet-wide) at `slot`; 1.0 when unaffected.
+  double DemandMultiplier(RegionId region, int64_t slot) const;
+
+  /// Whether any breakdown hazard window is active at `slot`.
+  bool HazardActive(int64_t slot) const;
+
+  const std::vector<StationOutage>& station_outages() const {
+    return station_outages_;
+  }
+  const std::vector<DemandShock>& demand_shocks() const {
+    return demand_shocks_;
+  }
+  const std::vector<BreakdownHazard>& breakdown_hazards() const {
+    return breakdown_hazards_;
+  }
+
+  // --- CSV spec ----------------------------------------------------------
+  /// Schedules round-trip through a 6-column CSV:
+  ///   kind,target,from_slot,until_slot,magnitude,param
+  ///   station_outage,<station>,from,until,<capacity_factor>,0
+  ///   demand_shock,<region|-1>,from,until,<multiplier>,0
+  ///   breakdown,-1,from,until,<per_slot_prob>,<repair_slots>
+  /// The parsed schedule is Validate()d before being returned.
+  static StatusOr<FaultSchedule> FromCsv(const std::string& text);
+  std::string ToCsv() const;
+
+ private:
+  std::vector<StationOutage> station_outages_;
+  std::vector<DemandShock> demand_shocks_;
+  std::vector<BreakdownHazard> breakdown_hazards_;
+};
+
+/// The standard chaos scenario of the resilience bench and the acceptance
+/// tests: the two highest-capacity stations go dark for six hours starting
+/// at `start_slot`, a fleet-wide 2x demand surge covers the same window and
+/// the six hours after it, and a 1% per-slot breakdown hazard (one-hour
+/// repairs) runs through the outage.
+FaultSchedule StandardOutageScenario(const City& city, int64_t start_slot = 36);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_RESILIENCE_FAULT_SCHEDULE_H_

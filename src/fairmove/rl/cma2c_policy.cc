@@ -99,11 +99,41 @@ double Cma2cPolicy::Value(const std::vector<float>& state) const {
   return critic_->Forward1(state)[0];
 }
 
+void Cma2cPolicy::EnableDivergenceGuard(DivergenceGuard::Options options) {
+  guard_ = std::make_unique<DivergenceGuard>(options);
+  guard_->Register(actor_.get());
+  guard_->Register(critic_.get());
+  const Status st = guard_->Checkpoint();
+  FM_CHECK(st.ok()) << st;
+}
+
+Status Cma2cPolicy::Health() const {
+  return guard_ != nullptr ? guard_->status() : Status::OK();
+}
+
+void Cma2cPolicy::RollBack(const std::string& why) {
+  const Status st = guard_->OnDivergence(why);
+  FM_CHECK(st.ok()) << st;
+  // The Adam moments were estimated for the discarded weights; restart both
+  // optimizers on the restored parameters at the decayed learning rate.
+  actor_opt_ = std::make_unique<Adam>(
+      actor_.get(),
+      Adam::Options{.learning_rate =
+                        options_.actor_learning_rate * guard_->lr_scale()});
+  critic_opt_ = std::make_unique<Adam>(
+      critic_.get(),
+      Adam::Options{.learning_rate =
+                        options_.critic_learning_rate * guard_->lr_scale()});
+  critic_target_->CopyParametersFrom(*critic_);
+}
+
 void Cma2cPolicy::Learn(const std::vector<Transition>& transitions) {
   if (!training_ || transitions.empty()) return;
+  if (guard_ != nullptr && guard_->exhausted()) return;
   buffer_.insert(buffer_.end(), transitions.begin(), transitions.end());
   if (buffer_.size() < options_.batch_size) return;
   for (int pass = 0; pass < options_.passes_per_batch; ++pass) {
+    if (guard_ != nullptr && guard_->exhausted()) break;
     Update(buffer_);
   }
   buffer_.clear();
@@ -135,6 +165,15 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
         t.reward + (t.terminal ? 0.0 : t.discount * next_v.At(i, 0));
   }
 
+  if (guard_ != nullptr) {
+    for (double y : targets) {
+      if (!std::isfinite(y)) {
+        RollBack("non-finite TD target (reward or target-critic output)");
+        return;
+      }
+    }
+  }
+
   Mlp::Tape critic_tape;
   critic_->ForwardTape(x, &critic_tape);
   const Matrix& v = critic_->Output(critic_tape);
@@ -149,6 +188,12 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
     advantages[static_cast<size_t>(i)] = -diff;
   }
   last_critic_loss_ = critic_loss / n;
+  if (guard_ != nullptr && !std::isfinite(last_critic_loss_)) {
+    // Rollback fires before any optimizer step, so the parameters still
+    // equal the last-good checkpoint exactly.
+    RollBack("non-finite critic loss");
+    return;
+  }
   Mlp::Gradients critic_grads = critic_->MakeGradients();
   critic_->Backward(critic_tape, critic_grad, &critic_grads);
   critic_opt_->Step(critic_grads);
@@ -168,6 +213,14 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
     // Critic warm-up: skip the policy update until values are usable.
     critic_target_->SoftUpdateFrom(*critic_, options_.target_tau);
     ++learn_batches_;
+    if (guard_ != nullptr) {
+      if (!guard_->ParametersFinite()) {
+        RollBack("non-finite parameters after critic warm-up update");
+        return;
+      }
+      const Status st = guard_->NoteHealthyUpdate();
+      FM_CHECK(st.ok()) << st;
+    }
     return;
   }
 
@@ -210,12 +263,24 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
     }
   }
   last_entropy_ = total_entropy / n;
+  if (guard_ != nullptr && !std::isfinite(last_entropy_)) {
+    RollBack("non-finite actor logits/entropy");
+    return;
+  }
   Mlp::Gradients actor_grads = actor_->MakeGradients();
   actor_->Backward(actor_tape, actor_grad, &actor_grads);
   actor_opt_->Step(actor_grads);
 
   critic_target_->SoftUpdateFrom(*critic_, options_.target_tau);
   ++learn_batches_;
+  if (guard_ != nullptr) {
+    if (!guard_->ParametersFinite()) {
+      RollBack("non-finite parameters after update");
+      return;
+    }
+    const Status st = guard_->NoteHealthyUpdate();
+    FM_CHECK(st.ok()) << st;
+  }
 }
 
 }  // namespace fairmove

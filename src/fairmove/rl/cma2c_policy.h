@@ -7,6 +7,7 @@
 #include "fairmove/common/rng.h"
 #include "fairmove/nn/adam.h"
 #include "fairmove/nn/mlp.h"
+#include "fairmove/resilience/divergence_guard.h"
 #include "fairmove/rl/features.h"
 #include "fairmove/sim/policy.h"
 
@@ -72,6 +73,17 @@ class Cma2cPolicy : public DisplacementPolicy {
   bool WantsTransitions() const override { return true; }
   void Learn(const std::vector<Transition>& transitions) override;
 
+  /// Arms checkpoint-rollback divergence protection: a NaN/Inf TD target,
+  /// loss, logit, or parameter during an update restores the last-good
+  /// actor/critic, rebuilds the optimizers at a decayed learning rate, and
+  /// continues; Health() turns non-OK once the rollback budget is spent and
+  /// Learn() becomes a no-op. Call before training starts.
+  void EnableDivergenceGuard(
+      DivergenceGuard::Options options = DivergenceGuard::Options());
+  Status Health() const override;
+  /// The armed guard, or nullptr (diagnostics for tests/benches).
+  const DivergenceGuard* divergence_guard() const { return guard_.get(); }
+
   /// One gradient update over `transitions` (called by Learn once the
   /// buffer fills; exposed for tests).
   void Update(const std::vector<Transition>& transitions);
@@ -92,6 +104,10 @@ class Cma2cPolicy : public DisplacementPolicy {
   double last_entropy() const { return last_entropy_; }
 
  private:
+  /// Restores the last-good checkpoint after a detected divergence and
+  /// rebuilds both optimizers at the guard's decayed learning rate.
+  void RollBack(const std::string& why);
+
   Options options_;
   const ActionSpace* space_;
   FeatureExtractor features_;
@@ -101,6 +117,7 @@ class Cma2cPolicy : public DisplacementPolicy {
   std::unique_ptr<Mlp> critic_target_;
   std::unique_ptr<Adam> actor_opt_;
   std::unique_ptr<Adam> critic_opt_;
+  std::unique_ptr<DivergenceGuard> guard_;
   Rng rng_;
   bool training_ = true;
   int learn_batches_ = 0;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "fairmove/common/status.h"
 #include "fairmove/sim/action.h"
 #include "fairmove/sim/taxi.h"
 
@@ -85,6 +86,12 @@ class DisplacementPolicy {
   /// Whether the policy consumes Transition batches (saves the Trainer the
   /// bookkeeping when not).
   virtual bool WantsTransitions() const { return false; }
+
+  /// Training health. Policies with divergence protection report a non-OK
+  /// Status once recovery (checkpoint rollback + learning-rate decay) has
+  /// been exhausted; the Trainer then stops cleanly instead of burning
+  /// episodes on a dead network. Heuristic policies are always healthy.
+  virtual Status Health() const { return Status::OK(); }
 
   /// Feature vectors the policy computed during its last DecideActions
   /// call, aligned with that call's `vacant` list. Policies that learn from

@@ -8,6 +8,20 @@
 namespace fairmove {
 
 Status SimConfig::Validate() const {
+  // NaN slips through every range comparison below (NaN < x and NaN > x are
+  // both false), so reject non-finite knobs explicitly first.
+  const double knobs[] = {
+      soc_force_charge,  soc_may_charge,     charge_target_min,
+      charge_target_max, pickup_overhead_min, cruise_drive_factor,
+      initial_soc_min,   initial_soc_max,    stranding_penalty_min,
+      slow_plug_prob,    slow_plug_factor,   renege_queue_factor,
+      dispatch_radius_minutes, hustle_sigma};
+  for (double v : knobs) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "SimConfig contains a non-finite (NaN/Inf) parameter");
+    }
+  }
   if (num_taxis <= 0) return Status::InvalidArgument("num_taxis must be > 0");
   if (soc_force_charge <= 0.0 || soc_force_charge >= 1.0) {
     return Status::InvalidArgument("soc_force_charge must be in (0, 1)");
@@ -84,12 +98,29 @@ Simulator::Simulator(const City* city, const DemandSource* demand,
       predictor_(city->num_regions()),
       matching_(city->num_regions(), config.request_patience_slots),
       trace_(config.trace_level),
-      rng_(config.seed) {
+      rng_(config.seed),
+      fault_rng_(config.seed) {
   Reset();
 }
 
+namespace {
+/// Salt separating the fault stream from the main stream under one seed.
+constexpr uint64_t kFaultStreamSalt = 0xFA017EC7ED5EEDULL;
+}  // namespace
+
+Status Simulator::SetFaultSchedule(const FaultSchedule* schedule) {
+  if (schedule != nullptr) {
+    FM_RETURN_IF_ERROR(
+        schedule->ValidateFor(city_->num_regions(), city_->num_stations()));
+  }
+  fault_schedule_ = schedule;
+  return Status::OK();
+}
+
 void Simulator::Reset(uint64_t seed_override) {
-  rng_.Seed(seed_override != 0 ? seed_override : config_.seed);
+  const uint64_t seed = seed_override != 0 ? seed_override : config_.seed;
+  rng_.Seed(seed);
+  fault_rng_.Seed(seed ^ kFaultStreamSalt);
   now_ = TimeSlot(0);
   trace_.Clear();
   matching_.Clear();
@@ -99,8 +130,11 @@ void Simulator::Reset(uint64_t seed_override) {
 
   stations_.clear();
   stations_.reserve(static_cast<size_t>(city_->num_stations()));
+  applied_points_.clear();
+  applied_points_.reserve(static_cast<size_t>(city_->num_stations()));
   for (const ChargingStation& st : city_->stations()) {
     stations_.emplace_back(st.num_points);
+    applied_points_.push_back(st.num_points);
   }
 
   // Initial taxi placement follows the daily demand share of each region,
@@ -159,6 +193,7 @@ void Simulator::Step(DisplacementPolicy* policy) {
   std::fill(slot_profit_.begin(), slot_profit_.end(), 0.0);
   decisions_.clear();
 
+  if (fault_schedule_ != nullptr) ApplyScheduledFaults();
   CompleteArrivals();
   PlugInWaiting();
   AdvanceCharging();
@@ -174,6 +209,85 @@ void Simulator::Step(DisplacementPolicy* policy) {
 
 void Simulator::RunSlots(DisplacementPolicy* policy, int64_t slots) {
   for (int64_t i = 0; i < slots; ++i) Step(policy);
+}
+
+void Simulator::ApplyScheduledFaults() {
+  // Station capacity transitions (outage start/derating change/restore).
+  for (StationId s = 0; s < city_->num_stations(); ++s) {
+    StationQueue& queue = stations_[static_cast<size_t>(s)];
+    const double factor =
+        fault_schedule_->StationCapacityFactor(s, now_.index);
+    const int applied = std::min(
+        queue.num_points(),
+        static_cast<int>(std::floor(queue.num_points() * factor + 1e-9)));
+    if (applied == applied_points_[static_cast<size_t>(s)]) continue;
+    queue.SetAvailablePoints(applied);
+    applied_points_[static_cast<size_t>(s)] = applied;
+    FaultEvent event;
+    event.kind = applied < queue.num_points() ? FaultKind::kStationOutage
+                                              : FaultKind::kStationRestored;
+    event.slot = now_.index;
+    event.subject = s;
+    event.magnitude = static_cast<double>(applied);
+    trace_.AddFaultEvent(event);
+    // The grid cut power to occupied points: unplug sessions down to the
+    // new capacity (they end early rather than strand mid-session).
+    if (queue.occupied() > applied) {
+      for (Taxi& taxi : taxis_) {
+        if (queue.occupied() <= applied) break;
+        if (taxi.phase == TaxiPhase::kCharging && taxi.station == s) {
+          FinishChargeSession(taxi);
+        }
+      }
+    }
+    // A dark station serves nobody: push its waiting line back through the
+    // normal balking machinery so the taxis redirect instead of stranding.
+    if (applied == 0) {
+      for (TaxiId id : queue.DrainWaiting()) {
+        ArriveAtStationOrRenege(taxis_[static_cast<size_t>(id)]);
+      }
+    }
+  }
+  // Demand-shock boundary events; the multiplier itself is applied in
+  // SpawnRequests every slot of the window.
+  for (const DemandShock& shock : fault_schedule_->demand_shocks()) {
+    if (shock.from_slot == now_.index) {
+      trace_.AddFaultEvent(FaultEvent{FaultKind::kDemandShock, now_.index,
+                                      shock.region, shock.multiplier});
+    }
+    if (shock.until_slot == now_.index) {
+      trace_.AddFaultEvent(FaultEvent{FaultKind::kDemandShockEnd, now_.index,
+                                      shock.region, shock.multiplier});
+    }
+  }
+}
+
+void Simulator::ApplyBreakdownHazard() {
+  for (Taxi& taxi : taxis_) {
+    if (taxi.phase != TaxiPhase::kCruising &&
+        taxi.phase != TaxiPhase::kServing) {
+      continue;
+    }
+    for (const BreakdownHazard& hazard :
+         fault_schedule_->breakdown_hazards()) {
+      if (now_.index < hazard.from_slot || now_.index >= hazard.until_slot) {
+        continue;
+      }
+      if (!fault_rng_.Bernoulli(hazard.per_slot_prob)) continue;
+      if (taxi.phase == TaxiPhase::kServing) {
+        // Trip abandoned: the passenger finds another ride, no fare.
+        taxi.pending_fare = 0.0;
+        taxi.trip_dest = kInvalidRegion;
+      }
+      taxi.phase = TaxiPhase::kBrokenDown;
+      taxi.busy_until = now_.index + hazard.repair_slots;
+      taxi.totals.num_breakdowns += 1;
+      trace_.AddFaultEvent(FaultEvent{FaultKind::kBreakdown, now_.index,
+                                      taxi.id,
+                                      static_cast<double>(hazard.repair_slots)});
+      break;
+    }
+  }
 }
 
 void Simulator::CompleteArrivals() {
@@ -193,6 +307,14 @@ void Simulator::CompleteArrivals() {
       }
       case TaxiPhase::kToStation: {
         ArriveAtStationOrRenege(taxi);
+        break;
+      }
+      case TaxiPhase::kBrokenDown: {
+        // Repair finished: rejoin the fleet vacant where the tow left it.
+        taxi.phase = TaxiPhase::kCruising;
+        taxi.vacant_since = now_.index;
+        trace_.AddFaultEvent(
+            FaultEvent{FaultKind::kRepaired, now_.index, taxi.id, 0.0});
         break;
       }
       default:
@@ -304,7 +426,15 @@ void Simulator::FinishChargeSession(Taxi& taxi) {
 
 void Simulator::SpawnRequests() {
   for (RegionId r = 0; r < city_->num_regions(); ++r) {
-    const int n = demand_->SampleCount(r, now_, rng_);
+    double mult = 1.0;
+    if (fault_schedule_ != nullptr) {
+      mult = fault_schedule_->DemandMultiplier(r, now_.index);
+    }
+    // A multiplier of exactly 1 keeps the unmodified SampleCount stream, so
+    // runs outside shock windows stay bit-identical to schedule-free runs.
+    const int n = mult == 1.0
+                      ? demand_->SampleCount(r, now_, rng_)
+                      : rng_.Poisson(demand_->Rate(r, now_) * mult);
     predictor_.Observe(r, now_, n);
     total_requests_ += n;
     for (int i = 0; i < n; ++i) {
@@ -525,10 +655,14 @@ bool Simulator::ArriveAtStationOrRenege(Taxi& taxi) {
   const ChargingStation& st = city_->station(taxi.station);
   taxi.region = st.region;
   StationQueue& queue = stations_[static_cast<size_t>(taxi.station)];
+  // A dark station (fault-injection outage) can never plug anyone in, so
+  // the taxi always tries to move on, ignoring the redirect budget.
+  const bool dead = queue.available_points() == 0;
   const bool overloaded =
-      queue.waiting() >=
-      static_cast<int>(config_.renege_queue_factor * queue.num_points());
-  if (overloaded && taxi.charge_redirects < config_.max_charge_redirects) {
+      dead || queue.waiting() >= static_cast<int>(config_.renege_queue_factor *
+                                                  queue.available_points());
+  if (overloaded &&
+      (dead || taxi.charge_redirects < config_.max_charge_redirects)) {
     // Balk: head for the least-loaded nearby alternative (drivers see
     // station occupancy in the charging app).
     StationId best = kInvalidStation;
@@ -536,8 +670,9 @@ bool Simulator::ArriveAtStationOrRenege(Taxi& taxi) {
     for (StationId s : city_->NearestStations(st.region)) {
       if (s == taxi.station) continue;
       const StationQueue& alt = stations_[static_cast<size_t>(s)];
+      if (alt.available_points() == 0) continue;  // also dark
       const double load =
-          static_cast<double>(alt.load()) / alt.num_points();
+          static_cast<double>(alt.load()) / alt.available_points();
       const double travel = city_->TravelMinutesToStation(st.region, s);
       const double cost = 30.0 * load + travel;
       if (cost < best_cost) {
@@ -619,6 +754,9 @@ void Simulator::AccountTimeAndStranding() {
       case TaxiPhase::kCharging:
         ++counts.charging;
         break;
+      case TaxiPhase::kBrokenDown:
+        ++counts.broken_down;
+        break;
     }
   }
   trace_.RecordPhaseCounts(counts);
@@ -632,6 +770,7 @@ void Simulator::AccountTimeAndStranding() {
         break;
       case TaxiPhase::kToStation:
       case TaxiPhase::kQueuing:
+      case TaxiPhase::kBrokenDown:  // repair downtime is lost (idle) time
         taxi.totals.idle_min += kMinutesPerSlot;
         break;
       case TaxiPhase::kCharging:
@@ -660,6 +799,10 @@ void Simulator::AccountTimeAndStranding() {
       taxi.busy_until = now_.index;
       stations_[static_cast<size_t>(station)].Enqueue(taxi.id);
     }
+  }
+  if (fault_schedule_ != nullptr &&
+      fault_schedule_->HazardActive(now_.index)) {
+    ApplyBreakdownHazard();
   }
 }
 

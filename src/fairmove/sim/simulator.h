@@ -12,6 +12,7 @@
 #include "fairmove/geo/city.h"
 #include "fairmove/pricing/fare_model.h"
 #include "fairmove/pricing/tou_tariff.h"
+#include "fairmove/resilience/fault_schedule.h"
 #include "fairmove/sim/action.h"
 #include "fairmove/sim/matching.h"
 #include "fairmove/sim/policy.h"
@@ -107,6 +108,15 @@ class Simulator {
   /// Uses the config seed unless `seed_override` is non-zero.
   void Reset(uint64_t seed_override = 0);
 
+  /// Installs a fault-injection schedule (nullptr removes it). The schedule
+  /// must outlive the simulator and is validated against this city; it
+  /// survives Reset() so chaos experiments replay identically per episode.
+  /// Breakdown draws come from a dedicated RNG stream seeded alongside the
+  /// main one, so an installed-but-empty schedule leaves a run bit-for-bit
+  /// identical to a schedule-free run.
+  Status SetFaultSchedule(const FaultSchedule* schedule);
+  const FaultSchedule* fault_schedule() const { return fault_schedule_; }
+
   /// Advances one slot under `policy` (nullptr = every taxi stays, charging
   /// forced at the threshold via the nearest station).
   void Step(DisplacementPolicy* policy);
@@ -173,6 +183,11 @@ class Simulator {
             const TouTariff& tariff, const SimConfig& config);
 
   // Step phases, in execution order.
+  /// Applies schedule transitions for this slot: station capacity changes
+  /// (unplugging / rerouting as needed) and shock-boundary trace events.
+  void ApplyScheduledFaults();
+  /// Breakdown hazard draws for cruising/serving taxis (fault RNG stream).
+  void ApplyBreakdownHazard();
   void CompleteArrivals();
   void PlugInWaiting();
   void AdvanceCharging();
@@ -214,6 +229,12 @@ class Simulator {
   std::vector<StationQueue> stations_;
   Trace trace_;
   Rng rng_;
+  /// Dedicated stream for fault draws so injecting faults never perturbs
+  /// the main simulation stream (and vice versa).
+  Rng fault_rng_;
+  const FaultSchedule* fault_schedule_ = nullptr;
+  /// Last applied usable-point count per station (outage edge detection).
+  std::vector<int> applied_points_;
   TimeSlot now_{0};
 
   std::vector<int> vacant_count_;      // per region, refreshed each step

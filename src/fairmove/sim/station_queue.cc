@@ -6,8 +6,21 @@
 
 namespace fairmove {
 
-StationQueue::StationQueue(int num_points) : num_points_(num_points) {
+StationQueue::StationQueue(int num_points)
+    : num_points_(num_points), available_points_(num_points) {
   FM_CHECK(num_points > 0);
+}
+
+void StationQueue::SetAvailablePoints(int n) {
+  FM_CHECK(n >= 0 && n <= num_points_)
+      << "available points " << n << " outside [0, " << num_points_ << "]";
+  available_points_ = n;
+}
+
+std::vector<TaxiId> StationQueue::DrainWaiting() {
+  std::vector<TaxiId> drained(queue_.begin(), queue_.end());
+  queue_.clear();
+  return drained;
 }
 
 TaxiId StationQueue::PlugInNext() {
@@ -32,6 +45,7 @@ bool StationQueue::RemoveWaiting(TaxiId taxi) {
 
 void StationQueue::Clear() {
   occupied_ = 0;
+  available_points_ = num_points_;
   queue_.clear();
 }
 

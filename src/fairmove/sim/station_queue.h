@@ -1,6 +1,7 @@
 #ifndef FAIRMOVE_SIM_STATION_QUEUE_H_
 #define FAIRMOVE_SIM_STATION_QUEUE_H_
 
+#include <algorithm>
 #include <deque>
 #include <vector>
 
@@ -18,7 +19,10 @@ class StationQueue {
 
   int num_points() const { return num_points_; }
   int occupied() const { return occupied_; }
-  int free_points() const { return num_points_ - occupied_; }
+  /// Points currently usable; below num_points() while a fault-injection
+  /// outage/derating window is active, 0 when the station is dark.
+  int available_points() const { return available_points_; }
+  int free_points() const { return std::max(0, available_points_ - occupied_); }
   int waiting() const { return static_cast<int>(queue_.size()); }
 
   /// Taxis plugged in or waiting (load signal for the global state).
@@ -40,10 +44,19 @@ class StationQueue {
   /// it was present.
   bool RemoveWaiting(TaxiId taxi);
 
+  /// Sets the usable point count (outage/derating/restoration). Occupancy
+  /// is untouched — the simulator unplugs sessions down to the new capacity.
+  void SetAvailablePoints(int n);
+
+  /// Empties the waiting line and returns it in FIFO order (the simulator
+  /// re-routes the evicted taxis when the station goes dark).
+  std::vector<TaxiId> DrainWaiting();
+
   void Clear();
 
  private:
   int num_points_;
+  int available_points_;
   int occupied_ = 0;
   std::deque<TaxiId> queue_;
 };

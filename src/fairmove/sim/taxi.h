@@ -14,11 +14,12 @@ using TaxiId = int32_t;
 /// What an e-taxi is doing during a slot; maps onto the paper's mobility
 /// decomposition (§II-B, Fig 1).
 enum class TaxiPhase : uint8_t {
-  kCruising = 0,   // vacant, seeking passengers (T_cruise)
-  kServing = 1,    // passenger on board (T_serve)
-  kToStation = 2,  // driving to a charging station (part of T_idle)
-  kQueuing = 3,    // waiting for a free point (part of T_idle)
-  kCharging = 4,   // plugged in (T_charge)
+  kCruising = 0,    // vacant, seeking passengers (T_cruise)
+  kServing = 1,     // passenger on board (T_serve)
+  kToStation = 2,   // driving to a charging station (part of T_idle)
+  kQueuing = 3,     // waiting for a free point (part of T_idle)
+  kCharging = 4,    // plugged in (T_charge)
+  kBrokenDown = 5,  // fault injection: towed, in repair (part of T_idle)
 };
 
 const char* TaxiPhaseName(TaxiPhase phase);
@@ -37,6 +38,8 @@ struct TaxiTotals {
   int num_trips = 0;
   int num_charges = 0;
   int num_strandings = 0;
+  /// Fault-injection breakdowns suffered (0 without a FaultSchedule).
+  int num_breakdowns = 0;
 
   double on_duty_min() const {
     return cruise_min + serve_min + idle_min + charge_min;

@@ -14,8 +14,36 @@ const char* TaxiPhaseName(TaxiPhase phase) {
       return "queuing";
     case TaxiPhase::kCharging:
       return "charging";
+    case TaxiPhase::kBrokenDown:
+      return "broken-down";
   }
   return "unknown";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStationOutage:
+      return "station-outage";
+    case FaultKind::kStationRestored:
+      return "station-restored";
+    case FaultKind::kDemandShock:
+      return "demand-shock";
+    case FaultKind::kDemandShockEnd:
+      return "demand-shock-end";
+    case FaultKind::kBreakdown:
+      return "breakdown";
+    case FaultKind::kRepaired:
+      return "repaired";
+  }
+  return "unknown";
+}
+
+int64_t Trace::AddFaultEvent(const FaultEvent& event) {
+  ++total_fault_events_;
+  if (event.kind == FaultKind::kBreakdown) ++total_breakdowns_;
+  if (level_ != TraceLevel::kFull) return -1;
+  fault_events_.push_back(event);
+  return static_cast<int64_t>(fault_events_.size()) - 1;
 }
 
 int64_t Trace::AddTrip(const TripRecord& trip) {
@@ -65,6 +93,9 @@ void Trace::Clear() {
   total_fares_ = 0.0;
   total_charge_cost_ = 0.0;
   expired_requests_ = 0;
+  fault_events_.clear();
+  total_fault_events_ = 0;
+  total_breakdowns_ = 0;
   charge_starts_by_hour_.assign(kHoursPerDay, 0);
 }
 

@@ -68,6 +68,28 @@ struct CycleRecord {
 /// retains every trip/charge record (needed by the distribution figures).
 enum class TraceLevel : uint8_t { kAggregatesOnly = 0, kFull = 1 };
 
+/// What kind of injected fault (or recovery from one) an event records.
+enum class FaultKind : uint8_t {
+  kStationOutage = 0,  // subject = station, magnitude = applied capacity
+  kStationRestored,    // subject = station, magnitude = applied capacity
+  kDemandShock,        // subject = region (-1 fleet-wide), magnitude = mult
+  kDemandShockEnd,     // subject = region (-1 fleet-wide), magnitude = mult
+  kBreakdown,          // subject = taxi, magnitude = repair slots
+  kRepaired,           // subject = taxi
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One fault-injection event. Every applied fault lands here so metric
+/// degradation can be attributed to the chaos schedule that caused it.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kStationOutage;
+  int64_t slot = 0;
+  /// Station, region, or taxi id depending on `kind`.
+  int32_t subject = -1;
+  double magnitude = 0.0;
+};
+
 /// Per-slot fleet composition (how many taxis in each phase) — the
 /// aggregate view behind "fleet state over the day" plots.
 struct PhaseCounts {
@@ -77,6 +99,7 @@ struct PhaseCounts {
   int to_station = 0;
   int queuing = 0;
   int charging = 0;
+  int broken_down = 0;
 };
 
 /// Event log of one simulation run.
@@ -108,6 +131,14 @@ class Trace {
   int64_t expired_requests() const { return expired_requests_; }
   void CountExpiredRequests(int64_t n) { expired_requests_ += n; }
 
+  /// Records an applied fault-injection event. Always counted; the full
+  /// event is retained at kFull level. Returns the stored index or -1.
+  int64_t AddFaultEvent(const FaultEvent& event);
+  const std::vector<FaultEvent>& fault_events() const { return fault_events_; }
+  int64_t total_fault_events() const { return total_fault_events_; }
+  /// Taxis that broke down (kBreakdown events) since the last Clear().
+  int64_t total_breakdowns() const { return total_breakdowns_; }
+
   /// Charging sessions *started* during each hour of day (Fig 4).
   const std::vector<int64_t>& charge_starts_by_hour() const {
     return charge_starts_by_hour_;
@@ -134,6 +165,9 @@ class Trace {
   double total_fares_ = 0.0;
   double total_charge_cost_ = 0.0;
   int64_t expired_requests_ = 0;
+  std::vector<FaultEvent> fault_events_;
+  int64_t total_fault_events_ = 0;
+  int64_t total_breakdowns_ = 0;
   std::vector<int64_t> charge_starts_by_hour_ =
       std::vector<int64_t>(kHoursPerDay, 0);
   std::vector<PhaseCounts> phase_counts_;

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "fairmove/common/csv.h"
 #include "fairmove/core/fairmove.h"
 #include "fairmove/core/group_fairness.h"
 #include "fairmove/data/empirical_demand.h"
 #include "fairmove/data/generator.h"
+#include "fairmove/resilience/chaos.h"
 #include "fairmove/rl/gt_policy.h"
 
 namespace fairmove {
@@ -53,6 +56,82 @@ TEST(ParseCsvTest, RejectsMalformedInput) {
 
 TEST(ParseCsvTest, ReadCsvFileMissingPathFails) {
   EXPECT_FALSE(ReadCsvFile("/no/such/file.csv").ok());
+}
+
+TEST(ParseCsvTest, RejectsEmbeddedNulBytes) {
+  const std::string nul_in_row = std::string("a,b\n1,2") + '\0' + "\n";
+  EXPECT_FALSE(ParseCsv(nul_in_row).ok());
+  const std::string nul_in_header = std::string("a") + '\0' + ",b\n1,2\n";
+  EXPECT_FALSE(ParseCsv(nul_in_header).ok());
+}
+
+// ------------------------------------------------------ ParseCsvLenient --
+
+TEST(ParseCsvLenientTest, QuarantinesDamagedRowsAndKeepsTheRest) {
+  const std::string text = std::string("a,b\n") +
+                           "1,2\n" +        // good
+                           "3\n" +          // truncated
+                           "4,5,6\n" +      // extra cell
+                           "bad\"quote,7\n" +
+                           "8,9" + '\0' + "\n" +
+                           "10,11\n";       // good
+  CsvQuarantine q;
+  auto parsed = ParseCsvLenient(text, &q);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->Cell(0, "a"), "1");
+  EXPECT_EQ(parsed->Cell(1, "b"), "11");
+  EXPECT_EQ(q.ragged_rows, 2);
+  EXPECT_EQ(q.malformed_quoting, 1);
+  EXPECT_EQ(q.nul_rows, 1);
+  EXPECT_EQ(q.total(), 4);
+}
+
+TEST(ParseCsvLenientTest, RecoversAfterUnterminatedQuote) {
+  // The unterminated quote swallows the rest of the text in the strict
+  // parser; the lenient one resynchronises at the next physical line.
+  CsvQuarantine q;
+  auto parsed = ParseCsvLenient("a,b\n\"open,2\n3,4\n", &q);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_rows(), 1u);
+  EXPECT_EQ(parsed->Cell(0, "a"), "3");
+  EXPECT_EQ(q.malformed_quoting, 1);
+}
+
+TEST(ParseCsvLenientTest, BrokenHeaderStillFails) {
+  EXPECT_FALSE(ParseCsvLenient("").ok());
+  EXPECT_FALSE(ParseCsvLenient(std::string("a") + '\0' + ",b\n1,2\n").ok());
+}
+
+TEST(ParseCsvLenientTest, CleanInputReportsNoQuarantine) {
+  CsvQuarantine q;
+  auto parsed = ParseCsvLenient("a,b\n1,2\n3,4\n", &q);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(q.total(), 0);
+}
+
+// ------------------------------------------- TransactionRecordsFromTable --
+
+TEST(TransactionRecordsFromTableTest, QuarantinesNonNumericRows) {
+  Table table({"vehicle_id", "pickup_time_s", "pickup_lat", "pickup_lng",
+               "dropoff_lat", "dropoff_lng"});
+  table.AddRow({"1", "600", "22.5", "114.0", "22.6", "114.1"});
+  table.AddRow({"??garbage??", "600", "22.5", "114.0", "22.6", "114.1"});
+  table.AddRow({"2", "1200", "not-a-number", "114.0", "22.6", "114.1"});
+  int64_t quarantined = 0;
+  auto records = TransactionRecordsFromTable(table, &quarantined);
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].vehicle_id, 1);
+  EXPECT_EQ((*records)[0].pickup_time_s, 600);
+  EXPECT_EQ(quarantined, 2);
+}
+
+TEST(TransactionRecordsFromTableTest, MissingCoreColumnFails) {
+  Table table({"vehicle_id", "pickup_time_s"});
+  table.AddRow({"1", "600"});
+  EXPECT_FALSE(TransactionRecordsFromTable(table).ok());
 }
 
 // -------------------------------------------------------- NearestRegion --
@@ -201,6 +280,45 @@ TEST_F(EmpiricalDemandTest, CsvRoundTrip) {
   EXPECT_EQ(model_or->observations(),
             static_cast<int64_t>(transactions_.size()));
   std::remove(path.c_str());
+}
+
+TEST_F(EmpiricalDemandTest, SurvivesCorruptedCsv) {
+  // Chaos-corrupt the exported transaction log (dropped, truncated,
+  // mangled and NUL-damaged rows), then ingest it: the damaged rows must
+  // be quarantined, the surviving ones must still build a model.
+  RecordCorruption corruption;
+  corruption.drop_prob = 0.02;
+  corruption.truncate_prob = 0.05;
+  corruption.mangle_prob = 0.05;
+  corruption.nul_prob = 0.03;
+  corruption.seed = 77;
+  CorruptionStats stats;
+  const std::string corrupted = CorruptCsvText(
+      TransactionRecordsTable(transactions_).ToCsv(), corruption, &stats);
+  ASSERT_GT(stats.total_corrupted(), 0);
+
+  const std::string path =
+      ::testing::TempDir() + "/fairmove_corrupted_test.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(static_cast<bool>(out));
+    out << corrupted;
+  }
+  EmpiricalDemandModel::Options options;
+  options.days = 2;
+  int64_t quarantined = 0;
+  auto model_or = EmpiricalDemandModel::FromCsvFile(&system_->city(), path,
+                                                    options, &quarantined);
+  std::remove(path.c_str());
+  ASSERT_TRUE(model_or.ok()) << model_or.status();
+  // Every original row is either dropped, quarantined, or ingested. (A
+  // truncated row can survive ingestion when only the tail of its last
+  // numeric cell was cut, so quarantined <= corrupted - dropped.)
+  EXPECT_EQ(model_or->observations() + quarantined + stats.dropped,
+            static_cast<int64_t>(transactions_.size()));
+  EXPECT_GE(quarantined, stats.mangled + stats.nul_injected);
+  EXPECT_LE(quarantined + stats.dropped, stats.total_corrupted());
+  EXPECT_GT(model_or->observations(), 0);
 }
 
 TEST_F(EmpiricalDemandTest, DrivesTheSimulator) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "fairmove/common/stats.h"
@@ -100,6 +101,14 @@ TEST(SimConfigTest, ValidateCatchesBadKnobs) {
   EXPECT_FALSE(cfg.Validate().ok());
   cfg = SimConfig{};
   cfg.hustle_sigma = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  // NaN sails through ordinary range comparisons; Validate must sweep for
+  // non-finite knobs explicitly.
+  cfg = SimConfig{};
+  cfg.renege_queue_factor = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.charge_target_min = std::numeric_limits<double>::infinity();
   EXPECT_FALSE(cfg.Validate().ok());
 }
 

@@ -155,7 +155,7 @@ TEST(PhaseCountsTest, SnapshotsPartitionTheFleetEverySlot) {
   ASSERT_EQ(snapshots.size(), 100u);
   for (const PhaseCounts& counts : snapshots) {
     EXPECT_EQ(counts.cruising + counts.serving + counts.to_station +
-                  counts.queuing + counts.charging,
+                  counts.queuing + counts.charging + counts.broken_down,
               system->sim().num_taxis());
   }
   EXPECT_EQ(snapshots.front().slot, 0);
