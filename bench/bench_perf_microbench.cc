@@ -4,11 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
 
 #include "fairmove/core/fairmove.h"
 #include "fairmove/nn/adam.h"
 #include "fairmove/nn/mlp.h"
+#include "fairmove/rl/cma2c_policy.h"
 #include "fairmove/rl/features.h"
 #include "fairmove/rl/gt_policy.h"
 
@@ -62,6 +64,117 @@ void BM_FeatureExtraction(benchmark::State& state) {
   state.counters["dim"] = features.dim();
 }
 BENCHMARK(BM_FeatureExtraction);
+
+// One full slot's worth of displacement decisions: every taxi vacant.
+std::vector<TaxiObs> MakeVacantObs(const Simulator& sim) {
+  std::vector<TaxiObs> obs(static_cast<size_t>(sim.num_taxis()));
+  for (size_t i = 0; i < obs.size(); ++i) {
+    obs[i].taxi = static_cast<TaxiId>(i);
+    obs[i].region =
+        static_cast<RegionId>(i % sim.city().num_regions());
+    obs[i].soc = 0.3 + 0.5 * static_cast<double>(i % 7) / 7.0;
+    obs[i].may_charge = i % 3 == 0;
+  }
+  return obs;
+}
+
+// The batched decision path: one ExtractAll + one Mlp::Forward per slot
+// (this is what CMA2C, DQN and TBA now do inside DecideActions).
+void BM_PolicyDecideBatch(benchmark::State& state) {
+  auto system = MakeSystem(static_cast<double>(state.range(0)) / 100.0);
+  Cma2cPolicy policy(system->sim());
+  policy.SetTraining(false);
+  const std::vector<TaxiObs> vacant = MakeVacantObs(system->sim());
+  std::vector<Action> actions;
+  for (auto _ : state) {
+    policy.DecideActions(system->sim(), vacant, &actions);
+    benchmark::DoNotOptimize(actions);
+  }
+  state.counters["taxis"] = static_cast<double>(vacant.size());
+  state.counters["decisions/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(vacant.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PolicyDecideBatch)->Arg(5)->Arg(25);
+
+// The seed's Mlp::Forward for one row, frozen here as the fixed comparison
+// baseline: naive j-loop MatMul with the (since removed) a == 0 skip, a
+// fresh buffer allocation per layer, and one scalar std::tanh call per
+// hidden unit, compiled at the seed's -O2. The library kernels have been
+// rewritten since; linking them into the baseline would make "scalar" a
+// moving target that inherits every kernel win, so the bench keeps the
+// seed math byte-for-byte instead.
+std::vector<float> SeedForward1(const std::vector<Matrix>& weights,
+                                const std::vector<std::vector<float>>& biases,
+                                const std::vector<float>& x) {
+  std::vector<float> current = x;
+  for (size_t layer = 0; layer < weights.size(); ++layer) {
+    const Matrix& w = weights[layer];
+    const size_t n = static_cast<size_t>(w.cols());
+    std::vector<float> next(n, 0.0f);
+    for (int p = 0; p < w.rows(); ++p) {
+      const float av = current[static_cast<size_t>(p)];
+      if (av == 0.0f) continue;
+      const float* w_row = w.Row(p);
+      for (size_t j = 0; j < n; ++j) next[j] += av * w_row[j];
+    }
+    for (size_t j = 0; j < n; ++j) next[j] += biases[layer][j];
+    if (layer + 1 < weights.size()) {
+      for (float& v : next) v = std::tanh(v);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+// The seed's per-taxi decision loop, reproduced verbatim as the baseline:
+// one feature vector, one heap-allocating SeedForward1, one softmax vector
+// and one sample per taxi. BM_PolicyDecideBatch vs this is the
+// batch-vs-scalar policy throughput the README refers to.
+void BM_PolicyDecideScalar(benchmark::State& state) {
+  auto system = MakeSystem(static_cast<double>(state.range(0)) / 100.0);
+  const Simulator& sim = system->sim();
+  FeatureExtractor features(&sim);
+  const ActionSpace& space = sim.action_space();
+  const int num_actions = space.size();
+  Cma2cPolicy::Options options;
+  std::vector<int> sizes{features.dim()};
+  for (int h : options.actor_hidden) sizes.push_back(h);
+  sizes.push_back(num_actions);
+  Mlp actor(sizes, Activation::kTanh, options.seed);
+  for (int a = space.first_charge_index(); a < num_actions; ++a) {
+    actor.biases().back()[static_cast<size_t>(a)] =
+        static_cast<float>(options.charge_logit_bias);
+  }
+  Rng rng(options.seed);
+  const std::vector<TaxiObs> vacant = MakeVacantObs(sim);
+  std::vector<Action> actions;
+  std::vector<std::vector<float>> last_features;
+  std::vector<bool> mask;
+  for (auto _ : state) {
+    actions.clear();
+    actions.reserve(vacant.size());
+    last_features.assign(vacant.size(), {});
+    for (size_t i = 0; i < vacant.size(); ++i) {
+      const TaxiObs& obs = vacant[i];
+      features.Extract(obs, &last_features[i]);
+      std::vector<float> probs =
+          SeedForward1(actor.weights(), actor.biases(), last_features[i]);
+      space.Mask(obs.region, obs.must_charge, obs.may_charge, &mask);
+      MaskedSoftmax(mask, &probs);
+      const size_t pick = rng.WeightedIndex(probs);
+      actions.push_back(space.Materialize(obs.region, static_cast<int>(pick)));
+    }
+    benchmark::DoNotOptimize(actions);
+  }
+  state.counters["taxis"] = static_cast<double>(vacant.size());
+  state.counters["decisions/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(vacant.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PolicyDecideScalar)->Arg(5)->Arg(25);
 
 void BM_MlpForward1(benchmark::State& state) {
   Mlp net({40, 64, 64, 14}, Activation::kTanh, 1);

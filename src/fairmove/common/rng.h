@@ -137,11 +137,16 @@ class Rng {
   }
 
   /// Samples an index in [0, weights.size()) proportionally to weights.
-  /// Zero-total weight falls back to uniform.
+  /// Zero-total weight falls back to uniform. Non-finite weights are a
+  /// programmer error and abort: with a NaN total the zero-total guard is
+  /// false and the scan would silently return the last index, turning a
+  /// diverged policy into a deterministic (always-last-action) one.
   template <typename Container>
   size_t WeightedIndex(const Container& weights) {
     double total = 0.0;
     for (double w : weights) total += w;
+    FM_CHECK(std::isfinite(total))
+        << "WeightedIndex: non-finite total weight " << total;
     if (total <= 0.0) return NextBounded(weights.size());
     double r = NextDouble() * total;
     size_t i = 0;

@@ -1,12 +1,51 @@
 #include "fairmove/nn/mlp.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <ostream>
-#include <cmath>
-#include <cstring>
 
 namespace fairmove {
+
+float FastTanh(float x) {
+  // Clamp via ternaries: both comparisons are false for NaN, so a NaN
+  // input falls through unclamped and poisons the polynomial below.
+  // Beyond |x| = 10, float tanh is exactly +/-1 anyway.
+  const float xc = x > 10.0f ? 10.0f : (x < -10.0f ? -10.0f : x);
+  // tanh(x) = (e - 1) / (e + 1), e = exp(2x) = 2^v, v = 2x * log2(e).
+  const float v = xc * 2.885390081777927f;
+  // Round-to-nearest-even split v = n + f, f in [-0.5, 0.5], using the
+  // 1.5 * 2^23 magic constant (valid since |v| < 2^22). The bit pattern of
+  // (v + magic) is 0x4B400000 + n, which hands us n without a float->int
+  // cast — a NaN v must not reach such a cast (UB, and it would trap
+  // under -fsanitize=float-cast-overflow).
+  const float magic = 12582912.0f;  // 1.5 * 2^23
+  const float shifted = v + magic;
+  uint32_t sbits;
+  std::memcpy(&sbits, &shifted, sizeof(sbits));
+  const float nf = shifted - magic;
+  const float f = v - nf;  // exact (Sterbenz)
+  // 2^f = exp(t), t = f * ln(2), |t| <= 0.347: degree-6 Taylor keeps the
+  // truncation error below 1.3e-7 relative.
+  const float t = f * 0.6931471805599453f;
+  const float p =
+      1.0f +
+      t * (1.0f +
+           t * (0.5f +
+                t * (1.0f / 6.0f +
+                     t * (1.0f / 24.0f +
+                          t * (1.0f / 120.0f + t * (1.0f / 720.0f))))));
+  // Splice 2^n in as float bits: exponent field (n + 127) << 23. n is in
+  // [-29, 29] for finite inputs; for NaN the scale is garbage but p is
+  // already NaN, which is what we want to return.
+  float scale;
+  const uint32_t ebits = (sbits - 0x4B400000u + 127u) << 23;
+  std::memcpy(&scale, &ebits, sizeof(scale));
+  const float e = p * scale;
+  return (e - 1.0f) / (e + 1.0f);
+}
 
 Mlp::Mlp(const std::vector<int>& sizes, Activation hidden_activation,
          uint64_t seed)
@@ -41,25 +80,33 @@ void Mlp::ApplyActivation(Matrix* m, bool is_last) const {
       return;
     case Activation::kTanh:
       for (size_t i = 0; i < m->size(); ++i) {
-        m->data()[i] = std::tanh(m->data()[i]);
+        m->data()[i] = FastTanh(m->data()[i]);
       }
       return;
   }
 }
 
 void Mlp::Forward(const Matrix& x, Matrix* y) const {
+  Workspace ws;
+  Forward(x, y, &ws);
+}
+
+void Mlp::Forward(const Matrix& x, Matrix* y, Workspace* ws) const {
   FM_CHECK(x.cols() == input_dim())
       << "input dim " << x.cols() << " != " << input_dim();
-  Matrix current = x;
-  Matrix next;
+  FM_CHECK(y != &x) << "Forward output must not alias the input";
+  const Matrix* current = &x;
   for (int layer = 0; layer < num_layers(); ++layer) {
-    MatMul(current, weights_[static_cast<size_t>(layer)], &next);
-    AddRowBias(biases_[static_cast<size_t>(layer)], &next);
-    ApplyActivation(&next, layer + 1 == num_layers());
-    current = std::move(next);
-    next = Matrix();
+    const bool last = layer + 1 == num_layers();
+    // The last layer writes straight into `y`; hidden layers ping-pong
+    // between the two workspace buffers (MatMul requires out != a, which
+    // the alternation guarantees).
+    Matrix* dst = last ? y : &ws->act[layer % 2];
+    MatMul(*current, weights_[static_cast<size_t>(layer)], dst);
+    AddRowBias(biases_[static_cast<size_t>(layer)], dst);
+    ApplyActivation(dst, last);
+    current = dst;
   }
-  *y = std::move(current);
 }
 
 std::vector<float> Mlp::Forward1(const std::vector<float>& x) const {
@@ -74,8 +121,10 @@ std::vector<float> Mlp::Forward1(const std::vector<float>& x) const {
 void Mlp::ForwardTape(const Matrix& x, Tape* tape) const {
   FM_CHECK(x.cols() == input_dim());
   tape->input = x;
-  tape->pre.assign(static_cast<size_t>(num_layers()), Matrix());
-  tape->post.assign(static_cast<size_t>(num_layers()), Matrix());
+  // resize (not assign) keeps existing per-layer matrices alive so their
+  // buffers are reused on every pass through the same tape.
+  tape->pre.resize(static_cast<size_t>(num_layers()));
+  tape->post.resize(static_cast<size_t>(num_layers()));
   const Matrix* current = &tape->input;
   for (int layer = 0; layer < num_layers(); ++layer) {
     Matrix& pre = tape->pre[static_cast<size_t>(layer)];
@@ -106,11 +155,18 @@ void Mlp::Gradients::Zero() {
 
 void Mlp::Backward(const Tape& tape, const Matrix& grad_output,
                    Gradients* grads) const {
+  Workspace ws;
+  Backward(tape, grad_output, grads, &ws);
+}
+
+void Mlp::Backward(const Tape& tape, const Matrix& grad_output,
+                   Gradients* grads, Workspace* ws) const {
   FM_CHECK(grad_output.cols() == output_dim());
   FM_CHECK(grad_output.rows() == tape.input.rows());
   FM_CHECK(grads->dw.size() == weights_.size());
 
-  Matrix delta = grad_output;  // dL/d(pre) of the current layer
+  Matrix& delta = ws->delta;  // dL/d(pre) of the current layer
+  delta = grad_output;
   for (int layer = num_layers() - 1; layer >= 0; --layer) {
     const size_t li = static_cast<size_t>(layer);
     // Output layer is linear; hidden layers need the activation derivative.
@@ -135,19 +191,17 @@ void Mlp::Backward(const Tape& tape, const Matrix& grad_output,
     const Matrix& layer_input =
         layer == 0 ? tape.input : tape.post[li - 1];
     // dW += input^T * delta;  db += column sums of delta.
-    Matrix dw;
+    Matrix& dw = ws->dw;
     MatMulTransA(layer_input, delta, &dw);
     Matrix& acc = grads->dw[li];
     FM_CHECK(acc.rows() == dw.rows() && acc.cols() == dw.cols());
     for (size_t i = 0; i < dw.size(); ++i) acc.data()[i] += dw.data()[i];
-    std::vector<float> db;
-    SumRows(delta, &db);
-    for (size_t i = 0; i < db.size(); ++i) grads->db[li][i] += db[i];
+    SumRows(delta, &ws->db);
+    for (size_t i = 0; i < ws->db.size(); ++i) grads->db[li][i] += ws->db[i];
     if (layer > 0) {
       // Propagate: delta_prev = delta * W^T.
-      Matrix prev;
-      MatMulTransB(delta, weights_[li], &prev);
-      delta = std::move(prev);
+      MatMulTransB(delta, weights_[li], &ws->delta_prev);
+      std::swap(delta, ws->delta_prev);
     }
   }
 }
@@ -265,25 +319,30 @@ StatusOr<Mlp> Mlp::LoadFromFile(const std::string& path) {
 void MaskedSoftmax(const std::vector<bool>& valid,
                    std::vector<float>* logits) {
   FM_CHECK(valid.size() == logits->size());
+  MaskedSoftmax(valid, logits->data(), logits->size());
+}
+
+void MaskedSoftmax(const std::vector<bool>& valid, float* logits, size_t n) {
+  FM_CHECK(valid.size() == n);
   float max_logit = -1e30f;
   bool any = false;
-  for (size_t i = 0; i < logits->size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     if (valid[i]) {
-      max_logit = std::max(max_logit, (*logits)[i]);
+      max_logit = std::max(max_logit, logits[i]);
       any = true;
     }
   }
   FM_CHECK(any) << "masked softmax with no valid action";
   float total = 0.0f;
-  for (size_t i = 0; i < logits->size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     if (valid[i]) {
-      (*logits)[i] = std::exp((*logits)[i] - max_logit);
-      total += (*logits)[i];
+      logits[i] = std::exp(logits[i] - max_logit);
+      total += logits[i];
     } else {
-      (*logits)[i] = 0.0f;
+      logits[i] = 0.0f;
     }
   }
-  for (float& v : *logits) v /= total;
+  for (size_t i = 0; i < n; ++i) logits[i] /= total;
 }
 
 }  // namespace fairmove

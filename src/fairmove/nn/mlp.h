@@ -25,14 +25,35 @@ class Mlp {
   int input_dim() const { return sizes_.front(); }
   int output_dim() const { return sizes_.back(); }
   int num_layers() const { return static_cast<int>(weights_.size()); }
+  /// Full architecture: {input, hidden..., output}.
+  const std::vector<int>& layer_sizes() const { return sizes_; }
+  Activation hidden_activation() const { return hidden_activation_; }
+
+  /// Reusable scratch buffers for Forward/Backward. Matrices keep their
+  /// capacity across calls, so once shapes have stabilised (same batch
+  /// size), every pass through the same workspace is allocation-free.
+  struct Workspace {
+    Matrix act[2];        // ping-pong hidden activations (Forward)
+    Matrix delta;         // dL/d(pre) of the current layer (Backward)
+    Matrix delta_prev;    // propagated delta (Backward)
+    Matrix dw;            // per-layer weight gradient (Backward)
+    std::vector<float> db;
+  };
 
   /// Inference for a single input vector.
   std::vector<float> Forward1(const std::vector<float>& x) const;
 
   /// Batched inference: `x` is [batch x input_dim], `y` [batch x out_dim].
+  /// `y` must not alias `x`. Bit-exactness invariant: row i of `y` is
+  /// bit-identical to Forward1 of row i — per-row accumulation order is
+  /// independent of the batch size (see MatMul), which is what keeps
+  /// batched decision paths on the seed's deterministic trajectory.
   void Forward(const Matrix& x, Matrix* y) const;
+  /// Same, reusing `ws` so the steady-state pass does zero heap allocation.
+  void Forward(const Matrix& x, Matrix* y, Workspace* ws) const;
 
   /// Cached activations of one batched forward pass, consumed by Backward.
+  /// Buffers are reused across calls (same shapes -> no allocation).
   struct Tape {
     Matrix input;
     std::vector<Matrix> pre;   // pre-activation of each layer
@@ -54,6 +75,10 @@ class Mlp {
   /// `grads` (call grads->Zero() between batches unless accumulating).
   void Backward(const Tape& tape, const Matrix& grad_output,
                 Gradients* grads) const;
+  /// Same, reusing `ws` scratch so steady-state backprop does zero heap
+  /// allocation.
+  void Backward(const Tape& tape, const Matrix& grad_output, Gradients* grads,
+                Workspace* ws) const;
 
   // --- Parameter access (optimizer / target-network support) -------------
   std::vector<Matrix>& weights() { return weights_; }
@@ -88,9 +113,21 @@ class Mlp {
   std::vector<std::vector<float>> biases_;  // [out] per layer
 };
 
+/// Branch-free tanh used by the kTanh hidden activation. Evaluates
+/// (e - 1) / (e + 1) with e = exp(2x) built from a degree-6 polynomial
+/// exp2 and an exponent-bit splice, so the activation loop vectorises
+/// instead of making one libm call per element. Max absolute error vs
+/// std::tanh is < 4e-7 over the full range; FastTanh(0) == 0 exactly,
+/// |x| >= 10 saturates to +/-1, and NaN propagates (no clamping path can
+/// swallow a diverged pre-activation).
+float FastTanh(float x);
+
 /// In-place masked softmax over `logits`: invalid entries get probability 0.
 /// At least one entry must be valid. Numerically stabilised.
 void MaskedSoftmax(const std::vector<bool>& valid, std::vector<float>* logits);
+/// Raw-buffer variant for batched decision paths (operates on one row of an
+/// output matrix in place, no per-agent vector allocation).
+void MaskedSoftmax(const std::vector<bool>& valid, float* logits, size_t n);
 
 }  // namespace fairmove
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <cmath>
+#include <span>
 
 #include "fairmove/sim/simulator.h"
 
@@ -50,21 +51,30 @@ void Cma2cPolicy::DecideActions(const Simulator& sim,
   (void)sim;  // state is read through the cached pointers
   actions->clear();
   actions->reserve(vacant.size());
-  last_features_.assign(vacant.size(), {});
+  last_features_.resize(vacant.size());
+  // One batched pass for the whole slot: features land row-per-taxi in a
+  // reused matrix and the actor runs once. Each output row is bit-identical
+  // to the former per-taxi Forward1 call, and the RNG is consumed in the
+  // same per-taxi order, so decisions match the scalar path exactly.
+  features_.ExtractAll(vacant, &batch_x_);
+  actor_->Forward(batch_x_, &batch_logits_, &forward_ws_);
+  const int dim = features_.dim();
+  const bool sharpen = !training_ && options_.eval_temperature != 1.0;
+  const float inv_t = static_cast<float>(1.0 / options_.eval_temperature);
   for (size_t i = 0; i < vacant.size(); ++i) {
     const TaxiObs& obs = vacant[i];
-    features_.Extract(obs, &last_features_[i]);
-    std::vector<float> probs = actor_->Forward1(last_features_[i]);
-    if (!training_ && options_.eval_temperature != 1.0) {
-      const float inv_t =
-          static_cast<float>(1.0 / options_.eval_temperature);
-      for (float& v : probs) v *= inv_t;
+    const float* row_x = batch_x_.Row(static_cast<int>(i));
+    last_features_[i].assign(row_x, row_x + dim);
+    float* logits = batch_logits_.Row(static_cast<int>(i));
+    if (sharpen) {
+      for (int a = 0; a < num_actions_; ++a) logits[a] *= inv_t;
     }
     space_->Mask(obs.region, obs.must_charge, obs.may_charge, &mask_scratch_);
-    MaskedSoftmax(mask_scratch_, &probs);
+    MaskedSoftmax(mask_scratch_, logits, static_cast<size_t>(num_actions_));
     // Sampled both in training and evaluation: the stochastic policy is the
     // coordination mechanism (it load-balances simultaneous decisions).
-    const size_t pick = rng_.WeightedIndex(probs);
+    const size_t pick = rng_.WeightedIndex(
+        std::span<const float>(logits, static_cast<size_t>(num_actions_)));
     FM_CHECK(mask_scratch_[pick]) << "sampled a masked action";
     actions->push_back(space_->Materialize(obs.region, static_cast<int>(pick)));
   }
@@ -83,11 +93,18 @@ Status Cma2cPolicy::LoadModel(const std::string& path) {
   if (!in) return Status::IOError("cannot open for read: " + path);
   FM_ASSIGN_OR_RETURN(Mlp actor, Mlp::Deserialize(in));
   FM_ASSIGN_OR_RETURN(Mlp critic, Mlp::Deserialize(in));
-  if (actor.input_dim() != actor_->input_dim() ||
-      actor.output_dim() != actor_->output_dim() ||
-      critic.input_dim() != critic_->input_dim()) {
+  // Validate the full architecture of both networks, not just the outer
+  // dims: a blob with the right input/output widths but foreign hidden
+  // layers or activation (e.g. a DQN-shaped net) would load "successfully"
+  // and then behave arbitrarily.
+  if (actor.layer_sizes() != actor_->layer_sizes() ||
+      actor.hidden_activation() != actor_->hidden_activation() ||
+      critic.layer_sizes() != critic_->layer_sizes() ||
+      critic.hidden_activation() != critic_->hidden_activation() ||
+      critic.output_dim() != 1) {
     return Status::InvalidArgument(
-        "saved model does not match this policy's architecture");
+        "saved model does not match this policy's architecture "
+        "(layer sizes, activation, or critic head)");
   }
   *actor_ = std::move(actor);
   *critic_ = std::move(critic);
@@ -174,7 +191,7 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
     }
   }
 
-  Mlp::Tape critic_tape;
+  Mlp::Tape& critic_tape = critic_tape_;  // buffers reused across updates
   critic_->ForwardTape(x, &critic_tape);
   const Matrix& v = critic_->Output(critic_tape);
   Matrix critic_grad(n, 1);
@@ -195,7 +212,7 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
     return;
   }
   Mlp::Gradients critic_grads = critic_->MakeGradients();
-  critic_->Backward(critic_tape, critic_grad, &critic_grads);
+  critic_->Backward(critic_tape, critic_grad, &critic_grads, &backward_ws_);
   critic_opt_->Step(critic_grads);
 
   if (options_.normalize_advantages && n > 1) {
@@ -231,7 +248,7 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
                    static_cast<double>(learn_batches_)));
 
   // --- Actor: policy gradient with entropy regularisation (Eq 8).
-  Mlp::Tape actor_tape;
+  Mlp::Tape& actor_tape = actor_tape_;  // buffers reused across updates
   actor_->ForwardTape(x, &actor_tape);
   const Matrix& logits = actor_->Output(actor_tape);
   Matrix actor_grad(n, num_actions_);
@@ -268,7 +285,7 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
     return;
   }
   Mlp::Gradients actor_grads = actor_->MakeGradients();
-  actor_->Backward(actor_tape, actor_grad, &actor_grads);
+  actor_->Backward(actor_tape, actor_grad, &actor_grads, &backward_ws_);
   actor_opt_->Step(actor_grads);
 
   critic_target_->SoftUpdateFrom(*critic_, options_.target_tau);

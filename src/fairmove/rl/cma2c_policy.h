@@ -126,6 +126,16 @@ class Cma2cPolicy : public DisplacementPolicy {
   double last_entropy_ = 0.0;
   std::vector<std::vector<float>> last_features_;
   std::vector<bool> mask_scratch_;
+  // Batched decision-path scratch: one feature row per vacant taxi, one
+  // actor pass per slot. Reused every slot, so the steady state allocates
+  // nothing (see DESIGN.md on the batched inference path).
+  Matrix batch_x_;
+  Matrix batch_logits_;
+  Mlp::Workspace forward_ws_;
+  // Training scratch reused across Update() calls.
+  Mlp::Tape critic_tape_;
+  Mlp::Tape actor_tape_;
+  Mlp::Workspace backward_ws_;
 };
 
 }  // namespace fairmove

@@ -46,11 +46,18 @@ void DqnPolicy::DecideActions(const Simulator& sim,
   (void)sim;  // state is read through the cached pointers
   actions->clear();
   actions->reserve(vacant.size());
-  last_features_.assign(vacant.size(), {});
+  last_features_.resize(vacant.size());
   const double epsilon = training_ ? CurrentEpsilon() : options_.epsilon_eval;
+  // One batched Q pass for the whole slot (Q values are computed for
+  // explorers too — the network consumes no randomness, so the RNG stream
+  // and the chosen actions match the scalar per-taxi loop exactly).
+  features_.ExtractAll(vacant, &batch_x_);
+  q_net_->Forward(batch_x_, &batch_q_, &forward_ws_);
+  const int dim = features_.dim();
   for (size_t i = 0; i < vacant.size(); ++i) {
     const TaxiObs& obs = vacant[i];
-    features_.Extract(obs, &last_features_[i]);
+    const float* row_x = batch_x_.Row(static_cast<int>(i));
+    last_features_[i].assign(row_x, row_x + dim);
     space_->Mask(obs.region, obs.must_charge, obs.may_charge, &mask_scratch_);
     int chosen = -1;
     if (rng_.NextDouble() < epsilon) {
@@ -66,12 +73,12 @@ void DqnPolicy::DecideActions(const Simulator& sim,
         }
       }
     } else {
-      const std::vector<float> q = q_net_->Forward1(last_features_[i]);
+      const float* q = batch_q_.Row(static_cast<int>(i));
       float best = -1e30f;
       for (int a = 0; a < num_actions_; ++a) {
         if (!mask_scratch_[static_cast<size_t>(a)]) continue;
-        if (q[static_cast<size_t>(a)] > best) {
-          best = q[static_cast<size_t>(a)];
+        if (q[a] > best) {
+          best = q[a];
           chosen = a;
         }
       }
@@ -87,10 +94,11 @@ Status DqnPolicy::SaveModel(const std::string& path) const {
 
 Status DqnPolicy::LoadModel(const std::string& path) {
   FM_ASSIGN_OR_RETURN(Mlp net, Mlp::LoadFromFile(path));
-  if (net.input_dim() != q_net_->input_dim() ||
-      net.output_dim() != q_net_->output_dim()) {
+  if (net.layer_sizes() != q_net_->layer_sizes() ||
+      net.hidden_activation() != q_net_->hidden_activation()) {
     return Status::InvalidArgument(
-        "saved model does not match this policy's architecture");
+        "saved model does not match this policy's architecture "
+        "(layer sizes or activation)");
   }
   *q_net_ = std::move(net);
   target_net_->CopyParametersFrom(*q_net_);
@@ -162,7 +170,7 @@ void DqnPolicy::GradientStep() {
   }
 
   // MSE on the taken action's Q value only.
-  Mlp::Tape tape;
+  Mlp::Tape& tape = tape_;  // buffers reused across gradient steps
   q_net_->ForwardTape(x, &tape);
   const Matrix& q = q_net_->Output(tape);
   Matrix grad(n, num_actions_);
@@ -173,7 +181,7 @@ void DqnPolicy::GradientStep() {
     grad.At(i, t.action_index) = 2.0f * diff / static_cast<float>(n);
   }
   Mlp::Gradients grads = q_net_->MakeGradients();
-  q_net_->Backward(tape, grad, &grads);
+  q_net_->Backward(tape, grad, &grads, &backward_ws_);
   optimizer_->Step(grads);
 
   if (++grad_steps_ % options_.target_sync_steps == 0) {

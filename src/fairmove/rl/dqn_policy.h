@@ -89,6 +89,14 @@ class DqnPolicy : public DisplacementPolicy {
   int64_t grad_steps_ = 0;
   std::vector<std::vector<float>> last_features_;
   std::vector<bool> mask_scratch_;
+  // Batched decision-path scratch (reused every slot; allocation-free in
+  // the steady state).
+  Matrix batch_x_;
+  Matrix batch_q_;
+  Mlp::Workspace forward_ws_;
+  // Training scratch reused across GradientStep() calls.
+  Mlp::Tape tape_;
+  Mlp::Workspace backward_ws_;
 };
 
 }  // namespace fairmove

@@ -44,8 +44,21 @@ FeatureExtractor::FeatureExtractor(const Simulator* sim) : sim_(sim) {
 
 void FeatureExtractor::Extract(const TaxiObs& obs,
                                std::vector<float>* out) const {
-  out->clear();
-  out->reserve(static_cast<size_t>(dim_));
+  out->resize(static_cast<size_t>(dim_));
+  WriteInto(obs, out->data());
+}
+
+void FeatureExtractor::ExtractAll(const std::vector<TaxiObs>& obs,
+                                  Matrix* out) const {
+  out->Resize(static_cast<int>(obs.size()), dim_);
+  for (size_t i = 0; i < obs.size(); ++i) {
+    WriteInto(obs[i], out->Row(static_cast<int>(i)));
+  }
+}
+
+void FeatureExtractor::WriteInto(const TaxiObs& obs, float* out) const {
+  float* const begin = out;
+  const auto push = [&out](float v) { *out++ = v; };
   const City& city = sim_->city();
   const TimeSlot now = sim_->now();
   const Region& region = city.region(obs.region);
@@ -53,22 +66,22 @@ void FeatureExtractor::Extract(const TaxiObs& obs,
   // --- Local view: time ---------------------------------------------------
   const double phase =
       2.0 * std::numbers::pi * now.SlotOfDay() / kSlotsPerDay;
-  out->push_back(static_cast<float>(std::sin(phase)));
-  out->push_back(static_cast<float>(std::cos(phase)));
-  out->push_back(static_cast<float>(std::sin(2.0 * phase)));
-  out->push_back(static_cast<float>(std::cos(2.0 * phase)));
+  push(static_cast<float>(std::sin(phase)));
+  push(static_cast<float>(std::cos(phase)));
+  push(static_cast<float>(std::sin(2.0 * phase)));
+  push(static_cast<float>(std::cos(2.0 * phase)));
 
   // --- Local view: location ----------------------------------------------
   for (int c = 0; c < kNumRegionClasses; ++c) {
-    out->push_back(region.cls == static_cast<RegionClass>(c) ? 1.0f : 0.0f);
+    push(region.cls == static_cast<RegionClass>(c) ? 1.0f : 0.0f);
   }
-  out->push_back(static_cast<float>(region.centroid_km.x / max_coord_x_));
-  out->push_back(static_cast<float>(region.centroid_km.y / max_coord_y_));
+  push(static_cast<float>(region.centroid_km.x / max_coord_x_));
+  push(static_cast<float>(region.centroid_km.y / max_coord_y_));
 
   // --- Own energy state ----------------------------------------------------
-  out->push_back(static_cast<float>(obs.soc));
-  out->push_back(obs.must_charge ? 1.0f : 0.0f);
-  out->push_back(obs.may_charge ? 1.0f : 0.0f);
+  push(static_cast<float>(obs.soc));
+  push(obs.must_charge ? 1.0f : 0.0f);
+  push(obs.may_charge ? 1.0f : 0.0f);
 
   // --- Global view: demand & supply of own region -------------------------
   const auto norm_count = [&](double v) {
@@ -77,10 +90,10 @@ void FeatureExtractor::Extract(const TaxiObs& obs,
   const auto norm_rate = [&](double v) {
     return static_cast<float>(Clamp1(v / (4.0 * mean_slot_rate_)));
   };
-  out->push_back(norm_count(sim_->VacantCount(obs.region)));
-  out->push_back(norm_rate(sim_->PendingRequests(obs.region)));
-  out->push_back(norm_rate(sim_->predictor().Predict(obs.region, now.Next())));
-  out->push_back(norm_rate(sim_->demand().Rate(obs.region, now)));
+  push(norm_count(sim_->VacantCount(obs.region)));
+  push(norm_rate(sim_->PendingRequests(obs.region)));
+  push(norm_rate(sim_->predictor().Predict(obs.region, now.Next())));
+  push(norm_rate(sim_->demand().Rate(obs.region, now)));
 
   // --- Global view: neighbourhood aggregates ------------------------------
   double nbr_vacant = 0.0, nbr_pending = 0.0, nbr_pred = 0.0;
@@ -96,9 +109,9 @@ void FeatureExtractor::Extract(const TaxiObs& obs,
     nbr_pending /= k;
     nbr_pred /= k;
   }
-  out->push_back(norm_count(nbr_vacant));
-  out->push_back(norm_rate(nbr_pending));
-  out->push_back(norm_rate(nbr_pred));
+  push(norm_count(nbr_vacant));
+  push(norm_rate(nbr_pending));
+  push(norm_rate(nbr_pred));
 
   // --- Global view: the five nearest stations -----------------------------
   const auto& stations = city.NearestStations(obs.region);
@@ -106,31 +119,31 @@ void FeatureExtractor::Extract(const TaxiObs& obs,
     if (j < static_cast<int>(stations.size())) {
       const StationId s = stations[static_cast<size_t>(j)];
       const StationQueue& q = sim_->station_queue(s);
-      out->push_back(static_cast<float>(q.free_points()) /
+      push(static_cast<float>(q.free_points()) /
                      static_cast<float>(q.num_points()));
-      out->push_back(static_cast<float>(
+      push(static_cast<float>(
           Clamp1(static_cast<double>(q.waiting()) / q.num_points())));
-      out->push_back(static_cast<float>(Clamp1(
+      push(static_cast<float>(Clamp1(
           city.TravelMinutesToStation(obs.region, s) / 60.0)));
     } else {
-      out->push_back(0.0f);
-      out->push_back(1.0f);  // "infinitely long queue"
-      out->push_back(1.0f);
+      push(0.0f);
+      push(1.0f);  // "infinitely long queue"
+      push(1.0f);
     }
   }
 
   // --- Global view: TOU price now and next hour ---------------------------
   const auto& tariff = sim_->tariff();
-  out->push_back(static_cast<float>(tariff.RateAt(now) / kPeakRate));
-  out->push_back(static_cast<float>(
+  push(static_cast<float>(tariff.RateAt(now) / kPeakRate));
+  push(static_cast<float>(
       tariff.RateAt(now + kSlotsPerHour) / kPeakRate));
 
   // --- Fairness signal -----------------------------------------------------
-  out->push_back(static_cast<float>(Clamp1(obs.pe_gap / 30.0)));
-  out->push_back(static_cast<float>(Clamp1(sim_->FleetMeanPe() / 100.0)));
+  push(static_cast<float>(Clamp1(obs.pe_gap / 30.0)));
+  push(static_cast<float>(Clamp1(sim_->FleetMeanPe() / 100.0)));
 
-  FM_CHECK(static_cast<int>(out->size()) == dim_)
-      << out->size() << " != " << dim_;
+  FM_CHECK(static_cast<int>(out - begin) == dim_)
+      << (out - begin) << " != " << dim_;
 }
 
 }  // namespace fairmove

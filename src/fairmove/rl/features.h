@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "fairmove/nn/matrix.h"
 #include "fairmove/sim/simulator.h"
 
 namespace fairmove {
@@ -27,7 +28,16 @@ class FeatureExtractor {
   /// Fills `out` (resized to dim()) for one vacant taxi.
   void Extract(const TaxiObs& obs, std::vector<float>* out) const;
 
+  /// Batched extraction: resizes `out` to [obs.size() x dim()] and fills one
+  /// row per observation. Writes straight into the matrix (no per-taxi
+  /// vector), so a reused `out` makes the steady-state slot allocation-free.
+  /// Row i is bit-identical to Extract(obs[i]).
+  void ExtractAll(const std::vector<TaxiObs>& obs, Matrix* out) const;
+
  private:
+  /// Writes exactly dim() features at `out`; shared by Extract/ExtractAll.
+  void WriteInto(const TaxiObs& obs, float* out) const;
+
   const Simulator* sim_;
   int dim_;
   // Normalisation constants, fixed at construction.

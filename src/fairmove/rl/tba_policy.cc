@@ -1,7 +1,9 @@
 #include "fairmove/rl/tba_policy.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <span>
 
 #include "fairmove/sim/simulator.h"
 
@@ -34,26 +36,32 @@ TbaPolicy::TbaPolicy(const Simulator& sim, Options options)
 
 void TbaPolicy::LocalFeatures(const Simulator& sim, const TaxiObs& obs,
                               std::vector<float>* out) const {
-  out->clear();
-  out->reserve(static_cast<size_t>(feature_dim_));
+  out->resize(static_cast<size_t>(feature_dim_));
+  LocalFeaturesInto(sim, obs, out->data());
+}
+
+void TbaPolicy::LocalFeaturesInto(const Simulator& sim, const TaxiObs& obs,
+                                  float* out) const {
+  float* const begin = out;
+  const auto push = [&out](float v) { *out++ = v; };
   const double phase =
       2.0 * std::numbers::pi * sim.now().SlotOfDay() / kSlotsPerDay;
-  out->push_back(static_cast<float>(std::sin(phase)));
-  out->push_back(static_cast<float>(std::cos(phase)));
-  out->push_back(static_cast<float>(std::sin(2.0 * phase)));
-  out->push_back(static_cast<float>(std::cos(2.0 * phase)));
+  push(static_cast<float>(std::sin(phase)));
+  push(static_cast<float>(std::cos(phase)));
+  push(static_cast<float>(std::sin(2.0 * phase)));
+  push(static_cast<float>(std::cos(2.0 * phase)));
   const Region& region = sim.city().region(obs.region);
   for (int c = 0; c < kNumRegionClasses; ++c) {
-    out->push_back(region.cls == static_cast<RegionClass>(c) ? 1.0f : 0.0f);
+    push(region.cls == static_cast<RegionClass>(c) ? 1.0f : 0.0f);
   }
-  out->push_back(static_cast<float>(region.grid_col) /
-                 static_cast<float>(std::max(1, sim.city().num_regions())));
-  out->push_back(static_cast<float>(region.grid_row) /
-                 static_cast<float>(std::max(1, sim.city().num_regions())));
-  out->push_back(static_cast<float>(obs.soc));
-  out->push_back(obs.must_charge ? 1.0f : 0.0f);
-  out->push_back(obs.may_charge ? 1.0f : 0.0f);
-  FM_CHECK(static_cast<int>(out->size()) == feature_dim_);
+  push(static_cast<float>(region.grid_col) /
+       static_cast<float>(std::max(1, sim.city().num_regions())));
+  push(static_cast<float>(region.grid_row) /
+       static_cast<float>(std::max(1, sim.city().num_regions())));
+  push(static_cast<float>(obs.soc));
+  push(obs.must_charge ? 1.0f : 0.0f);
+  push(obs.may_charge ? 1.0f : 0.0f);
+  FM_CHECK(static_cast<int>(out - begin) == feature_dim_);
 }
 
 void TbaPolicy::DecideActions(const Simulator& sim,
@@ -62,14 +70,24 @@ void TbaPolicy::DecideActions(const Simulator& sim,
   const ActionSpace& space = sim.action_space();
   actions->clear();
   actions->reserve(vacant.size());
-  last_features_.assign(vacant.size(), {});
+  last_features_.resize(vacant.size());
+  // Batched slot inference: all local-feature rows into one reused matrix,
+  // one network pass, then per-row masked softmax + sampling in the same
+  // per-taxi RNG order as the former Forward1 loop.
+  batch_x_.Resize(static_cast<int>(vacant.size()), feature_dim_);
+  for (size_t i = 0; i < vacant.size(); ++i) {
+    LocalFeaturesInto(sim, vacant[i], batch_x_.Row(static_cast<int>(i)));
+  }
+  net_->Forward(batch_x_, &batch_logits_, &forward_ws_);
   for (size_t i = 0; i < vacant.size(); ++i) {
     const TaxiObs& obs = vacant[i];
-    LocalFeatures(sim, obs, &last_features_[i]);
-    std::vector<float> logits = net_->Forward1(last_features_[i]);
+    const float* row_x = batch_x_.Row(static_cast<int>(i));
+    last_features_[i].assign(row_x, row_x + feature_dim_);
+    float* logits = batch_logits_.Row(static_cast<int>(i));
     space.Mask(obs.region, obs.must_charge, obs.may_charge, &mask_scratch_);
-    MaskedSoftmax(mask_scratch_, &logits);
-    const size_t pick = rng_.WeightedIndex(logits);
+    MaskedSoftmax(mask_scratch_, logits, static_cast<size_t>(num_actions_));
+    const size_t pick = rng_.WeightedIndex(
+        std::span<const float>(logits, static_cast<size_t>(num_actions_)));
     FM_CHECK(mask_scratch_[pick]) << "sampled a masked action";
     actions->push_back(space.Materialize(obs.region, static_cast<int>(pick)));
   }
@@ -94,7 +112,7 @@ void TbaPolicy::Update(const std::vector<Transition>& transitions) {
     std::copy(transitions[static_cast<size_t>(i)].state.begin(),
               transitions[static_cast<size_t>(i)].state.end(), x.Row(i));
   }
-  Mlp::Tape tape;
+  Mlp::Tape& tape = tape_;  // buffers reused across updates
   net_->ForwardTape(x, &tape);
   const Matrix& logits = net_->Output(tape);
 
@@ -138,7 +156,7 @@ void TbaPolicy::Update(const std::vector<Transition>& transitions) {
   }
 
   Mlp::Gradients grads = net_->MakeGradients();
-  net_->Backward(tape, grad, &grads);
+  net_->Backward(tape, grad, &grads, &backward_ws_);
   optimizer_->Step(grads);
 }
 

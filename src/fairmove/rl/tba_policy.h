@@ -58,6 +58,10 @@ class TbaPolicy : public DisplacementPolicy {
                      std::vector<float>* out) const;
 
  private:
+  /// Writes exactly feature_dim() features at `out` (batched row writer).
+  void LocalFeaturesInto(const Simulator& sim, const TaxiObs& obs,
+                         float* out) const;
+
   Options options_;
   const ActionSpace* space_;  // owned by the simulator; must outlive us
   int feature_dim_;
@@ -71,6 +75,14 @@ class TbaPolicy : public DisplacementPolicy {
   bool baseline_init_ = false;
   std::vector<std::vector<float>> last_features_;
   std::vector<bool> mask_scratch_;
+  // Batched decision-path scratch (reused every slot; allocation-free in
+  // the steady state).
+  Matrix batch_x_;
+  Matrix batch_logits_;
+  Mlp::Workspace forward_ws_;
+  // Training scratch reused across Update() calls.
+  Mlp::Tape tape_;
+  Mlp::Workspace backward_ws_;
 };
 
 }  // namespace fairmove

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "fairmove/nn/adam.h"
 #include "fairmove/nn/matrix.h"
@@ -79,6 +80,41 @@ TEST(MatrixTest, TransposedProductsAgreeWithExplicitTranspose) {
   }
 }
 
+// Regression: the kernels used to skip a(i, p) == 0 entries, which silently
+// dropped 0 * NaN contributions from a diverged weight matrix — a network
+// whose weights went NaN could still emit finite-looking outputs and slip
+// past output-side NaN screening (DivergenceGuard). 0 * NaN must be NaN.
+TEST(MatrixTest, MatMulPropagatesNanThroughZeroInput) {
+  Matrix a(1, 2), b(2, 3), out;
+  a.At(0, 0) = 0.0f;  // the zero "input feature"
+  a.At(0, 1) = 1.0f;
+  b.At(0, 0) = std::nanf("");  // NaN weight reached only via the zero entry
+  b.At(0, 1) = 2.0f;
+  b.At(1, 2) = 3.0f;
+  MatMul(a, b, &out);
+  EXPECT_TRUE(std::isnan(out.At(0, 0)));
+  EXPECT_FALSE(std::isnan(out.At(0, 2)));
+}
+
+TEST(MatrixTest, MatMulTransAPropagatesNanThroughZeroInput) {
+  Matrix a(2, 2), b(2, 3), out;
+  a.At(0, 0) = 0.0f;  // column 0 of a^T row 0 is zero
+  a.At(1, 0) = 1.0f;
+  b.At(0, 0) = std::nanf("");
+  b.At(1, 1) = 2.0f;
+  MatMulTransA(a, b, &out);
+  EXPECT_TRUE(std::isnan(out.At(0, 0)));
+  EXPECT_FALSE(std::isnan(out.At(1, 1)));
+}
+
+TEST(MatrixTest, MatMulInfTimesZeroIsNan) {
+  Matrix a(1, 1), b(1, 1), out;
+  a.At(0, 0) = 0.0f;
+  b.At(0, 0) = std::numeric_limits<float>::infinity();
+  MatMul(a, b, &out);
+  EXPECT_TRUE(std::isnan(out.At(0, 0)));
+}
+
 TEST(MatrixTest, AddRowBiasAndSumRows) {
   Matrix m(2, 3);
   AddRowBias({1.0f, 2.0f, 3.0f}, &m);
@@ -137,6 +173,96 @@ TEST(MlpTest, BatchedForwardMatchesSingle) {
       EXPECT_NEAR(y.At(i, j), single[static_cast<size_t>(j)], 1e-5);
     }
   }
+}
+
+// The hard invariant behind the batched decision path: batched Forward must
+// be BIT-IDENTICAL (exact float equality, not NEAR) to per-row Forward1 —
+// per-row accumulation order is pinned regardless of batch size, which is
+// what lets DecideActions batch without perturbing seed-reproducible runs.
+class BatchedBitExactness : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(BatchedBitExactness, ForwardMatchesForward1Exactly) {
+  Mlp net({17, 32, 24, 9}, GetParam(), 23);
+  Rng rng(29);
+  Mlp::Workspace ws;
+  // Varying batch sizes through one reused workspace also proves no stale
+  // state leaks between calls.
+  for (int batch : {1, 3, 20, 7}) {
+    Matrix x(batch, 17);
+    x.RandomGaussian(rng, 1.5);
+    Matrix y;
+    net.Forward(x, &y, &ws);
+    ASSERT_EQ(y.rows(), batch);
+    ASSERT_EQ(y.cols(), 9);
+    for (int i = 0; i < batch; ++i) {
+      const std::vector<float> row(x.Row(i), x.Row(i) + 17);
+      const std::vector<float> single = net.Forward1(row);
+      for (int j = 0; j < 9; ++j) {
+        // Exact bitwise equality, deliberately not EXPECT_NEAR.
+        EXPECT_EQ(y.At(i, j), single[static_cast<size_t>(j)])
+            << "batch " << batch << " row " << i << " col " << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Activations, BatchedBitExactness,
+                         ::testing::Values(Activation::kRelu,
+                                           Activation::kTanh,
+                                           Activation::kLinear));
+
+TEST(MlpTest, WorkspaceForwardMatchesPlainForward) {
+  Mlp net({6, 12, 12, 4}, Activation::kTanh, 3);
+  Rng rng(5);
+  Matrix x(8, 6);
+  x.RandomGaussian(rng, 1.0);
+  Matrix plain, reused;
+  net.Forward(x, &plain);
+  Mlp::Workspace ws;
+  net.Forward(x, &reused, &ws);
+  net.Forward(x, &reused, &ws);  // second pass through warm buffers
+  ASSERT_EQ(plain.size(), reused.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain.data()[i], reused.data()[i]);
+  }
+}
+
+TEST(MlpTest, WorkspaceBackwardMatchesPlainBackward) {
+  Mlp net({5, 10, 3}, Activation::kRelu, 7);
+  Rng rng(13);
+  Matrix x(6, 5), grad_out(6, 3);
+  x.RandomGaussian(rng, 1.0);
+  grad_out.RandomGaussian(rng, 0.1);
+  Mlp::Tape tape;
+  net.ForwardTape(x, &tape);
+  Mlp::Gradients plain = net.MakeGradients();
+  net.Backward(tape, grad_out, &plain);
+  Mlp::Gradients reused = net.MakeGradients();
+  Mlp::Workspace ws;
+  net.Backward(tape, grad_out, &reused, &ws);
+  net.ForwardTape(x, &tape);  // tape buffer reuse must not change results
+  Mlp::Gradients again = net.MakeGradients();
+  net.Backward(tape, grad_out, &again, &ws);
+  for (size_t l = 0; l < plain.dw.size(); ++l) {
+    for (size_t i = 0; i < plain.dw[l].size(); ++i) {
+      EXPECT_EQ(plain.dw[l].data()[i], reused.dw[l].data()[i]);
+      EXPECT_EQ(plain.dw[l].data()[i], again.dw[l].data()[i]);
+    }
+    for (size_t i = 0; i < plain.db[l].size(); ++i) {
+      EXPECT_EQ(plain.db[l][i], reused.db[l][i]);
+      EXPECT_EQ(plain.db[l][i], again.db[l][i]);
+    }
+  }
+}
+
+TEST(MlpTest, NanWeightsReachTheOutputOnZeroFeatures) {
+  // End-to-end version of the MatMul regression: a network whose first
+  // layer holds a NaN weight must emit NaN even when the matching input
+  // feature is 0 (e.g. a one-hot miss).
+  Mlp net({2, 2}, Activation::kLinear, 1);
+  net.weights()[0].At(0, 0) = std::nanf("");
+  const auto y = net.Forward1({0.0f, 1.0f});
+  EXPECT_TRUE(std::isnan(y[0]));
 }
 
 TEST(MlpTest, TapeOutputMatchesForward) {
@@ -249,6 +375,32 @@ TEST(MlpTest, SoftUpdateInterpolates) {
 
 // --------------------------------------------------------- MaskedSoftmax --
 
+TEST(FastTanhTest, MatchesStdTanhWithinDocumentedBound) {
+  // The kTanh hidden activation runs FastTanh instead of libm; the header
+  // documents < 4e-7 absolute error over the full range.
+  float max_err = 0.0f;
+  for (int i = -12000; i <= 12000; ++i) {
+    const float x = static_cast<float>(i) * 1e-3f;
+    max_err = std::max(max_err,
+                       std::abs(FastTanh(x) - std::tanh(x)));
+  }
+  EXPECT_LT(max_err, 4e-7f);
+}
+
+TEST(FastTanhTest, ExactAtZeroAndSaturatesToOne) {
+  EXPECT_EQ(FastTanh(0.0f), 0.0f);
+  EXPECT_EQ(FastTanh(25.0f), 1.0f);
+  EXPECT_EQ(FastTanh(-25.0f), -1.0f);
+  EXPECT_EQ(FastTanh(std::numeric_limits<float>::infinity()), 1.0f);
+  EXPECT_EQ(FastTanh(-std::numeric_limits<float>::infinity()), -1.0f);
+}
+
+TEST(FastTanhTest, PropagatesNan) {
+  // A diverged pre-activation must stay visible to NaN screening; the
+  // saturation clamp is written so NaN falls through it.
+  EXPECT_TRUE(std::isnan(FastTanh(std::numeric_limits<float>::quiet_NaN())));
+}
+
 TEST(MaskedSoftmaxTest, NormalisesOverValidEntries) {
   std::vector<float> logits{1.0f, 2.0f, 3.0f};
   MaskedSoftmax({true, true, true}, &logits);
@@ -265,6 +417,15 @@ TEST(MaskedSoftmaxTest, MaskedEntriesGetZero) {
   EXPECT_FLOAT_EQ(logits[1], 0.0f);
   EXPECT_NEAR(logits[0], 0.5f, 1e-6);
   EXPECT_NEAR(logits[2], 0.5f, 1e-6);
+}
+
+TEST(MaskedSoftmaxTest, RawBufferOverloadMatchesVectorOverload) {
+  std::vector<float> as_vector{1.5f, -0.5f, 3.0f, 0.0f};
+  float raw[4] = {1.5f, -0.5f, 3.0f, 0.0f};
+  const std::vector<bool> valid{true, false, true, true};
+  MaskedSoftmax(valid, &as_vector);
+  MaskedSoftmax(valid, raw, 4);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(raw[i], as_vector[i]);
 }
 
 TEST(MaskedSoftmaxTest, NumericallyStableWithHugeLogits) {

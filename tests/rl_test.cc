@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <set>
 
@@ -412,6 +414,165 @@ TEST(Cma2cPolicyTest, EntropyReportedAfterActorUpdates) {
   t.terminal = true;
   policy.Update(std::vector<DisplacementPolicy::Transition>(32, t));
   EXPECT_GT(policy.last_entropy(), 0.0);
+}
+
+// ------------------------------------------- batched decision-path tests --
+
+TEST(FeatureExtractorTest, ExtractAllRowsMatchExtractExactly) {
+  TestStack stack = MakeStack();
+  stack.sim->RunSlots(nullptr, 20);  // non-trivial state
+  FeatureExtractor features(stack.sim.get());
+  std::vector<TaxiObs> obs(17);
+  for (size_t i = 0; i < obs.size(); ++i) {
+    obs[i].taxi = static_cast<TaxiId>(i);
+    obs[i].region =
+        static_cast<RegionId>(i % stack.sim->city().num_regions());
+    obs[i].soc = 0.2 + 0.04 * static_cast<double>(i);
+    obs[i].may_charge = i % 2 == 0;
+    obs[i].must_charge = i % 5 == 0;
+    obs[i].pe_gap = static_cast<double>(i) - 8.0;
+  }
+  Matrix batch;
+  features.ExtractAll(obs, &batch);
+  ASSERT_EQ(batch.rows(), 17);
+  ASSERT_EQ(batch.cols(), features.dim());
+  std::vector<float> single;
+  for (size_t i = 0; i < obs.size(); ++i) {
+    features.Extract(obs[i], &single);
+    for (int j = 0; j < features.dim(); ++j) {
+      // Exact equality: the batched row must be bit-identical.
+      EXPECT_EQ(batch.At(static_cast<int>(i), j),
+                single[static_cast<size_t>(j)])
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(FeatureExtractorTest, ExtractAllHandlesEmptyBatch) {
+  TestStack stack = MakeStack();
+  FeatureExtractor features(stack.sim.get());
+  Matrix batch;
+  features.ExtractAll({}, &batch);
+  EXPECT_EQ(batch.rows(), 0);
+  EXPECT_EQ(batch.cols(), features.dim());
+}
+
+namespace {
+
+// Samples `rounds` decisions for one fixed observation and returns how
+// often each action index was chosen.
+std::vector<int> SampleActionHistogram(const TestStack& stack,
+                                       Cma2cPolicy* policy, int rounds) {
+  TaxiObs obs;
+  obs.taxi = 0;
+  obs.region = 0;
+  obs.soc = 0.6;
+  obs.may_charge = true;
+  const std::vector<TaxiObs> vacant(1, obs);
+  std::vector<int> counts(
+      static_cast<size_t>(stack.sim->action_space().size()), 0);
+  std::vector<Action> actions;
+  for (int r = 0; r < rounds; ++r) {
+    policy->DecideActions(*stack.sim, vacant, &actions);
+    const int idx = stack.sim->action_space().IndexOf(obs.region, actions[0]);
+    EXPECT_GE(idx, 0);
+    ++counts[static_cast<size_t>(idx)];
+  }
+  return counts;
+}
+
+double HistogramEntropy(const std::vector<int>& counts) {
+  int total = 0;
+  for (int c : counts) total += c;
+  double h = 0.0;
+  for (int c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+TEST(Cma2cPolicyTest, EvalTemperatureBelowOneSharpensSampling) {
+  TestStack stack = MakeStack();
+  Cma2cPolicy::Options base;
+  base.seed = 99;
+  Cma2cPolicy::Options sharp = base;
+  sharp.eval_temperature = 0.25;
+  Cma2cPolicy baseline(*stack.sim, base);
+  Cma2cPolicy sharpened(*stack.sim, sharp);
+  baseline.SetTraining(false);
+  sharpened.SetTraining(false);
+  const std::vector<int> base_counts =
+      SampleActionHistogram(stack, &baseline, 600);
+  const std::vector<int> sharp_counts =
+      SampleActionHistogram(stack, &sharpened, 600);
+  // Identical networks (same seed), so dividing logits by T < 1 must
+  // concentrate the sampled distribution: lower empirical entropy and a
+  // taller mode.
+  EXPECT_LT(HistogramEntropy(sharp_counts), HistogramEntropy(base_counts));
+  EXPECT_GT(*std::max_element(sharp_counts.begin(), sharp_counts.end()),
+            *std::max_element(base_counts.begin(), base_counts.end()));
+}
+
+TEST(Cma2cPolicyTest, EvalTemperatureOneIsANoOp) {
+  // T = 1 must leave the decision path untouched: an eval-mode policy with
+  // T = 1 consumes the same RNG stream and picks the same actions as an
+  // identically seeded policy in training mode (where no scaling applies).
+  TestStack stack = MakeStack();
+  Cma2cPolicy::Options options;
+  options.seed = 77;
+  options.eval_temperature = 1.0;
+  Cma2cPolicy eval_policy(*stack.sim, options);
+  Cma2cPolicy train_policy(*stack.sim, options);
+  eval_policy.SetTraining(false);
+  train_policy.SetTraining(true);
+  std::vector<TaxiObs> obs(40);
+  for (size_t i = 0; i < obs.size(); ++i) {
+    obs[i].taxi = static_cast<TaxiId>(i);
+    obs[i].region =
+        static_cast<RegionId>(i % stack.sim->city().num_regions());
+    obs[i].soc = 0.5;
+    obs[i].may_charge = true;
+  }
+  std::vector<Action> eval_actions, train_actions;
+  for (int round = 0; round < 5; ++round) {
+    eval_policy.DecideActions(*stack.sim, obs, &eval_actions);
+    train_policy.DecideActions(*stack.sim, obs, &train_actions);
+    EXPECT_EQ(eval_actions, train_actions) << "round " << round;
+  }
+}
+
+TEST(Cma2cPolicyTest, MaskedActionsNeverSampledAtAnyTemperature) {
+  TestStack stack = MakeStack();
+  for (const double temperature : {0.25, 1.0, 4.0}) {
+    Cma2cPolicy::Options options;
+    options.eval_temperature = temperature;
+    // Kill the anti-charge prior so charge logits aren't tiny — the mask,
+    // not the logits, must be what keeps invalid actions out.
+    options.charge_logit_bias = 0.0;
+    Cma2cPolicy policy(*stack.sim, options);
+    policy.SetTraining(false);
+    std::vector<TaxiObs> obs(60);
+    for (size_t i = 0; i < obs.size(); ++i) {
+      obs[i].taxi = static_cast<TaxiId>(i);
+      obs[i].region =
+          static_cast<RegionId>(i % stack.sim->city().num_regions());
+      obs[i].soc = 0.05;
+      obs[i].must_charge = true;  // only charge actions are valid
+      obs[i].may_charge = true;
+    }
+    std::vector<Action> actions;
+    for (int round = 0; round < 10; ++round) {
+      policy.DecideActions(*stack.sim, obs, &actions);
+      for (const Action& a : actions) {
+        EXPECT_EQ(a.type, Action::Type::kCharge)
+            << "temperature " << temperature;
+      }
+    }
+  }
 }
 
 // All six policies: end-to-end contract sweep.

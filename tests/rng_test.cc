@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "fairmove/common/rng.h"
@@ -150,6 +151,24 @@ TEST(RngTest, WeightedIndexZeroTotalFallsBackToUniform) {
   std::vector<int> counts(4, 0);
   for (int i = 0; i < 8000; ++i) ++counts[rng.WeightedIndex(weights)];
   for (int c : counts) EXPECT_GT(c, 1500);
+}
+
+// Regression: a NaN weight made the total NaN, `total <= 0.0` was false,
+// and the linear scan fell off the end returning the LAST index every call
+// — a diverged softmax actor silently became an always-last-action
+// (always-charge) policy. Non-finite weights must abort instead.
+TEST(RngDeathTest, WeightedIndexRejectsNanWeights) {
+  Rng rng(18);
+  const std::vector<double> weights{
+      0.5, std::numeric_limits<double>::quiet_NaN(), 0.25};
+  EXPECT_DEATH(rng.WeightedIndex(weights), "non-finite total weight");
+}
+
+TEST(RngDeathTest, WeightedIndexRejectsInfiniteWeights) {
+  Rng rng(19);
+  const std::vector<double> weights{
+      0.5, std::numeric_limits<double>::infinity()};
+  EXPECT_DEATH(rng.WeightedIndex(weights), "non-finite total weight");
 }
 
 TEST(RngTest, ForkProducesIndependentStream) {

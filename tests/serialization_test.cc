@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "fairmove/core/fairmove.h"
@@ -110,6 +111,58 @@ TEST_F(PolicyPersistenceTest, DqnSaveLoadRoundTrip) {
   ASSERT_TRUE(policy.SaveModel(path).ok());
   DqnPolicy restored(system_->sim(), options);
   ASSERT_TRUE(restored.LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(PolicyPersistenceTest, Cma2cLoadRejectsDqnShapedBlob) {
+  // Regression: LoadModel used to check only the outer dims, so a blob of
+  // two DQN-shaped nets (right input/output widths, ReLU everywhere, no
+  // 1-dim critic head) loaded "successfully" into a CMA2C policy.
+  const std::string path = ::testing::TempDir() + "/fairmove_dqn_shaped.bin";
+  Cma2cPolicy policy(system_->sim());
+  const int in = FeatureExtractor(&system_->sim()).dim();
+  const int out = system_->sim().action_space().size();
+  {
+    // Same outer dims as the actor but DQN's ReLU activation, and a
+    // "critic" that is another Q-head instead of a 1-output value net.
+    Mlp fake_actor({in, 64, 64, out}, Activation::kRelu, 1);
+    Mlp fake_critic({in, 64, 64, out}, Activation::kRelu, 2);
+    std::ofstream fout(path, std::ios::binary);
+    ASSERT_TRUE(fake_actor.Serialize(fout).ok());
+    ASSERT_TRUE(fake_critic.Serialize(fout).ok());
+  }
+  const Status st = policy.LoadModel(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st;
+  std::remove(path.c_str());
+}
+
+TEST_F(PolicyPersistenceTest, Cma2cLoadRejectsMismatchedHiddenSizes) {
+  const std::string path = ::testing::TempDir() + "/fairmove_thin.bin";
+  Cma2cPolicy policy(system_->sim());
+  const int in = FeatureExtractor(&system_->sim()).dim();
+  const int out = system_->sim().action_space().size();
+  {
+    // Correct activations and outer dims, but thinner hidden layers.
+    Mlp thin_actor({in, 32, out}, Activation::kTanh, 1);
+    Mlp thin_critic({in, 32, 1}, Activation::kRelu, 2);
+    std::ofstream fout(path, std::ios::binary);
+    ASSERT_TRUE(thin_actor.Serialize(fout).ok());
+    ASSERT_TRUE(thin_critic.Serialize(fout).ok());
+  }
+  const Status st = policy.LoadModel(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st;
+  std::remove(path.c_str());
+}
+
+TEST_F(PolicyPersistenceTest, Cma2cRoundTripStillLoadsAfterValidation) {
+  // The stricter check must not reject a genuine save/load round trip.
+  const std::string path = ::testing::TempDir() + "/fairmove_roundtrip.bin";
+  Cma2cPolicy policy(system_->sim());
+  ASSERT_TRUE(policy.SaveModel(path).ok());
+  Cma2cPolicy restored(system_->sim());
+  EXPECT_TRUE(restored.LoadModel(path).ok());
   std::remove(path.c_str());
 }
 
