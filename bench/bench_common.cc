@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "fairmove/common/parallel.h"
+
 namespace fairmove::bench {
 
 BenchSetup MakeSetup(double default_scale, int default_episodes,
@@ -53,10 +55,11 @@ std::vector<MethodResult> RunSixMethodComparison(FairMoveSystem& system) {
 void PrintHeader(const std::string& artefact, const BenchSetup& setup) {
   std::printf("=== FairMove reproduction: %s ===\n", artefact.c_str());
   std::printf("config: scale %.3f -> %d regions / %d stations / %d taxis | "
-              "seed %llu\n",
+              "seed %llu | threads %d\n",
               setup.env.scale, setup.config.city.num_regions,
               setup.config.city.num_stations, setup.config.sim.num_taxis,
-              static_cast<unsigned long long>(setup.config.sim.seed));
+              static_cast<unsigned long long>(setup.config.sim.seed),
+              GlobalPool().num_threads());
 }
 
 }  // namespace fairmove::bench

@@ -4,10 +4,12 @@
 // mean ± std of every headline metric. FAIRMOVE_REPEATS overrides the
 // repeat count (default sized for a single core).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "bench_common.h"
+#include "fairmove/common/parallel.h"
 #include "fairmove/core/experiment.h"
 
 int main() {
@@ -26,13 +28,23 @@ int main() {
                          std::to_string(repeats) + " seeds)",
                      setup);
 
-  auto result_or = RunRepeatedComparison(
-      setup.config, FairMoveSystem::AllMethods(), repeats);
+  const std::vector<PolicyKind> kinds = FairMoveSystem::AllMethods();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result_or = RunRepeatedComparison(setup.config, kinds, repeats);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   if (!result_or.ok()) {
     std::fprintf(stderr, "%s\n", result_or.status().ToString().c_str());
     return 1;
   }
   std::printf("%s\n", result_or->ToTable().ToAlignedText().c_str());
+  // A "cell" is one (repeat, method) unit of the execution grid, GT
+  // baselines included — the granularity the thread pool schedules.
+  const double cells =
+      static_cast<double>(repeats) * static_cast<double>(kinds.size());
+  std::printf("threads %d | wall %.2fs | %.3f cells/s (%.0f cells)\n",
+              GlobalPool().num_threads(), secs, cells / secs, cells);
   std::printf("paper protocol: 10 repeats; raise FAIRMOVE_REPEATS for "
               "tighter intervals.\n");
   return 0;

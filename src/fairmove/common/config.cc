@@ -48,6 +48,13 @@ Status EnvOverrides::LoadFromEnv() {
     if (d <= 0) return Status::InvalidArgument("FAIRMOVE_DAYS must be > 0");
     days = static_cast<int>(d);
   }
+  if (const char* v = std::getenv("FAIRMOVE_THREADS")) {
+    FM_ASSIGN_OR_RETURN(int64_t t, ParseInt(v));
+    if (t < 1 || t > 4096) {
+      return Status::InvalidArgument("FAIRMOVE_THREADS must be in [1, 4096]");
+    }
+    threads = static_cast<int>(t);
+  }
   return Status::OK();
 }
 

@@ -13,6 +13,8 @@ namespace fairmove {
 ///   FAIRMOVE_EPISODES  — training episodes for learned policies
 ///   FAIRMOVE_SEED      — master RNG seed
 ///   FAIRMOVE_DAYS      — evaluation horizon in days
+///   FAIRMOVE_THREADS   — execution-layer thread count (>= 1; 1 = exact
+///                        serial path, unset = hardware concurrency)
 /// Unset variables leave the provided default untouched; malformed values
 /// return InvalidArgument so a typo fails loudly instead of silently running
 /// the wrong experiment.
@@ -21,6 +23,8 @@ struct EnvOverrides {
   int episodes = 0;
   uint64_t seed = 0;
   int days = 0;
+  /// 0 = unset (the pool sizes itself from hardware concurrency).
+  int threads = 0;
 
   /// Reads the FAIRMOVE_* variables, using the current field values as
   /// defaults.

@@ -9,6 +9,28 @@
 
 namespace fairmove {
 
+/// One SplitMix64 step: advances `x` by the golden-ratio gamma and returns
+/// the finalised (avalanched) output word. The primitive behind both Rng
+/// seeding and seed-stream derivation; constexpr so derived streams can be
+/// pinned at compile time in tests.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives an independent seed for stream `index` of the namespace tagged
+/// `ns` under `base`. Chained SplitMix64 finalisers give full avalanche on
+/// each input, so adjacent indices (or namespaces, or bases) land on
+/// uncorrelated streams — unlike the `base + index` shift idiom, where the
+/// xoshiro seeding sequences of adjacent repeats start one gamma apart.
+constexpr uint64_t DeriveSeed(uint64_t base, uint64_t ns, uint64_t index) {
+  uint64_t h = SplitMix64(base);
+  h = SplitMix64(h ^ ns);
+  return SplitMix64(h ^ index);
+}
+
 /// Deterministic, seedable pseudo-random generator (xoshiro256++ with a
 /// SplitMix64 seeding sequence). Every stochastic component in the library
 /// takes an explicit Rng so simulations are reproducible bit-for-bit;
@@ -23,11 +45,8 @@ class Rng {
     // SplitMix64 expansion of the single word into 4 state words.
     uint64_t x = seed;
     for (auto& word : state_) {
+      word = SplitMix64(x);
       x += 0x9E3779B97F4A7C15ULL;
-      uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-      word = z ^ (z >> 31);
     }
     has_gaussian_ = false;
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fairmove/common/parallel.h"
 #include "fairmove/rl/cma2c_policy.h"
 #include "fairmove/rl/dqn_policy.h"
 #include "fairmove/rl/faircharge_policy.h"
@@ -102,6 +103,38 @@ MethodResult Evaluator::RunGroundTruth() {
   return result;
 }
 
+void Evaluator::EnableReplicas(const ReplicaContext& ctx) {
+  FM_CHECK(ctx.city != nullptr && ctx.demand != nullptr &&
+           ctx.tariff != nullptr)
+      << "ReplicaContext must be fully populated";
+  replicas_ = ctx;
+}
+
+MethodResult Evaluator::RunKind(PolicyKind kind, const FleetMetrics& gt) const {
+  FM_CHECK(replicas_enabled()) << "EnableReplicas() before RunKind()";
+  // Same SimConfig (seed included) as the bound simulator: Reset() makes a
+  // method run a pure function of its seeds, so this replica reproduces the
+  // shared-simulator run bit for bit.
+  auto sim_or = Simulator::Create(replicas_.city, replicas_.demand,
+                                  *replicas_.tariff, sim_->config());
+  FM_CHECK(sim_or.ok()) << sim_or.status();
+  std::unique_ptr<Simulator> sim = std::move(*sim_or);
+  auto policy = MakePolicy(kind, *sim, 7000);
+  MethodResult result;
+  result.kind = kind;
+  result.name = policy->name();
+  Trainer trainer(sim.get(), trainer_config_);
+  if (policy->WantsTransitions()) {
+    result.training_stats = trainer.Train(policy.get());
+  }
+  result.eval_stats = trainer.RunEvaluationEpisode(
+      policy.get(), eval_config_.seed,
+      static_cast<int64_t>(eval_config_.days) * kSlotsPerDay);
+  result.metrics = ComputeFleetMetrics(*sim);
+  result.vs_gt = CompareToGroundTruth(gt, result.metrics);
+  return result;
+}
+
 MethodResult Evaluator::RunOne(DisplacementPolicy* policy,
                                const FleetMetrics& gt) {
   FM_CHECK(policy != nullptr);
@@ -125,12 +158,30 @@ std::vector<MethodResult> Evaluator::Run(
   MethodResult gt = RunGroundTruth();
   const FleetMetrics gt_metrics = gt.metrics;
   results.push_back(std::move(gt));
+  std::vector<PolicyKind> rest;
   for (PolicyKind kind : kinds) {
     if (kind == PolicyKind::kGroundTruth) continue;  // already first
-    auto policy = MakePolicy(kind, *sim_, 7000);
-    MethodResult r = RunOne(policy.get(), gt_metrics);
-    r.kind = kind;
-    results.push_back(std::move(r));
+    rest.push_back(kind);
+  }
+  if (replicas_enabled() && !rest.empty()) {
+    // One independent cell per method, each on a private replica simulator.
+    // Slot-indexed writes + in-order append keep the output identical to
+    // the serial path below for any pool size.
+    std::vector<MethodResult> cells(rest.size());
+    GlobalPool().ParallelFor(static_cast<int64_t>(rest.size()),
+                             [&](int64_t i) {
+                               cells[static_cast<size_t>(i)] =
+                                   RunKind(rest[static_cast<size_t>(i)],
+                                           gt_metrics);
+                             });
+    for (MethodResult& cell : cells) results.push_back(std::move(cell));
+  } else {
+    for (PolicyKind kind : rest) {
+      auto policy = MakePolicy(kind, *sim_, 7000);
+      MethodResult r = RunOne(policy.get(), gt_metrics);
+      r.kind = kind;
+      results.push_back(std::move(r));
+    }
   }
   return results;
 }

@@ -1,6 +1,10 @@
 #include "fairmove/core/experiment.h"
 
 #include <cstdio>
+#include <memory>
+
+#include "fairmove/common/parallel.h"
+#include "fairmove/common/rng.h"
 
 namespace fairmove {
 
@@ -36,43 +40,103 @@ Table RepeatedComparison::ToTable() const {
   return table;
 }
 
+void RepeatedMethodResult::Accumulate(const MethodResult& r) {
+  pipe.Add(r.vs_gt.pipe);
+  pipf.Add(r.vs_gt.pipf);
+  prct.Add(r.vs_gt.prct);
+  prit.Add(r.vs_gt.prit);
+  pe_mean.Add(r.metrics.pe.Mean());
+  pf.Add(r.metrics.pf);
+  service_rate.Add(r.metrics.ServiceRate());
+}
+
+void RepeatedMethodResult::Merge(const RepeatedMethodResult& other) {
+  pipe.Merge(other.pipe);
+  pipf.Merge(other.pipf);
+  prct.Merge(other.prct);
+  prit.Merge(other.prit);
+  pe_mean.Merge(other.pe_mean);
+  pf.Merge(other.pf);
+  service_rate.Merge(other.service_rate);
+}
+
+FairMoveConfig RepeatConfig(const FairMoveConfig& base, int repeat) {
+  FairMoveConfig config = base;
+  const uint64_t r = static_cast<uint64_t>(repeat);
+  config.sim.seed = DeriveSeed(base.sim.seed, kSeedNsSim, r);
+  config.city.seed = DeriveSeed(base.city.seed, kSeedNsCity, r);
+  if (base.trainer.seed_base != 0) {  // 0 = "reuse sim seed", keep it
+    config.trainer.seed_base =
+        DeriveSeed(base.trainer.seed_base, kSeedNsTrainer, r);
+  }
+  config.eval.seed = DeriveSeed(base.eval.seed, kSeedNsEval, r);
+  return config;
+}
+
 StatusOr<RepeatedComparison> RunRepeatedComparison(
     const FairMoveConfig& base_config, const std::vector<PolicyKind>& kinds,
     int repeats) {
   if (repeats <= 0) return Status::InvalidArgument("repeats must be > 0");
+  std::vector<PolicyKind> rest;  // evaluation order after the GT baseline
+  for (PolicyKind kind : kinds) {
+    if (kind != PolicyKind::kGroundTruth) rest.push_back(kind);
+  }
+  // Per-repeat state, slot-indexed so concurrent cells never contend.
+  struct RepeatCell {
+    Status status = Status::OK();
+    std::unique_ptr<FairMoveSystem> system;
+    MethodResult gt;
+    std::vector<MethodResult> rows;  // parallel to `rest`
+  };
+  std::vector<RepeatCell> cells(static_cast<size_t>(repeats));
+  ThreadPool& pool = GlobalPool();
+
+  // Phase A: one task per repeat — build the stack from its derived seeds
+  // and run the GT baseline every other method compares against.
+  pool.ParallelFor(repeats, [&](int64_t r) {
+    RepeatCell& cell = cells[static_cast<size_t>(r)];
+    auto system_or =
+        FairMoveSystem::Create(RepeatConfig(base_config, static_cast<int>(r)));
+    if (!system_or.ok()) {
+      cell.status = system_or.status();
+      return;
+    }
+    cell.system = std::move(*system_or);
+    cell.gt = cell.system->MakeEvaluator().RunGroundTruth();
+    cell.rows.resize(rest.size());
+  });
+  for (const RepeatCell& cell : cells) {  // lowest failing repeat wins
+    if (!cell.status.ok()) return cell.status;
+  }
+
+  // Phase B: the (repeat × method) grid. Each cell trains + evaluates one
+  // method in a private replica simulator; repeats only share their
+  // immutable city/demand/tariff and the frozen GT metrics.
+  const int64_t num_rest = static_cast<int64_t>(rest.size());
+  pool.ParallelFor(static_cast<int64_t>(repeats) * num_rest, [&](int64_t i) {
+    RepeatCell& cell = cells[static_cast<size_t>(i / num_rest)];
+    const size_t k = static_cast<size_t>(i % num_rest);
+    FairMoveSystem& system = *cell.system;
+    Evaluator evaluator = system.MakeEvaluator();
+    evaluator.EnableReplicas(
+        {&system.city(), &system.demand(), &system.sim().tariff()});
+    cell.rows[k] = evaluator.RunKind(rest[k], cell.gt.metrics);
+  });
+
+  // Ordered reduction on the calling thread: per method, Chan-merge the
+  // repeats' one-sample partials in ascending repeat order.
   RepeatedComparison aggregate;
   aggregate.repeats = repeats;
-  for (int repeat = 0; repeat < repeats; ++repeat) {
-    FairMoveConfig config = base_config;
-    const uint64_t shift = static_cast<uint64_t>(repeat);
-    config.sim.seed = base_config.sim.seed + shift;
-    config.city.seed = base_config.city.seed + shift;
-    config.trainer.seed_base =
-        base_config.trainer.seed_base + shift * 10000;
-    config.eval.seed = base_config.eval.seed + shift;
-    FM_ASSIGN_OR_RETURN(std::unique_ptr<FairMoveSystem> system,
-                        FairMoveSystem::Create(config));
-    const std::vector<MethodResult> results = system->RunComparison(kinds);
-    if (aggregate.methods.empty()) {
-      aggregate.methods.resize(results.size());
-      for (size_t i = 0; i < results.size(); ++i) {
-        aggregate.methods[i].kind = results[i].kind;
-        aggregate.methods[i].name = results[i].name;
-      }
-    }
-    if (aggregate.methods.size() != results.size()) {
-      return Status::Internal("method list changed between repeats");
-    }
-    for (size_t i = 0; i < results.size(); ++i) {
-      RepeatedMethodResult& agg = aggregate.methods[i];
-      const MethodResult& r = results[i];
-      agg.pipe.Add(r.vs_gt.pipe);
-      agg.pipf.Add(r.vs_gt.pipf);
-      agg.prct.Add(r.vs_gt.prct);
-      agg.prit.Add(r.vs_gt.prit);
-      agg.pe_mean.Add(r.metrics.pe.Mean());
-      agg.pf.Add(r.metrics.pf);
-      agg.service_rate.Add(r.metrics.ServiceRate());
+  aggregate.methods.resize(1 + rest.size());
+  for (size_t i = 0; i < aggregate.methods.size(); ++i) {
+    const MethodResult& first =
+        i == 0 ? cells[0].gt : cells[0].rows[i - 1];
+    aggregate.methods[i].kind = first.kind;
+    aggregate.methods[i].name = first.name;
+    for (size_t r = 0; r < cells.size(); ++r) {
+      RepeatedMethodResult partial;
+      partial.Accumulate(i == 0 ? cells[r].gt : cells[r].rows[i - 1]);
+      aggregate.methods[i].Merge(partial);
     }
   }
   return aggregate;

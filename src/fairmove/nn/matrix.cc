@@ -50,6 +50,11 @@ void MatMulRow(const float* a_row, const Matrix& b, int k, int n,
 
 }  // namespace
 
+void MatMulRowAccumulate(const float* a_row, const Matrix& b,
+                         float* out_row) {
+  MatMulRow(a_row, b, b.rows(), b.cols(), out_row);
+}
+
 void Matrix::RandomGaussian(Rng& rng, double stddev) {
   for (float& v : data_) {
     v = static_cast<float>(rng.Gaussian(0.0, stddev));

@@ -66,6 +66,14 @@ class Matrix {
 /// out = a * b. Shapes: [m x k] * [k x n] -> [m x n]. `out` is resized.
 void MatMul(const Matrix& a, const Matrix& b, Matrix* out);
 
+/// One row of MatMul: out_row[j] += sum_p a_row[p] * b(p, j), accumulated in
+/// the pinned ascending-p order starting from whatever `out_row` holds
+/// (callers zero it first). This is the exact kernel MatMul runs per batch
+/// row; it is exposed so batched layers can shard rows across threads while
+/// staying bit-identical to the serial pass. `a_row` has b.rows() entries,
+/// `out_row` b.cols().
+void MatMulRowAccumulate(const float* a_row, const Matrix& b, float* out_row);
+
 /// out = a^T * b. Shapes: [k x m]^T * [k x n] -> [m x n].
 void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out);
 

@@ -95,18 +95,83 @@ void Mlp::Forward(const Matrix& x, Matrix* y, Workspace* ws) const {
   FM_CHECK(x.cols() == input_dim())
       << "input dim " << x.cols() << " != " << input_dim();
   FM_CHECK(y != &x) << "Forward output must not alias the input";
+  y->Resize(x.rows(), output_dim());
+  ForwardRows(x, 0, x.rows(), y, ws);
+}
+
+void Mlp::ForwardRows(const Matrix& x, int row_begin, int row_end, Matrix* y,
+                      Workspace* ws) const {
+  const int len = row_end - row_begin;
   const Matrix* current = &x;
+  int base = row_begin;
   for (int layer = 0; layer < num_layers(); ++layer) {
+    const size_t li = static_cast<size_t>(layer);
     const bool last = layer + 1 == num_layers();
-    // The last layer writes straight into `y`; hidden layers ping-pong
-    // between the two workspace buffers (MatMul requires out != a, which
-    // the alternation guarantees).
-    Matrix* dst = last ? y : &ws->act[layer % 2];
-    MatMul(*current, weights_[static_cast<size_t>(layer)], dst);
-    AddRowBias(biases_[static_cast<size_t>(layer)], dst);
-    ApplyActivation(dst, last);
+    const int out_cols = sizes_[li + 1];
+    // The last layer writes straight into `y` at the shard's row offset;
+    // hidden layers ping-pong between the two shard-local workspace buffers
+    // (the alternation guarantees the input of a layer is never its output).
+    Matrix* dst = last ? y : &ws->act[li % 2];
+    int out_base = row_begin;
+    if (!last) {
+      dst->Resize(len, out_cols);  // also zeroes for the accumulate kernel
+      out_base = 0;
+    }
+    const Matrix& w = weights_[li];
+    const std::vector<float>& bias = biases_[li];
+    for (int i = 0; i < len; ++i) {
+      float* out_row = dst->Row(out_base + i);
+      MatMulRowAccumulate(current->Row(base + i), w, out_row);
+      for (int j = 0; j < out_cols; ++j) out_row[j] += bias[static_cast<size_t>(j)];
+      if (!last) {
+        switch (hidden_activation_) {
+          case Activation::kLinear:
+            break;
+          case Activation::kRelu:
+            for (int j = 0; j < out_cols; ++j) {
+              out_row[j] = std::max(0.0f, out_row[j]);
+            }
+            break;
+          case Activation::kTanh:
+            for (int j = 0; j < out_cols; ++j) out_row[j] = FastTanh(out_row[j]);
+            break;
+        }
+      }
+    }
     current = dst;
+    base = 0;
   }
+}
+
+void Mlp::Forward(const Matrix& x, Matrix* y, ThreadPool* pool,
+                  ShardedWorkspace* ws) const {
+  FM_CHECK(x.cols() == input_dim())
+      << "input dim " << x.cols() << " != " << input_dim();
+  FM_CHECK(y != &x) << "Forward output must not alias the input";
+  const int rows = x.rows();
+  y->Resize(rows, output_dim());
+  // Below this many rows per shard the fork/join overhead beats the win on
+  // these small policy networks.
+  constexpr int kMinRowsPerShard = 64;
+  int shards = 1;
+  if (pool != nullptr && pool->num_threads() > 1) {
+    shards = std::clamp(rows / kMinRowsPerShard, 1, pool->num_threads());
+  }
+  if (static_cast<int>(ws->shards.size()) < shards) {
+    ws->shards.resize(static_cast<size_t>(shards));
+  }
+  if (shards == 1) {
+    ForwardRows(x, 0, rows, y, &ws->shards[0]);
+    return;
+  }
+  // Balanced contiguous ranges; shard s writes only rows [begin_s, end_s),
+  // so shards race on nothing and `y` is bit-identical for any shard count.
+  const int quot = rows / shards, rem = rows % shards;
+  pool->ParallelFor(shards, [&](int64_t s) {
+    const int begin = static_cast<int>(s) * quot + std::min(static_cast<int>(s), rem);
+    const int end = begin + quot + (static_cast<int>(s) < rem ? 1 : 0);
+    ForwardRows(x, begin, end, y, &ws->shards[static_cast<size_t>(s)]);
+  });
 }
 
 std::vector<float> Mlp::Forward1(const std::vector<float>& x) const {

@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "fairmove/common/parallel.h"
 #include "fairmove/common/status.h"
 #include "fairmove/nn/matrix.h"
 
@@ -51,6 +52,24 @@ class Mlp {
   void Forward(const Matrix& x, Matrix* y) const;
   /// Same, reusing `ws` so the steady-state pass does zero heap allocation.
   void Forward(const Matrix& x, Matrix* y, Workspace* ws) const;
+
+  /// One Workspace per row shard, so concurrent shards never share scratch.
+  /// Shard count stabilises after the first call (same batch size and pool
+  /// → same shards → warm, allocation-free buffers).
+  struct ShardedWorkspace {
+    std::vector<Workspace> shards;
+  };
+
+  /// Row-sharded batched inference: contiguous row ranges of `x` are
+  /// processed concurrently on `pool`, each shard running the same
+  /// order-pinned per-row kernel (MatMulRowAccumulate) into its own rows of
+  /// `y` with its own Workspace. Because every output row is computed by
+  /// the identical per-row instruction sequence, the result is bit-identical
+  /// to the serial Forward for every pool size and shard count. Falls back
+  /// to one shard for small batches (sharding overhead would dominate) or a
+  /// serial/null pool.
+  void Forward(const Matrix& x, Matrix* y, ThreadPool* pool,
+               ShardedWorkspace* ws) const;
 
   /// Cached activations of one batched forward pass, consumed by Backward.
   /// Buffers are reused across calls (same shapes -> no allocation).
@@ -106,6 +125,15 @@ class Mlp {
 
  private:
   void ApplyActivation(Matrix* m, bool is_last) const;
+
+  /// Runs rows [row_begin, row_end) of `x` through the network into the
+  /// same rows of `y` (which must already be sized [x.rows() x output_dim]
+  /// and zeroed in that range). The per-row op sequence — zero-based
+  /// ascending-p accumulation, bias add, activation — matches the unsharded
+  /// MatMul/AddRowBias/ApplyActivation pipeline element for element, which
+  /// is what makes sharded and serial passes bit-identical.
+  void ForwardRows(const Matrix& x, int row_begin, int row_end, Matrix* y,
+                   Workspace* ws) const;
 
   std::vector<int> sizes_;
   Activation hidden_activation_;

@@ -57,7 +57,7 @@ void Cma2cPolicy::DecideActions(const Simulator& sim,
   // to the former per-taxi Forward1 call, and the RNG is consumed in the
   // same per-taxi order, so decisions match the scalar path exactly.
   features_.ExtractAll(vacant, &batch_x_);
-  actor_->Forward(batch_x_, &batch_logits_, &forward_ws_);
+  actor_->Forward(batch_x_, &batch_logits_, &GlobalPool(), &forward_ws_);
   const int dim = features_.dim();
   const bool sharpen = !training_ && options_.eval_temperature != 1.0;
   const float inv_t = static_cast<float>(1.0 / options_.eval_temperature);

@@ -131,7 +131,7 @@ class Cma2cPolicy : public DisplacementPolicy {
   // nothing (see DESIGN.md on the batched inference path).
   Matrix batch_x_;
   Matrix batch_logits_;
-  Mlp::Workspace forward_ws_;
+  Mlp::ShardedWorkspace forward_ws_;
   // Training scratch reused across Update() calls.
   Mlp::Tape critic_tape_;
   Mlp::Tape actor_tape_;

@@ -52,7 +52,7 @@ void DqnPolicy::DecideActions(const Simulator& sim,
   // explorers too — the network consumes no randomness, so the RNG stream
   // and the chosen actions match the scalar per-taxi loop exactly).
   features_.ExtractAll(vacant, &batch_x_);
-  q_net_->Forward(batch_x_, &batch_q_, &forward_ws_);
+  q_net_->Forward(batch_x_, &batch_q_, &GlobalPool(), &forward_ws_);
   const int dim = features_.dim();
   for (size_t i = 0; i < vacant.size(); ++i) {
     const TaxiObs& obs = vacant[i];

@@ -93,7 +93,7 @@ class DqnPolicy : public DisplacementPolicy {
   // the steady state).
   Matrix batch_x_;
   Matrix batch_q_;
-  Mlp::Workspace forward_ws_;
+  Mlp::ShardedWorkspace forward_ws_;
   // Training scratch reused across GradientStep() calls.
   Mlp::Tape tape_;
   Mlp::Workspace backward_ws_;

@@ -78,7 +78,7 @@ void TbaPolicy::DecideActions(const Simulator& sim,
   for (size_t i = 0; i < vacant.size(); ++i) {
     LocalFeaturesInto(sim, vacant[i], batch_x_.Row(static_cast<int>(i)));
   }
-  net_->Forward(batch_x_, &batch_logits_, &forward_ws_);
+  net_->Forward(batch_x_, &batch_logits_, &GlobalPool(), &forward_ws_);
   for (size_t i = 0; i < vacant.size(); ++i) {
     const TaxiObs& obs = vacant[i];
     const float* row_x = batch_x_.Row(static_cast<int>(i));

@@ -79,7 +79,7 @@ class TbaPolicy : public DisplacementPolicy {
   // the steady state).
   Matrix batch_x_;
   Matrix batch_logits_;
-  Mlp::Workspace forward_ws_;
+  Mlp::ShardedWorkspace forward_ws_;
   // Training scratch reused across Update() calls.
   Mlp::Tape tape_;
   Mlp::Workspace backward_ws_;

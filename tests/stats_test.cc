@@ -231,3 +231,45 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
 
 }  // namespace
 }  // namespace fairmove
+
+using fairmove::RunningStats;
+
+TEST(RunningStatsTest, MergeOfTwoOneSampleSides) {
+  // Smallest non-trivial Chan combine: both sides carry zero M2, so the
+  // merged variance comes entirely from the between-means term.
+  RunningStats a, b;
+  a.Add(2.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 1.0);  // population: ((2-3)^2+(4-3)^2)/2
+  EXPECT_DOUBLE_EQ(a.sample_variance(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(RunningStatsTest, MergeOneSampleIntoMany) {
+  RunningStats many;
+  for (double v : {1.0, 5.0, 9.0, 13.0}) many.Add(v);
+  RunningStats one;
+  one.Add(7.0);
+  RunningStats expect;  // sequential reference
+  for (double v : {1.0, 5.0, 9.0, 13.0, 7.0}) expect.Add(v);
+  many.Merge(one);
+  EXPECT_EQ(many.count(), expect.count());
+  EXPECT_DOUBLE_EQ(many.mean(), expect.mean());
+  EXPECT_DOUBLE_EQ(many.variance(), expect.variance());
+}
+
+TEST(RunningStatsTest, MergeEmptyIntoOneSampleKeepsDegenerateStats) {
+  RunningStats one, empty;
+  one.Add(42.0);
+  one.Merge(empty);
+  EXPECT_EQ(one.count(), 1);
+  EXPECT_DOUBLE_EQ(one.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+  empty.Merge(one);  // and the mirror image
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_DOUBLE_EQ(empty.mean(), 42.0);
+}

@@ -207,6 +207,36 @@ TEST(DriverGroupsByPerformanceTest, QuantilesSortByHustle) {
   }
 }
 
+TEST(RepeatConfigTest, DerivesDecorrelatedPinnedSeeds) {
+  FairMoveConfig base = FairMoveConfig::FullShenzhen();
+  base.sim.seed = 42;
+  base.city.seed = 42;
+  base.trainer.seed_base = 9000;
+  base.eval.seed = 7;
+  const FairMoveConfig r0 = RepeatConfig(base, 0);
+  const FairMoveConfig r3 = RepeatConfig(base, 3);
+  // Pinned streams (see DeriveSeedTest.PinnedValues): sim and city share a
+  // base seed yet get different namespaces, hence different streams.
+  EXPECT_EQ(r0.sim.seed, DeriveSeed(42, kSeedNsSim, 0));
+  EXPECT_EQ(r0.city.seed, DeriveSeed(42, kSeedNsCity, 0));
+  EXPECT_EQ(r0.trainer.seed_base, DeriveSeed(9000, kSeedNsTrainer, 0));
+  EXPECT_EQ(r3.eval.seed, DeriveSeed(7, kSeedNsEval, 3));
+  EXPECT_EQ(r0.sim.seed, 0x16076ce4ec094afdULL);
+  EXPECT_EQ(r0.city.seed, 0x14bd804e4d5493c4ULL);
+  EXPECT_EQ(r3.eval.seed, 0x8b9ac8b2f36f34daULL);
+  EXPECT_NE(r0.sim.seed, r0.city.seed);
+  // Non-seed config is untouched.
+  EXPECT_EQ(r0.trainer.episodes, base.trainer.episodes);
+  EXPECT_EQ(r0.eval.days, base.eval.days);
+}
+
+TEST(RepeatConfigTest, ZeroTrainerSeedBaseIsPreserved) {
+  FairMoveConfig base = FairMoveConfig::FullShenzhen();
+  base.trainer.seed_base = 0;  // "reuse the sim seed" sentinel
+  EXPECT_EQ(RepeatConfig(base, 0).trainer.seed_base, 0u);
+  EXPECT_EQ(RepeatConfig(base, 5).trainer.seed_base, 0u);
+}
+
 TEST(RepeatedComparisonTest, RejectsBadRepeatCount) {
   FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
   EXPECT_FALSE(RunRepeatedComparison(cfg, {}, 0).ok());
