@@ -4,8 +4,47 @@
 #include <cstdlib>
 
 #include "fairmove/common/parallel.h"
+#include "fairmove/obs/jsonl.h"
+#include "fairmove/obs/span.h"
+#include "fairmove/obs/telemetry.h"
 
 namespace fairmove::bench {
+
+namespace {
+
+/// Run-end hook shared by every bench: flush the run manifest + registry
+/// snapshot + a final pool-health row (telemetry), and print the span tree
+/// (profiling). Registered once from PrintHeader via atexit so even benches
+/// that exit through std::exit produce complete artefacts.
+void FinalizeObservability() {
+  Telemetry& telemetry = Telemetry::Get();
+  if (telemetry.enabled()) {
+    const PoolStats stats = GlobalPool().stats();
+    JsonObject row;
+    row.Set("kind", "pool")
+        .Set("threads", GlobalPool().num_threads())
+        .Set("regions", stats.regions)
+        .Set("tasks", stats.tasks)
+        .Set("queue_wait_ns_total", stats.queue_wait_ns_total)
+        .Set("queue_wait_ns_max", stats.queue_wait_ns_max);
+    telemetry.pool_stream().Write(row);
+    telemetry.Finalize();
+  }
+  if (Profiler::enabled()) {
+    const std::string tree = Profiler::ReportText();
+    if (!tree.empty()) std::fputs(tree.c_str(), stdout);
+  }
+}
+
+void RegisterFinalizerOnce() {
+  static const bool registered = [] {
+    std::atexit(FinalizeObservability);
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
 
 BenchSetup MakeSetup(double default_scale, int default_episodes,
                      int default_days) {
@@ -36,7 +75,11 @@ std::unique_ptr<FairMoveSystem> BuildSystem(const FairMoveConfig& config) {
                  system_or.status().ToString().c_str());
     std::exit(1);
   }
-  return std::move(system_or).value();
+  std::unique_ptr<FairMoveSystem> system = std::move(system_or).value();
+  // Only the bench's main simulator feeds sim.jsonl; the evaluator's
+  // replica sims stay silent so the stream is one coherent series.
+  system->sim().SetTelemetryLabel("main");
+  return system;
 }
 
 void RunGroundTruthTrace(FairMoveSystem& system, int days) {
@@ -49,7 +92,20 @@ std::vector<MethodResult> RunSixMethodComparison(FairMoveSystem& system) {
   std::printf("training %d episodes per learned method, evaluating %d "
               "day(s) on a shared demand realisation...\n\n",
               system.config().trainer.episodes, system.config().eval.days);
-  return system.RunComparison(FairMoveSystem::AllMethods());
+  std::vector<MethodResult> results =
+      system.RunComparison(FairMoveSystem::AllMethods());
+  Telemetry& telemetry = Telemetry::Get();
+  if (telemetry.enabled()) {
+    JsonArray digests;
+    for (const MethodResult& r : results) {
+      JsonObject digest;
+      digest.Set("name", r.name);
+      AppendFleetMetricsJson(r.metrics, &digest);
+      digests.PushRaw(digest.Str());
+    }
+    telemetry.manifest().AddExtra("results", digests.Str());
+  }
+  return results;
 }
 
 void PrintHeader(const std::string& artefact, const BenchSetup& setup) {
@@ -60,6 +116,21 @@ void PrintHeader(const std::string& artefact, const BenchSetup& setup) {
               setup.config.city.num_stations, setup.config.sim.num_taxis,
               static_cast<unsigned long long>(setup.config.sim.seed),
               GlobalPool().num_threads());
+  RegisterFinalizerOnce();
+  Telemetry& telemetry = Telemetry::Get();
+  if (telemetry.enabled()) {
+    RunManifest& manifest = telemetry.manifest();
+    manifest.run_name = artefact;
+    manifest.seed = setup.config.sim.seed;
+    manifest.scale = setup.env.scale;
+    manifest.episodes = setup.config.trainer.episodes;
+    manifest.days = setup.config.eval.days;
+    JsonObject city;
+    city.Set("num_regions", setup.config.city.num_regions)
+        .Set("num_stations", setup.config.city.num_stations)
+        .Set("num_taxis", setup.config.sim.num_taxis);
+    manifest.AddExtra("city", city.Str());
+  }
 }
 
 }  // namespace fairmove::bench

@@ -2,16 +2,25 @@
 // Section-IV artefact (Tables II/III, Figs 10-16) into a single markdown
 // report — the efficient alternative to running each per-figure bench
 // (which retrains per binary). Writes fairmove_report.md next to the
-// terminal output.
+// terminal output; `--json=<path>` additionally emits the comparison as
+// machine-readable JSON (schema "fairmove.report.v1").
 
 #include <cstdio>
 #include <cstdlib>
 
 #include "bench_common.h"
+#include "fairmove/common/flags.h"
 #include "fairmove/core/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace fairmove;
+  auto flags_or = Flags::Parse(argc, argv, {"json"});
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s [--json=<path>]\n",
+                 flags_or.status().ToString().c_str(), argv[0]);
+    return 1;
+  }
+  const Flags flags = std::move(flags_or).value();
   bench::BenchSetup setup = bench::MakeSetup(0.08, 20, 2);
   bench::PrintHeader("consolidated Section-IV report (one training run)",
                      setup);
@@ -28,5 +37,18 @@ int main() {
     return 1;
   }
   std::printf("\nreport written to %s\n", path.c_str());
+
+  if (flags.Has("json")) {
+    const std::string json_path = flags.GetString("json");
+    if (json_path.empty()) {
+      std::fprintf(stderr, "--json needs a path (--json=<path>)\n");
+      return 1;
+    }
+    if (Status s = report.WriteJsonFile(json_path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("json report written to %s\n", json_path.c_str());
+  }
   return 0;
 }

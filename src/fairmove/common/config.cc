@@ -41,6 +41,7 @@ Status EnvOverrides::LoadFromEnv() {
   }
   if (const char* v = std::getenv("FAIRMOVE_SEED")) {
     FM_ASSIGN_OR_RETURN(int64_t s, ParseInt(v));
+    if (s < 0) return Status::InvalidArgument("FAIRMOVE_SEED must be >= 0");
     seed = static_cast<uint64_t>(s);
   }
   if (const char* v = std::getenv("FAIRMOVE_DAYS")) {
@@ -54,6 +55,25 @@ Status EnvOverrides::LoadFromEnv() {
       return Status::InvalidArgument("FAIRMOVE_THREADS must be in [1, 4096]");
     }
     threads = static_cast<int>(t);
+  }
+  if (const char* v = std::getenv("FAIRMOVE_TELEMETRY")) {
+    if (v[0] == '\0') {
+      return Status::InvalidArgument(
+          "FAIRMOVE_TELEMETRY must be a non-empty directory path "
+          "(unset it to disable telemetry)");
+    }
+    telemetry_dir = v;
+  }
+  if (const char* v = std::getenv("FAIRMOVE_PROFILE")) {
+    const std::string s = v;
+    if (s == "1") {
+      profile = true;
+    } else if (s == "0") {
+      profile = false;
+    } else {
+      return Status::InvalidArgument("FAIRMOVE_PROFILE must be 0 or 1, got '" +
+                                     s + "'");
+    }
   }
   return Status::OK();
 }

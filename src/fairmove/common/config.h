@@ -15,6 +15,10 @@ namespace fairmove {
 ///   FAIRMOVE_DAYS      — evaluation horizon in days
 ///   FAIRMOVE_THREADS   — execution-layer thread count (>= 1; 1 = exact
 ///                        serial path, unset = hardware concurrency)
+///   FAIRMOVE_TELEMETRY — directory for JSONL telemetry streams + run
+///                        manifest (non-empty path; unset = telemetry off)
+///   FAIRMOVE_PROFILE   — "1" enables the scoped-span wall-clock profiler,
+///                        "0"/unset disables it
 /// Unset variables leave the provided default untouched; malformed values
 /// return InvalidArgument so a typo fails loudly instead of silently running
 /// the wrong experiment.
@@ -25,6 +29,9 @@ struct EnvOverrides {
   int days = 0;
   /// 0 = unset (the pool sizes itself from hardware concurrency).
   int threads = 0;
+  /// Empty = telemetry off.
+  std::string telemetry_dir;
+  bool profile = false;
 
   /// Reads the FAIRMOVE_* variables, using the current field values as
   /// defaults.

@@ -1,6 +1,7 @@
 #include "fairmove/common/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -9,6 +10,43 @@
 #include "fairmove/common/config.h"
 
 namespace fairmove {
+
+namespace {
+
+std::atomic<bool> g_pool_timing{false};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void ThreadPool::SetTimingEnabled(bool on) {
+  g_pool_timing.store(on, std::memory_order_relaxed);
+}
+
+bool ThreadPool::TimingEnabled() {
+  return g_pool_timing.load(std::memory_order_relaxed);
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.regions = regions_.load(std::memory_order_relaxed);
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.queue_wait_ns_total = queue_wait_ns_total_.load(std::memory_order_relaxed);
+  s.queue_wait_ns_max = queue_wait_ns_max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::RecordQueueWait(int64_t wait_ns) {
+  queue_wait_ns_total_.fetch_add(wait_ns, std::memory_order_relaxed);
+  int64_t prev = queue_wait_ns_max_.load(std::memory_order_relaxed);
+  while (wait_ns > prev && !queue_wait_ns_max_.compare_exchange_weak(
+                               prev, wait_ns, std::memory_order_relaxed)) {
+  }
+}
 
 /// Shared state of one ParallelFor region. Lives on the heap behind a
 /// shared_ptr because helper tasks may be dequeued after the owning call
@@ -94,14 +132,25 @@ void ThreadPool::ParallelFor(int64_t n,
     for (int64_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  tasks_.fetch_add(n, std::memory_order_relaxed);
   auto state = std::make_shared<ForState>(n, &fn);
   // At most n - 1 helpers; the caller is the remaining lane. Helpers that
   // run after the work is exhausted claim nothing and exit immediately.
   const int64_t helpers = std::min<int64_t>(num_threads_ - 1, n - 1);
+  const bool timing = TimingEnabled();
+  const int64_t enqueue_ns = timing ? NowNs() : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int64_t h = 0; h < helpers; ++h) {
-      queue_.emplace_back([state] { state->RunChunks(); });
+      if (timing) {
+        queue_.emplace_back([this, state, enqueue_ns] {
+          RecordQueueWait(NowNs() - enqueue_ns);
+          state->RunChunks();
+        });
+      } else {
+        queue_.emplace_back([state] { state->RunChunks(); });
+      }
     }
   }
   cv_.notify_all();

@@ -1,6 +1,7 @@
 #ifndef FAIRMOVE_COMMON_PARALLEL_H_
 #define FAIRMOVE_COMMON_PARALLEL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -12,6 +13,19 @@
 #include "fairmove/common/macros.h"
 
 namespace fairmove {
+
+/// Health counters of one pool, polled by the observability layer. Counters
+/// only move on the parallel branch of ParallelFor — the exact-serial
+/// `num_threads == 1` path stays atomic-free per the determinism contract.
+/// Queue-wait numbers are zero unless ThreadPool::SetTimingEnabled(true)
+/// (flipped on by telemetry) because taking timestamps per helper task is
+/// not free.
+struct PoolStats {
+  int64_t regions = 0;             // parallel regions executed
+  int64_t tasks = 0;               // task indices dispatched to regions
+  int64_t queue_wait_ns_total = 0; // enqueue -> helper start latency
+  int64_t queue_wait_ns_max = 0;
+};
 
 /// Fixed-size worker pool behind every task-parallel layer of the library
 /// (the repeated-experiment grid, the evaluator's method fan-out, sharded
@@ -66,10 +80,20 @@ class ThreadPool {
     std::vector<std::function<void()>> tasks_;
   };
 
+  /// Snapshot of this pool's health counters (observational only).
+  PoolStats stats() const;
+
+  /// Process-wide gate for queue-wait timestamping. Off by default; the
+  /// telemetry layer turns it on so latency is only measured when someone
+  /// will read it.
+  static void SetTimingEnabled(bool on);
+  static bool TimingEnabled();
+
  private:
   struct ForState;
 
   void WorkerLoop();
+  void RecordQueueWait(int64_t wait_ns);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -77,6 +101,11 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
+
+  std::atomic<int64_t> regions_{0};
+  std::atomic<int64_t> tasks_{0};
+  std::atomic<int64_t> queue_wait_ns_total_{0};
+  std::atomic<int64_t> queue_wait_ns_max_{0};
 };
 
 /// Thread count the process-wide pool is sized with: FAIRMOVE_THREADS when

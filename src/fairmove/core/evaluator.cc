@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fairmove/common/parallel.h"
+#include "fairmove/obs/span.h"
 #include "fairmove/rl/cma2c_policy.h"
 #include "fairmove/rl/dqn_policy.h"
 #include "fairmove/rl/faircharge_policy.h"
@@ -90,6 +91,7 @@ Evaluator::Evaluator(Simulator* sim, TrainerConfig trainer_config,
 }
 
 MethodResult Evaluator::RunGroundTruth() {
+  FM_SPAN("evaluator/ground_truth");
   MethodResult result;
   result.kind = PolicyKind::kGroundTruth;
   auto policy = MakePolicy(PolicyKind::kGroundTruth, *sim_, 7000);
@@ -111,6 +113,7 @@ void Evaluator::EnableReplicas(const ReplicaContext& ctx) {
 }
 
 MethodResult Evaluator::RunKind(PolicyKind kind, const FleetMetrics& gt) const {
+  FM_SPAN("evaluator/method");
   FM_CHECK(replicas_enabled()) << "EnableReplicas() before RunKind()";
   // Same SimConfig (seed included) as the bound simulator: Reset() makes a
   // method run a pure function of its seeds, so this replica reproduces the
@@ -154,6 +157,7 @@ MethodResult Evaluator::RunOne(DisplacementPolicy* policy,
 
 std::vector<MethodResult> Evaluator::Run(
     const std::vector<PolicyKind>& kinds) {
+  FM_SPAN("evaluator/run");
   std::vector<MethodResult> results;
   MethodResult gt = RunGroundTruth();
   const FleetMetrics gt_metrics = gt.metrics;

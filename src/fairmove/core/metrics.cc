@@ -1,5 +1,7 @@
 #include "fairmove/core/metrics.h"
 
+#include "fairmove/obs/jsonl.h"
+
 namespace fairmove {
 
 FleetMetrics ComputeFleetMetrics(const Simulator& sim) {
@@ -84,6 +86,30 @@ ComparisonMetrics CompareToGroundTruth(const FleetMetrics& gt,
     }
   }
   return c;
+}
+
+void AppendFleetMetricsJson(const FleetMetrics& m, JsonObject* out) {
+  out->Set("pe_mean", m.pe.empty() ? 0.0 : m.pe.Mean())
+      .Set("pe_median", m.pe.empty() ? 0.0 : m.pe.Median())
+      .Set("pe_p10", m.pe.empty() ? 0.0 : m.pe.Percentile(10.0))
+      .Set("pe_p90", m.pe.empty() ? 0.0 : m.pe.Percentile(90.0))
+      .Set("pe_sum", m.pe_sum)
+      .Set("pf", m.pf)
+      .Set("pe_gini", m.pe_gini)
+      .Set("cruise_min", m.cruise_min)
+      .Set("serve_min", m.serve_min)
+      .Set("idle_min", m.idle_min)
+      .Set("charge_min", m.charge_min)
+      .Set("revenue_cny", m.revenue_cny)
+      .Set("charge_cost_cny", m.charge_cost_cny)
+      .Set("trips", m.trips)
+      .Set("charge_events", m.charge_events)
+      .Set("strandings", m.strandings)
+      .Set("breakdowns", m.breakdowns)
+      .Set("fault_events", m.fault_events)
+      .Set("expired_requests", m.expired_requests)
+      .Set("total_requests", m.total_requests)
+      .Set("service_rate", m.ServiceRate());
 }
 
 }  // namespace fairmove

@@ -93,6 +93,11 @@ struct ComparisonMetrics {
 ComparisonMetrics CompareToGroundTruth(const FleetMetrics& gt,
                                        const FleetMetrics& d);
 
+/// Appends a compact digest of `m` (headline scalars + PE distribution
+/// summary, no raw samples) to `out` — the FleetMetrics representation in
+/// run manifests and JSON reports.
+void AppendFleetMetricsJson(const FleetMetrics& m, JsonObject* out);
+
 }  // namespace fairmove
 
 #endif  // FAIRMOVE_CORE_METRICS_H_

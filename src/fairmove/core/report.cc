@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "fairmove/common/csv.h"
+#include "fairmove/obs/jsonl.h"
 
 namespace fairmove {
 
@@ -132,6 +133,52 @@ Status ReportWriter::WriteFile(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open for write: " + path);
   out << ToMarkdown();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string ReportWriter::ToJson() const {
+  JsonObject root;
+  root.Set("schema", "fairmove.report.v1");
+  root.Set("baseline", GroundTruth()->name);
+  JsonArray methods;
+  for (const MethodResult& r : results_) {
+    JsonObject method;
+    method.Set("name", r.name);
+    JsonObject vs_gt;
+    vs_gt.Set("pipe", r.vs_gt.pipe)
+        .Set("pipf", r.vs_gt.pipf)
+        .Set("prct", r.vs_gt.prct)
+        .Set("prit", r.vs_gt.prit);
+    method.SetRaw("vs_gt", vs_gt.Str());
+    JsonObject metrics;
+    AppendFleetMetricsJson(r.metrics, &metrics);
+    method.SetRaw("metrics", metrics.Str());
+    JsonObject eval;
+    eval.Set("avg_reward", r.eval_stats.avg_reward)
+        .Set("avg_reward_own", r.eval_stats.avg_reward_own)
+        .Set("transitions", r.eval_stats.transitions);
+    method.SetRaw("eval", eval.Str());
+    JsonArray training;
+    for (const Trainer::EpisodeStats& s : r.training_stats) {
+      JsonObject episode;
+      episode.Set("avg_reward", s.avg_reward)
+          .Set("transitions", s.transitions)
+          .Set("fleet_pe_mean", s.fleet_pe_mean)
+          .Set("fleet_pf", s.fleet_pf);
+      training.PushRaw(episode.Str());
+    }
+    method.SetRaw("training", training.Str());
+    methods.PushRaw(method.Str());
+  }
+  root.SetRaw("methods", methods.Str());
+  return root.Str();
+}
+
+Status ReportWriter::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << ToJson() << '\n';
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();
 }

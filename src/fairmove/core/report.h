@@ -25,6 +25,15 @@ class ReportWriter {
   /// Writes ToMarkdown() to `path`.
   Status WriteFile(const std::string& path) const;
 
+  /// Machine-readable comparison (schema "fairmove.report.v1"): per method
+  /// the vs-GT headline numbers, a FleetMetrics digest, and the training
+  /// curve. The JSON counterpart of ToMarkdown(), for BENCH_*.json
+  /// trajectories and other tooling.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteJsonFile(const std::string& path) const;
+
   // --- Individual sections (exposed for tests) ---------------------------
   std::string HeadlineSection() const;      // PIPE/PIPF/PRCT/PRIT per method
   std::string CruiseSection() const;        // Fig 10 boxplot rows

@@ -2,7 +2,38 @@
 
 #include <cmath>
 
+#include "fairmove/obs/jsonl.h"
+#include "fairmove/obs/span.h"
+#include "fairmove/obs/telemetry.h"
+
 namespace fairmove {
+
+namespace {
+
+/// One row of training.jsonl. `phase` distinguishes training episodes from
+/// evaluation rollouts; rows identify themselves because parallel method
+/// fan-outs interleave in file order.
+void EmitEpisodeRow(const char* phase, const DisplacementPolicy* policy,
+                    int episode, uint64_t seed,
+                    const Trainer::EpisodeStats& stats) {
+  Telemetry& telemetry = Telemetry::Get();
+  if (!telemetry.enabled()) return;
+  JsonObject row;
+  row.Set("kind", "episode")
+      .Set("phase", phase)
+      .Set("method", policy != nullptr ? policy->name() : "none")
+      .Set("episode", episode)
+      .Set("seed", seed)
+      .Set("transitions", stats.transitions)
+      .Set("avg_reward", stats.avg_reward)
+      .Set("avg_reward_own", stats.avg_reward_own)
+      .Set("fleet_pe_mean", stats.fleet_pe_mean)
+      .Set("fleet_pf", stats.fleet_pf);
+  if (policy != nullptr) policy->AppendTelemetry(&row);
+  telemetry.training_stream().Write(row);
+}
+
+}  // namespace
 
 Status TrainerConfig::Validate() const {
   if (episodes < 0) return Status::InvalidArgument("episodes must be >= 0");
@@ -133,6 +164,7 @@ void Trainer::FlushPendings(
 
 Trainer::EpisodeStats Trainer::RunTrainingEpisode(DisplacementPolicy* policy,
                                                   int episode) {
+  FM_SPAN("train/episode");
   const bool learns = policy->WantsTransitions();
   const uint64_t seed =
       config_.seed_base != 0
@@ -158,6 +190,7 @@ Trainer::EpisodeStats Trainer::RunTrainingEpisode(DisplacementPolicy* policy,
   }
   stats.fleet_pe_mean = sim_->FleetMeanPe();
   stats.fleet_pf = sim_->FleetPeVariance();
+  EmitEpisodeRow("train", policy, episode, seed, stats);
   return stats;
 }
 
@@ -199,6 +232,7 @@ Status Trainer::TrainGuarded(DisplacementPolicy* policy,
 
 Trainer::EpisodeStats Trainer::RunEvaluationEpisode(
     DisplacementPolicy* policy, uint64_t seed, int64_t slots) {
+  FM_SPAN("eval/episode");
   sim_->Reset(seed);
   pendings_.assign(static_cast<size_t>(sim_->num_taxis()), std::nullopt);
   EpisodeStats stats;
@@ -216,6 +250,7 @@ Trainer::EpisodeStats Trainer::RunEvaluationEpisode(
   }
   stats.fleet_pe_mean = sim_->FleetMeanPe();
   stats.fleet_pf = sim_->FleetPeVariance();
+  EmitEpisodeRow("eval", policy, /*episode=*/0, seed, stats);
   return stats;
 }
 

@@ -1,0 +1,403 @@
+#include "fairmove/obs/jsonl.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace fairmove {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, '"' + JsonEscape(value) + '"');
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, const char* value) {
+  return Set(key, std::string(value));
+}
+
+JsonObject& JsonObject::Set(const std::string& key, double value) {
+  fields_.emplace_back(key, JsonNumber(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObject& JsonObject::Set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonObject& JsonObject::SetRaw(const std::string& key,
+                               const std::string& json) {
+  fields_.emplace_back(key, json);
+  return *this;
+}
+
+std::string JsonObject::Str() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(fields_[i].first) + "\":" + fields_[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+JsonArray& JsonArray::Push(const std::string& value) {
+  items_.push_back('"' + JsonEscape(value) + '"');
+  return *this;
+}
+
+JsonArray& JsonArray::Push(double value) {
+  items_.push_back(JsonNumber(value));
+  return *this;
+}
+
+JsonArray& JsonArray::Push(int64_t value) {
+  items_.push_back(std::to_string(value));
+  return *this;
+}
+
+JsonArray& JsonArray::PushRaw(const std::string& json) {
+  items_.push_back(json);
+  return *this;
+}
+
+std::string JsonArray::Str() const {
+  std::string out = "[";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += items_[i];
+  }
+  out += ']';
+  return out;
+}
+
+Status JsonlWriter::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) return Status::IOError("cannot open for write: " + path);
+  path_ = path;
+  return Status::OK();
+}
+
+bool JsonlWriter::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return out_.is_open();
+}
+
+void JsonlWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) out_.close();
+  path_.clear();
+  rows_ = 0;
+}
+
+void JsonlWriter::Write(const JsonObject& row) { WriteLine(row.Str()); }
+
+void JsonlWriter::WriteLine(const std::string& json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << json << '\n';
+  out_.flush();
+  ++rows_;
+}
+
+int64_t JsonlWriter::rows_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+namespace {
+
+/// Recursive-descent JSON syntax checker over `text`. Tracks top-level
+/// object keys when asked (keys != nullptr and depth-0 value is an object).
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  Status Scan(std::vector<std::string>* keys) {
+    SkipWs();
+    FM_RETURN_IF_ERROR(Value(/*depth=*/0, keys));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("JSON error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Status Literal(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      return Err(std::string("expected '") + word + "'");
+    }
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status String(std::string* out) {
+    if (Eof() || Peek() != '"') return Err("expected string");
+    ++pos_;
+    while (!Eof()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Err("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (Eof()) return Err("truncated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return Err("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Err("bad escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      if (out != nullptr) out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  Status Number() {
+    const size_t start = pos_;
+    if (!Eof() && Peek() == '-') ++pos_;
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Err("malformed number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!Eof() && Peek() == '.') {
+      ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("malformed fraction");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Err("malformed exponent");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    (void)start;
+    return Status::OK();
+  }
+
+  Status Value(int depth, std::vector<std::string>* keys) {
+    if (depth > 64) return Err("nesting too deep");
+    if (Eof()) return Err("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return Object(depth, keys);
+      case '[':
+        return Array(depth);
+      case '"':
+        return String(nullptr);
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  Status Object(int depth, std::vector<std::string>* keys) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (!Eof() && Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      FM_RETURN_IF_ERROR(String(depth == 0 && keys != nullptr ? &key
+                                                              : nullptr));
+      if (depth == 0 && keys != nullptr) keys->push_back(std::move(key));
+      SkipWs();
+      if (Eof() || Peek() != ':') return Err("expected ':' in object");
+      ++pos_;
+      SkipWs();
+      FM_RETURN_IF_ERROR(Value(depth + 1, nullptr));
+      SkipWs();
+      if (Eof()) return Err("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  Status Array(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (!Eof() && Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      FM_RETURN_IF_ERROR(Value(depth + 1, nullptr));
+      SkipWs();
+      if (Eof()) return Err("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJson(const std::string& text) {
+  return JsonScanner(text).Scan(nullptr);
+}
+
+StatusOr<std::vector<std::string>> JsonObjectKeys(const std::string& text) {
+  std::vector<std::string> keys;
+  FM_RETURN_IF_ERROR(JsonScanner(text).Scan(&keys));
+  // An empty key list is also what a non-object value produces; reject
+  // non-objects explicitly so callers get a clear error.
+  size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (i >= text.size() || text[i] != '{') {
+    return Status::InvalidArgument("not a JSON object");
+  }
+  return keys;
+}
+
+StatusOr<int64_t> ValidateJsonlFile(
+    const std::string& path, const std::vector<std::string>& required_keys) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  int64_t rows = 0;
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto keys_or = JsonObjectKeys(line);
+    if (!keys_or.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + keys_or.status().message());
+    }
+    for (const std::string& want : required_keys) {
+      bool found = false;
+      for (const std::string& key : *keys_or) {
+        if (key == want) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                       ": missing required key '" + want +
+                                       "'");
+      }
+    }
+    ++rows;
+  }
+  return rows;
+}
+
+}  // namespace fairmove

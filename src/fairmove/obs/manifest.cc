@@ -1,0 +1,46 @@
+#include "fairmove/obs/manifest.h"
+
+#include <ctime>
+#include <fstream>
+
+#include "fairmove/obs/jsonl.h"
+
+namespace fairmove {
+
+std::string Iso8601UtcNow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+std::string RunManifest::ToJson() const {
+  JsonObject obj;
+  obj.Set("schema", "fairmove.manifest.v1")
+      .Set("run_name", run_name)
+      .Set("started_utc", started_utc)
+      .Set("finished_utc", finished_utc)
+      .Set("seed", seed)
+      .Set("scale", scale)
+      .Set("episodes", episodes)
+      .Set("days", days)
+      .Set("threads", threads)
+      .Set("build_type", build_type)
+      .Set("compiler", compiler)
+      .Set("profiling", profiling);
+  for (const auto& [key, json_value] : extra) obj.SetRaw(key, json_value);
+  return obj.Str();
+}
+
+Status RunManifest::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << ToJson() << '\n';
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace fairmove

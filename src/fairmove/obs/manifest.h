@@ -1,0 +1,47 @@
+#ifndef FAIRMOVE_OBS_MANIFEST_H_
+#define FAIRMOVE_OBS_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fairmove/common/status.h"
+
+namespace fairmove {
+
+/// Current UTC wall time as "YYYY-MM-DDTHH:MM:SSZ".
+std::string Iso8601UtcNow();
+
+/// Provenance record for one bench/experiment run: which binary ran, with
+/// which knobs, on how many threads, built how, when — plus a digest of the
+/// final results. Written as `manifest.json` in the telemetry directory so
+/// a BENCH_*.json trajectory point can always be traced back to the exact
+/// run that produced it.
+struct RunManifest {
+  std::string run_name;       // bench binary / experiment label
+  std::string started_utc;    // set when telemetry initialises
+  std::string finished_utc;   // set by Finalize
+  uint64_t seed = 0;
+  double scale = 0.0;
+  int episodes = 0;
+  int days = 0;
+  int threads = 0;            // effective execution-layer thread count
+  std::string build_type;     // CMake build type baked in at compile time
+  std::string compiler;
+  bool profiling = false;
+  /// Free-form (key, rendered-JSON-value) pairs: config knobs, result
+  /// digests. Values must be pre-rendered JSON (use JsonObject/JsonNumber).
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  void AddExtra(const std::string& key, std::string json_value) {
+    extra.emplace_back(key, std::move(json_value));
+  }
+
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_OBS_MANIFEST_H_

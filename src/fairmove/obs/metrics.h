@@ -1,0 +1,144 @@
+#ifndef FAIRMOVE_OBS_METRICS_H_
+#define FAIRMOVE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fairmove/common/status.h"
+
+namespace fairmove {
+
+/// P² streaming quantile estimator (Jain & Chlamtáč 1985): tracks one
+/// quantile of an unbounded stream in O(1) memory by maintaining five
+/// markers whose heights are adjusted with a piecewise-parabolic fit.
+/// Exact until five observations have arrived. Deterministic for a fixed
+/// insertion order, which is why sharded histogram merging does NOT use it
+/// (merging two P² states is order-dependent); it serves the serial
+/// analysis paths and the checker tooling.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.5 for the median.
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+  /// Current estimate; 0 before the first observation.
+  double Get() const;
+  int64_t count() const { return count_; }
+
+ private:
+  double q_;
+  int64_t count_ = 0;
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+};
+
+/// Merged state of one histogram metric: fixed buckets over [lo, hi) with
+/// end-bucket clamping, plus exact count/sum/min/max. Quantiles are
+/// interpolated from the buckets (deterministic under any merge order of
+/// the integer bucket counts; the double `sum` is merged in ascending shard
+/// index order by the registry to keep it bit-stable too).
+struct HistogramData {
+  double lo = 0.0;
+  double hi = 1000.0;
+  std::vector<int64_t> buckets;  // sized at registration
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // valid when count > 0
+  double max = 0.0;
+
+  void Init(double lo_bound, double hi_bound, int num_buckets);
+  void Observe(double value);
+  void Merge(const HistogramData& other);
+  double mean() const { return count > 0 ? sum / count : 0.0; }
+  /// Linear interpolation inside the bucket holding the q-th observation
+  /// (q in [0, 1]), clamped to [min, max]. 0 when empty.
+  double Quantile(double q) const;
+};
+
+class MetricsRegistry;
+
+/// Thread-confined accumulator for one parallel task. Mirrors the
+/// `common/parallel` determinism contract: each task of a parallel region
+/// writes to its own shard (task-index-addressed, no sharing), and the
+/// calling thread merges the shards in ascending task index after the
+/// region completes, so the registry contents are byte-identical at any
+/// thread count. Histogram bucket bounds are inherited from the owning
+/// registry at first touch.
+class MetricShard {
+ public:
+  /// Created via MetricsRegistry::MakeShard().
+  void Count(const std::string& name, int64_t delta = 1);
+  void Observe(const std::string& name, double value);
+
+ private:
+  friend class MetricsRegistry;
+  explicit MetricShard(const MetricsRegistry* registry)
+      : registry_(registry) {}
+
+  const MetricsRegistry* registry_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, HistogramData> histograms_;
+};
+
+/// Process-wide registry of counters, gauges and histograms.
+///
+/// Direct calls (Count/SetGauge/Observe) take an internal mutex and may be
+/// issued from any thread — use them for rare events (fault applications,
+/// divergence rollbacks). Inside parallel regions use MakeShard() per task
+/// and MergeShard() in ascending task order on the calling thread; shard
+/// updates are lock-free and the ordered merge keeps double accumulation
+/// deterministic.
+///
+/// Everything here is observational: no RNG, no effect on simulation state.
+class MetricsRegistry {
+ public:
+  void Count(const std::string& name, int64_t delta = 1);
+  void SetGauge(const std::string& name, double value);
+  void Observe(const std::string& name, double value);
+
+  /// Fixes the bucket layout of histogram `name`. First registration wins;
+  /// re-registering with identical bounds is a no-op, with different bounds
+  /// a programmer error (FM_CHECK). Observe() on an unregistered name
+  /// auto-registers [0, 1000) x 50.
+  void RegisterHistogram(const std::string& name, double lo, double hi,
+                         int num_buckets);
+
+  MetricShard MakeShard() const { return MetricShard(this); }
+  void MergeShard(const MetricShard& shard);
+
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+  };
+  Snapshot GetSnapshot() const;
+
+  /// Deterministic (name-sorted) JSON rendering of the snapshot.
+  std::string ToJson() const;
+
+  /// Drops every metric (tests).
+  void Reset();
+
+ private:
+  friend class MetricShard;
+  /// Bucket layout for `name` (registered or default); used by shards.
+  void HistogramLayout(const std::string& name, double* lo, double* hi,
+                       int* num_buckets) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramData> histograms_;
+};
+
+/// The process-wide registry every instrumented layer reports into.
+MetricsRegistry& Metrics();
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_OBS_METRICS_H_

@@ -1,0 +1,61 @@
+#ifndef FAIRMOVE_OBS_SPAN_H_
+#define FAIRMOVE_OBS_SPAN_H_
+
+#include <chrono>
+#include <string>
+
+namespace fairmove {
+
+struct SpanNode;
+
+/// Wall-clock profiler built from scoped spans. Each thread owns a private
+/// span tree (nodes keyed by span name, nested by dynamic scope), so taking
+/// a span costs two steady_clock reads and a map lookup with no
+/// synchronisation. Report time merges every thread's tree by name path and
+/// renders the aggregate with per-span count / total / max.
+///
+/// Disabled (the default) a span is a single relaxed atomic load; enable
+/// with FAIRMOVE_PROFILE=1 or SetEnabled(true). Reports are meant for run
+/// end — after parallel regions have completed, the pool's completion
+/// acquire/release gives the reporting thread a consistent view of worker
+/// trees.
+class Profiler {
+ public:
+  static bool enabled();
+  static void SetEnabled(bool on);
+
+  /// Human-readable indented tree; empty string when nothing was recorded.
+  static std::string ReportText();
+  /// `{"spans":[{name,count,total_ns,max_ns,children:[...]},...]}` with
+  /// siblings name-sorted.
+  static std::string ReportJson();
+
+  /// Clears every thread's recorded spans (tests; callers must ensure no
+  /// span is live on any thread).
+  static void Reset();
+};
+
+/// RAII timer for one dynamic scope. Use through FM_SPAN below.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanNode* node_ = nullptr;
+  SpanNode* parent_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define FM_SPAN_CONCAT_INNER(a, b) a##b
+#define FM_SPAN_CONCAT(a, b) FM_SPAN_CONCAT_INNER(a, b)
+/// Times the enclosing scope under `name` in the profiler's span tree.
+#define FM_SPAN(name) \
+  ::fairmove::ScopedSpan FM_SPAN_CONCAT(fm_span_, __LINE__)(name)
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_OBS_SPAN_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fairmove/nn/mlp.h"
+#include "fairmove/obs/metrics.h"
 
 namespace fairmove {
 
@@ -63,6 +64,7 @@ Status DivergenceGuard::OnDivergence(const std::string& why) {
   ++consecutive_rollbacks_;
   ++total_rollbacks_;
   lr_scale_ *= options_.lr_decay;
+  Metrics().Count("resilience/divergence_rollbacks");
   if (consecutive_rollbacks_ >= options_.max_consecutive_rollbacks) {
     status_ = Status::Internal(
         "training diverged " + std::to_string(consecutive_rollbacks_) +

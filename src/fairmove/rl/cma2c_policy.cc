@@ -5,6 +5,7 @@
 #include <cmath>
 #include <span>
 
+#include "fairmove/obs/jsonl.h"
 #include "fairmove/sim/simulator.h"
 
 namespace fairmove {
@@ -253,6 +254,7 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
   const Matrix& logits = actor_->Output(actor_tape);
   Matrix actor_grad(n, num_actions_);
   double total_entropy = 0.0;
+  double total_actor_loss = 0.0;
   for (int i = 0; i < n; ++i) {
     const Transition& t = transitions[static_cast<size_t>(i)];
     space_->Mask(t.region, t.must_charge, t.may_charge, &mask_scratch_);
@@ -265,6 +267,8 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
     }
     total_entropy += entropy;
     const double adv = advantages[static_cast<size_t>(i)];
+    const double p_taken = probs[static_cast<size_t>(t.action_index)];
+    if (p_taken > 0.0) total_actor_loss += -adv * std::log(p_taken);
     for (int a = 0; a < num_actions_; ++a) {
       if (!mask_scratch_[static_cast<size_t>(a)]) {
         actor_grad.At(i, a) = 0.0f;
@@ -280,6 +284,7 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
     }
   }
   last_entropy_ = total_entropy / n;
+  last_actor_loss_ = total_actor_loss / n;
   if (guard_ != nullptr && !std::isfinite(last_entropy_)) {
     RollBack("non-finite actor logits/entropy");
     return;
@@ -297,6 +302,18 @@ void Cma2cPolicy::Update(const std::vector<Transition>& transitions) {
     }
     const Status st = guard_->NoteHealthyUpdate();
     FM_CHECK(st.ok()) << st;
+  }
+}
+
+void Cma2cPolicy::AppendTelemetry(JsonObject* row) const {
+  row->Set("critic_loss", last_critic_loss_)
+      .Set("actor_loss", last_actor_loss_)
+      .Set("entropy", last_entropy_)
+      .Set("learn_batches", learn_batches_);
+  if (guard_ != nullptr) {
+    row->Set("guard_rollbacks", guard_->total_rollbacks())
+        .Set("guard_lr_scale", guard_->lr_scale())
+        .Set("guard_healthy", guard_->status().ok());
   }
 }
 

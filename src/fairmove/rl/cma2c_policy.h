@@ -102,6 +102,11 @@ class Cma2cPolicy : public DisplacementPolicy {
   double last_critic_loss() const { return last_critic_loss_; }
   /// Mean entropy of the behaviour distribution in the last Learn() batch.
   double last_entropy() const { return last_entropy_; }
+  /// Mean policy-gradient surrogate loss (-advantage * log pi(a|s)) of the
+  /// last actor update; 0 during critic warm-up.
+  double last_actor_loss() const { return last_actor_loss_; }
+
+  void AppendTelemetry(JsonObject* row) const override;
 
  private:
   /// Restores the last-good checkpoint after a detected divergence and
@@ -124,6 +129,7 @@ class Cma2cPolicy : public DisplacementPolicy {
   std::vector<Transition> buffer_;
   double last_critic_loss_ = 0.0;
   double last_entropy_ = 0.0;
+  double last_actor_loss_ = 0.0;
   std::vector<std::vector<float>> last_features_;
   std::vector<bool> mask_scratch_;
   // Batched decision-path scratch: one feature row per vacant taxi, one

@@ -11,6 +11,7 @@
 namespace fairmove {
 
 class Simulator;
+class JsonObject;
 
 /// What a policy sees about each vacant taxi asking for a decision.
 struct TaxiObs {
@@ -92,6 +93,11 @@ class DisplacementPolicy {
   /// been exhausted; the Trainer then stops cleanly instead of burning
   /// episodes on a dead network. Heuristic policies are always healthy.
   virtual Status Health() const { return Status::OK(); }
+
+  /// Telemetry hook: learning policies append their internals (losses,
+  /// entropy, guard state) to the per-episode training row. Purely
+  /// observational — must not mutate policy state. Default: nothing.
+  virtual void AppendTelemetry(JsonObject* row) const { (void)row; }
 
   /// Feature vectors the policy computed during its last DecideActions
   /// call, aligned with that call's `vacant` list. Policies that learn from

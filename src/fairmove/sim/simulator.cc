@@ -1,6 +1,9 @@
 #include "fairmove/sim/simulator.h"
 
 #include "fairmove/common/stats.h"
+#include "fairmove/obs/jsonl.h"
+#include "fairmove/obs/metrics.h"
+#include "fairmove/obs/telemetry.h"
 
 #include <algorithm>
 #include <cmath>
@@ -125,6 +128,7 @@ void Simulator::Reset(uint64_t seed_override) {
   trace_.Clear();
   matching_.Clear();
   total_requests_ = 0;
+  total_strandings_ = 0;
   fleet_mean_pe_ = 0.0;
   fleet_pe_variance_ = 0.0;
 
@@ -203,6 +207,7 @@ void Simulator::Step(DisplacementPolicy* policy) {
   ExpireRequests();
   AccountTimeAndStranding();
   RefreshFleetPeStats();
+  EmitSlotTelemetry(slot_counts_);
 
   now_ = now_.Next();
 }
@@ -229,7 +234,7 @@ void Simulator::ApplyScheduledFaults() {
     event.slot = now_.index;
     event.subject = s;
     event.magnitude = static_cast<double>(applied);
-    trace_.AddFaultEvent(event);
+    RecordFault(event);
     // The grid cut power to occupied points: unplug sessions down to the
     // new capacity (they end early rather than strand mid-session).
     if (queue.occupied() > applied) {
@@ -252,12 +257,12 @@ void Simulator::ApplyScheduledFaults() {
   // SpawnRequests every slot of the window.
   for (const DemandShock& shock : fault_schedule_->demand_shocks()) {
     if (shock.from_slot == now_.index) {
-      trace_.AddFaultEvent(FaultEvent{FaultKind::kDemandShock, now_.index,
-                                      shock.region, shock.multiplier});
+      RecordFault(FaultEvent{FaultKind::kDemandShock, now_.index,
+                             shock.region, shock.multiplier});
     }
     if (shock.until_slot == now_.index) {
-      trace_.AddFaultEvent(FaultEvent{FaultKind::kDemandShockEnd, now_.index,
-                                      shock.region, shock.multiplier});
+      RecordFault(FaultEvent{FaultKind::kDemandShockEnd, now_.index,
+                             shock.region, shock.multiplier});
     }
   }
 }
@@ -282,9 +287,8 @@ void Simulator::ApplyBreakdownHazard() {
       taxi.phase = TaxiPhase::kBrokenDown;
       taxi.busy_until = now_.index + hazard.repair_slots;
       taxi.totals.num_breakdowns += 1;
-      trace_.AddFaultEvent(FaultEvent{FaultKind::kBreakdown, now_.index,
-                                      taxi.id,
-                                      static_cast<double>(hazard.repair_slots)});
+      RecordFault(FaultEvent{FaultKind::kBreakdown, now_.index, taxi.id,
+                             static_cast<double>(hazard.repair_slots)});
       break;
     }
   }
@@ -313,8 +317,7 @@ void Simulator::CompleteArrivals() {
         // Repair finished: rejoin the fleet vacant where the tow left it.
         taxi.phase = TaxiPhase::kCruising;
         taxi.vacant_since = now_.index;
-        trace_.AddFaultEvent(
-            FaultEvent{FaultKind::kRepaired, now_.index, taxi.id, 0.0});
+        RecordFault(FaultEvent{FaultKind::kRepaired, now_.index, taxi.id, 0.0});
         break;
       }
       default:
@@ -786,6 +789,7 @@ void Simulator::AccountTimeAndStranding() {
         taxi.trip_dest = kInvalidRegion;
       }
       taxi.totals.num_strandings += 1;
+      total_strandings_ += 1;
       taxi.totals.idle_min += config_.stranding_penalty_min;
       const StationId station =
           city_->NearestStations(taxi.region).front();
@@ -804,6 +808,7 @@ void Simulator::AccountTimeAndStranding() {
       fault_schedule_->HazardActive(now_.index)) {
     ApplyBreakdownHazard();
   }
+  slot_counts_ = counts;
 }
 
 void Simulator::RefreshFleetPeStats() {
@@ -811,6 +816,43 @@ void Simulator::RefreshFleetPeStats() {
   for (const Taxi& taxi : taxis_) stats.Add(taxi.totals.hourly_pe());
   fleet_mean_pe_ = stats.mean();
   fleet_pe_variance_ = stats.variance();
+}
+
+void Simulator::RecordFault(const FaultEvent& event) {
+  trace_.AddFaultEvent(event);
+  Telemetry& telemetry = Telemetry::Get();
+  if (!telemetry.enabled() || telemetry_label_.empty()) return;
+  Metrics().Count(std::string("sim/fault/") + FaultKindName(event.kind));
+  JsonObject row;
+  row.Set("kind", "fault")
+      .Set("run", telemetry_label_)
+      .Set("slot", event.slot)
+      .Set("fault", FaultKindName(event.kind))
+      .Set("subject", static_cast<int64_t>(event.subject))
+      .Set("magnitude", event.magnitude);
+  telemetry.sim_stream().Write(row);
+}
+
+void Simulator::EmitSlotTelemetry(const PhaseCounts& counts) {
+  Telemetry& telemetry = Telemetry::Get();
+  if (!telemetry.enabled() || telemetry_label_.empty()) return;
+  JsonObject row;
+  row.Set("kind", "slot")
+      .Set("run", telemetry_label_)
+      .Set("slot", counts.slot)
+      .Set("cruising", counts.cruising)
+      .Set("serving", counts.serving)
+      .Set("to_station", counts.to_station)
+      .Set("queuing", counts.queuing)
+      .Set("charging", counts.charging)
+      .Set("broken_down", counts.broken_down)
+      .Set("strandings", total_strandings_)
+      .Set("fault_events", trace_.total_fault_events())
+      .Set("expired_requests", trace_.expired_requests())
+      .Set("total_requests", total_requests_)
+      .Set("fleet_pe_mean", fleet_mean_pe_)
+      .Set("fleet_pf", fleet_pe_variance_);
+  telemetry.sim_stream().Write(row);
 }
 
 }  // namespace fairmove

@@ -178,6 +178,19 @@ class Simulator {
   /// Total requests spawned since Reset (served + expired + pending).
   int64_t total_requests() const { return total_requests_; }
 
+  /// Strandings (empty pack outside a charging context) since Reset.
+  int64_t total_strandings() const { return total_strandings_; }
+
+  /// Opts this simulator into the per-slot sim.jsonl telemetry stream under
+  /// `label` (empty = silent, the default). Only the run's main simulator
+  /// should be labelled: the evaluator's replica sims stay silent so the
+  /// stream is one coherent time series. Survives Reset(). No-op on the
+  /// simulation itself — with FAIRMOVE_TELEMETRY unset, labelled and
+  /// unlabelled runs are byte-identical.
+  void SetTelemetryLabel(const std::string& label) {
+    telemetry_label_ = label;
+  }
+
  private:
   Simulator(const City* city, const DemandSource* demand,
             const TouTariff& tariff, const SimConfig& config);
@@ -197,6 +210,13 @@ class Simulator {
   void ExpireRequests();
   void AccountTimeAndStranding();
   void RefreshFleetPeStats();
+
+  /// Logs `event` in the trace and, when telemetry is on, as a structured
+  /// fault row in sim.jsonl (plus a registry counter).
+  void RecordFault(const FaultEvent& event);
+  /// Emits this slot's fleet-composition gauges to sim.jsonl (labelled
+  /// simulators under an enabled Telemetry only).
+  void EmitSlotTelemetry(const PhaseCounts& counts);
 
   void ApplyAction(Taxi& taxi, const Action& action);
   /// Second matching pass in dispatch mode: assigns remaining requests to
@@ -246,6 +266,9 @@ class Simulator {
   double fleet_mean_pe_ = 0.0;
   double fleet_pe_variance_ = 0.0;
   int64_t total_requests_ = 0;
+  int64_t total_strandings_ = 0;
+  std::string telemetry_label_;
+  PhaseCounts slot_counts_;  // composition of the last completed slot
   // Regions within the dispatch radius of each region, nearest first
   // (built lazily when dispatch mode is on).
   std::vector<std::vector<RegionId>> dispatch_neighbors_;

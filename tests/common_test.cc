@@ -176,6 +176,9 @@ class EnvOverridesTest : public ::testing::Test {
     unsetenv("FAIRMOVE_EPISODES");
     unsetenv("FAIRMOVE_SEED");
     unsetenv("FAIRMOVE_DAYS");
+    unsetenv("FAIRMOVE_THREADS");
+    unsetenv("FAIRMOVE_TELEMETRY");
+    unsetenv("FAIRMOVE_PROFILE");
   }
 };
 
@@ -222,6 +225,52 @@ TEST_F(EnvOverridesTest, RejectsNegativeEpisodesOrDays) {
   unsetenv("FAIRMOVE_EPISODES");
   setenv("FAIRMOVE_DAYS", "0", 1);
   EXPECT_FALSE(env.LoadFromEnv().ok());
+}
+
+TEST_F(EnvOverridesTest, RejectsNegativeSeed) {
+  setenv("FAIRMOVE_SEED", "-5", 1);
+  EnvOverrides env;
+  const Status s = env.LoadFromEnv();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("FAIRMOVE_SEED"), std::string::npos);
+}
+
+TEST_F(EnvOverridesTest, RejectsOutOfRangeThreads) {
+  EnvOverrides env;
+  setenv("FAIRMOVE_THREADS", "0", 1);
+  EXPECT_FALSE(env.LoadFromEnv().ok());
+  setenv("FAIRMOVE_THREADS", "5000", 1);
+  EXPECT_FALSE(env.LoadFromEnv().ok());
+  setenv("FAIRMOVE_THREADS", "many", 1);
+  EXPECT_FALSE(env.LoadFromEnv().ok());
+  setenv("FAIRMOVE_THREADS", "8", 1);
+  ASSERT_TRUE(env.LoadFromEnv().ok());
+  EXPECT_EQ(env.threads, 8);
+}
+
+TEST_F(EnvOverridesTest, RejectsEmptyTelemetryDir) {
+  setenv("FAIRMOVE_TELEMETRY", "", 1);
+  EnvOverrides env;
+  const Status s = env.LoadFromEnv();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("FAIRMOVE_TELEMETRY"), std::string::npos);
+  setenv("FAIRMOVE_TELEMETRY", "/tmp/fairmove-telemetry", 1);
+  ASSERT_TRUE(env.LoadFromEnv().ok());
+  EXPECT_EQ(env.telemetry_dir, "/tmp/fairmove-telemetry");
+}
+
+TEST_F(EnvOverridesTest, ProfileMustBeZeroOrOne) {
+  EnvOverrides env;
+  setenv("FAIRMOVE_PROFILE", "yes", 1);
+  EXPECT_FALSE(env.LoadFromEnv().ok());
+  setenv("FAIRMOVE_PROFILE", "2", 1);
+  EXPECT_FALSE(env.LoadFromEnv().ok());
+  setenv("FAIRMOVE_PROFILE", "1", 1);
+  ASSERT_TRUE(env.LoadFromEnv().ok());
+  EXPECT_TRUE(env.profile);
+  setenv("FAIRMOVE_PROFILE", "0", 1);
+  ASSERT_TRUE(env.LoadFromEnv().ok());
+  EXPECT_FALSE(env.profile);
 }
 
 }  // namespace

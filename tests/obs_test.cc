@@ -1,0 +1,430 @@
+// Observability layer: JSON building/validation, the P² estimator, fixed-
+// bucket histograms, the sharded metrics registry (including its merge
+// determinism under the thread pool), scoped profiling spans, the telemetry
+// hub, and — the load-bearing guarantee — that enabling telemetry changes
+// no simulation output byte.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fairmove/common/parallel.h"
+#include "fairmove/core/fairmove.h"
+#include "fairmove/core/metrics.h"
+#include "fairmove/obs/jsonl.h"
+#include "fairmove/obs/manifest.h"
+#include "fairmove/obs/metrics.h"
+#include "fairmove/obs/span.h"
+#include "fairmove/obs/telemetry.h"
+
+namespace fairmove {
+namespace {
+
+std::string TempSubdir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "fairmove_obs_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ------------------------------------------------------------------ JSON --
+
+TEST(JsonTest, EscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonTest, NumberRoundTripsAndMapsNonFiniteToNull) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "null");
+  EXPECT_EQ(JsonNumber(0.0 / 0.0), "null");
+  // %.17g must reproduce the classic non-representable decimal exactly.
+  EXPECT_EQ(std::stod(JsonNumber(0.1)), 0.1);
+}
+
+TEST(JsonTest, ObjectAndArrayRenderValidJson) {
+  JsonObject obj;
+  obj.Set("s", "x\"y").Set("d", 2.5).Set("i", int64_t{-3}).Set("b", true);
+  JsonArray arr;
+  arr.Push(1.0).Push(int64_t{2}).PushRaw(obj.Str());
+  JsonObject root;
+  root.SetRaw("items", arr.Str());
+  EXPECT_TRUE(ValidateJson(root.Str()).ok()) << root.Str();
+  const auto keys = std::move(JsonObjectKeys(obj.Str())).value();
+  EXPECT_EQ(keys, (std::vector<std::string>{"s", "d", "i", "b"}));
+}
+
+TEST(JsonTest, ValidatorRejectsMalformedDocuments) {
+  EXPECT_TRUE(ValidateJson("{\"a\":[1,2,{\"b\":null}]}").ok());
+  EXPECT_TRUE(ValidateJson("  42  ").ok());
+  EXPECT_FALSE(ValidateJson("").ok());
+  EXPECT_FALSE(ValidateJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ValidateJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ValidateJson("[1,2").ok());
+  EXPECT_FALSE(ValidateJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ValidateJson("{'a':1}").ok());
+  EXPECT_FALSE(JsonObjectKeys("[1,2]").ok());
+}
+
+TEST(JsonTest, JsonlWriterRoundTripsThroughValidator) {
+  const std::string dir = TempSubdir("jsonl");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/rows.jsonl";
+  JsonlWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (int i = 0; i < 3; ++i) {
+    JsonObject row;
+    row.Set("kind", "t").Set("i", i);
+    writer.Write(row);
+  }
+  EXPECT_EQ(writer.rows_written(), 3);
+  writer.Close();
+  EXPECT_EQ(std::move(ValidateJsonlFile(path, {"kind", "i"})).value(), 3);
+  // A required key that rows lack must fail validation.
+  EXPECT_FALSE(ValidateJsonlFile(path, {"kind", "missing"}).ok());
+  EXPECT_FALSE(ValidateJsonlFile(dir + "/nope.jsonl", {}).ok());
+}
+
+// ------------------------------------------------------------ P2Quantile --
+
+TEST(P2QuantileTest, ExactForFewerThanFiveSamples) {
+  P2Quantile median(0.5);
+  median.Add(10.0);
+  EXPECT_DOUBLE_EQ(median.Get(), 10.0);
+  median.Add(20.0);
+  median.Add(0.0);
+  // Sorted {0, 10, 20} -> median 10.
+  EXPECT_DOUBLE_EQ(median.Get(), 10.0);
+}
+
+TEST(P2QuantileTest, ConvergesOnUniformStream) {
+  P2Quantile p90(0.9);
+  // Deterministic LCG keeps the test hermetic (no std::rand).
+  uint64_t state = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    p90.Add(static_cast<double>(state >> 11) /
+            static_cast<double>(1ULL << 53));
+  }
+  EXPECT_NEAR(p90.Get(), 0.9, 0.02);
+}
+
+// ------------------------------------------------------------- Histogram --
+
+TEST(HistogramDataTest, MergeIsOrderInvariant) {
+  HistogramData a, b, merged_ab, merged_ba;
+  a.Init(0.0, 10.0, 10);
+  b.Init(0.0, 10.0, 10);
+  for (double v : {0.5, 3.2, 9.9, -1.0}) a.Observe(v);   // -1 clamps low
+  for (double v : {5.5, 7.7, 42.0}) b.Observe(v);        // 42 clamps high
+  merged_ab.Init(0.0, 10.0, 10);
+  merged_ab.Merge(a);
+  merged_ab.Merge(b);
+  merged_ba.Init(0.0, 10.0, 10);
+  merged_ba.Merge(b);
+  merged_ba.Merge(a);
+  EXPECT_EQ(merged_ab.count, 7);
+  EXPECT_EQ(merged_ab.buckets, merged_ba.buckets);
+  EXPECT_DOUBLE_EQ(merged_ab.min, -1.0);
+  EXPECT_DOUBLE_EQ(merged_ab.max, 42.0);
+  EXPECT_DOUBLE_EQ(merged_ab.sum, merged_ba.sum);
+}
+
+TEST(HistogramDataTest, QuantileInterpolatesAndClampsToObservedRange) {
+  HistogramData h;
+  h.Init(0.0, 100.0, 10);
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 10.0);
+  EXPECT_GE(h.Quantile(0.0), h.min);
+  EXPECT_LE(h.Quantile(1.0), h.max);
+  HistogramData empty;
+  empty.Init(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+// -------------------------------------------------------------- Registry --
+
+TEST(MetricsRegistryTest, CountersGaugesHistogramsSnapshotAndJson) {
+  MetricsRegistry registry;
+  registry.Count("events");
+  registry.Count("events", 4);
+  registry.SetGauge("temperature", 21.5);
+  registry.RegisterHistogram("latency", 0.0, 10.0, 5);
+  registry.Observe("latency", 3.0);
+  registry.Observe("latency", 7.0);
+
+  const auto snapshot = registry.GetSnapshot();
+  EXPECT_EQ(snapshot.counters.at("events"), 5);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("temperature"), 21.5);
+  EXPECT_EQ(snapshot.histograms.at("latency").count, 2);
+
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  const auto keys = std::move(JsonObjectKeys(json)).value();
+  EXPECT_EQ(keys,
+            (std::vector<std::string>{"counters", "gauges", "histograms"}));
+
+  registry.Reset();
+  EXPECT_TRUE(registry.GetSnapshot().counters.empty());
+}
+
+TEST(MetricsRegistryTest, ShardMergeMatchesDirectUpdates) {
+  MetricsRegistry direct;
+  MetricsRegistry sharded;
+  sharded.RegisterHistogram("v", 0.0, 100.0, 20);
+  direct.RegisterHistogram("v", 0.0, 100.0, 20);
+  std::vector<MetricShard> shards;
+  for (int i = 0; i < 4; ++i) shards.push_back(sharded.MakeShard());
+  for (int i = 0; i < 4; ++i) {
+    shards[static_cast<size_t>(i)].Count("n", i + 1);
+    shards[static_cast<size_t>(i)].Observe("v", 10.0 * i);
+    direct.Count("n", i + 1);
+    direct.Observe("v", 10.0 * i);
+  }
+  for (const MetricShard& shard : shards) sharded.MergeShard(shard);
+  EXPECT_EQ(sharded.ToJson(), direct.ToJson());
+}
+
+// The determinism contract applied to metrics: per-task shards merged in
+// ascending task index produce byte-identical registry JSON at any thread
+// count, exactly like every other parallel reduction in the library.
+TEST(MetricsRegistryTest, ShardedParallelForIsThreadCountInvariant) {
+  constexpr int64_t kTasks = 64;
+  auto run = [](int threads) {
+    SetGlobalThreads(threads);
+    MetricsRegistry registry;
+    registry.RegisterHistogram("work/value", 0.0, 1000.0, 25);
+    std::vector<MetricShard> shards;
+    shards.reserve(kTasks);
+    for (int64_t i = 0; i < kTasks; ++i) {
+      shards.push_back(registry.MakeShard());
+    }
+    GlobalPool().ParallelFor(kTasks, [&](int64_t i) {
+      MetricShard& shard = shards[static_cast<size_t>(i)];
+      shard.Count("work/tasks");
+      shard.Count("work/units", i);
+      // Non-commutative-looking doubles: ordered merge must still be stable.
+      shard.Observe("work/value", 0.1 * static_cast<double>(i * i));
+    });
+    for (const MetricShard& shard : shards) registry.MergeShard(shard);
+    return registry.ToJson();
+  };
+  const std::string serial = run(1);
+  const std::string four = run(4);
+  const std::string three = run(3);
+  SetGlobalThreads(1);
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, three);
+  EXPECT_TRUE(ValidateJson(serial).ok());
+}
+
+TEST(PoolStatsTest, CountersMoveOnlyOnParallelBranch) {
+  SetGlobalThreads(1);
+  const PoolStats before = GlobalPool().stats();
+  GlobalPool().ParallelFor(8, [](int64_t) {});
+  const PoolStats serial = GlobalPool().stats();
+  // Exact-serial path: no atomics touched at all.
+  EXPECT_EQ(serial.regions, before.regions);
+  EXPECT_EQ(serial.tasks, before.tasks);
+
+  SetGlobalThreads(2);
+  GlobalPool().ParallelFor(8, [](int64_t) {});
+  const PoolStats parallel = GlobalPool().stats();
+  EXPECT_EQ(parallel.regions, 1);
+  EXPECT_EQ(parallel.tasks, 8);
+  // Queue-wait timing is gated off by default.
+  EXPECT_EQ(parallel.queue_wait_ns_total, 0);
+  ThreadPool::SetTimingEnabled(true);
+  GlobalPool().ParallelFor(8, [](int64_t) {});
+  ThreadPool::SetTimingEnabled(false);
+  SetGlobalThreads(1);
+}
+
+// ----------------------------------------------------------------- Spans --
+
+TEST(SpanTest, DisabledSpansAreFreeAndInvisible) {
+  Profiler::SetEnabled(false);
+  Profiler::Reset();
+  { FM_SPAN("never/recorded"); }
+  EXPECT_EQ(Profiler::ReportText(), "");
+}
+
+TEST(SpanTest, NestedSpansBuildAHierarchicalTree) {
+  Profiler::SetEnabled(true);
+  Profiler::Reset();
+  for (int i = 0; i < 3; ++i) {
+    FM_SPAN("outer");
+    {
+      FM_SPAN("inner");
+    }
+    {
+      FM_SPAN("inner");
+    }
+  }
+  Profiler::SetEnabled(false);
+
+  const std::string text = Profiler::ReportText();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("inner"), std::string::npos);
+  EXPECT_NE(text.find("count=6"), std::string::npos);  // inner: 2 per loop
+
+  const std::string json = Profiler::ReportJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+
+  Profiler::Reset();
+  EXPECT_EQ(Profiler::ReportText(), "");
+}
+
+// ------------------------------------------------------ Manifest & hub ----
+
+TEST(ManifestTest, RendersSchemaFieldsAndExtras) {
+  RunManifest manifest;
+  manifest.run_name = "unit";
+  manifest.seed = 7;
+  manifest.AddExtra("custom", "{\"a\":1}");
+  const std::string json = manifest.ToJson();
+  ASSERT_TRUE(ValidateJson(json).ok()) << json;
+  const auto keys = std::move(JsonObjectKeys(json)).value();
+  EXPECT_EQ(keys.front(), "schema");
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "custom"), keys.end());
+}
+
+TEST(TelemetryTest, DisabledByDefaultWithoutEnv) {
+  // The suite never sets FAIRMOVE_TELEMETRY, so the singleton must be off.
+  EXPECT_FALSE(Telemetry::Get().enabled());
+}
+
+TEST(TelemetryTest, EnableWriteFinalizeProducesValidArtefacts) {
+  const std::string dir = TempSubdir("hub");
+  Telemetry& telemetry = Telemetry::Get();
+  ASSERT_TRUE(telemetry.EnableForTesting(dir).ok());
+  EXPECT_TRUE(telemetry.enabled());
+
+  JsonObject row;
+  row.Set("kind", "episode").Set("phase", "train").Set("method", "X");
+  telemetry.training_stream().Write(row);
+  telemetry.manifest().run_name = "unit-test";
+  telemetry.Finalize();
+  telemetry.DisableForTesting();
+  EXPECT_FALSE(telemetry.enabled());
+
+  EXPECT_EQ(std::move(ValidateJsonlFile(dir + "/training.jsonl",
+                                        {"kind", "phase", "method"}))
+                .value(),
+            1);
+  std::ifstream manifest_in(dir + "/manifest.json");
+  ASSERT_TRUE(manifest_in.good());
+  std::string manifest_json((std::istreambuf_iterator<char>(manifest_in)),
+                            std::istreambuf_iterator<char>());
+  ASSERT_TRUE(ValidateJson(manifest_json).ok());
+  const auto keys = std::move(JsonObjectKeys(manifest_json)).value();
+  for (const char* required :
+       {"schema", "run_name", "started_utc", "finished_utc", "seed",
+        "threads", "build_type", "compiler"}) {
+    EXPECT_NE(std::find(keys.begin(), keys.end(), required), keys.end())
+        << "manifest missing " << required;
+  }
+  std::ifstream metrics_in(dir + "/metrics.json");
+  ASSERT_TRUE(metrics_in.good());
+  std::string metrics_json((std::istreambuf_iterator<char>(metrics_in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_TRUE(ValidateJson(metrics_json).ok());
+}
+
+// --------------------------------------------- telemetry ⊥ simulation -----
+
+std::string FleetDigest(const FleetMetrics& m) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%.17g|%.17g|%.17g|%.17g|%lld|%lld|%lld|%lld",
+                m.pe.empty() ? 0.0 : m.pe.Mean(), m.pf, m.pe_sum,
+                m.revenue_cny, static_cast<long long>(m.trips),
+                static_cast<long long>(m.charge_events),
+                static_cast<long long>(m.expired_requests),
+                static_cast<long long>(m.total_requests));
+  return buf;
+}
+
+std::string RunTinySim(bool telemetry_on, int threads,
+                       const std::string& dir) {
+  SetGlobalThreads(threads);
+  Telemetry& telemetry = Telemetry::Get();
+  if (telemetry_on) {
+    EXPECT_TRUE(telemetry.EnableForTesting(dir).ok());
+  } else {
+    telemetry.DisableForTesting();
+  }
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  if (telemetry_on) system->sim().SetTelemetryLabel("main");
+  auto policy = MakePolicy(PolicyKind::kGroundTruth, system->sim(), 7000);
+  system->sim().Reset();
+  system->sim().RunDays(policy.get(), 1);
+  const std::string digest = FleetDigest(ComputeFleetMetrics(system->sim()));
+  if (telemetry_on) {
+    telemetry.Finalize();
+    telemetry.DisableForTesting();
+  }
+  SetGlobalThreads(1);
+  return digest;
+}
+
+// The acceptance bar of the observability layer: flipping telemetry on must
+// not change one byte of simulation output, at any thread count, while
+// still producing a parseable sim stream and manifest.
+TEST(TelemetryInvarianceTest, OnOffProducesByteIdenticalFleetMetrics) {
+  const std::string dir = TempSubdir("invariance");
+  const std::string off_1 = RunTinySim(false, 1, "");
+  const std::string on_1 = RunTinySim(true, 1, dir);
+  EXPECT_EQ(off_1, on_1);
+
+  const std::string dir4 = TempSubdir("invariance4");
+  const std::string off_4 = RunTinySim(false, 4, "");
+  const std::string on_4 = RunTinySim(true, 4, dir4);
+  EXPECT_EQ(off_4, on_4);
+  EXPECT_EQ(off_1, off_4);
+
+  // The telemetry run must have produced a coherent sim stream: one slot
+  // row per simulated slot plus any fault rows, all self-labelled.
+  const int64_t rows =
+      std::move(ValidateJsonlFile(dir + "/sim.jsonl", {"kind", "run", "slot"}))
+          .value();
+  EXPECT_GT(rows, 0);
+  std::ifstream manifest_in(dir + "/manifest.json");
+  std::string manifest_json((std::istreambuf_iterator<char>(manifest_in)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_TRUE(ValidateJson(manifest_json).ok());
+}
+
+// Training emits one self-describing row per episode when telemetry is on.
+TEST(TelemetryInvarianceTest, TrainerStreamsEpisodeRows) {
+  const std::string dir = TempSubdir("trainer");
+  Telemetry& telemetry = Telemetry::Get();
+  ASSERT_TRUE(telemetry.EnableForTesting(dir).ok());
+
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(0.04);
+  cfg.trainer.episodes = 2;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  auto policy = MakePolicy(PolicyKind::kFairMove, system->sim(), 5);
+  Trainer trainer = system->MakeTrainer();
+  trainer.Train(policy.get());
+  telemetry.Finalize();
+  telemetry.DisableForTesting();
+
+  const int64_t rows = std::move(ValidateJsonlFile(
+                                     dir + "/training.jsonl",
+                                     {"kind", "phase", "method", "episode"}))
+                           .value();
+  EXPECT_EQ(rows, 2);
+}
+
+}  // namespace
+}  // namespace fairmove

@@ -1,0 +1,104 @@
+// Validates a FAIRMOVE_TELEMETRY output directory: the run manifest must be
+// one well-formed JSON object carrying every schema field, each JSONL stream
+// must parse line-by-line with its row-identifying keys present, and the
+// registry snapshot (plus the span tree, when profiling was on) must be
+// valid JSON. Prints a per-file summary and exits non-zero on the first
+// malformed artefact — the CI smoke step behind telemetry runs.
+//
+// Usage: obs_check <telemetry-dir>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fairmove/common/macros.h"
+#include "fairmove/common/status.h"
+#include "fairmove/obs/jsonl.h"
+
+namespace fairmove {
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Manifest (or any standalone JSON-object artefact): parse + check keys.
+Status CheckJsonObjectFile(const std::string& path,
+                           const std::vector<std::string>& required_keys) {
+  FM_ASSIGN_OR_RETURN(const std::string text, ReadFile(path));
+  FM_ASSIGN_OR_RETURN(const std::vector<std::string> keys,
+                      JsonObjectKeys(text));
+  for (const std::string& required : required_keys) {
+    bool found = false;
+    for (const std::string& key : keys) {
+      if (key == required) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(path + ": missing key '" + required +
+                                     "'");
+    }
+  }
+  std::printf("  ok  %-16s %zu top-level keys\n",
+              std::filesystem::path(path).filename().c_str(), keys.size());
+  return Status::OK();
+}
+
+Status CheckStream(const std::string& path,
+                   const std::vector<std::string>& required_keys) {
+  FM_ASSIGN_OR_RETURN(const int64_t rows,
+                      ValidateJsonlFile(path, required_keys));
+  std::printf("  ok  %-16s %lld row(s)\n",
+              std::filesystem::path(path).filename().c_str(),
+              static_cast<long long>(rows));
+  return Status::OK();
+}
+
+Status CheckTelemetryDir(const std::string& dir) {
+  FM_RETURN_IF_ERROR(CheckJsonObjectFile(
+      dir + "/manifest.json",
+      {"schema", "run_name", "started_utc", "finished_utc", "seed", "scale",
+       "episodes", "days", "threads", "build_type", "compiler",
+       "profiling"}));
+  FM_RETURN_IF_ERROR(CheckJsonObjectFile(dir + "/metrics.json",
+                                         {"counters", "gauges",
+                                          "histograms"}));
+  FM_RETURN_IF_ERROR(
+      CheckStream(dir + "/training.jsonl", {"kind", "phase", "method"}));
+  FM_RETURN_IF_ERROR(CheckStream(dir + "/sim.jsonl", {"kind", "run",
+                                                      "slot"}));
+  FM_RETURN_IF_ERROR(CheckStream(dir + "/pool.jsonl", {"kind", "threads"}));
+  // Only written when FAIRMOVE_PROFILE=1 accompanied the run.
+  const std::string profile = dir + "/profile.json";
+  if (std::filesystem::exists(profile)) {
+    FM_RETURN_IF_ERROR(CheckJsonObjectFile(profile, {"spans"}));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+}  // namespace fairmove
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <telemetry-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  std::printf("checking telemetry dir %s\n", dir.c_str());
+  if (fairmove::Status s = fairmove::CheckTelemetryDir(dir); !s.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("all telemetry artefacts valid\n");
+  return 0;
+}
