@@ -45,7 +45,13 @@ int main() {
       cma2c->EnableDivergenceGuard();
     }
     Trainer trainer = system->MakeTrainer();
-    const Status trained = trainer.TrainGuarded(policy.get(), nullptr);
+    // FAIRMOVE_CHECKPOINT_DIR arms durable checkpointing (one subdirectory
+    // per method); an interrupted bench resumes instead of retraining.
+    const StatusOr<CheckpointConfig> ckpt_env = CheckpointConfig::FromEnv();
+    FM_CHECK(ckpt_env.ok()) << ckpt_env.status();
+    CheckpointConfig ckpt = *ckpt_env;
+    if (ckpt.enabled()) ckpt.dir += "/" + policy->name();
+    const Status trained = trainer.TrainGuarded(policy.get(), nullptr, ckpt);
     if (!trained.ok()) {
       std::printf("%s: training aborted by divergence guard: %s\n",
                   policy->name().c_str(), trained.ToString().c_str());

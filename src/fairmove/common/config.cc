@@ -64,6 +64,28 @@ Status EnvOverrides::LoadFromEnv() {
     }
     telemetry_dir = v;
   }
+  if (const char* v = std::getenv("FAIRMOVE_CHECKPOINT_DIR")) {
+    if (v[0] == '\0') {
+      return Status::InvalidArgument(
+          "FAIRMOVE_CHECKPOINT_DIR must be a non-empty directory path "
+          "(unset it to disable checkpointing)");
+    }
+    checkpoint_dir = v;
+  }
+  if (const char* v = std::getenv("FAIRMOVE_CHECKPOINT_EVERY")) {
+    FM_ASSIGN_OR_RETURN(int64_t e, ParseInt(v));
+    if (e < 1) {
+      return Status::InvalidArgument("FAIRMOVE_CHECKPOINT_EVERY must be >= 1");
+    }
+    checkpoint_every = static_cast<int>(e);
+  }
+  if (const char* v = std::getenv("FAIRMOVE_CHECKPOINT_RETAIN")) {
+    FM_ASSIGN_OR_RETURN(int64_t r, ParseInt(v));
+    if (r < 1) {
+      return Status::InvalidArgument("FAIRMOVE_CHECKPOINT_RETAIN must be >= 1");
+    }
+    checkpoint_retain = static_cast<int>(r);
+  }
   if (const char* v = std::getenv("FAIRMOVE_PROFILE")) {
     const std::string s = v;
     if (s == "1") {

@@ -19,6 +19,10 @@ namespace fairmove {
 ///                        manifest (non-empty path; unset = telemetry off)
 ///   FAIRMOVE_PROFILE   — "1" enables the scoped-span wall-clock profiler,
 ///                        "0"/unset disables it
+///   FAIRMOVE_CHECKPOINT_DIR    — directory for durable training
+///                        checkpoints (non-empty path; unset = off)
+///   FAIRMOVE_CHECKPOINT_EVERY  — checkpoint every N episodes (>= 1)
+///   FAIRMOVE_CHECKPOINT_RETAIN — retained checkpoint depth (>= 1)
 /// Unset variables leave the provided default untouched; malformed values
 /// return InvalidArgument so a typo fails loudly instead of silently running
 /// the wrong experiment.
@@ -32,6 +36,10 @@ struct EnvOverrides {
   /// Empty = telemetry off.
   std::string telemetry_dir;
   bool profile = false;
+  /// Empty = checkpointing off.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int checkpoint_retain = 3;
 
   /// Reads the FAIRMOVE_* variables, using the current field values as
   /// defaults.

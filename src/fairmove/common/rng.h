@@ -181,6 +181,30 @@ class Rng {
   /// own stream without coupling their consumption order.
   Rng Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
 
+  /// Full generator state — the four xoshiro words plus the Box-Muller
+  /// cache. Save/RestoreState round-trips the stream bit-identically
+  /// (including a pending cached Gaussian variate), which is what makes
+  /// checkpoint/resume of stochastic policies exact.
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    bool has_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  State SaveState() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.words[i] = state_[i];
+    st.has_gaussian = has_gaussian_;
+    st.cached_gaussian = cached_gaussian_;
+    return st;
+  }
+
+  void RestoreState(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.words[i];
+    has_gaussian_ = st.has_gaussian;
+    cached_gaussian_ = st.cached_gaussian;
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,14 +1,22 @@
 #include "fairmove/core/trainer.h"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
+#include "fairmove/common/config.h"
+#include "fairmove/io/binary.h"
 #include "fairmove/obs/jsonl.h"
 #include "fairmove/obs/span.h"
 #include "fairmove/obs/telemetry.h"
+#include "fairmove/resilience/checkpoint.h"
 
 namespace fairmove {
 
 namespace {
+
+constexpr uint32_t kTrainerStateTag = 0x314E5254;  // "TRN1"
+constexpr uint32_t kTrainerStateVersion = 1;
 
 /// One row of training.jsonl. `phase` distinguishes training episodes from
 /// evaluation rollouts; rows identify themselves because parallel method
@@ -34,6 +42,27 @@ void EmitEpisodeRow(const char* phase, const DisplacementPolicy* policy,
 }
 
 }  // namespace
+
+Status CheckpointConfig::Validate() const {
+  if (every < 1) {
+    return Status::InvalidArgument("checkpoint every must be >= 1");
+  }
+  if (retain < 1) {
+    return Status::InvalidArgument("checkpoint retain must be >= 1");
+  }
+  return Status::OK();
+}
+
+StatusOr<CheckpointConfig> CheckpointConfig::FromEnv() {
+  EnvOverrides env;
+  FM_RETURN_IF_ERROR(env.LoadFromEnv());
+  CheckpointConfig ckpt;
+  ckpt.dir = env.checkpoint_dir;
+  ckpt.every = env.checkpoint_every;
+  ckpt.retain = env.checkpoint_retain;
+  FM_RETURN_IF_ERROR(ckpt.Validate());
+  return ckpt;
+}
 
 Status TrainerConfig::Validate() const {
   if (episodes < 0) return Status::InvalidArgument("episodes must be >= 0");
@@ -207,10 +236,172 @@ std::vector<Trainer::EpisodeStats> Trainer::Train(
 
 Status Trainer::TrainGuarded(DisplacementPolicy* policy,
                              std::vector<EpisodeStats>* stats) {
+  return TrainGuarded(policy, stats, CheckpointConfig{});
+}
+
+uint32_t Trainer::ConfigCrc() const {
+  BinaryWriter knobs;
+  knobs.WriteI32(config_.episodes);
+  knobs.WriteI64(config_.slots_per_episode);
+  knobs.WriteU64(config_.seed_base);
+  knobs.WriteF64(config_.reward.alpha);
+  knobs.WriteF64(config_.reward.gamma);
+  knobs.WriteF64(config_.reward.pe_scale_cny_per_hour);
+  knobs.WriteF64(config_.reward.fairness_clip);
+  knobs.WriteF64(config_.reward.fairness_cv2_scale);
+  knobs.WriteF64(config_.reward.fairness_gradient_weight);
+  return Crc32(knobs.str());
+}
+
+StatusOr<std::string> Trainer::SerializeRunState(
+    const DisplacementPolicy& policy, const std::vector<EpisodeStats>& stats,
+    int episodes_done) const {
+  BinaryWriter payload;
+  payload.WriteU32(kTrainerStateTag);
+  payload.WriteU32(kTrainerStateVersion);
+  payload.WriteI64(episodes_done);
+  payload.WriteU64(stats.size());
+  for (const EpisodeStats& s : stats) {
+    payload.WriteF64(s.avg_reward);
+    payload.WriteF64(s.avg_reward_own);
+    payload.WriteI64(s.transitions);
+    payload.WriteF64(s.fleet_pe_mean);
+    payload.WriteF64(s.fleet_pf);
+  }
+  BinaryWriter policy_state;
+  FM_RETURN_IF_ERROR(policy.SaveState(&policy_state));
+  payload.WriteString(policy_state.str());
+  return payload.Release();
+}
+
+StatusOr<int> Trainer::RestoreRunState(std::string_view payload,
+                                       DisplacementPolicy* policy,
+                                       std::vector<EpisodeStats>* stats) const {
   FM_CHECK(policy != nullptr);
+  FM_CHECK(stats != nullptr);
+  BinaryReader in(payload);
+  uint32_t tag = 0, version = 0;
+  FM_RETURN_IF_ERROR(in.ReadU32(&tag));
+  if (tag != kTrainerStateTag) {
+    return Status::InvalidArgument("not a trainer state record (bad tag)");
+  }
+  FM_RETURN_IF_ERROR(in.ReadU32(&version));
+  if (version != kTrainerStateVersion) {
+    return Status::InvalidArgument("unsupported trainer state version " +
+                                   std::to_string(version));
+  }
+  int64_t episodes_done = 0;
+  FM_RETURN_IF_ERROR(in.ReadI64(&episodes_done));
+  if (episodes_done < 0 || episodes_done > config_.episodes) {
+    return Status::InvalidArgument(
+        "checkpoint episode cursor " + std::to_string(episodes_done) +
+        " outside this run's range [0, " + std::to_string(config_.episodes) +
+        "]");
+  }
+  uint64_t stat_count = 0;
+  FM_RETURN_IF_ERROR(in.ReadU64(&stat_count));
+  if (stat_count != static_cast<uint64_t>(episodes_done)) {
+    return Status::InvalidArgument(
+        "checkpoint stats history carries " + std::to_string(stat_count) +
+        " episode(s) but the cursor says " + std::to_string(episodes_done));
+  }
+  std::vector<EpisodeStats> history;
+  history.reserve(stat_count);
+  for (uint64_t i = 0; i < stat_count; ++i) {
+    EpisodeStats s;
+    FM_RETURN_IF_ERROR(in.ReadF64(&s.avg_reward));
+    FM_RETURN_IF_ERROR(in.ReadF64(&s.avg_reward_own));
+    FM_RETURN_IF_ERROR(in.ReadI64(&s.transitions));
+    FM_RETURN_IF_ERROR(in.ReadF64(&s.fleet_pe_mean));
+    FM_RETURN_IF_ERROR(in.ReadF64(&s.fleet_pf));
+    if (!std::isfinite(s.avg_reward) || !std::isfinite(s.avg_reward_own) ||
+        !std::isfinite(s.fleet_pe_mean) || !std::isfinite(s.fleet_pf) ||
+        s.transitions < 0) {
+      return Status::InvalidArgument(
+          "checkpoint stats history carries non-finite or negative values "
+          "(episode " + std::to_string(i) + ")");
+    }
+    history.push_back(s);
+  }
+  std::string policy_blob;
+  FM_RETURN_IF_ERROR(in.ReadString(&policy_blob));
+  if (!in.AtEnd()) {
+    return Status::InvalidArgument("trainer state carries trailing bytes");
+  }
+  BinaryReader policy_in(policy_blob);
+  FM_RETURN_IF_ERROR(policy->RestoreState(&policy_in));
+  if (!policy_in.AtEnd()) {
+    return Status::InvalidArgument("policy state carries trailing bytes");
+  }
+  *stats = std::move(history);
+  return static_cast<int>(episodes_done);
+}
+
+Status Trainer::TrainGuarded(DisplacementPolicy* policy,
+                             std::vector<EpisodeStats>* stats,
+                             const CheckpointConfig& ckpt) {
+  FM_CHECK(policy != nullptr);
+  FM_RETURN_IF_ERROR(ckpt.Validate());
   if (stats != nullptr) stats->clear();
-  for (int episode = 0; episode < config_.episodes; ++episode) {
+
+  std::optional<CheckpointStore> store;
+  std::vector<EpisodeStats> history;
+  int start_episode = 0;
+  if (ckpt.enabled()) {
+    store.emplace(ckpt.dir, CheckpointStore::Options{ckpt.retain});
+    FM_RETURN_IF_ERROR(store->Init());
+    // Resume: newest valid frame whose config CRC + policy name match this
+    // run. Frames failing any check — frame CRCs, foreign config, policy
+    // refusing the payload — are recorded and skipped, degrading to older
+    // retained frames.
+    const uint32_t config_crc = ConfigCrc();
+    for (const CheckpointStore::Candidate& cand : store->ListCandidates()) {
+      StatusOr<CheckpointStore::Loaded> loaded = store->Load(cand.file);
+      if (!loaded.ok()) {
+        store->NoteRejected(cand.file, loaded.status());
+        continue;
+      }
+      if (loaded->meta.config_crc != config_crc) {
+        store->NoteRejected(
+            cand.file,
+            Status::InvalidArgument(
+                "checkpoint was written by a differently configured run "
+                "(config CRC mismatch)"));
+        continue;
+      }
+      if (loaded->meta.policy_name != policy->name()) {
+        store->NoteRejected(
+            cand.file, Status::InvalidArgument(
+                           "checkpoint belongs to policy '" +
+                           loaded->meta.policy_name + "', this run trains '" +
+                           policy->name() + "'"));
+        continue;
+      }
+      StatusOr<int> cursor = RestoreRunState(loaded->payload, policy,
+                                             &history);
+      if (!cursor.ok()) {
+        store->NoteRejected(cand.file, cursor.status());
+        history.clear();
+        continue;
+      }
+      if (*cursor != loaded->meta.episode) {
+        store->NoteRejected(
+            cand.file,
+            Status::InvalidArgument(
+                "payload episode cursor disagrees with the frame header"));
+        history.clear();
+        continue;
+      }
+      start_episode = *cursor;
+      store->NoteResumed(*loaded);
+      break;
+    }
+  }
+
+  if (stats != nullptr) *stats = history;
+  for (int episode = start_episode; episode < config_.episodes; ++episode) {
     const EpisodeStats s = RunTrainingEpisode(policy, episode);
+    history.push_back(s);
     if (stats != nullptr) stats->push_back(s);
     const Status health = policy->Health();
     if (!health.ok()) {
@@ -225,6 +416,18 @@ Status Trainer::TrainGuarded(DisplacementPolicy* policy,
           "episode " + std::to_string(episode + 1) +
           " produced non-finite statistics (reward/PE/PF) under policy " +
           policy->name());
+    }
+    if (store.has_value()) {
+      const int done = episode + 1;
+      if (done % ckpt.every == 0 || done == config_.episodes) {
+        FM_ASSIGN_OR_RETURN(const std::string payload,
+                            SerializeRunState(*policy, history, done));
+        CheckpointMeta meta;
+        meta.episode = done;
+        meta.policy_name = policy->name();
+        meta.config_crc = ConfigCrc();
+        FM_RETURN_IF_ERROR(store->Write(meta, payload));
+      }
     }
   }
   return Status::OK();

@@ -2,6 +2,8 @@
 #define FAIRMOVE_CORE_TRAINER_H_
 
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "fairmove/core/group_fairness.h"
@@ -9,6 +11,27 @@
 #include "fairmove/sim/simulator.h"
 
 namespace fairmove {
+
+class CheckpointStore;
+
+/// Durable-checkpoint knobs of a guarded training run.
+struct CheckpointConfig {
+  /// Checkpoint directory; empty disables checkpointing entirely.
+  std::string dir;
+  /// Write a checkpoint every `every` completed episodes (the final episode
+  /// is always captured regardless of alignment).
+  int every = 1;
+  /// Retained checkpoint depth (older frames are pruned).
+  int retain = 3;
+
+  bool enabled() const { return !dir.empty(); }
+  Status Validate() const;
+
+  /// Builds the config from FAIRMOVE_CHECKPOINT_DIR / _EVERY / _RETAIN
+  /// (via EnvOverrides, so malformed values fail loudly). Unset DIR yields
+  /// a disabled config.
+  static StatusOr<CheckpointConfig> FromEnv();
+};
 
 struct TrainerConfig {
   /// Training episodes (Algorithm 1's outer loop).
@@ -56,6 +79,41 @@ class Trainer {
   /// healthy run returns OK. `stats` may be nullptr.
   Status TrainGuarded(DisplacementPolicy* policy,
                       std::vector<EpisodeStats>* stats);
+
+  /// TrainGuarded with durable checkpointing. When `ckpt.enabled()`:
+  ///   - before training, the newest valid checkpoint in `ckpt.dir` whose
+  ///     config CRC and policy name match this run is restored (stats
+  ///     history, episode cursor, full policy state) and training resumes
+  ///     at the captured episode; corrupt or foreign frames are recorded
+  ///     as faults and skipped, degrading to older retained frames;
+  ///   - after every `ckpt.every` completed episodes (and after the final
+  ///     one) the full run state is written durably.
+  /// Because episodes are seeded as seed_base + episode and every
+  /// cross-episode state lives in the checkpoint, a killed-and-resumed run
+  /// finishes bit-identical to an uninterrupted one (same model bytes,
+  /// same EpisodeStats, same telemetry digests).
+  Status TrainGuarded(DisplacementPolicy* policy,
+                      std::vector<EpisodeStats>* stats,
+                      const CheckpointConfig& ckpt);
+
+  /// CRC32 over every training-affecting knob (TrainerConfig + reward
+  /// shape). Stamped into checkpoint frames; resume refuses a frame whose
+  /// config CRC differs from the running config's.
+  uint32_t ConfigCrc() const;
+
+  /// Serializes the guarded-run state (episodes completed, stats history,
+  /// policy state) as one checkpoint payload. Exposed for tools/tests.
+  StatusOr<std::string> SerializeRunState(
+      const DisplacementPolicy& policy,
+      const std::vector<EpisodeStats>& stats, int episodes_done) const;
+
+  /// Inverse of SerializeRunState: validates and restores into `policy` /
+  /// `stats`, returning the episode cursor to resume from. On failure the
+  /// policy may be partially overwritten (callers retry with another frame
+  /// or discard the policy).
+  StatusOr<int> RestoreRunState(std::string_view payload,
+                                DisplacementPolicy* policy,
+                                std::vector<EpisodeStats>* stats) const;
 
   /// Switches the per-agent fairness term of the reward to compare each
   /// driver against the mean of its *rating group* instead of the whole

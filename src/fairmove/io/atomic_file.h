@@ -1,0 +1,43 @@
+#ifndef FAIRMOVE_IO_ATOMIC_FILE_H_
+#define FAIRMOVE_IO_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "fairmove/common/status.h"
+
+namespace fairmove {
+
+/// Durably replaces the file at `path` with `data` using the classic
+/// write-to-temp / fsync / rename / fsync-parent-directory sequence. The
+/// rename is atomic on POSIX, so at every instant — including across a
+/// crash or SIGKILL at any point — readers of `path` observe either the
+/// complete previous contents or the complete new contents, never a
+/// truncated mix. The temp file lives next to `path` (same filesystem, so
+/// rename cannot degrade to copy) and is removed on failure.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// Object form of AtomicWriteFile for call sites that hold a destination
+/// open across several saves (model files, checkpoint members).
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Atomically replaces the destination with `data`.
+  Status Commit(std::string_view data) const {
+    return AtomicWriteFile(path_, data);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Reads the whole file into a string. NotFound when the file does not
+/// exist, IOError for any other failure.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_IO_ATOMIC_FILE_H_

@@ -1,6 +1,9 @@
 #include "fairmove/nn/adam.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 namespace fairmove {
 
@@ -31,6 +34,95 @@ double Adam::GradNorm(const Mlp::Gradients& grads) {
 void Adam::set_learning_rate(double lr) {
   FM_CHECK(lr > 0.0) << "learning rate must be > 0, got " << lr;
   options_.learning_rate = lr;
+}
+
+namespace {
+
+// Tag + version of the Adam state record inside a checkpoint payload.
+constexpr uint32_t kAdamStateTag = 0x314D4441;  // "ADM1"
+
+void WriteGradients(const Mlp::Gradients& g, BinaryWriter* out) {
+  out->WriteU64(g.dw.size());
+  for (size_t l = 0; l < g.dw.size(); ++l) {
+    out->WriteFloats(g.dw[l].data(), g.dw[l].size());
+    out->WriteFloatVec(g.db[l]);
+  }
+}
+
+Status ReadGradientsInto(BinaryReader* in, Mlp::Gradients* g,
+                         const char* what) {
+  uint64_t layers = 0;
+  FM_RETURN_IF_ERROR(in->ReadU64(&layers));
+  if (layers != g->dw.size()) {
+    return Status::InvalidArgument(
+        std::string("Adam ") + what + " layer count mismatch: blob has " +
+        std::to_string(layers) + ", optimizer has " +
+        std::to_string(g->dw.size()));
+  }
+  for (size_t l = 0; l < g->dw.size(); ++l) {
+    std::vector<float> dw;
+    FM_RETURN_IF_ERROR(in->ReadFloatVec(&dw));
+    if (dw.size() != g->dw[l].size()) {
+      return Status::InvalidArgument(
+          std::string("Adam ") + what + " weight-moment size mismatch at "
+          "layer " + std::to_string(l));
+    }
+    std::vector<float> db;
+    FM_RETURN_IF_ERROR(in->ReadFloatVec(&db));
+    if (db.size() != g->db[l].size()) {
+      return Status::InvalidArgument(
+          std::string("Adam ") + what + " bias-moment size mismatch at "
+          "layer " + std::to_string(l));
+    }
+    std::copy(dw.begin(), dw.end(), g->dw[l].data());
+    g->db[l] = std::move(db);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Adam::SaveState(BinaryWriter* out) const {
+  out->WriteU32(kAdamStateTag);
+  out->WriteF64(options_.learning_rate);
+  out->WriteI64(t_);
+  out->WriteI64(skipped_);
+  WriteGradients(m_, out);
+  WriteGradients(v_, out);
+  return Status::OK();
+}
+
+Status Adam::RestoreState(BinaryReader* in) {
+  uint32_t tag = 0;
+  FM_RETURN_IF_ERROR(in->ReadU32(&tag));
+  if (tag != kAdamStateTag) {
+    return Status::InvalidArgument("not an Adam state record (bad tag)");
+  }
+  double lr = 0.0;
+  int64_t t = 0, skipped = 0;
+  FM_RETURN_IF_ERROR(in->ReadF64(&lr));
+  FM_RETURN_IF_ERROR(in->ReadI64(&t));
+  FM_RETURN_IF_ERROR(in->ReadI64(&skipped));
+  if (!std::isfinite(lr) || lr <= 0.0) {
+    return Status::InvalidArgument("Adam state carries invalid learning "
+                                   "rate " + std::to_string(lr));
+  }
+  if (t < 0 || skipped < 0) {
+    return Status::InvalidArgument("Adam state carries negative counters");
+  }
+  // Parse both moment sets into fresh shape-checked buffers before
+  // committing anything, so a truncated/mismatched blob leaves the
+  // optimizer exactly as it was.
+  Mlp::Gradients m = net_->MakeGradients();
+  Mlp::Gradients v = net_->MakeGradients();
+  FM_RETURN_IF_ERROR(ReadGradientsInto(in, &m, "first-moment"));
+  FM_RETURN_IF_ERROR(ReadGradientsInto(in, &v, "second-moment"));
+  options_.learning_rate = lr;
+  t_ = t;
+  skipped_ = skipped;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::OK();
 }
 
 void Adam::Step(const Mlp::Gradients& grads) {

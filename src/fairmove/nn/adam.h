@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "fairmove/io/binary.h"
 #include "fairmove/nn/mlp.h"
 
 namespace fairmove {
@@ -41,6 +42,17 @@ class Adam {
 
   /// Adjusts the learning rate mid-run (DivergenceGuard decay). Must be > 0.
   void set_learning_rate(double lr);
+
+  /// Serializes the mutable optimizer state: effective learning rate, step
+  /// and skipped-step counters, and both moment estimates. The static
+  /// Options (betas, epsilon, clip norm) are the owner's configuration and
+  /// are not written.
+  Status SaveState(BinaryWriter* out) const;
+  /// Mirror of SaveState. Validates the moment shapes against the bound
+  /// network before touching anything; a shape mismatch (checkpoint from a
+  /// differently-sized net) is InvalidArgument and leaves the optimizer
+  /// unchanged.
+  Status RestoreState(BinaryReader* in);
 
  private:
   Mlp* net_;

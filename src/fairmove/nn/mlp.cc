@@ -6,6 +6,10 @@
 #include <cstring>
 #include <fstream>
 #include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "fairmove/io/atomic_file.h"
 
 namespace fairmove {
 
@@ -365,14 +369,40 @@ StatusOr<Mlp> Mlp::Deserialize(std::istream& in) {
             static_cast<std::streamsize>(net.biases_[l].size() *
                                          sizeof(float)));
     if (!in) return Status::InvalidArgument("truncated MLP parameters");
+    // Mirror of the Adam non-finite-gradient skip, applied at load time: a
+    // NaN/Inf weight would poison every later forward pass silently, so a
+    // blob carrying one is rejected here instead of trusted.
+    for (size_t i = 0; i < net.weights_[l].size(); ++i) {
+      if (!std::isfinite(net.weights_[l].data()[i])) {
+        return Status::InvalidArgument(
+            "non-finite weight in MLP blob (layer " + std::to_string(l) +
+            ")");
+      }
+    }
+    for (float b : net.biases_[l]) {
+      if (!std::isfinite(b)) {
+        return Status::InvalidArgument(
+            "non-finite bias in MLP blob (layer " + std::to_string(l) + ")");
+      }
+    }
   }
   return net;
 }
 
+StatusOr<std::string> Mlp::SerializeToString() const {
+  std::ostringstream out;
+  FM_RETURN_IF_ERROR(Serialize(out));
+  return std::move(out).str();
+}
+
+StatusOr<Mlp> Mlp::DeserializeFromString(const std::string& blob) {
+  std::istringstream in(blob);
+  return Deserialize(in);
+}
+
 Status Mlp::SaveToFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  return Serialize(out);
+  FM_ASSIGN_OR_RETURN(const std::string blob, SerializeToString());
+  return AtomicWriteFile(path, blob);
 }
 
 StatusOr<Mlp> Mlp::LoadFromFile(const std::string& path) {

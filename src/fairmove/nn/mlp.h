@@ -120,6 +120,11 @@ class Mlp {
   /// actor-critic pair) into one file.
   Status Serialize(std::ostream& out) const;
   static StatusOr<Mlp> Deserialize(std::istream& in);
+  /// String-blob variants (checkpoint payload members, guard snapshots).
+  StatusOr<std::string> SerializeToString() const;
+  static StatusOr<Mlp> DeserializeFromString(const std::string& blob);
+  /// SaveToFile is atomic (tmp + fsync + rename): a crash mid-save leaves
+  /// either the previous complete file or the new one, never a truncation.
   Status SaveToFile(const std::string& path) const;
   static StatusOr<Mlp> LoadFromFile(const std::string& path);
 

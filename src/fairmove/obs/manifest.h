@@ -38,6 +38,20 @@ struct RunManifest {
     extra.emplace_back(key, std::move(json_value));
   }
 
+  /// Replaces the value of `key` in place (or appends it if absent). Used
+  /// by entries that evolve over a run — e.g. the checkpoint lineage, which
+  /// is rewritten after every retained checkpoint instead of growing one
+  /// stale copy per save.
+  void SetExtra(const std::string& key, std::string json_value) {
+    for (auto& [k, v] : extra) {
+      if (k == key) {
+        v = std::move(json_value);
+        return;
+      }
+    }
+    AddExtra(key, std::move(json_value));
+  }
+
   std::string ToJson() const;
   Status WriteFile(const std::string& path) const;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fairmove/common/rng.h"
+#include "fairmove/io/atomic_file.h"
 
 namespace fairmove {
 
@@ -85,6 +86,41 @@ std::string CorruptCsvText(const std::string& text,
 
   if (stats != nullptr) *stats = local;
   return out;
+}
+
+Status FlipFileBytes(const std::string& path, int num_flips, uint64_t seed) {
+  if (num_flips < 1) {
+    return Status::InvalidArgument("num_flips must be >= 1");
+  }
+  FM_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.empty()) {
+    return Status::InvalidArgument("cannot flip bits of empty file '" + path +
+                                   "'");
+  }
+  Rng rng(seed ^ 0xB17F11B5C0FFEEULL);
+  for (int i = 0; i < num_flips; ++i) {
+    const size_t at = static_cast<size_t>(rng.NextBounded(bytes.size()));
+    const int bit = static_cast<int>(rng.NextBounded(8));
+    bytes[at] = static_cast<char>(bytes[at] ^ (1 << bit));
+  }
+  return AtomicWriteFile(path, bytes);
+}
+
+Status TruncateFileBytes(const std::string& path, uint64_t keep_bytes) {
+  FM_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (keep_bytes >= bytes.size()) {
+    return Status::InvalidArgument(
+        "keep_bytes " + std::to_string(keep_bytes) +
+        " does not truncate a " + std::to_string(bytes.size()) +
+        "-byte file");
+  }
+  bytes.resize(static_cast<size_t>(keep_bytes));
+  return AtomicWriteFile(path, bytes);
+}
+
+Status CorruptLatestPointer(const std::string& dir,
+                            const std::string& bogus_name) {
+  return AtomicWriteFile(dir + "/LATEST", bogus_name + "\n");
 }
 
 }  // namespace fairmove

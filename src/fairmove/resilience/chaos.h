@@ -46,6 +46,26 @@ std::string CorruptCsvText(const std::string& text,
                            const RecordCorruption& corruption,
                            CorruptionStats* stats = nullptr);
 
+/// Checkpoint-file fault injectors. All are deterministic (draws come from
+/// a dedicated stream seeded with `seed`) and durable (the corrupted bytes
+/// are written back atomically), modelling storage-level damage the
+/// checkpoint loader must reject with a descriptive Status — never a crash,
+/// never a silent NaN.
+
+/// Flips `num_flips` random bits of the file at `path` (distinct byte
+/// positions when the file is large enough). Fails on empty files.
+Status FlipFileBytes(const std::string& path, int num_flips, uint64_t seed);
+
+/// Truncates the file at `path` to its first `keep_bytes` bytes (a torn
+/// write / partial upload). `keep_bytes` must be < the current size.
+Status TruncateFileBytes(const std::string& path, uint64_t keep_bytes);
+
+/// Overwrites the LATEST pointer in checkpoint directory `dir` with
+/// `bogus_name` (a stale or foreign frame name). The loader must fall
+/// through to the directory scan.
+Status CorruptLatestPointer(const std::string& dir,
+                            const std::string& bogus_name);
+
 }  // namespace fairmove
 
 #endif  // FAIRMOVE_RESILIENCE_CHAOS_H_

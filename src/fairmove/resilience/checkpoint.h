@@ -1,0 +1,148 @@
+#ifndef FAIRMOVE_RESILIENCE_CHECKPOINT_H_
+#define FAIRMOVE_RESILIENCE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fairmove/common/status.h"
+
+namespace fairmove {
+
+/// Metadata of one checkpoint frame ("FMCKPT1" format, version 1).
+///
+/// On-disk layout:
+///   8 bytes   magic "FMCKPT1\0"
+///   u32       format version
+///   u32       header length H
+///   H bytes   header record (episode, policy name, config CRC,
+///             payload size)
+///   u32       CRC32 of the header record
+///   N bytes   payload (opaque trainer + policy state)
+///   u32       CRC32 of the payload
+/// All integers little-endian. The two CRCs mean any single corrupted byte
+/// anywhere in the file — magic, header, payload, or either CRC itself —
+/// is detected at load; the version and the dimension checks inside the
+/// payload decoders catch structurally valid but foreign frames.
+struct CheckpointMeta {
+  uint32_t format_version = 1;
+  /// Number of fully completed episodes captured by this checkpoint (the
+  /// resume cursor: training continues at this episode index).
+  int64_t episode = 0;
+  /// Name of the policy whose state is in the payload (resume refuses a
+  /// checkpoint from a different method).
+  std::string policy_name;
+  /// CRC32 of the owning run's configuration (trainer knobs + reward
+  /// shape); resume refuses a checkpoint from a differently configured run.
+  uint32_t config_crc = 0;
+  uint64_t payload_size = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Wraps `payload` in a CRC32-framed FMCKPT1 file image. `meta.payload_size`
+/// and `meta.payload_crc` are filled in from `payload`.
+std::string FrameCheckpoint(CheckpointMeta meta, std::string_view payload);
+
+/// Parses and validates only the frame metadata (magic, version, header
+/// CRC, declared payload size against the file size). Cheap: does not touch
+/// the payload bytes, so tools can inspect large checkpoints instantly.
+StatusOr<CheckpointMeta> ParseCheckpointMeta(std::string_view file_bytes);
+
+/// Full validation: ParseCheckpointMeta plus the payload CRC. Returns the
+/// payload on success.
+StatusOr<std::string> UnframeCheckpoint(std::string_view file_bytes,
+                                        CheckpointMeta* meta = nullptr);
+
+/// Durable retained checkpoint store: a directory of `ckpt-<episode>.fmck`
+/// frames plus a `LATEST` pointer file naming the newest verified frame.
+///
+/// Write protocol (crash-safe at every step):
+///   1. the frame is written via AtomicWriteFile (tmp + fsync + rename);
+///   2. the frame is re-read and CRC-verified — only then
+///   3. LATEST is atomically rewritten to name it, and
+///   4. frames beyond the retention depth are pruned (oldest first).
+/// A crash between (2) and (3) leaves LATEST on the previous good frame; a
+/// torn write can never be named by LATEST because verification precedes
+/// the pointer advance.
+///
+/// Load protocol: candidates are tried newest-first (the LATEST target, then
+/// every ckpt-*.fmck by episode descending). A candidate failing any check
+/// is recorded as a structured fault row (obs layer) and skipped, degrading
+/// gracefully to the previous retained checkpoint.
+class CheckpointStore {
+ public:
+  struct Options {
+    /// Retained frame count (>= 1). Older frames are pruned after each
+    /// successful write.
+    int retain = 3;
+  };
+
+  CheckpointStore(std::string dir, Options options);
+  explicit CheckpointStore(std::string dir) : CheckpointStore(dir, {}) {}
+
+  /// Creates the directory (and parents) if missing.
+  Status Init();
+
+  const std::string& dir() const { return dir_; }
+
+  /// Frames `payload` under `meta`, writes it durably, verifies it back,
+  /// advances LATEST, prunes, and records the lineage in the run manifest.
+  Status Write(const CheckpointMeta& meta, std::string_view payload);
+
+  /// One load candidate (file path + episode parsed from its name).
+  struct Candidate {
+    std::string file;
+    int64_t episode = 0;
+  };
+
+  /// Candidates newest-first: the LATEST target (if present) followed by
+  /// every ckpt-*.fmck in the directory by episode descending, deduped.
+  /// An empty or missing directory yields an empty list.
+  std::vector<Candidate> ListCandidates() const;
+
+  /// Reads and fully verifies one frame file.
+  struct Loaded {
+    CheckpointMeta meta;
+    std::string payload;
+    std::string file;
+  };
+  StatusOr<Loaded> Load(const std::string& file) const;
+
+  /// Loads the newest frame that passes full verification, skipping (and
+  /// recording) corrupt ones. NotFound when no valid frame exists.
+  StatusOr<Loaded> LoadLatest() const;
+
+  /// Records a candidate rejected above the frame layer (e.g. the policy
+  /// refused the payload): emits the structured fault row and the metrics
+  /// count so every rejection is observable, whatever layer caught it.
+  void NoteRejected(const std::string& file, const Status& why) const;
+
+  /// Records a successful resume in the run manifest.
+  void NoteResumed(const Loaded& loaded);
+
+  /// Canonical frame file name for an episode cursor.
+  static std::string FileName(int64_t episode);
+
+ private:
+  std::string LatestPath() const;
+  /// Re-renders the manifest's checkpoint-lineage entry (no-op when
+  /// telemetry is disabled).
+  void PublishLineage();
+
+  std::string dir_;
+  Options options_;
+  /// Lineage events of this run: one (event, file, episode) per write or
+  /// resume, mirrored into the run manifest.
+  struct LineageEvent {
+    std::string event;  // "write" | "resume"
+    std::string file;
+    int64_t episode = 0;
+    uint32_t payload_crc = 0;
+  };
+  std::vector<LineageEvent> lineage_;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_RESILIENCE_CHECKPOINT_H_

@@ -9,6 +9,8 @@
 
 namespace fairmove {
 
+class BinaryReader;
+class BinaryWriter;
 class Mlp;
 
 /// Watches a set of networks during training and rolls them back to the last
@@ -65,6 +67,16 @@ class DivergenceGuard {
   int consecutive_rollbacks() const { return consecutive_rollbacks_; }
   int64_t total_rollbacks() const { return total_rollbacks_; }
   bool has_checkpoint() const { return !snapshots_.empty(); }
+
+  /// Serializes the guard's recovery budget — rollback counters, learning-
+  /// rate scale, exhaustion status, and the in-memory last-good snapshots.
+  /// Options and the registered-net set are the owner's configuration and
+  /// are reconstructed, not written.
+  Status SaveState(BinaryWriter* out) const;
+  /// Mirror of SaveState. The same networks must already be Register()ed
+  /// (snapshot count is validated against them); on success the restored
+  /// snapshots become the last-good state for future rollbacks.
+  Status RestoreState(BinaryReader* in);
 
  private:
   Options options_;

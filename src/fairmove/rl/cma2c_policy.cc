@@ -4,11 +4,45 @@
 #include <fstream>
 #include <cmath>
 #include <span>
+#include <sstream>
+#include <utility>
 
+#include "fairmove/io/atomic_file.h"
+#include "fairmove/io/binary.h"
 #include "fairmove/obs/jsonl.h"
+#include "fairmove/rl/replay_buffer.h"
 #include "fairmove/sim/simulator.h"
 
 namespace fairmove {
+
+namespace {
+constexpr uint32_t kCma2cStateTag = 0x31324143;  // "CA21"
+constexpr uint32_t kCma2cStateVersion = 1;
+
+/// Serializes a network as a length-prefixed FMLP1 blob.
+Status WriteNet(const Mlp& net, BinaryWriter* out) {
+  FM_ASSIGN_OR_RETURN(const std::string blob, net.SerializeToString());
+  out->WriteString(blob);
+  return Status::OK();
+}
+
+/// Reads a length-prefixed FMLP1 blob and validates it against `like`'s
+/// architecture before handing it back.
+StatusOr<Mlp> ReadNetLike(BinaryReader* in, const Mlp& like,
+                          const char* what) {
+  std::string blob;
+  FM_RETURN_IF_ERROR(in->ReadString(&blob));
+  FM_ASSIGN_OR_RETURN(Mlp net, Mlp::DeserializeFromString(blob));
+  if (net.layer_sizes() != like.layer_sizes() ||
+      net.hidden_activation() != like.hidden_activation()) {
+    return Status::InvalidArgument(
+        std::string("checkpointed ") + what +
+        " does not match this policy's architecture");
+  }
+  return net;
+}
+
+}  // namespace
 
 Cma2cPolicy::Cma2cPolicy(const Simulator& sim)
     : Cma2cPolicy(sim, Options()) {}
@@ -82,11 +116,12 @@ void Cma2cPolicy::DecideActions(const Simulator& sim,
 }
 
 Status Cma2cPolicy::SaveModel(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+  // Atomic replacement: an interrupted save can never clobber a good model
+  // file with a truncated actor/critic pair.
+  std::ostringstream out;
   FM_RETURN_IF_ERROR(actor_->Serialize(out));
   FM_RETURN_IF_ERROR(critic_->Serialize(out));
-  return Status::OK();
+  return AtomicFileWriter(path).Commit(std::move(out).str());
 }
 
 Status Cma2cPolicy::LoadModel(const std::string& path) {
@@ -110,6 +145,86 @@ Status Cma2cPolicy::LoadModel(const std::string& path) {
   *actor_ = std::move(actor);
   *critic_ = std::move(critic);
   critic_target_->CopyParametersFrom(*critic_);
+  return Status::OK();
+}
+
+Status Cma2cPolicy::SaveState(BinaryWriter* out) const {
+  out->WriteU32(kCma2cStateTag);
+  out->WriteU32(kCma2cStateVersion);
+  FM_RETURN_IF_ERROR(WriteNet(*actor_, out));
+  FM_RETURN_IF_ERROR(WriteNet(*critic_, out));
+  FM_RETURN_IF_ERROR(WriteNet(*critic_target_, out));
+  FM_RETURN_IF_ERROR(actor_opt_->SaveState(out));
+  FM_RETURN_IF_ERROR(critic_opt_->SaveState(out));
+  WriteRngState(rng_, out);
+  out->WriteI64(learn_batches_);
+  out->WriteF64(last_critic_loss_);
+  out->WriteF64(last_entropy_);
+  out->WriteF64(last_actor_loss_);
+  // The transition buffer accumulates across episode boundaries (it drains
+  // only when batch_size fills), so it is part of the resumable state.
+  out->WriteU64(buffer_.size());
+  for (const Transition& t : buffer_) WriteTransition(t, out);
+  out->WriteBool(guard_ != nullptr);
+  if (guard_ != nullptr) FM_RETURN_IF_ERROR(guard_->SaveState(out));
+  return Status::OK();
+}
+
+Status Cma2cPolicy::RestoreState(BinaryReader* in) {
+  uint32_t tag = 0, version = 0;
+  FM_RETURN_IF_ERROR(in->ReadU32(&tag));
+  if (tag != kCma2cStateTag) {
+    return Status::InvalidArgument("not a CMA2C state record (bad tag)");
+  }
+  FM_RETURN_IF_ERROR(in->ReadU32(&version));
+  if (version != kCma2cStateVersion) {
+    return Status::InvalidArgument("unsupported CMA2C state version " +
+                                   std::to_string(version));
+  }
+  FM_ASSIGN_OR_RETURN(Mlp actor, ReadNetLike(in, *actor_, "actor"));
+  FM_ASSIGN_OR_RETURN(Mlp critic, ReadNetLike(in, *critic_, "critic"));
+  FM_ASSIGN_OR_RETURN(Mlp target,
+                      ReadNetLike(in, *critic_target_, "target critic"));
+  *actor_ = std::move(actor);
+  *critic_ = std::move(critic);
+  *critic_target_ = std::move(target);
+  FM_RETURN_IF_ERROR(actor_opt_->RestoreState(in));
+  FM_RETURN_IF_ERROR(critic_opt_->RestoreState(in));
+  FM_RETURN_IF_ERROR(ReadRngState(in, &rng_));
+  int64_t learn_batches = 0;
+  FM_RETURN_IF_ERROR(in->ReadI64(&learn_batches));
+  if (learn_batches < 0) {
+    return Status::InvalidArgument("negative CMA2C update counter");
+  }
+  learn_batches_ = static_cast<int>(learn_batches);
+  FM_RETURN_IF_ERROR(in->ReadF64(&last_critic_loss_));
+  FM_RETURN_IF_ERROR(in->ReadF64(&last_entropy_));
+  FM_RETURN_IF_ERROR(in->ReadF64(&last_actor_loss_));
+  uint64_t buffered = 0;
+  FM_RETURN_IF_ERROR(in->ReadU64(&buffered));
+  std::vector<Transition> buffer;
+  buffer.reserve(std::min<uint64_t>(buffered, options_.batch_size * 2));
+  for (uint64_t i = 0; i < buffered; ++i) {
+    Transition t;
+    FM_RETURN_IF_ERROR(ReadTransition(in, &t));
+    buffer.push_back(std::move(t));
+  }
+  buffer_ = std::move(buffer);
+  bool has_guard = false;
+  FM_RETURN_IF_ERROR(in->ReadBool(&has_guard));
+  if (has_guard != (guard_ != nullptr)) {
+    return Status::InvalidArgument(
+        has_guard ? "checkpoint carries a DivergenceGuard but this policy "
+                    "has none armed (call EnableDivergenceGuard first)"
+                  : "this policy has a DivergenceGuard armed but the "
+                    "checkpoint carries none");
+  }
+  if (guard_ != nullptr) {
+    FM_RETURN_IF_ERROR(guard_->RestoreState(in));
+    // The serialized Adam learning rates already include lr_scale decay,
+    // but the moments belong with the restored parameters either way; no
+    // optimizer rebuild here — the restored state IS the post-rollback one.
+  }
   return Status::OK();
 }
 

@@ -91,10 +91,17 @@ class Cma2cPolicy : public DisplacementPolicy {
     return &last_features_;
   }
 
-  /// Persists the trained actor and critic (one file); LoadModel restores
-  /// them into an identically configured policy.
+  /// Persists the trained actor and critic (one file, written atomically);
+  /// LoadModel restores them into an identically configured policy.
   Status SaveModel(const std::string& path) const;
   Status LoadModel(const std::string& path);
+
+  /// Full training state: actor/critic/target networks, both Adam moment
+  /// sets, the RNG stream, the cross-episode transition buffer, update
+  /// counters, and (when armed) the divergence-guard budget. See
+  /// DisplacementPolicy::SaveState for the exactness contract.
+  Status SaveState(BinaryWriter* out) const override;
+  Status RestoreState(BinaryReader* in) override;
 
   /// Critic value of a raw feature vector (tests/diagnostics).
   double Value(const std::vector<float>& state) const;

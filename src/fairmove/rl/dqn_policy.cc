@@ -2,10 +2,39 @@
 
 #include <algorithm>
 #include <fstream>
+#include <string>
+#include <utility>
 
+#include "fairmove/io/binary.h"
 #include "fairmove/sim/simulator.h"
 
 namespace fairmove {
+
+namespace {
+constexpr uint32_t kDqnStateTag = 0x314E5144;  // "DQN1"
+constexpr uint32_t kDqnStateVersion = 1;
+
+Status WriteNet(const Mlp& net, BinaryWriter* out) {
+  FM_ASSIGN_OR_RETURN(const std::string blob, net.SerializeToString());
+  out->WriteString(blob);
+  return Status::OK();
+}
+
+StatusOr<Mlp> ReadNetLike(BinaryReader* in, const Mlp& like,
+                          const char* what) {
+  std::string blob;
+  FM_RETURN_IF_ERROR(in->ReadString(&blob));
+  FM_ASSIGN_OR_RETURN(Mlp net, Mlp::DeserializeFromString(blob));
+  if (net.layer_sizes() != like.layer_sizes() ||
+      net.hidden_activation() != like.hidden_activation()) {
+    return Status::InvalidArgument(
+        std::string("checkpointed ") + what +
+        " does not match this policy's architecture");
+  }
+  return net;
+}
+
+}  // namespace
 
 DqnPolicy::DqnPolicy(const Simulator& sim) : DqnPolicy(sim, Options()) {}
 
@@ -102,6 +131,49 @@ Status DqnPolicy::LoadModel(const std::string& path) {
   }
   *q_net_ = std::move(net);
   target_net_->CopyParametersFrom(*q_net_);
+  return Status::OK();
+}
+
+Status DqnPolicy::SaveState(BinaryWriter* out) const {
+  out->WriteU32(kDqnStateTag);
+  out->WriteU32(kDqnStateVersion);
+  FM_RETURN_IF_ERROR(WriteNet(*q_net_, out));
+  FM_RETURN_IF_ERROR(WriteNet(*target_net_, out));
+  FM_RETURN_IF_ERROR(optimizer_->SaveState(out));
+  FM_RETURN_IF_ERROR(replay_.SaveState(out));
+  WriteRngState(rng_, out);
+  out->WriteI64(learn_batches_);
+  out->WriteI64(grad_steps_);
+  return Status::OK();
+}
+
+Status DqnPolicy::RestoreState(BinaryReader* in) {
+  uint32_t tag = 0, version = 0;
+  FM_RETURN_IF_ERROR(in->ReadU32(&tag));
+  if (tag != kDqnStateTag) {
+    return Status::InvalidArgument("not a DQN state record (bad tag)");
+  }
+  FM_RETURN_IF_ERROR(in->ReadU32(&version));
+  if (version != kDqnStateVersion) {
+    return Status::InvalidArgument("unsupported DQN state version " +
+                                   std::to_string(version));
+  }
+  FM_ASSIGN_OR_RETURN(Mlp q_net, ReadNetLike(in, *q_net_, "Q-network"));
+  FM_ASSIGN_OR_RETURN(Mlp target,
+                      ReadNetLike(in, *target_net_, "target network"));
+  *q_net_ = std::move(q_net);
+  *target_net_ = std::move(target);
+  FM_RETURN_IF_ERROR(optimizer_->RestoreState(in));
+  FM_RETURN_IF_ERROR(replay_.RestoreState(in));
+  FM_RETURN_IF_ERROR(ReadRngState(in, &rng_));
+  int64_t learn_batches = 0, grad_steps = 0;
+  FM_RETURN_IF_ERROR(in->ReadI64(&learn_batches));
+  FM_RETURN_IF_ERROR(in->ReadI64(&grad_steps));
+  if (learn_batches < 0 || grad_steps < 0) {
+    return Status::InvalidArgument("negative DQN update counters");
+  }
+  learn_batches_ = static_cast<int>(learn_batches);
+  grad_steps_ = grad_steps;
   return Status::OK();
 }
 

@@ -68,9 +68,16 @@ class DqnPolicy : public DisplacementPolicy {
   size_t replay_size() const { return replay_.size(); }
 
   /// Persists / restores the trained Q-network (the target net is re-synced
-  /// on load).
+  /// on load). The save is atomic (tmp + fsync + rename).
   Status SaveModel(const std::string& path) const;
   Status LoadModel(const std::string& path);
+
+  /// Full training state: online/target networks, Adam moments, the entire
+  /// replay ring (contents and cursors), the RNG stream, and the
+  /// exploration/target-sync counters. See DisplacementPolicy::SaveState
+  /// for the exactness contract.
+  Status SaveState(BinaryWriter* out) const override;
+  Status RestoreState(BinaryReader* in) override;
 
  private:
   void GradientStep();

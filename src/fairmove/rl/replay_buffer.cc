@@ -1,5 +1,8 @@
 #include "fairmove/rl/replay_buffer.h"
 
+#include <string>
+#include <utility>
+
 namespace fairmove {
 
 ReplayBuffer::ReplayBuffer(size_t capacity) : capacity_(capacity) {
@@ -32,6 +35,82 @@ void ReplayBuffer::Clear() {
   data_.clear();
   size_ = 0;
   next_ = 0;
+}
+
+void WriteTransition(const DisplacementPolicy::Transition& t,
+                     BinaryWriter* out) {
+  out->WriteFloatVec(t.state);
+  out->WriteI32(t.action_index);
+  out->WriteF64(t.reward);
+  out->WriteF64(t.reward_own);
+  out->WriteFloatVec(t.next_state);
+  out->WriteF64(t.discount);
+  out->WriteBool(t.terminal);
+  out->WriteI32(t.region);
+  out->WriteI32(t.next_region);
+  out->WriteI32(t.slot_of_day);
+  out->WriteI32(t.next_slot_of_day);
+  out->WriteBool(t.must_charge);
+  out->WriteBool(t.may_charge);
+  out->WriteBool(t.next_must_charge);
+  out->WriteBool(t.next_may_charge);
+}
+
+Status ReadTransition(BinaryReader* in, DisplacementPolicy::Transition* t) {
+  FM_RETURN_IF_ERROR(in->ReadFloatVec(&t->state));
+  FM_RETURN_IF_ERROR(in->ReadI32(&t->action_index));
+  FM_RETURN_IF_ERROR(in->ReadF64(&t->reward));
+  FM_RETURN_IF_ERROR(in->ReadF64(&t->reward_own));
+  FM_RETURN_IF_ERROR(in->ReadFloatVec(&t->next_state));
+  FM_RETURN_IF_ERROR(in->ReadF64(&t->discount));
+  FM_RETURN_IF_ERROR(in->ReadBool(&t->terminal));
+  FM_RETURN_IF_ERROR(in->ReadI32(&t->region));
+  FM_RETURN_IF_ERROR(in->ReadI32(&t->next_region));
+  FM_RETURN_IF_ERROR(in->ReadI32(&t->slot_of_day));
+  FM_RETURN_IF_ERROR(in->ReadI32(&t->next_slot_of_day));
+  FM_RETURN_IF_ERROR(in->ReadBool(&t->must_charge));
+  FM_RETURN_IF_ERROR(in->ReadBool(&t->may_charge));
+  FM_RETURN_IF_ERROR(in->ReadBool(&t->next_must_charge));
+  FM_RETURN_IF_ERROR(in->ReadBool(&t->next_may_charge));
+  return Status::OK();
+}
+
+Status ReplayBuffer::SaveState(BinaryWriter* out) const {
+  out->WriteU64(capacity_);
+  out->WriteU64(size_);
+  out->WriteU64(next_);
+  for (const auto& t : data_) WriteTransition(t, out);
+  return Status::OK();
+}
+
+Status ReplayBuffer::RestoreState(BinaryReader* in) {
+  uint64_t capacity = 0, size = 0, next = 0;
+  FM_RETURN_IF_ERROR(in->ReadU64(&capacity));
+  FM_RETURN_IF_ERROR(in->ReadU64(&size));
+  FM_RETURN_IF_ERROR(in->ReadU64(&next));
+  if (capacity != capacity_) {
+    return Status::InvalidArgument(
+        "replay-buffer capacity mismatch: blob has " +
+        std::to_string(capacity) + ", buffer has " +
+        std::to_string(capacity_));
+  }
+  if (size > capacity || next >= capacity) {
+    return Status::InvalidArgument(
+        "corrupt replay-buffer cursors (size " + std::to_string(size) +
+        ", next " + std::to_string(next) + ", capacity " +
+        std::to_string(capacity) + ")");
+  }
+  std::vector<DisplacementPolicy::Transition> data;
+  data.reserve(capacity);
+  for (uint64_t i = 0; i < size; ++i) {
+    DisplacementPolicy::Transition t;
+    FM_RETURN_IF_ERROR(ReadTransition(in, &t));
+    data.push_back(std::move(t));
+  }
+  data_ = std::move(data);
+  size_ = static_cast<size_t>(size);
+  next_ = static_cast<size_t>(next);
+  return Status::OK();
 }
 
 }  // namespace fairmove

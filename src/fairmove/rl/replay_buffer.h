@@ -5,9 +5,17 @@
 #include <vector>
 
 #include "fairmove/common/rng.h"
+#include "fairmove/io/binary.h"
 #include "fairmove/sim/policy.h"
 
 namespace fairmove {
+
+/// Serializes one semi-MDP transition field for field; the exact mirror of
+/// ReadTransition. Shared by every buffered-experience policy (DQN replay,
+/// CMA2C/TBA batch buffers) so checkpoints of all of them use one encoding.
+void WriteTransition(const DisplacementPolicy::Transition& t,
+                     BinaryWriter* out);
+Status ReadTransition(BinaryReader* in, DisplacementPolicy::Transition* t);
 
 /// Fixed-capacity uniform-sampling experience replay (for DQN). New
 /// transitions overwrite the oldest once the ring is full.
@@ -27,6 +35,13 @@ class ReplayBuffer {
               std::vector<const DisplacementPolicy::Transition*>* out) const;
 
   void Clear();
+
+  /// Serializes the full ring — contents, logical size, and write cursor —
+  /// so a resumed run replays and overwrites in exactly the original order.
+  Status SaveState(BinaryWriter* out) const;
+  /// Mirror of SaveState. The blob's capacity must match this buffer's
+  /// (differently-sized rings would shift every later overwrite).
+  Status RestoreState(BinaryReader* in);
 
  private:
   size_t capacity_;

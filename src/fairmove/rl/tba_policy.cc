@@ -4,13 +4,19 @@
 #include <cmath>
 #include <numbers>
 #include <span>
+#include <string>
+#include <utility>
 
+#include "fairmove/io/binary.h"
+#include "fairmove/rl/replay_buffer.h"
 #include "fairmove/sim/simulator.h"
 
 namespace fairmove {
 
 namespace {
 constexpr int kTbaFeatureDim = 4 + kNumRegionClasses + 2 + 3;
+constexpr uint32_t kTbaStateTag = 0x31414254;  // "TBA1"
+constexpr uint32_t kTbaStateVersion = 1;
 }  // namespace
 
 TbaPolicy::TbaPolicy(const Simulator& sim) : TbaPolicy(sim, Options()) {}
@@ -91,6 +97,65 @@ void TbaPolicy::DecideActions(const Simulator& sim,
     FM_CHECK(mask_scratch_[pick]) << "sampled a masked action";
     actions->push_back(space.Materialize(obs.region, static_cast<int>(pick)));
   }
+}
+
+Status TbaPolicy::SaveState(BinaryWriter* out) const {
+  out->WriteU32(kTbaStateTag);
+  out->WriteU32(kTbaStateVersion);
+  FM_ASSIGN_OR_RETURN(const std::string blob, net_->SerializeToString());
+  out->WriteString(blob);
+  FM_RETURN_IF_ERROR(optimizer_->SaveState(out));
+  WriteRngState(rng_, out);
+  out->WriteF64(baseline_);
+  out->WriteBool(baseline_init_);
+  out->WriteU64(buffer_.size());
+  for (const Transition& t : buffer_) WriteTransition(t, out);
+  return Status::OK();
+}
+
+Status TbaPolicy::RestoreState(BinaryReader* in) {
+  uint32_t tag = 0, version = 0;
+  FM_RETURN_IF_ERROR(in->ReadU32(&tag));
+  if (tag != kTbaStateTag) {
+    return Status::InvalidArgument("not a TBA state record (bad tag)");
+  }
+  FM_RETURN_IF_ERROR(in->ReadU32(&version));
+  if (version != kTbaStateVersion) {
+    return Status::InvalidArgument("unsupported TBA state version " +
+                                   std::to_string(version));
+  }
+  std::string blob;
+  FM_RETURN_IF_ERROR(in->ReadString(&blob));
+  FM_ASSIGN_OR_RETURN(Mlp net, Mlp::DeserializeFromString(blob));
+  if (net.layer_sizes() != net_->layer_sizes() ||
+      net.hidden_activation() != net_->hidden_activation()) {
+    return Status::InvalidArgument(
+        "checkpointed TBA network does not match this policy's "
+        "architecture");
+  }
+  *net_ = std::move(net);
+  FM_RETURN_IF_ERROR(optimizer_->RestoreState(in));
+  FM_RETURN_IF_ERROR(ReadRngState(in, &rng_));
+  double baseline = 0.0;
+  bool baseline_init = false;
+  FM_RETURN_IF_ERROR(in->ReadF64(&baseline));
+  FM_RETURN_IF_ERROR(in->ReadBool(&baseline_init));
+  if (!std::isfinite(baseline)) {
+    return Status::InvalidArgument("non-finite TBA baseline in checkpoint");
+  }
+  uint64_t buffered = 0;
+  FM_RETURN_IF_ERROR(in->ReadU64(&buffered));
+  std::vector<Transition> buffer;
+  buffer.reserve(std::min<uint64_t>(buffered, options_.batch_size * 2));
+  for (uint64_t i = 0; i < buffered; ++i) {
+    Transition t;
+    FM_RETURN_IF_ERROR(ReadTransition(in, &t));
+    buffer.push_back(std::move(t));
+  }
+  baseline_ = baseline;
+  baseline_init_ = baseline_init;
+  buffer_ = std::move(buffer);
+  return Status::OK();
 }
 
 void TbaPolicy::Learn(const std::vector<Transition>& transitions) {

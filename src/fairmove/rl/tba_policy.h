@@ -53,6 +53,12 @@ class TbaPolicy : public DisplacementPolicy {
   int feature_dim() const { return feature_dim_; }
   double baseline() const { return baseline_; }
 
+  /// Full training state: policy network, Adam moments, RNG stream, the
+  /// cross-episode transition buffer, and the REINFORCE baseline. See
+  /// DisplacementPolicy::SaveState for the exactness contract.
+  Status SaveState(BinaryWriter* out) const override;
+  Status RestoreState(BinaryReader* in) override;
+
   /// Own-state-only featurisation (exposed for tests).
   void LocalFeatures(const Simulator& sim, const TaxiObs& obs,
                      std::vector<float>* out) const;

@@ -1,9 +1,14 @@
 #include "fairmove/rl/tql_policy.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
+#include <string>
+#include <utility>
 
+#include "fairmove/io/atomic_file.h"
+#include "fairmove/io/binary.h"
 #include "fairmove/sim/simulator.h"
 
 namespace fairmove {
@@ -102,16 +107,16 @@ constexpr char kTqlMagic[5] = {'F', 'M', 'T', 'Q', '1'};
 }  // namespace
 
 Status TqlPolicy::SaveModel(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(kTqlMagic, sizeof(kTqlMagic));
+  std::string blob;
+  blob.reserve(sizeof(kTqlMagic) + 2 * sizeof(int32_t) +
+               table_.size() * sizeof(float));
+  blob.append(kTqlMagic, sizeof(kTqlMagic));
   const int32_t regions = num_regions_, actions = num_actions_;
-  out.write(reinterpret_cast<const char*>(&regions), sizeof(regions));
-  out.write(reinterpret_cast<const char*>(&actions), sizeof(actions));
-  out.write(reinterpret_cast<const char*>(table_.data()),
-            static_cast<std::streamsize>(table_.size() * sizeof(float)));
-  if (!out) return Status::IOError("Q-table write failed");
-  return Status::OK();
+  blob.append(reinterpret_cast<const char*>(&regions), sizeof(regions));
+  blob.append(reinterpret_cast<const char*>(&actions), sizeof(actions));
+  blob.append(reinterpret_cast<const char*>(table_.data()),
+              table_.size() * sizeof(float));
+  return AtomicFileWriter(path).Commit(blob);
 }
 
 Status TqlPolicy::LoadModel(const std::string& path) {
@@ -132,6 +137,64 @@ Status TqlPolicy::LoadModel(const std::string& path) {
   in.read(reinterpret_cast<char*>(table_.data()),
           static_cast<std::streamsize>(table_.size() * sizeof(float)));
   if (!in) return Status::InvalidArgument("truncated Q-table blob");
+  return Status::OK();
+}
+
+namespace {
+constexpr uint32_t kTqlStateTag = 0x314C5154;  // "TQL1"
+constexpr uint32_t kTqlStateVersion = 1;
+}  // namespace
+
+Status TqlPolicy::SaveState(BinaryWriter* out) const {
+  out->WriteU32(kTqlStateTag);
+  out->WriteU32(kTqlStateVersion);
+  out->WriteI32(num_regions_);
+  out->WriteI32(num_actions_);
+  out->WriteFloatVec(table_);
+  WriteRngState(rng_, out);
+  out->WriteI64(learn_batches_);
+  return Status::OK();
+}
+
+Status TqlPolicy::RestoreState(BinaryReader* in) {
+  uint32_t tag = 0, version = 0;
+  FM_RETURN_IF_ERROR(in->ReadU32(&tag));
+  if (tag != kTqlStateTag) {
+    return Status::InvalidArgument("not a TQL state record (bad tag)");
+  }
+  FM_RETURN_IF_ERROR(in->ReadU32(&version));
+  if (version != kTqlStateVersion) {
+    return Status::InvalidArgument("unsupported TQL state version " +
+                                   std::to_string(version));
+  }
+  int32_t regions = 0, actions = 0;
+  FM_RETURN_IF_ERROR(in->ReadI32(&regions));
+  FM_RETURN_IF_ERROR(in->ReadI32(&actions));
+  if (regions != num_regions_ || actions != num_actions_) {
+    return Status::InvalidArgument(
+        "checkpointed Q-table does not match this policy's city/action "
+        "space (" + std::to_string(regions) + "x" + std::to_string(actions) +
+        " vs " + std::to_string(num_regions_) + "x" +
+        std::to_string(num_actions_) + ")");
+  }
+  std::vector<float> table;
+  FM_RETURN_IF_ERROR(in->ReadFloatVec(&table));
+  if (table.size() != table_.size()) {
+    return Status::InvalidArgument("checkpointed Q-table has wrong size");
+  }
+  for (float q : table) {
+    if (!std::isfinite(q)) {
+      return Status::InvalidArgument("non-finite Q value in checkpoint");
+    }
+  }
+  table_ = std::move(table);
+  FM_RETURN_IF_ERROR(ReadRngState(in, &rng_));
+  int64_t learn_batches = 0;
+  FM_RETURN_IF_ERROR(in->ReadI64(&learn_batches));
+  if (learn_batches < 0) {
+    return Status::InvalidArgument("negative TQL update counter");
+  }
+  learn_batches_ = static_cast<int>(learn_batches);
   return Status::OK();
 }
 

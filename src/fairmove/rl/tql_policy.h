@@ -45,9 +45,14 @@ class TqlPolicy : public DisplacementPolicy {
   float Q(int hour, RegionId region, int soc_bucket, int action) const;
 
   /// Persists / restores the Q table (binary; dimensions are checked on
-  /// load).
+  /// load; the save is atomic).
   Status SaveModel(const std::string& path) const;
   Status LoadModel(const std::string& path);
+
+  /// Full training state: the Q table, the RNG stream, and the epsilon-
+  /// anneal counter. See DisplacementPolicy::SaveState for the contract.
+  Status SaveState(BinaryWriter* out) const override;
+  Status RestoreState(BinaryReader* in) override;
 
  private:
   static int SocBucket(bool must_charge, bool may_charge) {

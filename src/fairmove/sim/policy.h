@@ -12,6 +12,8 @@ namespace fairmove {
 
 class Simulator;
 class JsonObject;
+class BinaryReader;
+class BinaryWriter;
 
 /// What a policy sees about each vacant taxi asking for a decision.
 struct TaxiObs {
@@ -98,6 +100,31 @@ class DisplacementPolicy {
   /// entropy, guard state) to the per-episode training row. Purely
   /// observational — must not mutate policy state. Default: nothing.
   virtual void AppendTelemetry(JsonObject* row) const { (void)row; }
+
+  /// Serializes the policy's full training state — parameters, optimizer
+  /// moments, exploration counters, RNG stream positions, buffered
+  /// transitions, divergence-guard budget — into `out`. The contract is
+  /// episode-boundary exactness: restoring the blob into a freshly
+  /// constructed, identically configured policy and continuing training
+  /// must be bit-identical to never having stopped. Policies whose
+  /// behaviour is a pure function of their seed and the episode (the
+  /// heuristics — GT, SD2, FairCharge — all re-seed in BeginEpisode and
+  /// derive their per-driver tables from the seed) carry no inter-episode
+  /// state, so the default writes nothing.
+  virtual Status SaveState(BinaryWriter* out) const {
+    (void)out;
+    return Status::OK();
+  }
+
+  /// Mirror of SaveState: consumes exactly what SaveState wrote, validating
+  /// magic/version/dimensions against this policy's configuration before
+  /// committing. On a non-OK return the policy may have been partially
+  /// overwritten; callers must either retry with a valid blob (a successful
+  /// RestoreState rewrites every serialized field) or discard the policy.
+  virtual Status RestoreState(BinaryReader* in) {
+    (void)in;
+    return Status::OK();
+  }
 
   /// Feature vectors the policy computed during its last DecideActions
   /// call, aligned with that call's `vacant` list. Policies that learn from

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "fairmove/core/fairmove.h"
@@ -58,6 +59,44 @@ TEST(MlpSerializationTest, RejectsGarbage) {
   blob.resize(blob.size() / 2);
   std::stringstream truncated(blob);
   EXPECT_FALSE(Mlp::Deserialize(truncated).ok());
+}
+
+TEST(MlpSerializationTest, EveryTruncatedPrefixIsRejected) {
+  Mlp net({3, 4, 2}, Activation::kTanh, 7);
+  auto blob_or = net.SerializeToString();
+  ASSERT_TRUE(blob_or.ok());
+  const std::string& blob = *blob_or;
+  // A loader fed any strict prefix must fail with a Status — never crash,
+  // never hand back a half-initialised network.
+  for (size_t keep = 0; keep < blob.size(); keep += 3) {
+    EXPECT_FALSE(Mlp::DeserializeFromString(blob.substr(0, keep)).ok())
+        << "prefix of " << keep << " byte(s)";
+  }
+}
+
+TEST(MlpSerializationTest, NonFiniteWeightsRejectedAtLoad) {
+  // A NaN that slipped into a saved model (cosmic ray, torn write past the
+  // length fields, buggy producer) must be rejected at load, not silently
+  // poison every later forward pass.
+  for (const float bad : {std::numeric_limits<float>::quiet_NaN(),
+                          std::numeric_limits<float>::infinity(),
+                          -std::numeric_limits<float>::infinity()}) {
+    Mlp net({3, 4, 2}, Activation::kTanh, 7);
+    net.weights()[0].At(1, 1) = bad;
+    auto blob = net.SerializeToString();
+    ASSERT_TRUE(blob.ok());
+    auto loaded = Mlp::DeserializeFromString(*blob);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().message().find("non-finite"),
+              std::string::npos)
+        << loaded.status();
+  }
+  // Same for a poisoned bias.
+  Mlp net({3, 4, 2}, Activation::kTanh, 7);
+  net.biases()[1][0] = std::numeric_limits<float>::quiet_NaN();
+  auto blob = net.SerializeToString();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_FALSE(Mlp::DeserializeFromString(*blob).ok());
 }
 
 TEST(MlpSerializationTest, FileRoundTrip) {

@@ -1,0 +1,95 @@
+// Inspects FMCKPT1 checkpoint artefacts: for a single frame file, dumps the
+// header metadata and fully verifies both CRCs; for a checkpoint directory,
+// resolves the LATEST pointer and verifies every retained frame. Exits
+// non-zero when anything is invalid — the CI smoke step behind durable
+// checkpointing, and the first debugging stop for a resume that fell back.
+//
+// Usage: ckpt_inspect <frame.fmck | checkpoint-dir>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "fairmove/io/atomic_file.h"
+#include "fairmove/resilience/checkpoint.h"
+
+namespace fairmove {
+namespace {
+
+/// Fully verifies one frame; prints one line either way.
+bool InspectFrame(const std::string& path) {
+  const StatusOr<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) {
+    std::printf(" BAD  %s: %s\n", path.c_str(),
+                bytes.status().ToString().c_str());
+    return false;
+  }
+  CheckpointMeta meta;
+  const StatusOr<std::string> payload = UnframeCheckpoint(*bytes, &meta);
+  if (!payload.ok()) {
+    std::printf(" BAD  %s: %s\n", path.c_str(),
+                payload.status().ToString().c_str());
+    return false;
+  }
+  std::printf(
+      "  ok  %s  episode=%lld policy=%s config_crc=%08x payload=%llu B "
+      "payload_crc=%08x\n",
+      path.c_str(), static_cast<long long>(meta.episode),
+      meta.policy_name.c_str(), meta.config_crc,
+      static_cast<unsigned long long>(meta.payload_size), meta.payload_crc);
+  return true;
+}
+
+int InspectDir(const std::string& dir) {
+  bool all_ok = true;
+
+  const std::string latest_path = dir + "/LATEST";
+  const StatusOr<std::string> latest = ReadFileToString(latest_path);
+  if (latest.ok()) {
+    std::string name = *latest;
+    while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+      name.pop_back();
+    }
+    std::printf("LATEST -> %s\n", name.c_str());
+    std::error_code ec;
+    if (!std::filesystem::exists(dir + "/" + name, ec) || ec) {
+      std::printf(" BAD  LATEST names a missing frame\n");
+      all_ok = false;
+    }
+  } else {
+    std::printf("LATEST -> (none: %s)\n",
+                latest.status().ToString().c_str());
+  }
+
+  const CheckpointStore store(dir);
+  const std::vector<CheckpointStore::Candidate> candidates =
+      store.ListCandidates();
+  if (candidates.empty()) {
+    std::printf(" BAD  no checkpoint frames in '%s'\n", dir.c_str());
+    return 1;
+  }
+  for (const CheckpointStore::Candidate& c : candidates) {
+    if (!InspectFrame(c.file)) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
+
+int Run(const std::string& target) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(target, ec) && !ec) {
+    return InspectDir(target);
+  }
+  return InspectFrame(target) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fairmove
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <frame.fmck | checkpoint-dir>\n",
+                 argv[0]);
+    return 2;
+  }
+  return fairmove::Run(argv[1]);
+}
