@@ -1,13 +1,25 @@
 // Component throughput microbenchmarks (google-benchmark): simulator step
 // rate, policy-network forward/backward, feature extraction, city
 // construction. These bound how far the experiments can scale on one core.
+//
+// Beyond the console table, `--json=PATH` writes a `fairmove.bench.v1`
+// document (one entry per finished benchmark with real/cpu ns-per-iter and
+// the user counters). Committing one of those as BENCH_perf.json at the
+// repo root makes it the baseline that tools/bench_gate — the ctest
+// `perfgate` label — compares every fresh run against.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "fairmove/core/fairmove.h"
+#include "fairmove/obs/jsonl.h"
 #include "fairmove/nn/adam.h"
 #include "fairmove/nn/mlp.h"
 #include "fairmove/rl/cma2c_policy.h"
@@ -207,7 +219,103 @@ void BM_MlpTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_MlpTrainStep)->Arg(64)->Arg(512)->Arg(3500);
 
+// ------------------------------------------------- fairmove.bench.v1 out --
+
+/// Renders the console table exactly as BENCHMARK_MAIN() would while
+/// collecting every finished per-iteration run for the JSON document.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    int64_t iterations = 0;
+    double real_ns_per_iter = 0.0;
+    double cpu_ns_per_iter = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = run.iterations;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      row.real_ns_per_iter = run.real_accumulated_time / iters * 1e9;
+      row.cpu_ns_per_iter = run.cpu_accumulated_time / iters * 1e9;
+      for (const auto& [name, counter] : run.counters) {
+        row.counters.emplace_back(name, counter.value);
+      }
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// One benchmark entry per row, through the obs JSON builders so the
+/// document obeys the same escaping/number rules as every telemetry file.
+bool WriteBenchJson(const std::string& path,
+                    const std::vector<CollectingReporter::Row>& rows) {
+  JsonArray benchmarks;
+  for (const CollectingReporter::Row& row : rows) {
+    JsonObject entry;
+    entry.Set("name", row.name)
+        .Set("iterations", row.iterations)
+        .Set("real_ns_per_iter", row.real_ns_per_iter)
+        .Set("cpu_ns_per_iter", row.cpu_ns_per_iter);
+    JsonObject counters;
+    for (const auto& [name, value] : row.counters) counters.Set(name, value);
+    entry.SetRaw("counters", counters.empty() ? "{}" : counters.Str());
+    benchmarks.PushRaw(entry.Str());
+  }
+  JsonObject doc;
+  doc.Set("schema", "fairmove.bench.v1");
+  // What bench_gate compares: cpu time excludes other-process noise that
+  // wall time picks up on a shared CI box.
+  doc.Set("gate_metric", "cpu_ns_per_iter");
+  doc.SetRaw("benchmarks", benchmarks.empty() ? "[]" : benchmarks.Str());
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << doc.Str() << "\n";
+  return static_cast<bool>(out.flush());
+}
+
 }  // namespace
 }  // namespace fairmove
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own --json=PATH before google-benchmark sees the flags
+  // (it rejects arguments it does not recognise).
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  fairmove::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    if (!fairmove::WriteBenchJson(json_path, reporter.rows())) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu benchmark entries to %s\n",
+                 reporter.rows().size(), json_path.c_str());
+  }
+  return 0;
+}

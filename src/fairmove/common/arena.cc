@@ -1,0 +1,52 @@
+#include "fairmove/common/arena.h"
+
+#include <algorithm>
+
+#include "fairmove/common/macros.h"
+
+namespace fairmove {
+
+Arena::Arena(size_t block_bytes) : block_bytes_(block_bytes) {
+  FM_CHECK(block_bytes > 0);
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_used_ = 0;
+}
+
+void* Arena::AllocRaw(size_t bytes, size_t align) {
+  FM_CHECK(align > 0 && (align & (align - 1)) == 0)
+      << "alignment must be a power of two, got " << align;
+  // Walk forward through the retained chain until a block fits; only when
+  // none does is a new block appended (warm-up). An oversized request gets
+  // its own exactly-sized block so it never poisons the chain with a huge
+  // allocation that later Resets keep paying for in walk length.
+  for (;;) {
+    if (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      const uintptr_t base = reinterpret_cast<uintptr_t>(b.data.get());
+      const uintptr_t aligned = (base + offset_ + (align - 1)) & ~(align - 1);
+      const size_t new_offset = static_cast<size_t>(aligned - base) + bytes;
+      if (new_offset <= b.size) {
+        offset_ = new_offset;
+        bytes_used_ += bytes;
+        return reinterpret_cast<void*>(aligned);
+      }
+      ++current_;
+      offset_ = 0;
+      continue;
+    }
+    // `align - 1` slack guarantees the aligned pointer still fits even when
+    // operator new returns minimally aligned storage.
+    const size_t size = std::max(block_bytes_, bytes + align - 1);
+    Block b;
+    b.data = std::make_unique<unsigned char[]>(size);
+    b.size = size;
+    bytes_reserved_ += size;
+    blocks_.push_back(std::move(b));
+  }
+}
+
+}  // namespace fairmove

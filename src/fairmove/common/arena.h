@@ -1,0 +1,80 @@
+#ifndef FAIRMOVE_COMMON_ARENA_H_
+#define FAIRMOVE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace fairmove {
+
+/// Bump allocator for per-slot scratch. Allocation is a pointer increment
+/// into a chain of fixed-size blocks; Reset() rewinds to the first block but
+/// RETAINS every block, so a caller that Reset()s at the top of a hot loop
+/// (Simulator::Step) touches the heap only during the first few warm-up
+/// iterations and is allocation-free in steady state (asserted by
+/// arena_test and the sim_alloc_test counting hook).
+///
+/// Only trivially destructible element types are supported — Reset() never
+/// runs destructors, it just forgets the objects.
+class Arena {
+ public:
+  /// `block_bytes` is the payload size of each owned block; allocations
+  /// larger than it get a dedicated oversized block (same lifetime rules).
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialised storage for `n` objects of T, aligned for T. Valid until
+  /// the next Reset(). n == 0 returns a non-null aligned pointer.
+  template <typename T>
+  T* AllocArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(AllocRaw(n * sizeof(T), alignof(T)));
+  }
+
+  /// Zero-initialised variant of AllocArray.
+  template <typename T>
+  T* AllocArrayZeroed(size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "zeroing requires a trivially copyable T");
+    T* p = AllocArray<T>(n);
+    std::memset(static_cast<void*>(p), 0, n * sizeof(T));
+    return p;
+  }
+
+  /// Rewinds to empty, keeping every block for reuse.
+  void Reset();
+
+  /// Bytes handed out since the last Reset (excludes alignment padding
+  /// lost at block seams).
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total block payload owned (high-water mark of the arena's footprint).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t num_blocks() const { return blocks_.size(); }
+
+  static constexpr size_t kDefaultBlockBytes = 1 << 16;
+
+ private:
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+  };
+
+  void* AllocRaw(size_t bytes, size_t align);
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // index of the block being bumped
+  size_t offset_ = 0;   // bump position within blocks_[current_]
+  size_t bytes_used_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_COMMON_ARENA_H_

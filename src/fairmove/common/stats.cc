@@ -114,8 +114,20 @@ Histogram::Histogram(double lo, double hi, int num_buckets)
 }
 
 void Histogram::Add(double x) {
-  int idx = static_cast<int>((x - lo_) / width_);
-  idx = std::clamp(idx, 0, num_buckets() - 1);
+  // A non-finite sample must not reach the float->int cast below (UB for
+  // NaN and for values outside int range): route it to a dedicated counter
+  // instead of silently polluting an edge bucket.
+  if (!std::isfinite(x)) {
+    ++non_finite_;
+    return;
+  }
+  // Clamp in double space FIRST. Casting first is UB for huge finite
+  // values ((x - lo_) / width_ beyond int range wraps via an unspecified
+  // result), which clamping after the fact cannot repair.
+  const double pos =
+      std::clamp((x - lo_) / width_, 0.0,
+                 static_cast<double>(num_buckets() - 1));
+  const int idx = static_cast<int>(pos);
   ++counts_[static_cast<size_t>(idx)];
   ++total_;
 }
@@ -149,7 +161,11 @@ double Gini(std::vector<double> values) {
     total += values[i];
   }
   if (total <= 0.0) return 0.0;
-  return cum_weighted / (n * total);
+  // The mean-difference formula is only bounded by [0, 1] for non-negative
+  // samples. Negative values with a positive total (possible for per-driver
+  // PE deltas) can push the ratio above 1; clamp to the standard
+  // convention so downstream fairness dashboards never see Gini > 1 or < 0.
+  return std::clamp(cum_weighted / (n * total), 0.0, 1.0);
 }
 
 }  // namespace fairmove

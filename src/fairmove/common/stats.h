@@ -94,8 +94,13 @@ class Histogram {
   void Add(double x);
 
   int num_buckets() const { return static_cast<int>(counts_.size()); }
+  /// Finite samples bucketed so far (non-finite ones are excluded).
   int64_t total() const { return total_; }
   int64_t bucket_count(int i) const { return counts_.at(i); }
+  /// NaN/Inf samples seen by Add(). They land in no bucket (bucketing a
+  /// NaN is meaningless and the cast would be UB) but are counted here so
+  /// a poisoned metric stream is visible instead of silently dropped.
+  int64_t non_finite_count() const { return non_finite_; }
   /// Share of all samples in bucket i (0 if empty histogram).
   double bucket_fraction(int i) const;
   /// Inclusive-exclusive bounds of bucket i.
@@ -107,10 +112,14 @@ class Histogram {
   double lo_, hi_, width_;
   std::vector<int64_t> counts_;
   int64_t total_ = 0;
+  int64_t non_finite_ = 0;
 };
 
-/// Gini coefficient of a non-negative sample; auxiliary inequality metric
-/// reported alongside the paper's variance-based PF.
+/// Gini coefficient of a sample; auxiliary inequality metric reported
+/// alongside the paper's variance-based PF. Defined for non-negative
+/// samples; a sample with negative values but a positive total (possible
+/// for per-driver PE deltas) is clamped into the conventional [0, 1]
+/// range. Non-positive totals return 0.
 double Gini(std::vector<double> values);
 
 }  // namespace fairmove

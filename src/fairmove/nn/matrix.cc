@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fairmove/nn/simd.h"
+
 namespace fairmove {
 
 namespace {
@@ -14,13 +16,15 @@ constexpr int kColBlock = 256;
 
 // The single-row kernel shared by every batch row: out(i, j) accumulates
 // its k contributions in ascending-p order, one add per contribution. The
-// p-loop is unrolled 4x with a scalar accumulator (fewer out-row
-// loads/stores), which preserves that order. At -O3 this saturates the
-// SSE mul+add ports (~11 MAC/ns measured), so wider register tiles have
-// nothing left to win on this baseline ISA — a 4x8-row tile variant
-// measured 4.5x slower here (spilled accumulators).
+// p-loop is unrolled 4x and the j-loop runs simd::kFloatLanes output
+// columns per iteration. Lanes are independent output elements, and
+// simd::Add/Mul are unfused single IEEE ops, so every element still
+// receives exactly the scalar tail loop's float sequence — the SIMD and
+// scalar paths are bit-identical (pinned by simd_kernels_test), the wider
+// registers just retire more elements per cycle.
 void MatMulRow(const float* a_row, const Matrix& b, int k, int n,
                float* out_row) {
+  using simd::kFloatLanes;
   for (int j0 = 0; j0 < n; j0 += kColBlock) {
     const int j1 = std::min(n, j0 + kColBlock);
     int p = 0;
@@ -31,7 +35,20 @@ void MatMulRow(const float* a_row, const Matrix& b, int k, int n,
       const float* b1 = b.Row(p + 1);
       const float* b2 = b.Row(p + 2);
       const float* b3 = b.Row(p + 3);
-      for (int j = j0; j < j1; ++j) {
+      int j = j0;
+      if constexpr (kFloatLanes > 1) {
+        const simd::VecF va0 = simd::Set1(a0), va1 = simd::Set1(a1);
+        const simd::VecF va2 = simd::Set1(a2), va3 = simd::Set1(a3);
+        for (; j + kFloatLanes <= j1; j += kFloatLanes) {
+          simd::VecF t = simd::LoadU(out_row + j);
+          t = simd::Add(t, simd::Mul(va0, simd::LoadU(b0 + j)));
+          t = simd::Add(t, simd::Mul(va1, simd::LoadU(b1 + j)));
+          t = simd::Add(t, simd::Mul(va2, simd::LoadU(b2 + j)));
+          t = simd::Add(t, simd::Mul(va3, simd::LoadU(b3 + j)));
+          simd::StoreU(out_row + j, t);
+        }
+      }
+      for (; j < j1; ++j) {
         float t = out_row[j];
         t += a0 * b0[j];
         t += a1 * b1[j];
@@ -43,7 +60,16 @@ void MatMulRow(const float* a_row, const Matrix& b, int k, int n,
     for (; p < k; ++p) {
       const float av = a_row[p];
       const float* b_row = b.Row(p);
-      for (int j = j0; j < j1; ++j) out_row[j] += av * b_row[j];
+      int j = j0;
+      if constexpr (kFloatLanes > 1) {
+        const simd::VecF vav = simd::Set1(av);
+        for (; j + kFloatLanes <= j1; j += kFloatLanes) {
+          const simd::VecF t = simd::Add(
+              simd::LoadU(out_row + j), simd::Mul(vav, simd::LoadU(b_row + j)));
+          simd::StoreU(out_row + j, t);
+        }
+      }
+      for (; j < j1; ++j) out_row[j] += av * b_row[j];
     }
   }
 }
@@ -85,6 +111,7 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
       << "MatMulTransA shape mismatch: " << a.rows() << " vs " << b.rows();
   out->Resize(a.cols(), b.cols());
   const int k = a.rows(), m = a.cols(), n = b.cols();
+  using simd::kFloatLanes;
   for (int j0 = 0; j0 < n; j0 += kColBlock) {
     const int j1 = std::min(n, j0 + kColBlock);
     int p = 0;
@@ -100,7 +127,20 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
       for (int i = 0; i < m; ++i) {
         float* out_row = out->Row(i);
         const float v0 = a0[i], v1 = a1[i], v2 = a2[i], v3 = a3[i];
-        for (int j = j0; j < j1; ++j) {
+        int j = j0;
+        if constexpr (kFloatLanes > 1) {
+          const simd::VecF vv0 = simd::Set1(v0), vv1 = simd::Set1(v1);
+          const simd::VecF vv2 = simd::Set1(v2), vv3 = simd::Set1(v3);
+          for (; j + kFloatLanes <= j1; j += kFloatLanes) {
+            simd::VecF t = simd::LoadU(out_row + j);
+            t = simd::Add(t, simd::Mul(vv0, simd::LoadU(b0 + j)));
+            t = simd::Add(t, simd::Mul(vv1, simd::LoadU(b1 + j)));
+            t = simd::Add(t, simd::Mul(vv2, simd::LoadU(b2 + j)));
+            t = simd::Add(t, simd::Mul(vv3, simd::LoadU(b3 + j)));
+            simd::StoreU(out_row + j, t);
+          }
+        }
+        for (; j < j1; ++j) {
           float t = out_row[j];
           t += v0 * b0[j];
           t += v1 * b1[j];
@@ -116,7 +156,17 @@ void MatMulTransA(const Matrix& a, const Matrix& b, Matrix* out) {
       for (int i = 0; i < m; ++i) {
         const float av = a_row[i];
         float* out_row = out->Row(i);
-        for (int j = j0; j < j1; ++j) out_row[j] += av * b_row[j];
+        int j = j0;
+        if constexpr (kFloatLanes > 1) {
+          const simd::VecF vav = simd::Set1(av);
+          for (; j + kFloatLanes <= j1; j += kFloatLanes) {
+            const simd::VecF t =
+                simd::Add(simd::LoadU(out_row + j),
+                          simd::Mul(vav, simd::LoadU(b_row + j)));
+            simd::StoreU(out_row + j, t);
+          }
+        }
+        for (; j < j1; ++j) out_row[j] += av * b_row[j];
       }
     }
   }
@@ -127,10 +177,29 @@ void MatMulTransB(const Matrix& a, const Matrix& b, Matrix* out) {
       << "MatMulTransB shape mismatch: " << a.cols() << " vs " << b.cols();
   out->Resize(a.rows(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.rows();
+  using simd::kFloatLanes;
   for (int i = 0; i < m; ++i) {
     const float* a_row = a.Row(i);
     float* out_row = out->Row(i);
-    for (int j = 0; j < n; ++j) {
+    int j = 0;
+    // Each output element accumulates over p into a private chain, so the
+    // only way to vectorise without reordering the sum is one chain per
+    // lane: lane l owns column j + l and reads b(j + l, p) via the strided
+    // LoadLanes. The win over scalar is the 4/8 independent dependency
+    // chains (the scalar loop is one serial add chain), not the loads.
+    if constexpr (kFloatLanes > 1) {
+      for (; j + kFloatLanes <= n; j += kFloatLanes) {
+        const float* rows[static_cast<size_t>(kFloatLanes)];
+        for (int l = 0; l < kFloatLanes; ++l) rows[l] = b.Row(j + l);
+        simd::VecF acc = simd::Zero();
+        for (int p = 0; p < k; ++p) {
+          acc = simd::Add(
+              acc, simd::Mul(simd::Set1(a_row[p]), simd::LoadLanes(rows, p)));
+        }
+        simd::StoreU(out_row + j, acc);
+      }
+    }
+    for (; j < n; ++j) {
       const float* b_row = b.Row(j);
       float acc = 0.0f;
       for (int p = 0; p < k; ++p) acc += a_row[p] * b_row[p];

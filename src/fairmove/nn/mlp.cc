@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "fairmove/io/atomic_file.h"
+#include "fairmove/nn/simd.h"
 
 namespace fairmove {
 
@@ -51,6 +52,72 @@ float FastTanh(float x) {
   return (e - 1.0f) / (e + 1.0f);
 }
 
+void FastTanhN(float* data, size_t n) {
+  using simd::kFloatLanes;
+  size_t i = 0;
+  if constexpr (kFloatLanes > 1) {
+    // Lane-for-lane transcription of scalar FastTanh above: same constants,
+    // same operation order, unfused mul/add, and a compare/select clamp
+    // that (like the scalar ternaries) is false on NaN so a NaN input runs
+    // the polynomial unclamped and propagates. Keep the two in sync.
+    const simd::VecF ten = simd::Set1(10.0f);
+    const simd::VecF neg_ten = simd::Set1(-10.0f);
+    const simd::VecF two_log2e = simd::Set1(2.885390081777927f);
+    const simd::VecF magic = simd::Set1(12582912.0f);  // 1.5 * 2^23
+    const simd::VecF ln2 = simd::Set1(0.6931471805599453f);
+    const simd::VecF one = simd::Set1(1.0f);
+    const simd::VecF c2 = simd::Set1(0.5f);
+    const simd::VecF c3 = simd::Set1(1.0f / 6.0f);
+    const simd::VecF c4 = simd::Set1(1.0f / 24.0f);
+    const simd::VecF c5 = simd::Set1(1.0f / 120.0f);
+    const simd::VecF c6 = simd::Set1(1.0f / 720.0f);
+    const simd::VecI exp_bias = simd::Set1I(127 - 0x4B400000);
+    for (; i + kFloatLanes <= n; i += kFloatLanes) {
+      const simd::VecF x = simd::LoadU(data + i);
+      const simd::VecF xc = simd::Select(
+          simd::CmpGt(x, ten), ten,
+          simd::Select(simd::CmpLt(x, neg_ten), neg_ten, x));
+      const simd::VecF v = simd::Mul(xc, two_log2e);
+      const simd::VecF shifted = simd::Add(v, magic);
+      const simd::VecI sbits = simd::CastToInt(shifted);
+      const simd::VecF nf = simd::Sub(shifted, magic);
+      const simd::VecF f = simd::Sub(v, nf);
+      const simd::VecF t = simd::Mul(f, ln2);
+      simd::VecF p = simd::Add(c5, simd::Mul(t, c6));
+      p = simd::Add(c4, simd::Mul(t, p));
+      p = simd::Add(c3, simd::Mul(t, p));
+      p = simd::Add(c2, simd::Mul(t, p));
+      p = simd::Add(one, simd::Mul(t, p));
+      p = simd::Add(one, simd::Mul(t, p));
+      const simd::VecF scale =
+          simd::CastToFloat(simd::ShlI32<23>(simd::AddI32(sbits, exp_bias)));
+      const simd::VecF e = simd::Mul(p, scale);
+      simd::StoreU(data + i,
+                   simd::Div(simd::Sub(e, one), simd::Add(e, one)));
+    }
+  }
+  for (; i < n; ++i) data[i] = FastTanh(data[i]);
+}
+
+namespace {
+
+/// In-place ReLU matching std::max(0.0f, v) bit-for-bit: (0 < v) ? v : 0,
+/// so NaN and -0.0f both map to +0.0f exactly as the scalar loop did.
+void ReluN(float* data, size_t n) {
+  using simd::kFloatLanes;
+  size_t i = 0;
+  if constexpr (kFloatLanes > 1) {
+    const simd::VecF zero = simd::Zero();
+    for (; i + kFloatLanes <= n; i += kFloatLanes) {
+      const simd::VecF v = simd::LoadU(data + i);
+      simd::StoreU(data + i, simd::Select(simd::CmpLt(zero, v), v, zero));
+    }
+  }
+  for (; i < n; ++i) data[i] = std::max(0.0f, data[i]);
+}
+
+}  // namespace
+
 Mlp::Mlp(const std::vector<int>& sizes, Activation hidden_activation,
          uint64_t seed)
     : sizes_(sizes), hidden_activation_(hidden_activation) {
@@ -78,14 +145,10 @@ void Mlp::ApplyActivation(Matrix* m, bool is_last) const {
     case Activation::kLinear:
       return;
     case Activation::kRelu:
-      for (size_t i = 0; i < m->size(); ++i) {
-        m->data()[i] = std::max(0.0f, m->data()[i]);
-      }
+      ReluN(m->data(), m->size());
       return;
     case Activation::kTanh:
-      for (size_t i = 0; i < m->size(); ++i) {
-        m->data()[i] = FastTanh(m->data()[i]);
-      }
+      FastTanhN(m->data(), m->size());
       return;
   }
 }
@@ -132,12 +195,10 @@ void Mlp::ForwardRows(const Matrix& x, int row_begin, int row_end, Matrix* y,
           case Activation::kLinear:
             break;
           case Activation::kRelu:
-            for (int j = 0; j < out_cols; ++j) {
-              out_row[j] = std::max(0.0f, out_row[j]);
-            }
+            ReluN(out_row, static_cast<size_t>(out_cols));
             break;
           case Activation::kTanh:
-            for (int j = 0; j < out_cols; ++j) out_row[j] = FastTanh(out_row[j]);
+            FastTanhN(out_row, static_cast<size_t>(out_cols));
             break;
         }
       }

@@ -155,6 +155,15 @@ class Mlp {
 /// swallow a diverged pre-activation).
 float FastTanh(float x);
 
+/// In-place FastTanh over `data[0, n)`, running simd::kFloatLanes elements
+/// per iteration (explicit SIMD via nn/simd.h, scalar FastTanh tail).
+/// Every lane executes the identical unfused float sequence as the scalar
+/// FastTanh — including the compare/select clamp that lets NaN fall
+/// through — so the result is bit-identical element for element (pinned by
+/// simd_kernels_test). This is the activation kernel ApplyActivation and
+/// the batched ForwardRows actually run.
+void FastTanhN(float* data, size_t n);
+
 /// In-place masked softmax over `logits`: invalid entries get probability 0.
 /// At least one entry must be valid. Numerically stabilised.
 void MaskedSoftmax(const std::vector<bool>& valid, std::vector<float>* logits);

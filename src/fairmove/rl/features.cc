@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numbers>
 
 namespace fairmove {
@@ -51,17 +52,53 @@ void FeatureExtractor::Extract(const TaxiObs& obs,
 void FeatureExtractor::ExtractAll(const std::vector<TaxiObs>& obs,
                                   Matrix* out) const {
   out->Resize(static_cast<int>(obs.size()), dim_);
+  const size_t num_regions =
+      static_cast<size_t>(sim_->city().num_regions());
+  const size_t row_floats = static_cast<size_t>(dim_);
+  if (region_template_.size() != num_regions * row_floats) {
+    region_template_.assign(num_regions * row_floats, 0.0f);
+    template_epoch_.assign(num_regions, 0);
+    extract_epoch_ = 0;
+  }
+  if (++extract_epoch_ == 0) {  // epoch counter wrapped: invalidate all
+    std::fill(template_epoch_.begin(), template_epoch_.end(), 0u);
+    extract_epoch_ = 1;
+  }
   for (size_t i = 0; i < obs.size(); ++i) {
-    WriteInto(obs[i], out->Row(static_cast<int>(i)));
+    float* row = out->Row(static_cast<int>(i));
+    const size_t r = static_cast<size_t>(obs[i].region);
+    float* tmpl = region_template_.data() + r * row_floats;
+    if (template_epoch_[r] != extract_epoch_) {
+      WriteRegionRow(obs[i].region, tmpl);
+      template_epoch_[r] = extract_epoch_;
+    }
+    std::memcpy(row, tmpl, row_floats * sizeof(float));
+    PatchTaxiFields(obs[i], row);
   }
 }
 
 void FeatureExtractor::WriteInto(const TaxiObs& obs, float* out) const {
+  // Template + patch, exactly as the ExtractAll cache path does it, so the
+  // two are bit-identical by construction.
+  WriteRegionRow(obs.region, out);
+  PatchTaxiFields(obs, out);
+}
+
+void FeatureExtractor::PatchTaxiFields(const TaxiObs& obs, float* out) const {
+  constexpr int kSocOffset = kTimeFeatures + kClassFeatures + kCoordFeatures;
+  out[kSocOffset] = static_cast<float>(obs.soc);
+  out[kSocOffset + 1] = obs.must_charge ? 1.0f : 0.0f;
+  out[kSocOffset + 2] = obs.may_charge ? 1.0f : 0.0f;
+  out[dim_ - kFairnessFeatures] =
+      static_cast<float>(Clamp1(obs.pe_gap / 30.0));
+}
+
+void FeatureExtractor::WriteRegionRow(RegionId region_id, float* out) const {
   float* const begin = out;
   const auto push = [&out](float v) { *out++ = v; };
   const City& city = sim_->city();
   const TimeSlot now = sim_->now();
-  const Region& region = city.region(obs.region);
+  const Region& region = city.region(region_id);
 
   // --- Local view: time ---------------------------------------------------
   const double phase =
@@ -78,10 +115,10 @@ void FeatureExtractor::WriteInto(const TaxiObs& obs, float* out) const {
   push(static_cast<float>(region.centroid_km.x / max_coord_x_));
   push(static_cast<float>(region.centroid_km.y / max_coord_y_));
 
-  // --- Own energy state ----------------------------------------------------
-  push(static_cast<float>(obs.soc));
-  push(obs.must_charge ? 1.0f : 0.0f);
-  push(obs.may_charge ? 1.0f : 0.0f);
+  // --- Own energy state (taxi-specific: patched in over the template) -----
+  push(0.0f);  // soc
+  push(0.0f);  // must_charge
+  push(0.0f);  // may_charge
 
   // --- Global view: demand & supply of own region -------------------------
   const auto norm_count = [&](double v) {
@@ -90,14 +127,14 @@ void FeatureExtractor::WriteInto(const TaxiObs& obs, float* out) const {
   const auto norm_rate = [&](double v) {
     return static_cast<float>(Clamp1(v / (4.0 * mean_slot_rate_)));
   };
-  push(norm_count(sim_->VacantCount(obs.region)));
-  push(norm_rate(sim_->PendingRequests(obs.region)));
-  push(norm_rate(sim_->predictor().Predict(obs.region, now.Next())));
-  push(norm_rate(sim_->demand().Rate(obs.region, now)));
+  push(norm_count(sim_->VacantCount(region_id)));
+  push(norm_rate(sim_->PendingRequests(region_id)));
+  push(norm_rate(sim_->predictor().Predict(region_id, now.Next())));
+  push(norm_rate(sim_->demand().Rate(region_id, now)));
 
   // --- Global view: neighbourhood aggregates ------------------------------
   double nbr_vacant = 0.0, nbr_pending = 0.0, nbr_pred = 0.0;
-  const auto& neighbors = city.Neighbors(obs.region);
+  const auto& neighbors = city.Neighbors(region_id);
   if (!neighbors.empty()) {
     for (RegionId n : neighbors) {
       nbr_vacant += sim_->VacantCount(n);
@@ -114,17 +151,30 @@ void FeatureExtractor::WriteInto(const TaxiObs& obs, float* out) const {
   push(norm_rate(nbr_pred));
 
   // --- Global view: the five nearest stations -----------------------------
-  const auto& stations = city.NearestStations(obs.region);
+  const auto& stations = city.NearestStations(region_id);
   for (int j = 0; j < City::kNearestStations; ++j) {
     if (j < static_cast<int>(stations.size())) {
       const StationId s = stations[static_cast<size_t>(j)];
       const StationQueue& q = sim_->station_queue(s);
-      push(static_cast<float>(q.free_points()) /
-                     static_cast<float>(q.num_points()));
-      push(static_cast<float>(
-          Clamp1(static_cast<double>(q.waiting()) / q.num_points())));
+      // Normalise by the *derated* capacity, not the installed point count:
+      // under a FaultSchedule outage available_points() is the station's
+      // truthful service rate, and it can be zero (a dark station) — the
+      // installed-count denominator would both misstate capacity while
+      // derated and divide by zero once a guard used it. A dark station is
+      // exactly the "no station" case: no free points, an infinitely long
+      // queue, but the true travel time (the outage is temporary).
+      const int avail = q.available_points();
+      if (avail > 0) {
+        push(static_cast<float>(q.free_points()) /
+                       static_cast<float>(avail));
+        push(static_cast<float>(
+            Clamp1(static_cast<double>(q.waiting()) / avail)));
+      } else {
+        push(0.0f);
+        push(1.0f);  // "infinitely long queue"
+      }
       push(static_cast<float>(Clamp1(
-          city.TravelMinutesToStation(obs.region, s) / 60.0)));
+          city.TravelMinutesToStation(region_id, s) / 60.0)));
     } else {
       push(0.0f);
       push(1.0f);  // "infinitely long queue"
@@ -139,7 +189,7 @@ void FeatureExtractor::WriteInto(const TaxiObs& obs, float* out) const {
       tariff.RateAt(now + kSlotsPerHour) / kPeakRate));
 
   // --- Fairness signal -----------------------------------------------------
-  push(static_cast<float>(Clamp1(obs.pe_gap / 30.0)));
+  push(0.0f);  // pe_gap (taxi-specific: patched in over the template)
   push(static_cast<float>(Clamp1(sim_->FleetMeanPe() / 100.0)));
 
   FM_CHECK(static_cast<int>(out - begin) == dim_)

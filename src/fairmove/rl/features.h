@@ -32,11 +32,24 @@ class FeatureExtractor {
   /// row per observation. Writes straight into the matrix (no per-taxi
   /// vector), so a reused `out` makes the steady-state slot allocation-free.
   /// Row i is bit-identical to Extract(obs[i]).
+  ///
+  /// Cache-blocked: only four features are taxi-specific (SoC, the two
+  /// charging flags, the PE gap) — everything else is a function of the
+  /// taxi's region and the frozen simulator state. The first row of each
+  /// region computes that shared prefix once into a per-region template;
+  /// later rows of the same region memcpy it and patch the four fields.
+  /// The template cache is valid only within one call (the simulator is
+  /// const for its duration), so no cross-call staleness is possible.
   void ExtractAll(const std::vector<TaxiObs>& obs, Matrix* out) const;
 
  private:
   /// Writes exactly dim() features at `out`; shared by Extract/ExtractAll.
   void WriteInto(const TaxiObs& obs, float* out) const;
+  /// The region/state-dependent feature row (dim() floats) with the four
+  /// taxi-specific slots zeroed — the template ExtractAll caches per region.
+  void WriteRegionRow(RegionId region, float* out) const;
+  /// Overwrites the four taxi-specific slots of a template row.
+  void PatchTaxiFields(const TaxiObs& obs, float* out) const;
 
   const Simulator* sim_;
   int dim_;
@@ -45,6 +58,14 @@ class FeatureExtractor {
   double mean_slot_rate_;
   double max_coord_x_;
   double max_coord_y_;
+
+  // ExtractAll's per-region template cache. Mutable: logically const
+  // scratch, rebuilt lazily per region on each call (epoch-stamped).
+  // Buffers are retained across calls, so steady-state extraction does
+  // zero heap allocation.
+  mutable std::vector<float> region_template_;    // [num_regions x dim_]
+  mutable std::vector<uint32_t> template_epoch_;  // per region
+  mutable uint32_t extract_epoch_ = 0;
 };
 
 }  // namespace fairmove

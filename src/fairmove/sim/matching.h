@@ -1,9 +1,9 @@
 #ifndef FAIRMOVE_SIM_MATCHING_H_
 #define FAIRMOVE_SIM_MATCHING_H_
 
-#include <deque>
 #include <vector>
 
+#include "fairmove/common/ring_queue.h"
 #include "fairmove/common/time_types.h"
 #include "fairmove/geo/region.h"
 
@@ -45,7 +45,9 @@ class MatchingEngine {
 
  private:
   int patience_slots_;
-  std::vector<std::deque<Request>> queues_;
+  /// Rings, not deques: the per-slot add/pop/expire churn must not touch
+  /// the heap once warm (Simulator::Step's zero-allocation contract).
+  std::vector<RingQueue<Request>> queues_;
   int64_t total_pending_ = 0;
 };
 

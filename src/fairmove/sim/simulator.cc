@@ -451,37 +451,58 @@ void Simulator::SpawnRequests() {
 }
 
 void Simulator::MatchPassengers() {
-  // Group vacant taxis by region, longest-vacant first (region-local FIFO
-  // on both sides).
-  std::vector<std::vector<TaxiId>> vacant_by_region(
-      static_cast<size_t>(city_->num_regions()));
+  // All matching scratch lives in the step arena: CSR candidate arrays
+  // instead of a vector-of-vectors, so the per-slot inner loop performs
+  // zero heap allocations once the arena is warm. The candidate order, RNG
+  // draw order and sort are exactly those of the original nested-vector
+  // code, so trajectories are bit-identical.
+  step_arena_.Reset();
+  const int num_regions = city_->num_regions();
+  int* sizes = step_arena_.AllocArrayZeroed<int>(
+      static_cast<size_t>(num_regions));
+  for (const Taxi& taxi : taxis_) {
+    if (taxi.IsVacant(now_.index)) ++sizes[taxi.region];
+  }
+  int* offsets =
+      step_arena_.AllocArray<int>(static_cast<size_t>(num_regions) + 1);
+  offsets[0] = 0;
+  for (int r = 0; r < num_regions; ++r) offsets[r + 1] = offsets[r] + sizes[r];
+  const int total_vacant = offsets[num_regions];
+  TaxiId* pool =
+      step_arena_.AllocArray<TaxiId>(static_cast<size_t>(total_vacant));
+  int* fill = step_arena_.AllocArrayZeroed<int>(
+      static_cast<size_t>(num_regions));
+  // Fill in taxi-id order: region r's slice pool[offsets[r], offsets[r+1])
+  // holds its vacant taxis by ascending id (region-local FIFO on both
+  // sides, longest-vacant first).
   for (const Taxi& taxi : taxis_) {
     if (taxi.IsVacant(now_.index)) {
-      vacant_by_region[static_cast<size_t>(taxi.region)].push_back(taxi.id);
+      pool[offsets[taxi.region] + fill[taxi.region]++] = taxi.id;
     }
   }
-  for (RegionId r = 0; r < city_->num_regions(); ++r) {
-    auto& cands = vacant_by_region[static_cast<size_t>(r)];
-    if (cands.empty() || matching_.PendingCount(r) == 0) continue;
+  double* scores =
+      step_arena_.AllocArray<double>(static_cast<size_t>(total_vacant));
+  int* order = step_arena_.AllocArray<int>(static_cast<size_t>(total_vacant));
+  TaxiId* sorted =
+      step_arena_.AllocArray<TaxiId>(static_cast<size_t>(total_vacant));
+  for (RegionId r = 0; r < num_regions; ++r) {
+    TaxiId* cands = pool + offsets[r];
+    const int n = sizes[r];
+    if (n == 0 || matching_.PendingCount(r) == 0) continue;
     // Weighted street-hailing lottery: each driver's "clock" fires at an
     // exponential time scaled by hustle; earliest clocks get the trips.
-    match_scores_.clear();
-    for (TaxiId id : cands) {
-      match_scores_.push_back(
-          rng_.Exponential(1.0) / hustle_[static_cast<size_t>(id)]);
+    for (int i = 0; i < n; ++i) {
+      scores[i] = rng_.Exponential(1.0) /
+                  hustle_[static_cast<size_t>(cands[i])];
     }
-    std::vector<size_t> order(cands.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return match_scores_[a] < match_scores_[b];
-    });
-    std::vector<TaxiId> sorted;
-    sorted.reserve(cands.size());
-    for (size_t i : order) sorted.push_back(cands[i]);
-    cands.swap(sorted);
-    for (TaxiId id : cands) {
+    for (int i = 0; i < n; ++i) order[i] = i;
+    std::sort(order, order + n,
+              [&](int a, int b) { return scores[a] < scores[b]; });
+    for (int i = 0; i < n; ++i) sorted[i] = cands[order[i]];
+    std::copy(sorted, sorted + n, cands);
+    for (int i = 0; i < n; ++i) {
       if (matching_.PendingCount(r) == 0) break;
-      Taxi& taxi = taxis_[static_cast<size_t>(id)];
+      Taxi& taxi = taxis_[static_cast<size_t>(cands[i])];
       // A nearly empty pack cannot take a trip; leave it for the policy's
       // forced charge decision.
       if (taxi.battery.soc() <= config_.soc_force_charge) continue;
@@ -489,24 +510,26 @@ void Simulator::MatchPassengers() {
     }
   }
   if (config_.dispatch_radius_minutes > 0.0) {
-    DispatchRemoteMatches(&vacant_by_region);
+    DispatchRemoteMatches(pool, offsets, sizes);
   }
 }
 
-void Simulator::DispatchRemoteMatches(
-    std::vector<std::vector<TaxiId>>* vacant_by_region) {
+void Simulator::DispatchRemoteMatches(TaxiId* pool, const int* offsets,
+                                      int* sizes) {
   // Centralized e-hailing pass (SV generalisation): leftover requests are
   // offered to the nearest still-vacant taxi within the radius. Requests
   // are walked region by region, nearest supply region first, so the
-  // assignment approximates a greedy global nearest-dispatch.
+  // assignment approximates a greedy global nearest-dispatch. Candidates
+  // pop from the back of each region's CSR slice, matching the original
+  // vector back/pop_back consumption order.
   for (RegionId r = 0; r < city_->num_regions(); ++r) {
     if (matching_.PendingCount(r) == 0) continue;
     for (RegionId src : dispatch_neighbors_[static_cast<size_t>(r)]) {
       if (matching_.PendingCount(r) == 0) break;
-      auto& cands = (*vacant_by_region)[static_cast<size_t>(src)];
-      while (!cands.empty() && matching_.PendingCount(r) > 0) {
-        const TaxiId id = cands.back();
-        cands.pop_back();
+      TaxiId* cands = pool + offsets[src];
+      int& remaining = sizes[src];
+      while (remaining > 0 && matching_.PendingCount(r) > 0) {
+        const TaxiId id = cands[--remaining];
         Taxi& taxi = taxis_[static_cast<size_t>(id)];
         if (!taxi.IsVacant(now_.index) ||
             taxi.battery.soc() <= config_.soc_force_charge) {

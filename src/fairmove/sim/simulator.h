@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "fairmove/common/arena.h"
 #include "fairmove/common/rng.h"
 #include "fairmove/common/status.h"
 #include "fairmove/common/time_types.h"
@@ -220,9 +221,11 @@ class Simulator {
 
   void ApplyAction(Taxi& taxi, const Action& action);
   /// Second matching pass in dispatch mode: assigns remaining requests to
-  /// vacant taxis within the dispatch radius.
-  void DispatchRemoteMatches(
-      std::vector<std::vector<TaxiId>>* vacant_by_region);
+  /// vacant taxis within the dispatch radius. `pool`/`offsets`/`sizes` is
+  /// the CSR candidate layout MatchPassengers built in the step arena:
+  /// region r's still-poppable candidates are pool[offsets[r],
+  /// offsets[r] + sizes[r]).
+  void DispatchRemoteMatches(TaxiId* pool, const int* offsets, int* sizes);
   void StartChargeTrip(Taxi& taxi, StationId station);
   /// Arrival at `taxi.station`: join the line, or balk and redirect when
   /// it is overloaded. Returns true if the taxi queued here.
@@ -262,7 +265,10 @@ class Simulator {
   std::vector<Decision> decisions_;    // this step
   std::vector<TaxiObs> vacant_obs_;    // scratch
   std::vector<Action> actions_;        // scratch
-  std::vector<double> match_scores_;   // scratch
+  /// Per-slot scratch (matching CSR arrays, lottery scores). Reset at the
+  /// top of MatchPassengers; blocks are retained, so steady-state Steps do
+  /// zero heap allocation (pinned by sim_alloc_test).
+  Arena step_arena_;
   double fleet_mean_pe_ = 0.0;
   double fleet_pe_variance_ = 0.0;
   int64_t total_requests_ = 0;

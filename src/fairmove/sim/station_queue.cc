@@ -18,7 +18,9 @@ void StationQueue::SetAvailablePoints(int n) {
 }
 
 std::vector<TaxiId> StationQueue::DrainWaiting() {
-  std::vector<TaxiId> drained(queue_.begin(), queue_.end());
+  std::vector<TaxiId> drained;
+  drained.reserve(queue_.size());
+  for (size_t i = 0; i < queue_.size(); ++i) drained.push_back(queue_[i]);
   queue_.clear();
   return drained;
 }
@@ -37,10 +39,13 @@ void StationQueue::Release() {
 }
 
 bool StationQueue::RemoveWaiting(TaxiId taxi) {
-  const auto it = std::find(queue_.begin(), queue_.end(), taxi);
-  if (it == queue_.end()) return false;
-  queue_.erase(it);
-  return true;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i] == taxi) {
+      queue_.erase_at(i);
+      return true;
+    }
+  }
+  return false;
 }
 
 void StationQueue::Clear() {

@@ -2,9 +2,9 @@
 #define FAIRMOVE_SIM_STATION_QUEUE_H_
 
 #include <algorithm>
-#include <deque>
 #include <vector>
 
+#include "fairmove/common/ring_queue.h"
 #include "fairmove/geo/region.h"
 #include "fairmove/sim/taxi.h"
 
@@ -58,7 +58,9 @@ class StationQueue {
   int num_points_;
   int available_points_;
   int occupied_ = 0;
-  std::deque<TaxiId> queue_;
+  /// Ring, not deque: steady-state Enqueue/PlugInNext cycles must not touch
+  /// the heap (Simulator::Step's zero-allocation contract).
+  RingQueue<TaxiId> queue_;
 };
 
 }  // namespace fairmove

@@ -16,6 +16,7 @@
 #include "fairmove/common/parallel.h"
 #include "fairmove/core/fairmove.h"
 #include "fairmove/core/metrics.h"
+#include "fairmove/obs/json_parse.h"
 #include "fairmove/obs/jsonl.h"
 #include "fairmove/obs/manifest.h"
 #include "fairmove/obs/metrics.h"
@@ -71,6 +72,59 @@ TEST(JsonTest, ValidatorRejectsMalformedDocuments) {
   EXPECT_FALSE(ValidateJson("{\"a\":1} trailing").ok());
   EXPECT_FALSE(ValidateJson("{'a':1}").ok());
   EXPECT_FALSE(JsonObjectKeys("[1,2]").ok());
+}
+
+TEST(JsonParseTest, ParsesBuilderOutputBackToTheSameValues) {
+  // The DOM parser and the builders must round-trip: what JsonObject/
+  // JsonArray emit, ParseJson reads back value-for-value (this is the
+  // contract the perf gate's document diffing stands on).
+  JsonObject obj;
+  obj.Set("name", "BM_X/5").Set("cpu", 123.25).Set("iters", int64_t{1000});
+  obj.Set("flag", true).SetRaw("tags", JsonArray().Push(1.0).Push(2.0).Str());
+  const JsonValue doc = std::move(ParseJson(obj.Str())).value();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.StringOr("name", ""), "BM_X/5");
+  EXPECT_DOUBLE_EQ(doc.NumberOr("cpu", -1.0), 123.25);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("iters", -1.0), 1000.0);
+  ASSERT_NE(doc.Find("flag"), nullptr);
+  EXPECT_TRUE(doc.Find("flag")->bool_value);
+  const JsonValue* tags = doc.Find("tags");
+  ASSERT_NE(tags, nullptr);
+  ASSERT_TRUE(tags->is_array());
+  ASSERT_EQ(tags->items.size(), 2u);
+  EXPECT_DOUBLE_EQ(tags->items[1].number_value, 2.0);
+  // %.17g doubles survive the full write -> parse cycle bit-exactly.
+  EXPECT_EQ(std::move(ParseJson(JsonNumber(0.1))).value().number_value, 0.1);
+}
+
+TEST(JsonParseTest, HandlesEscapesNullsAndMemberOrder) {
+  const JsonValue doc =
+      std::move(ParseJson("{\"a\\n\\\"b\":null,\"u\":\"\\u0041\","
+                          "\"z\":1,\"a\\n\\\"b\":2}"))
+          .value();
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.members.size(), 4u);
+  EXPECT_EQ(doc.members[0].first, "a\n\"b");
+  EXPECT_TRUE(doc.members[0].second.is_null());
+  EXPECT_EQ(doc.StringOr("u", ""), "A");
+  // Find returns the FIRST member with the key (document order).
+  EXPECT_TRUE(doc.Find("a\n\"b")->is_null());
+}
+
+TEST(JsonParseTest, RejectsWhatTheValidatorRejects) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("[1,2").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("{'a':1}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("01").ok());
+  EXPECT_FALSE(ParseJson("1.").ok());
+  EXPECT_FALSE(ParseJson("\"\\x\"").ok());
+  // Hostile nesting is rejected, not recursed into the stack guard.
+  EXPECT_FALSE(ParseJson(std::string(100, '[')).ok());
+  EXPECT_TRUE(ParseJson("  42  ").ok());
 }
 
 TEST(JsonTest, JsonlWriterRoundTripsThroughValidator) {

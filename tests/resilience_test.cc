@@ -20,6 +20,7 @@
 #include "fairmove/resilience/divergence_guard.h"
 #include "fairmove/resilience/fault_schedule.h"
 #include "fairmove/rl/cma2c_policy.h"
+#include "fairmove/rl/features.h"
 #include "fairmove/rl/gt_policy.h"
 
 namespace fairmove {
@@ -267,6 +268,56 @@ TEST_F(ResilienceSimTest, DarkStationHoldsNoSessionsAndLogsTheOutage) {
     if (e.kind == FaultKind::kStationOutage && e.subject == 0) logged = true;
   }
   EXPECT_TRUE(logged);
+  ASSERT_TRUE(sim.SetFaultSchedule(nullptr).ok());
+}
+
+TEST_F(ResilienceSimTest, FullDerateKeepsStationFeaturesFiniteAndSaturated) {
+  // Regression test for the station-feature normalisation under fault
+  // derating: pre-fix, the two queue-state features were normalised by the
+  // INSTALLED point count, so a station darked by a FaultSchedule outage
+  // (zero usable points — the "division by zero charging points" case once
+  // any derate-aware denominator is used) still advertised a calm, empty
+  // queue. Post-fix, the denominator is the derated available_points() and
+  // a dark station renders as the documented "infinitely long queue": free
+  // share 0, queue share saturated at 1, travel time still real.
+  FaultSchedule schedule;
+  const int num_stations = system_->city().num_stations();
+  for (StationId s = 0; s < num_stations; ++s) {
+    schedule.AddStationOutage(s, 0, 400, 0.0);  // every station dark
+  }
+  Simulator& sim = system_->sim();
+  ASSERT_TRUE(sim.SetFaultSchedule(&schedule).ok());
+  sim.Reset(23);
+  GtPolicy policy;
+  sim.RunSlots(&policy, 6);  // outage windows applied, queues drained
+  ASSERT_EQ(sim.station_queue(0).available_points(), 0);
+
+  FeatureExtractor features(&sim);
+  // The station block sits between the neighbourhood aggregates and the
+  // two price + two fairness tail features; locate it from the tail so the
+  // test does not depend on the head-of-row layout.
+  const int station_block =
+      features.dim() - 4 - City::kNearestStations * 3;
+  ASSERT_GT(station_block, 0);
+  std::vector<float> out;
+  for (RegionId r = 0; r < system_->city().num_regions(); ++r) {
+    TaxiObs obs;
+    obs.taxi = 0;
+    obs.region = r;
+    obs.soc = 0.4;
+    features.Extract(obs, &out);
+    for (int i = 0; i < features.dim(); ++i) {
+      ASSERT_TRUE(std::isfinite(out[static_cast<size_t>(i)]))
+          << "feature " << i << " of region " << r << " is non-finite";
+    }
+    const auto& near = system_->city().NearestStations(r);
+    for (int j = 0; j < static_cast<int>(near.size()); ++j) {
+      const float* f =
+          out.data() + static_cast<size_t>(station_block + 3 * j);
+      EXPECT_EQ(f[0], 0.0f) << "free share, region " << r << " slot " << j;
+      EXPECT_EQ(f[1], 1.0f) << "queue share, region " << r << " slot " << j;
+    }
+  }
   ASSERT_TRUE(sim.SetFaultSchedule(nullptr).ok());
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "fairmove/common/rng.h"
 #include "fairmove/common/stats.h"
@@ -154,6 +155,41 @@ TEST(HistogramTest, OutOfRangeClampsToEdgeBuckets) {
   EXPECT_EQ(h.bucket_count(1), 1);
 }
 
+TEST(HistogramTest, NonFiniteSamplesGoToDedicatedCounterNotBuckets) {
+  // Pre-fix, Add() cast (NaN - lo) / width to int — undefined behavior —
+  // and an Inf would land in an edge bucket, silently polluting the
+  // distribution. Non-finite samples must be visible but bucketless.
+  Histogram h(0.0, 100.0, 10);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.non_finite_count(), 3);
+  EXPECT_EQ(h.total(), 0);
+  for (int i = 0; i < h.num_buckets(); ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0) << "bucket " << i;
+  }
+  // A poisoned stream must not distort the shares of the finite samples.
+  h.Add(15.0);
+  EXPECT_EQ(h.total(), 1);
+  EXPECT_EQ(h.non_finite_count(), 3);
+  EXPECT_DOUBLE_EQ(h.bucket_fraction(1), 1.0);
+}
+
+TEST(HistogramTest, HugeFiniteValuesClampToEdgeBucketsWithoutOverflow) {
+  // Pre-fix, (x - lo) / width was cast to int BEFORE clamping: for values
+  // whose scaled position exceeds int range the cast wraps to an
+  // unspecified result (UB), so the clamp downstream repaired nothing.
+  Histogram h(0.0, 100.0, 10);
+  h.Add(1e300);
+  h.Add(std::numeric_limits<double>::max());
+  h.Add(-1e300);
+  h.Add(std::numeric_limits<double>::lowest());
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.non_finite_count(), 0);
+  EXPECT_EQ(h.bucket_count(h.num_buckets() - 1), 2);
+  EXPECT_EQ(h.bucket_count(0), 2);
+}
+
 TEST(HistogramTest, BoundsAndLabels) {
   Histogram h(0.0, 30.0, 3);
   EXPECT_EQ(h.bucket_bounds(1).first, 10.0);
@@ -182,6 +218,19 @@ TEST(GiniTest, DegenerateInputs) {
   EXPECT_DOUBLE_EQ(Gini({}), 0.0);
   EXPECT_DOUBLE_EQ(Gini({3.0}), 0.0);
   EXPECT_DOUBLE_EQ(Gini({0.0, 0.0}), 0.0);
+}
+
+TEST(GiniTest, NegativeValuesWithPositiveTotalClampIntoUnitRange) {
+  // {-5, 1, 10}: the raw mean-difference formula gives 30 / 18 ~ 1.67 —
+  // outside the Gini coefficient's defined range, which pre-fix leaked
+  // straight to callers. The convention for mixed-sign samples with a
+  // positive total is to clamp into [0, 1] (maximal inequality).
+  EXPECT_DOUBLE_EQ(Gini({-5.0, 1.0, 10.0}), 1.0);
+  // A mildly mixed-sign sample whose raw value is already in range must
+  // pass through the clamp untouched: {-1, 4, 6}, raw = 14 / 27.
+  EXPECT_DOUBLE_EQ(Gini({-1.0, 4.0, 6.0}), 14.0 / 27.0);
+  // All-negative (non-positive total) keeps the documented 0 convention.
+  EXPECT_DOUBLE_EQ(Gini({-3.0, -1.0}), 0.0);
 }
 
 TEST(GiniTest, ScaleInvariant) {

@@ -1,0 +1,242 @@
+// Perf regression gate over fairmove.bench.v1 documents (the ctest
+// `perfgate` label). Compares a fresh bench_perf_microbench run against the
+// committed BENCH_perf.json baseline and fails — with a diff table naming
+// every offending benchmark — when any gated counter regresses past the
+// tolerance.
+//
+// Usage:
+//   bench_gate --baseline=BENCH_perf.json --bench=path/to/bench_perf_microbench
+//              [--tolerance=1.5] [--filter=REGEX] [--fresh-out=PATH]
+//   bench_gate --baseline=BENCH_perf.json --fresh=run.json [--tolerance=1.5]
+//
+// Modes: `--bench` spawns the benchmark binary with a filter restricted to
+// exactly the baseline's benchmark names and gates on its JSON output;
+// `--fresh` gates a pre-made document (CI artifact, cross-machine diff).
+//
+// The gated metric is the document's `gate_metric` (cpu_ns_per_iter: wall
+// time picks up other-process noise on a shared box, cpu time does not).
+// `--tolerance=T` allows fresh <= baseline * (1 + T); the default T = 1.5
+// is deliberately generous — the gate exists to catch step-change
+// regressions (a vector loop falling back to scalar, an allocation slipped
+// into a hot path, an accidental O(n^2)), not 10% jitter on a noisy CI box.
+// A benchmark present in the baseline but missing from the fresh run fails
+// the gate: silently shrinking coverage must be loud.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fairmove/obs/json_parse.h"
+
+namespace fairmove {
+namespace {
+
+constexpr char kSchema[] = "fairmove.bench.v1";
+constexpr double kDefaultTolerance = 1.5;
+
+struct BenchEntry {
+  std::string name;
+  double cpu_ns_per_iter = 0.0;
+};
+
+struct Options {
+  std::string baseline_path;
+  std::string fresh_path;      // compare mode
+  std::string bench_binary;    // run mode
+  std::string filter;          // optional override for run mode
+  std::string fresh_out;       // where run mode writes the fresh JSON
+  double tolerance = kDefaultTolerance;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --baseline=BENCH_perf.json"
+      " (--bench=BINARY | --fresh=RUN.json)"
+      " [--tolerance=%.1f] [--filter=REGEX] [--fresh-out=PATH]\n",
+      argv0, kDefaultTolerance);
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+StatusOr<std::vector<BenchEntry>> LoadDocument(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  StatusOr<JsonValue> doc_or = ParseJson(buf.str());
+  if (!doc_or.ok()) {
+    return Status::InvalidArgument(path + ": " + doc_or.status().message());
+  }
+  const JsonValue& doc = doc_or.value();
+  if (doc.StringOr("schema", "") != kSchema) {
+    return Status::InvalidArgument(path + ": not a " + kSchema +
+                                   " document");
+  }
+  const JsonValue* benchmarks = doc.Find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    return Status::InvalidArgument(path + ": missing benchmarks array");
+  }
+  std::vector<BenchEntry> entries;
+  for (const JsonValue& item : benchmarks->items) {
+    BenchEntry entry;
+    entry.name = item.StringOr("name", "");
+    entry.cpu_ns_per_iter = item.NumberOr("cpu_ns_per_iter", -1.0);
+    if (entry.name.empty() || entry.cpu_ns_per_iter < 0.0) {
+      return Status::InvalidArgument(
+          path + ": benchmark entry without name/cpu_ns_per_iter");
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument(path + ": no benchmark entries");
+  }
+  return entries;
+}
+
+const BenchEntry* FindEntry(const std::vector<BenchEntry>& entries,
+                            const std::string& name) {
+  for (const BenchEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+/// `^(name1|name2|...)$` over the baseline names, so the fresh run measures
+/// exactly the gated set and nothing slower. Benchmark names here contain
+/// no regex metacharacters beyond '/' (which is literal in RE2/std regex);
+/// anything exotic can use --filter explicitly.
+std::string FilterFromBaseline(const std::vector<BenchEntry>& baseline) {
+  std::string filter = "^(";
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    if (i > 0) filter += '|';
+    filter += baseline[i].name;
+  }
+  filter += ")$";
+  return filter;
+}
+
+int RunGate(const Options& opt) {
+  StatusOr<std::vector<BenchEntry>> baseline_or =
+      LoadDocument(opt.baseline_path);
+  if (!baseline_or.ok()) {
+    std::fprintf(stderr, "bench_gate: baseline: %s\n",
+                 baseline_or.status().message().c_str());
+    return 2;
+  }
+  const std::vector<BenchEntry>& baseline = baseline_or.value();
+
+  std::string fresh_path = opt.fresh_path;
+  if (fresh_path.empty()) {
+    fresh_path = opt.fresh_out.empty()
+                     ? "/tmp/bench_gate_fresh_" + std::to_string(getpid()) +
+                           ".json"
+                     : opt.fresh_out;
+    const std::string filter =
+        opt.filter.empty() ? FilterFromBaseline(baseline) : opt.filter;
+    const std::string cmd = "\"" + opt.bench_binary +
+                            "\" \"--benchmark_filter=" + filter +
+                            "\" \"--json=" + fresh_path + "\"";
+    std::fprintf(stderr, "bench_gate: running %s\n", cmd.c_str());
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "bench_gate: bench run failed (exit %d)\n", rc);
+      return 2;
+    }
+  }
+  StatusOr<std::vector<BenchEntry>> fresh_or = LoadDocument(fresh_path);
+  if (!fresh_or.ok()) {
+    std::fprintf(stderr, "bench_gate: fresh: %s\n",
+                 fresh_or.status().message().c_str());
+    return 2;
+  }
+  const std::vector<BenchEntry>& fresh = fresh_or.value();
+
+  // The diff table, baseline order. ratio > 1 is a slowdown.
+  std::vector<std::string> regressed;
+  std::printf("%-32s %14s %14s %8s  %s\n", "benchmark", "baseline(ns)",
+              "fresh(ns)", "ratio", "verdict");
+  for (const BenchEntry& base : baseline) {
+    const BenchEntry* now = FindEntry(fresh, base.name);
+    if (now == nullptr) {
+      std::printf("%-32s %14.1f %14s %8s  MISSING\n", base.name.c_str(),
+                  base.cpu_ns_per_iter, "-", "-");
+      regressed.push_back(base.name + " (missing from fresh run)");
+      continue;
+    }
+    const bool gateable = base.cpu_ns_per_iter > 0.0;
+    const double ratio =
+        gateable ? now->cpu_ns_per_iter / base.cpu_ns_per_iter : 1.0;
+    const bool ok = !gateable || ratio <= 1.0 + opt.tolerance;
+    std::printf("%-32s %14.1f %14.1f %7.2fx  %s\n", base.name.c_str(),
+                base.cpu_ns_per_iter, now->cpu_ns_per_iter, ratio,
+                ok ? "ok" : "REGRESSED");
+    if (!ok) {
+      char detail[160];
+      std::snprintf(detail, sizeof(detail),
+                    "%s (%.1f -> %.1f cpu ns/iter, %.2fx > %.2fx allowed)",
+                    base.name.c_str(), base.cpu_ns_per_iter,
+                    now->cpu_ns_per_iter, ratio, 1.0 + opt.tolerance);
+      regressed.push_back(detail);
+    }
+  }
+  if (!regressed.empty()) {
+    std::printf("\nPERF GATE FAILED (%zu of %zu gated benchmarks):\n",
+                regressed.size(), baseline.size());
+    for (const std::string& r : regressed) std::printf("  - %s\n", r.c_str());
+    std::printf("If this slowdown is intended, refresh the baseline (see"
+                " README \"Performance tracking\").\n");
+    return 1;
+  }
+  std::printf("\nPERF GATE OK: %zu benchmarks within %.2fx of baseline.\n",
+              baseline.size(), 1.0 + opt.tolerance);
+  return 0;
+}
+
+}  // namespace
+}  // namespace fairmove
+
+int main(int argc, char** argv) {
+  fairmove::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (fairmove::ParseFlag(arg, "baseline", &opt.baseline_path) ||
+        fairmove::ParseFlag(arg, "fresh", &opt.fresh_path) ||
+        fairmove::ParseFlag(arg, "bench", &opt.bench_binary) ||
+        fairmove::ParseFlag(arg, "filter", &opt.filter) ||
+        fairmove::ParseFlag(arg, "fresh-out", &opt.fresh_out)) {
+      continue;
+    }
+    if (fairmove::ParseFlag(arg, "tolerance", &value)) {
+      char* end = nullptr;
+      opt.tolerance = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || opt.tolerance < 0.0) {
+        std::fprintf(stderr, "bench_gate: bad --tolerance value '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      continue;
+    }
+    std::fprintf(stderr, "bench_gate: unknown argument '%s'\n", arg.c_str());
+    return fairmove::Usage(argv[0]);
+  }
+  if (opt.baseline_path.empty() ||
+      (opt.fresh_path.empty() == opt.bench_binary.empty())) {
+    return fairmove::Usage(argv[0]);
+  }
+  return fairmove::RunGate(opt);
+}
