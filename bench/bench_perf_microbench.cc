@@ -47,7 +47,35 @@ void BM_SimulatorStepGt(benchmark::State& state) {
       static_cast<double>(state.iterations()) * system->sim().num_taxis(),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimulatorStepGt)->Arg(5)->Arg(10)->Arg(25);
+// /100 is the paper's full Shenzhen setting (20,130 taxis, 491 regions,
+// 123 stations) — the default experiment scale, benched directly so the
+// perfgate pins the configuration the tables actually run at.
+BENCHMARK(BM_SimulatorStepGt)->Arg(5)->Arg(10)->Arg(25)->Arg(100);
+
+// Raw SoA column-scan throughput over the full-scale fleet: the vacancy
+// scan + SoC reduction every phase of the sharded Step leans on. Pins the
+// structure-of-arrays layout win — a regression here means someone put a
+// hot field back behind a pointer chase.
+void BM_FleetStateScan(benchmark::State& state) {
+  auto system = MakeSystem(1.0);
+  const FleetState& fleet = system->sim().fleet();
+  const int64_t now = 0;
+  for (auto _ : state) {
+    int vacant = 0;
+    double soc_sum = 0.0;
+    for (TaxiId i = 0; i < fleet.size(); ++i) {
+      vacant += fleet.IsVacant(i, now) ? 1 : 0;
+      soc_sum += fleet.soc[static_cast<size_t>(i)];
+    }
+    benchmark::DoNotOptimize(vacant);
+    benchmark::DoNotOptimize(soc_sum);
+  }
+  state.counters["taxis"] = static_cast<double>(fleet.size());
+  state.counters["taxi_scans/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * fleet.size(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetStateScan);
 
 void BM_CityBuild(benchmark::State& state) {
   CityConfig cfg =

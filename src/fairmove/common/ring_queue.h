@@ -39,6 +39,15 @@ class RingQueue {
     return buf_[head_];
   }
 
+  T& back() {
+    FM_CHECK(size_ > 0) << "back() on an empty RingQueue";
+    return buf_[(head_ + size_ - 1) & mask_];
+  }
+  const T& back() const {
+    FM_CHECK(size_ > 0) << "back() on an empty RingQueue";
+    return buf_[(head_ + size_ - 1) & mask_];
+  }
+
   void pop_front() {
     FM_CHECK(size_ > 0) << "pop_front() on an empty RingQueue";
     head_ = (head_ + 1) & mask_;

@@ -16,8 +16,15 @@ FairMoveConfig FairMoveConfig::BenchDefault() {
 }
 
 FairMoveConfig FairMoveConfig::Scaled(double scale) const {
-  FM_CHECK(scale > 0.0 && scale <= 1.0) << "scale=" << scale;
   FairMoveConfig out = *this;
+  // Record the cumulative requested scale instead of CHECK-failing on a bad
+  // value: SimConfig::Validate rejects a scale outside (0, 1] (or NaN/Inf)
+  // with a structured Status at Create() time, so a config error surfaces
+  // to the caller instead of aborting the process. The derived-count
+  // arithmetic is skipped for invalid scales — it would only launder the
+  // poison value into plausible-looking region/fleet counts.
+  out.sim.scale = sim.scale * scale;
+  if (!(scale > 0.0 && scale <= 1.0)) return out;
   out.city = city.Scaled(scale);
   out.sim.num_taxis =
       std::max(50, static_cast<int>(std::lround(sim.num_taxis * scale)));

@@ -29,7 +29,9 @@ struct FairMoveConfig {
 
   /// Returns a copy with the city and fleet shrunk by `scale` in (0, 1]
   /// (region/station/taxi counts scale together; per-taxi demand volume is
-  /// preserved).
+  /// preserved). An out-of-range or non-finite scale is recorded in
+  /// sim.scale and rejected with a structured Status when the config is
+  /// used to Create a system — never a process abort.
   FairMoveConfig Scaled(double scale) const;
 };
 

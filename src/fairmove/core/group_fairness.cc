@@ -67,7 +67,7 @@ std::vector<DriverGroups::GroupStats> DriverGroups::ComputeStats(
   for (int g = 0; g < num_groups_; ++g) {
     Sample pe;
     for (TaxiId id : members_[static_cast<size_t>(g)]) {
-      pe.Add(sim.taxi(id).totals.hourly_pe());
+      pe.Add(sim.fleet().hourly_pe(id));
     }
     GroupStats stats;
     stats.group = g;
@@ -101,7 +101,7 @@ void DriverGroups::GroupMeans(const Simulator& sim,
   std::vector<int64_t> counts(static_cast<size_t>(num_groups_), 0);
   for (TaxiId id = 0; id < sim.num_taxis(); ++id) {
     const int g = assignment_[static_cast<size_t>(id)];
-    (*means)[static_cast<size_t>(g)] += sim.taxi(id).totals.hourly_pe();
+    (*means)[static_cast<size_t>(g)] += sim.fleet().hourly_pe(id);
     ++counts[static_cast<size_t>(g)];
   }
   for (int g = 0; g < num_groups_; ++g) {

@@ -8,21 +8,23 @@ FleetMetrics ComputeFleetMetrics(const Simulator& sim) {
   FleetMetrics m;
   std::vector<double> pes;
   pes.reserve(static_cast<size_t>(sim.num_taxis()));
-  for (const Taxi& taxi : sim.taxis()) {
-    const double pe = taxi.totals.hourly_pe();
+  const FleetState& fleet = sim.fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
+    const size_t k = static_cast<size_t>(id);
+    const double pe = fleet.hourly_pe(id);
     m.pe.Add(pe);
     pes.push_back(pe);
     m.pe_sum += pe;
-    m.cruise_min += taxi.totals.cruise_min;
-    m.serve_min += taxi.totals.serve_min;
-    m.idle_min += taxi.totals.idle_min;
-    m.charge_min += taxi.totals.charge_min;
-    m.revenue_cny += taxi.totals.revenue_cny;
-    m.charge_cost_cny += taxi.totals.charge_cost_cny;
-    m.trips += taxi.totals.num_trips;
-    m.charge_events += taxi.totals.num_charges;
-    m.strandings += taxi.totals.num_strandings;
-    m.breakdowns += taxi.totals.num_breakdowns;
+    m.cruise_min += fleet.cruise_min[k];
+    m.serve_min += fleet.serve_min[k];
+    m.idle_min += fleet.idle_min[k];
+    m.charge_min += fleet.charge_min[k];
+    m.revenue_cny += fleet.revenue_cny[k];
+    m.charge_cost_cny += fleet.charge_cost_cny[k];
+    m.trips += fleet.cold[k].num_trips;
+    m.charge_events += fleet.cold[k].num_charges;
+    m.strandings += fleet.cold[k].num_strandings;
+    m.breakdowns += fleet.cold[k].num_breakdowns;
   }
   m.pf = m.pe.Variance();
   m.pe_gini = Gini(std::move(pes));

@@ -107,7 +107,7 @@ void Trainer::StepAndCollect(
         groups_ != nullptr
             ? group_means_[static_cast<size_t>(groups_->group(k))]
             : fleet_mean_pe;
-    const double pe_gap = sim_->taxi(k).totals.hourly_pe() - baseline_pe;
+    const double pe_gap = sim_->fleet().hourly_pe(k) - baseline_pe;
     const double r =
         reward_.Combined(pe_term, fairness_penalty) +
         (1.0 - config_.reward.alpha) *

@@ -72,8 +72,8 @@ std::array<double, kHoursPerDay> ChargeStartShareByHour(
 
 Sample HourlyPeSample(const Simulator& sim) {
   Sample sample;
-  for (const Taxi& taxi : sim.taxis()) {
-    sample.Add(taxi.totals.hourly_pe());
+  for (TaxiId id = 0; id < sim.num_taxis(); ++id) {
+    sample.Add(sim.fleet().hourly_pe(id));
   }
   return sample;
 }

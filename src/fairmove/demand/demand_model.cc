@@ -132,25 +132,59 @@ DemandModel::DemandModel(const City* city, DemandConfig config)
   for (float& v : rates_) v = static_cast<float>(v * norm);
   total_per_day_ = target;
 
-  // --- Gravity destination CDFs per (hour bucket, origin) ----------------
-  dest_cdf_.assign(static_cast<size_t>(kNumBuckets) * num_regions_ *
-                       num_regions_,
-                   0.0f);
+  // --- Gravity destination alias tables per (hour bucket, origin) --------
+  // Walker/Vose construction: a draw costs one uniform and one table probe
+  // instead of a binary search over a cumulative row.
+  const size_t table = static_cast<size_t>(kNumBuckets) * num_regions_ *
+                       num_regions_;
+  dest_cells_.assign(table, AliasCell{0.0f, 0});
+  std::vector<double> scaled(num_regions_);
+  std::vector<int32_t> small;
+  std::vector<int32_t> large;
+  small.reserve(num_regions_);
+  large.reserve(num_regions_);
   for (int b = 0; b < kNumBuckets; ++b) {
     const int hour = b * kHourBucket + kHourBucket / 2;  // bucket midpoint
     for (size_t o = 0; o < num_regions_; ++o) {
-      float cum = 0.0f;
-      float* cdf = &dest_cdf_[CdfIndex(b, static_cast<RegionId>(o))];
+      double sum = 0.0;
       for (size_t d = 0; d < num_regions_; ++d) {
         const RegionClass cls = city_->region(static_cast<RegionId>(d)).cls;
         const double km = TripKm(static_cast<RegionId>(o),
                                  static_cast<RegionId>(d));
-        const double w = AttractivenessWeight(cls, hour) *
-                         std::exp(-km / config_.gravity_scale_km);
-        cum += static_cast<float>(w);
-        cdf[d] = cum;
+        scaled[d] = AttractivenessWeight(cls, hour) *
+                    std::exp(-km / config_.gravity_scale_km);
+        sum += scaled[d];
       }
-      FM_CHECK(cum > 0.0f) << "degenerate destination distribution";
+      FM_CHECK(sum > 0.0) << "degenerate destination distribution";
+      AliasCell* cells = &dest_cells_[RowIndex(b, static_cast<RegionId>(o))];
+      const double norm = static_cast<double>(num_regions_) / sum;
+      small.clear();
+      large.clear();
+      for (size_t d = 0; d < num_regions_; ++d) {
+        scaled[d] *= norm;
+        (scaled[d] < 1.0 ? small : large).push_back(static_cast<int32_t>(d));
+      }
+      while (!small.empty() && !large.empty()) {
+        const int32_t s = small.back();
+        const int32_t l = large.back();
+        small.pop_back();
+        large.pop_back();
+        cells[s].prob = static_cast<float>(scaled[s]);
+        cells[s].alias = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+      }
+      // Numerical leftovers sit at probability 1 aliased to themselves.
+      for (const int32_t d : large) {
+        cells[d].prob = 1.0f;
+        cells[d].alias = d;
+      }
+      for (const int32_t d : small) {
+        cells[d].prob = 1.0f;
+        cells[d].alias = d;
+      }
+      large.clear();
+      small.clear();
     }
   }
 }
@@ -158,13 +192,14 @@ DemandModel::DemandModel(const City* city, DemandConfig config)
 RegionId DemandModel::SampleDestination(RegionId origin, TimeSlot slot,
                                         Rng& rng) const {
   const int bucket = slot.HourOfDay() / kHourBucket;
-  const float* cdf = &dest_cdf_[CdfIndex(bucket, origin)];
-  const float total = cdf[num_regions_ - 1];
-  const float r = static_cast<float>(rng.NextDouble()) * total;
-  const float* it = std::lower_bound(cdf, cdf + num_regions_, r);
-  size_t idx = static_cast<size_t>(it - cdf);
+  const size_t row = RowIndex(bucket, origin);
+  const double x = rng.NextDouble() * static_cast<double>(num_regions_);
+  size_t idx = static_cast<size_t>(x);
   if (idx >= num_regions_) idx = num_regions_ - 1;
-  return static_cast<RegionId>(idx);
+  const double frac = x - static_cast<double>(idx);
+  const AliasCell cell = dest_cells_[row + idx];
+  return frac < static_cast<double>(cell.prob) ? static_cast<RegionId>(idx)
+                                               : static_cast<RegionId>(cell.alias);
 }
 
 double DemandModel::TripKm(RegionId origin, RegionId dest) const {

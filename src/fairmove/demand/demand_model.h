@@ -70,12 +70,12 @@ class DemandModel : public DemandSource {
            static_cast<size_t>(slot.SlotOfDay());
   }
 
-  /// Destination CDFs are bucketed by hour to bound memory:
+  /// Destination tables are bucketed by hour to bound memory:
   /// kHourBucket-hour buckets.
   static constexpr int kHourBucket = 4;
   static constexpr int kNumBuckets = kHoursPerDay / kHourBucket;
 
-  size_t CdfIndex(int bucket, RegionId origin) const {
+  size_t RowIndex(int bucket, RegionId origin) const {
     return (static_cast<size_t>(bucket) * num_regions_ +
             static_cast<size_t>(origin)) *
            num_regions_;
@@ -84,8 +84,15 @@ class DemandModel : public DemandSource {
   const City* city_;
   DemandConfig config_;
   size_t num_regions_;
-  std::vector<float> rates_;     // [region][slot_of_day]
-  std::vector<float> dest_cdf_;  // [bucket][origin][dest], cumulative
+  std::vector<float> rates_;  // [region][slot_of_day]
+  /// Walker/Vose alias tables per (hour bucket, origin): O(1) destination
+  /// draws instead of a binary search over the gravity CDF. Probability and
+  /// alias target are interleaved so a draw touches one cache line.
+  struct AliasCell {
+    float prob;     // accept probability of the cell's own index
+    int32_t alias;  // destination drawn when the probe rejects
+  };
+  std::vector<AliasCell> dest_cells_;  // [bucket][origin][dest]
   double total_per_day_ = 0.0;
 };
 

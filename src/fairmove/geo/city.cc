@@ -119,8 +119,8 @@ double City::ClassSpeedKmh(RegionClass cls) {
 
 void City::BuildMatrices() {
   const size_t n = regions_.size();
-  travel_minutes_.assign(n * n, kInf);
-  driving_km_.assign(n * n, kInf);
+  od_.assign(n * n, Edge{kInf, kInf});
+  minutes_only_.assign(n * n, kInf);
 
   // Dijkstra from every region. Edge weight between adjacent regions:
   // centroid distance at the average of the two endpoint class speeds.
@@ -158,8 +158,8 @@ void City::BuildMatrices() {
     for (size_t dst = 0; dst < n; ++dst) {
       FM_CHECK(dist_min[dst] < kInf)
           << "region graph is disconnected: no path " << src << "->" << dst;
-      travel_minutes_[src * n + dst] = dist_min[dst];
-      driving_km_[src * n + dst] = dist_km[dst];
+      od_[src * n + dst] = Edge{dist_min[dst], dist_km[dst]};
+      minutes_only_[src * n + dst] = dist_min[dst];
     }
   }
 
@@ -184,20 +184,6 @@ void City::BuildMatrices() {
                                   order.begin() + static_cast<long>(k));
     }
   }
-}
-
-double City::TravelMinutes(RegionId a, RegionId b) const {
-  FM_CHECK(a >= 0 && a < num_regions()) << "region " << a;
-  FM_CHECK(b >= 0 && b < num_regions()) << "region " << b;
-  return travel_minutes_[static_cast<size_t>(a) * regions_.size() +
-                         static_cast<size_t>(b)];
-}
-
-double City::DrivingKm(RegionId a, RegionId b) const {
-  FM_CHECK(a >= 0 && a < num_regions()) << "region " << a;
-  FM_CHECK(b >= 0 && b < num_regions()) << "region " << b;
-  return driving_km_[static_cast<size_t>(a) * regions_.size() +
-                     static_cast<size_t>(b)];
 }
 
 RegionId City::StepToward(RegionId id, RegionId target) const {

@@ -45,10 +45,34 @@ class City {
 
   /// Shortest-path travel time in minutes between region centroids,
   /// following the region graph with class-dependent speeds. 0 for a==b.
-  double TravelMinutes(RegionId a, RegionId b) const;
+  /// Inline: this and DrivingKm are the hottest queries in the simulator.
+  /// Minutes and km are interleaved per OD pair, so the common
+  /// TravelMinutes + DrivingKm double lookup of a trip costs one cache
+  /// line instead of two.
+  double TravelMinutes(RegionId a, RegionId b) const {
+    FM_CHECK(a >= 0 && a < num_regions()) << "region " << a;
+    FM_CHECK(b >= 0 && b < num_regions()) << "region " << b;
+    return od_[static_cast<size_t>(a) * regions_.size() +
+               static_cast<size_t>(b)]
+        .minutes;
+  }
 
   /// Shortest-path driving distance in km along the region graph. 0 for a==b.
-  double DrivingKm(RegionId a, RegionId b) const;
+  double DrivingKm(RegionId a, RegionId b) const {
+    FM_CHECK(a >= 0 && a < num_regions()) << "region " << a;
+    FM_CHECK(b >= 0 && b < num_regions()) << "region " << b;
+    return od_[static_cast<size_t>(a) * regions_.size() +
+               static_cast<size_t>(b)]
+        .km;
+  }
+
+  /// Dense minutes-only row `a` of the OD matrix, indexable by destination
+  /// region. Row-sweep consumers (policy anchor fills) read this instead
+  /// of TravelMinutes so they don't pay the interleaved stride.
+  const float* TravelMinutesRow(RegionId a) const {
+    FM_CHECK(a >= 0 && a < num_regions()) << "region " << a;
+    return &minutes_only_[static_cast<size_t>(a) * regions_.size()];
+  }
 
   /// Travel time from a region to a station (to the station's region).
   double TravelMinutesToStation(RegionId from, StationId s) const {
@@ -97,9 +121,15 @@ class City {
 
   std::vector<Region> regions_;
   std::vector<ChargingStation> stations_;
-  // Row-major [num_regions x num_regions] matrices.
-  std::vector<float> travel_minutes_;
-  std::vector<float> driving_km_;
+  // Row-major [num_regions x num_regions] OD matrix, minutes and km
+  // interleaved (see TravelMinutes).
+  struct Edge {
+    float minutes;
+    float km;
+  };
+  std::vector<Edge> od_;
+  // Minutes duplicated densely for TravelMinutesRow (1MB at 491 regions).
+  std::vector<float> minutes_only_;
   std::vector<std::vector<StationId>> nearest_stations_;
   std::vector<std::vector<StationId>> stations_in_region_;
   int total_charge_points_ = 0;

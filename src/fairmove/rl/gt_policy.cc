@@ -1,5 +1,6 @@
 #include "fairmove/rl/gt_policy.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "fairmove/pricing/tou_tariff.h"
@@ -26,6 +27,10 @@ double HashUnit(uint64_t seed, uint64_t salt) {
 void GtPolicy::BeginEpisode(const Simulator& sim) {
   (void)sim;
   rng_.Seed(options_.seed);
+  // Traits are pure hashes but their sizing follows the city; a new
+  // episode may run a different world, so rebuild everything.
+  skill_.clear();
+  rate_pow_slot_ = -1;
 }
 
 double GtPolicy::DriverSkill(TaxiId taxi) const {
@@ -46,12 +51,71 @@ double GtPolicy::DriverLeash(TaxiId taxi) const {
          (options_.leash_max_minutes - options_.leash_min_minutes) * u;
 }
 
+void GtPolicy::EnsureCaches(const Simulator& sim) {
+  const City& city = sim.city();
+  const int n_taxis = sim.fleet().size();
+  const int n_regions = city.num_regions();
+  if (static_cast<int>(skill_.size()) == n_taxis &&
+      static_cast<int>(rate_pow_.size()) == n_regions) {
+    return;
+  }
+  skill_.resize(static_cast<size_t>(n_taxis));
+  home_.resize(static_cast<size_t>(n_taxis));
+  inv_leash_.resize(static_cast<size_t>(n_taxis));
+  stay_bias_.resize(static_cast<size_t>(n_taxis));
+  undisciplined_.resize(static_cast<size_t>(n_taxis));
+  for (TaxiId t = 0; t < n_taxis; ++t) {
+    const size_t k = static_cast<size_t>(t);
+    skill_[k] = DriverSkill(t);
+    home_[k] = DriverHome(t, n_regions);
+    inv_leash_[k] = 1.0 / DriverLeash(t);
+    stay_bias_[k] =
+        options_.stay_bias_min +
+        (options_.stay_bias_max - options_.stay_bias_min) *
+            HashUnit(options_.seed, static_cast<uint64_t>(t) + 5);
+    undisciplined_[k] =
+        HashUnit(options_.seed, static_cast<uint64_t>(t) + 4) <
+        options_.undisciplined_share;
+  }
+  rate_pow_.assign(static_cast<size_t>(n_regions), 0.0);
+  rate_pow_slot_ = -1;
+  int max_neighbors = 0;
+  for (RegionId r = 0; r < n_regions; ++r) {
+    max_neighbors =
+        std::max(max_neighbors, static_cast<int>(city.Neighbors(r).size()));
+  }
+  weight_scratch_.reserve(static_cast<size_t>(1 + max_neighbors));
+  lottery_pending_.reserve(static_cast<size_t>(n_taxis));
+  lottery_sorted_.resize(static_cast<size_t>(n_taxis));
+  home_offsets_.resize(static_cast<size_t>(n_regions) + 1);
+  anchor_exp_.resize(kAnchorBins);
+  for (int i = 0; i < kAnchorBins; ++i) {
+    anchor_exp_[static_cast<size_t>(i)] =
+        std::exp(-(i + 0.5) * (kAnchorXMax / kAnchorBins));
+  }
+  const double k_distort =
+      options_.herding_exponent * options_.belief_noise_sigma * 2.0 * 1.7;
+  distort_exp_.resize(kDistortBins);
+  for (int i = 0; i < kDistortBins; ++i) {
+    distort_exp_[static_cast<size_t>(i)] =
+        std::exp(k_distort * ((i + 0.5) / kDistortBins - 0.5));
+  }
+}
+
 void GtPolicy::DecideActions(const Simulator& sim,
                              const std::vector<TaxiObs>& vacant,
                              std::vector<Action>* actions) {
   const City& city = sim.city();
   const bool off_peak =
       sim.tariff().PeriodAt(sim.now()) == PricePeriod::kOffPeak;
+  EnsureCaches(sim);
+  if (rate_pow_slot_ != sim.now().index) {
+    rate_pow_slot_ = sim.now().index;
+    for (RegionId r = 0; r < city.num_regions(); ++r) {
+      rate_pow_[static_cast<size_t>(r)] =
+          std::pow(sim.demand().Rate(r, sim.now()), options_.herding_exponent);
+    }
+  }
   actions->clear();
   actions->reserve(vacant.size());
   // Drivers know one or two stations near them; most head for the closest.
@@ -63,70 +127,100 @@ void GtPolicy::DecideActions(const Simulator& sim,
     }
     return stations[0];
   };
+  // Pass 1 — charge and stay gates, in observation order (keeps the gate
+  // draw stream independent of the lottery batching below). Drivers that
+  // reach the cruising lottery get a placeholder and are deferred.
+  lottery_pending_.clear();
   for (const TaxiObs& obs : vacant) {
+    const size_t tk = static_cast<size_t>(obs.taxi);
     if (obs.must_charge) {
       // Forced: a close station, whatever its queue — the uncoordinated
       // behaviour behind the paper's crowded-station finding.
       actions->push_back(Action::Charge(pick_station(obs.region)));
       continue;
     }
-    const bool undisciplined =
-        HashUnit(options_.seed, static_cast<uint64_t>(obs.taxi) + 4) <
-        options_.undisciplined_share;
     if (obs.may_charge && obs.soc < options_.cheap_charge_soc) {
       if (off_peak && rng_.NextDouble() < options_.cheap_charge_prob) {
         // Cheap-hour top-up (Fig 4's charging peaks in the price valleys).
         actions->push_back(Action::Charge(pick_station(obs.region)));
         continue;
       }
-      if (undisciplined &&
+      if (undisciplined_[tk] &&
           rng_.NextDouble() < options_.undisciplined_charge_prob) {
         // Price-blind top-up at whatever the current tariff is.
         actions->push_back(Action::Charge(pick_station(obs.region)));
         continue;
       }
     }
-    const double stay_bias =
-        options_.stay_bias_min +
-        (options_.stay_bias_max - options_.stay_bias_min) *
-            HashUnit(options_.seed, static_cast<uint64_t>(obs.taxi) + 5);
-    if (rng_.NextDouble() < stay_bias) {
+    if (rng_.NextDouble() < stay_bias_[tk]) {
       actions->push_back(Action::Stay());
       continue;
     }
-    // Demand-biased random walk over {stay} + neighbours; the bias strength
-    // is the driver's persistent skill, damped by distance from the
-    // driver's home turf (the leash).
-    const double skill = DriverSkill(obs.taxi);
-    const RegionId home = DriverHome(obs.taxi, city.num_regions());
-    const double leash = DriverLeash(obs.taxi);
+    lottery_pending_.push_back(static_cast<int32_t>(actions->size()));
+    actions->push_back(Action::Stay());  // placeholder, filled by pass 2
+  }
+  if (lottery_pending_.empty()) return;
+
+  // Counting sort of the deferred drivers by home region: each driver's
+  // weights sweep its *home's* dense travel row, so grouping by home turns
+  // ~one cold row per driver into one cold row per home region per slot.
+  // (Indices stay ascending within a home — deterministic at any thread
+  // count; the lottery draws simply run in home order, a fixed stream.)
+  const int n_regions = city.num_regions();
+  std::fill(home_offsets_.begin(), home_offsets_.end(), 0);
+  for (const int32_t idx : lottery_pending_) {
+    const size_t tk = static_cast<size_t>(vacant[static_cast<size_t>(idx)].taxi);
+    ++home_offsets_[static_cast<size_t>(home_[tk]) + 1];
+  }
+  for (int r = 0; r < n_regions; ++r) {
+    home_offsets_[static_cast<size_t>(r) + 1] +=
+        home_offsets_[static_cast<size_t>(r)];
+  }
+  for (const int32_t idx : lottery_pending_) {
+    const size_t tk = static_cast<size_t>(vacant[static_cast<size_t>(idx)].taxi);
+    lottery_sorted_[static_cast<size_t>(
+        home_offsets_[static_cast<size_t>(home_[tk])]++)] = idx;
+  }
+
+  // Pass 2 — the demand-biased random walk over {stay} + neighbours; the
+  // bias strength is the driver's persistent skill, damped by distance
+  // from the driver's home turf (the leash). The weight of candidate r is
+  //   (1 + skill * (Rate(r) * distortion(r))^herding) * anchor(r)
+  //     = anchor(r) * (1 + skill * distort(r) * rate_pow[r]),
+  // computed straight from the quantised exp tables and home's dense
+  // travel row — all L2-resident, so recomputing beats caching rows
+  // per driver (a per-taxi row cache churns megabytes of scattered
+  // lines per slot for a mediocre hit rate).
+  const size_t n_lottery = lottery_pending_.size();
+  for (size_t s = 0; s < n_lottery; ++s) {
+    const int32_t idx = lottery_sorted_[s];
+    const TaxiObs& obs = vacant[static_cast<size_t>(idx)];
+    const size_t tk = static_cast<size_t>(obs.taxi);
     const auto& neighbors = city.Neighbors(obs.region);
-    weight_scratch_.clear();
+    const int n_cands = 1 + static_cast<int>(neighbors.size());
+    const double skill = skill_[tk];
+    const double inv_leash = inv_leash_[tk];
+    const uint64_t taxi_seed =
+        options_.seed ^ (static_cast<uint64_t>(obs.taxi) << 20);
+    const float* home_row = city.TravelMinutesRow(home_[tk]);
     auto weight_of = [&](RegionId r) {
-      // The driver's belief about region r's demand: the true rate warped
-      // by a persistent personal distortion.
-      const double u = HashUnit(
-          options_.seed ^ (static_cast<uint64_t>(obs.taxi) << 20),
-          static_cast<uint64_t>(r) + 7);
-      const double distortion =
-          std::exp(options_.belief_noise_sigma * 2.0 * (u - 0.5) * 1.7);
-      const double believed_demand =
-          std::pow(sim.demand().Rate(r, sim.now()) * distortion,
-                   options_.herding_exponent);
-      const double anchoring =
-          std::exp(-city.TravelMinutes(r, home) / leash);
-      return (1.0 + skill * believed_demand) * anchoring;
+      const double u = HashUnit(taxi_seed, static_cast<uint64_t>(r) + 7);
+      const double x = home_row[static_cast<size_t>(r)] * inv_leash;
+      size_t ai = static_cast<size_t>(x * (kAnchorBins / kAnchorXMax));
+      if (ai >= static_cast<size_t>(kAnchorBins)) ai = kAnchorBins - 1;
+      return anchor_exp_[ai] *
+             (1.0 +
+              skill * distort_exp_[static_cast<size_t>(u * kDistortBins)] *
+                  rate_pow_[static_cast<size_t>(r)]);
     };
+    weight_scratch_.clear();
     weight_scratch_.push_back(weight_of(obs.region));
-    for (RegionId n : neighbors) {
-      weight_scratch_.push_back(weight_of(n));
+    for (int j = 0; j < n_cands - 1; ++j) {
+      weight_scratch_.push_back(weight_of(neighbors[j]));
     }
     const size_t pick = rng_.WeightedIndex(weight_scratch_);
-    if (pick == 0) {
-      actions->push_back(Action::Stay());
-    } else {
-      actions->push_back(Action::Move(neighbors[pick - 1]));
-    }
+    (*actions)[static_cast<size_t>(idx)] =
+        pick == 0 ? Action::Stay() : Action::Move(neighbors[pick - 1]);
   }
 }
 

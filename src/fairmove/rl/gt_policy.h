@@ -81,9 +81,45 @@ class GtPolicy : public DisplacementPolicy {
   double DriverLeash(TaxiId taxi) const;
 
  private:
+  /// (Re)builds the trait and candidate-row caches when the fleet or city
+  /// they were built for changed. No-op in steady state.
+  void EnsureCaches(const Simulator& sim);
+
   Options options_;
   Rng rng_;
   std::vector<double> weight_scratch_;
+
+  // Cruising-lottery batching: gate decisions run in observation order,
+  // but the weighted walk itself is deferred and processed grouped by the
+  // driver's home region (counting sort below), so consecutive drivers
+  // reuse the same dense travel row instead of faulting a fresh one each.
+  std::vector<int32_t> lottery_pending_;  // obs/action indices, stream order
+  std::vector<int32_t> lottery_sorted_;   // same indices, home-grouped
+  std::vector<int32_t> home_offsets_;     // counting-sort scratch
+
+  // Per-driver trait caches: every trait is a pure hash of (seed, taxi),
+  // so it is computed once per episode instead of once per decision.
+  std::vector<double> skill_;
+  std::vector<RegionId> home_;
+  std::vector<double> inv_leash_;
+  std::vector<double> stay_bias_;
+  std::vector<uint8_t> undisciplined_;
+
+  // Per-slot cache of pow(Rate(r, now), herding_exponent): the only
+  // slot-varying factor of the cruising weights, shared by every driver.
+  std::vector<double> rate_pow_;
+  int64_t rate_pow_slot_ = -1;
+
+  // Quantised exp tables for the weight computation. It evaluates
+  //   exp(-travel * inv_leash)  and  exp(k_distort * (u - 0.5)),
+  // tens of thousands of times per slot; both arguments live in fixed
+  // ranges, so a table probe (<=0.1% quantisation, deterministic at any
+  // thread count) replaces the libm call.
+  static constexpr int kAnchorBins = 8192;
+  static constexpr double kAnchorXMax = 16.0;  // exp(-16) ~ 1e-7: noise floor
+  static constexpr int kDistortBins = 4096;
+  std::vector<double> anchor_exp_;   // exp(-x), x in [0, kAnchorXMax)
+  std::vector<double> distort_exp_;  // exp(k_distort*(u-0.5)), u in [0,1)
 };
 
 }  // namespace fairmove

@@ -23,6 +23,105 @@ Status BatteryConfig::Validate() const {
   return Status::OK();
 }
 
+namespace battery_math {
+
+double PowerKwAt(const BatteryConfig& config, double soc) {
+  if (soc < config.taper_soc) return config.max_charge_kw;
+  if (soc >= 1.0) return 0.0;
+  const double frac = (soc - config.taper_soc) / (1.0 - config.taper_soc);
+  return config.max_charge_kw +
+         frac * (config.min_charge_kw - config.max_charge_kw);
+}
+
+double ConsumeKm(const BatteryConfig& config, double* soc, double km) {
+  FM_CHECK(km >= 0.0);
+  const double possible_km =
+      *soc * config.capacity_kwh / config.consumption_kwh_per_km;
+  const double driven = std::min(km, possible_km);
+  *soc = std::max(
+      0.0, *soc - driven * config.consumption_kwh_per_km / config.capacity_kwh);
+  return driven;
+}
+
+double ChargeFor(const BatteryConfig& config, double* soc, double minutes,
+                 double power_scale) {
+  FM_CHECK(minutes >= 0.0);
+  FM_CHECK(power_scale > 0.0);
+  double added = 0.0;
+  double remaining = minutes;
+  // 1-minute integration steps: accurate enough for a 10-minute slot and
+  // keeps charging deterministic and O(minutes).
+  while (remaining > 0.0 && *soc < 1.0) {
+    const double dt_min = std::min(1.0, remaining);
+    const double kwh = power_scale * PowerKwAt(config, *soc) * dt_min / 60.0;
+    const double capped = std::min(kwh, (1.0 - *soc) * config.capacity_kwh);
+    *soc += capped / config.capacity_kwh;
+    added += capped;
+    remaining -= dt_min;
+  }
+  return added;
+}
+
+double ChargeToward(const BatteryConfig& config, double* soc,
+                    double target_soc, double cap_minutes,
+                    double power_scale, double* minutes_used) {
+  FM_CHECK(cap_minutes >= 0.0);
+  FM_CHECK(power_scale > 0.0);
+  double added = 0.0;
+  double minutes = 0.0;
+  // ChargeFor's integration step, stopping as soon as the target is
+  // reached: one pass does the work MinutesToReach + ChargeFor used to do
+  // in two. Below the taper knee the power is constant, so whole minutes
+  // there are batched into one closed-form jump instead of stepping.
+  while (minutes < cap_minutes && *soc < target_soc && *soc < 1.0) {
+    const double bound = std::min(target_soc, config.taper_soc);
+    const double whole = std::floor(cap_minutes - minutes);
+    if (whole >= 1.0 && *soc < bound) {
+      const double kwh_min = power_scale * config.max_charge_kw / 60.0;
+      const double dsoc = kwh_min / config.capacity_kwh;
+      if (dsoc < (1.0 - *soc)) {  // the per-minute cap cannot bind here
+        const double steps = std::min(
+            whole, std::ceil((bound - *soc) / dsoc));
+        if (steps >= 1.0) {
+          *soc += steps * dsoc;
+          added += steps * kwh_min;
+          minutes += steps;
+          continue;
+        }
+      }
+    }
+    const double dt_min = std::min(1.0, cap_minutes - minutes);
+    const double kwh = power_scale * PowerKwAt(config, *soc) * dt_min / 60.0;
+    const double capped = std::min(kwh, (1.0 - *soc) * config.capacity_kwh);
+    if (capped <= 0.0) break;
+    *soc += capped / config.capacity_kwh;
+    added += capped;
+    minutes += dt_min;
+  }
+  *minutes_used = minutes;
+  return added;
+}
+
+double MinutesToReach(const BatteryConfig& config, double soc,
+                      double target_soc, double power_scale,
+                      double cap_minutes) {
+  FM_CHECK(target_soc >= 0.0 && target_soc <= 1.0);
+  FM_CHECK(power_scale > 0.0);
+  if (target_soc <= soc) return 0.0;
+  // Mirror ChargeFor's integration so the two agree.
+  double minutes = 0.0;
+  while (soc < target_soc && minutes < cap_minutes) {
+    const double kw = power_scale * PowerKwAt(config, soc);
+    if (kw <= 0.0) break;
+    const double kwh = kw / 60.0;
+    soc += kwh / config.capacity_kwh;
+    minutes += 1.0;
+  }
+  return minutes;
+}
+
+}  // namespace battery_math
+
 Battery::Battery(const BatteryConfig& config, double initial_soc)
     : config_(config), soc_(initial_soc) {
   FM_CHECK(config.Validate().ok()) << config.Validate();
@@ -31,57 +130,23 @@ Battery::Battery(const BatteryConfig& config, double initial_soc)
 }
 
 double Battery::ConsumeKm(double km) {
-  FM_CHECK(km >= 0.0);
-  const double possible_km = RangeKm();
-  const double driven = std::min(km, possible_km);
-  soc_ = std::max(0.0, soc_ - KwhForKm(driven) / config_.capacity_kwh);
-  return driven;
+  return battery_math::ConsumeKm(config_, &soc_, km);
 }
 
 double Battery::PowerKwAt(double soc) const {
-  if (soc < config_.taper_soc) return config_.max_charge_kw;
-  if (soc >= 1.0) return 0.0;
-  const double frac = (soc - config_.taper_soc) / (1.0 - config_.taper_soc);
-  return config_.max_charge_kw +
-         frac * (config_.min_charge_kw - config_.max_charge_kw);
+  return battery_math::PowerKwAt(config_, soc);
 }
 
 double Battery::ChargeFor(double minutes, double power_scale) {
-  FM_CHECK(minutes >= 0.0);
-  FM_CHECK(power_scale > 0.0);
-  double added = 0.0;
-  double remaining = minutes;
-  // 1-minute integration steps: accurate enough for a 10-minute slot and
-  // keeps charging deterministic and O(minutes).
-  while (remaining > 0.0 && soc_ < 1.0) {
-    const double dt_min = std::min(1.0, remaining);
-    const double kwh = power_scale * PowerKwAt(soc_) * dt_min / 60.0;
-    const double capped =
-        std::min(kwh, (1.0 - soc_) * config_.capacity_kwh);
-    soc_ += capped / config_.capacity_kwh;
-    added += capped;
-    remaining -= dt_min;
-  }
-  return added;
+  return battery_math::ChargeFor(config_, &soc_, minutes, power_scale);
 }
 
 double Battery::MinutesToReach(double target_soc,
                                double power_scale) const {
-  FM_CHECK(target_soc >= 0.0 && target_soc <= 1.0);
-  FM_CHECK(power_scale > 0.0);
-  if (target_soc <= soc_) return 0.0;
-  // Mirror ChargeFor's integration so the two agree.
-  double soc = soc_;
-  double minutes = 0.0;
-  while (soc < target_soc) {
-    const double kw = power_scale * PowerKwAt(soc);
-    if (kw <= 0.0) break;
-    const double kwh = kw / 60.0;
-    soc += kwh / config_.capacity_kwh;
-    minutes += 1.0;
-    if (minutes > 24.0 * 60.0) break;  // safety: never more than a day
-  }
-  return minutes;
+  // The historical safety bound: never integrate more than a day. The old
+  // loop broke one step past 24h, so the cap is 24h + 1 min.
+  return battery_math::MinutesToReach(config_, soc_, target_soc, power_scale,
+                                      24.0 * 60.0 + 1.0);
 }
 
 }  // namespace fairmove

@@ -22,6 +22,42 @@ struct BatteryConfig {
   Status Validate() const;
 };
 
+/// Core SoC arithmetic, shared verbatim by the Battery wrapper below and
+/// FleetState's SoA SoC column so the two views are bit-identical.
+namespace battery_math {
+
+double PowerKwAt(const BatteryConfig& config, double soc);
+
+/// Drains `*soc` by `km` of driving; returns the km actually covered
+/// before the pack hit empty.
+double ConsumeKm(const BatteryConfig& config, double* soc, double km);
+
+/// Charges `*soc` for `minutes` at the plug (1-minute numeric integration
+/// of the power curve); returns kWh absorbed.
+double ChargeFor(const BatteryConfig& config, double* soc, double minutes,
+                 double power_scale);
+
+/// Fused per-slot charging step: advances `*soc` toward `target_soc` for
+/// at most `cap_minutes` using ChargeFor's exact integration, stopping at
+/// the first whole minute where the target is reached. Returns kWh
+/// absorbed and writes the minutes spent to `*minutes_used` — one
+/// integration pass where a MinutesToReach + ChargeFor pair would walk the
+/// same minutes twice.
+double ChargeToward(const BatteryConfig& config, double* soc,
+                    double target_soc, double cap_minutes,
+                    double power_scale, double* minutes_used);
+
+/// Whole minutes at the plug needed to lift `soc` to `target_soc`,
+/// integrating at most `cap_minutes` (the loop exits as soon as the cap is
+/// reached, so a per-slot caller pays O(slot) instead of O(session)). For
+/// any cap, the result equals min(cap, uncapped minutes) bit-for-bit
+/// because the integration is a pure prefix.
+double MinutesToReach(const BatteryConfig& config, double soc,
+                      double target_soc, double power_scale,
+                      double cap_minutes);
+
+}  // namespace battery_math
+
 /// Battery state of one e-taxi. SoC is kept in [0, 1]; drains with
 /// driven km and refills through ChargeFor with a CC/taper power curve —
 /// the curve is what stretches top-ups into the 45–120 min sessions the

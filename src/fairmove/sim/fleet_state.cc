@@ -1,0 +1,43 @@
+#include "fairmove/sim/fleet_state.h"
+
+#include "fairmove/common/macros.h"
+
+namespace fairmove {
+
+void FleetState::Reset(int num_taxis, const BatteryConfig& battery) {
+  FM_CHECK(num_taxis > 0);
+  FM_CHECK(battery.Validate().ok()) << battery.Validate();
+  battery_ = battery;
+  const size_t n = static_cast<size_t>(num_taxis);
+  region.assign(n, kInvalidRegion);
+  phase.assign(n, TaxiPhase::kCruising);
+  busy_until.assign(n, 0);
+  soc.assign(n, 0.0);
+  cruise_min.assign(n, 0.0);
+  serve_min.assign(n, 0.0);
+  idle_min.assign(n, 0.0);
+  charge_min.assign(n, 0.0);
+  revenue_cny.assign(n, 0.0);
+  charge_cost_cny.assign(n, 0.0);
+  cold.assign(n, TaxiCold{});
+}
+
+TaxiTotals FleetState::Totals(TaxiId i) const {
+  const size_t k = static_cast<size_t>(i);
+  TaxiTotals t;
+  t.cruise_min = cruise_min[k];
+  t.serve_min = serve_min[k];
+  t.idle_min = idle_min[k];
+  t.charge_min = charge_min[k];
+  t.revenue_cny = revenue_cny[k];
+  t.charge_cost_cny = charge_cost_cny[k];
+  t.km_driven = cold[k].km_driven;
+  t.kwh_charged = cold[k].kwh_charged;
+  t.num_trips = cold[k].num_trips;
+  t.num_charges = cold[k].num_charges;
+  t.num_strandings = cold[k].num_strandings;
+  t.num_breakdowns = cold[k].num_breakdowns;
+  return t;
+}
+
+}  // namespace fairmove

@@ -9,33 +9,44 @@ MatchingEngine::MatchingEngine(int num_regions, int patience_slots)
   FM_CHECK(num_regions > 0);
   FM_CHECK(patience_slots >= 0);
   queues_.resize(static_cast<size_t>(num_regions));
+  pending_.assign(static_cast<size_t>(num_regions), 0);
 }
 
-void MatchingEngine::AddRequest(const Request& request) {
-  FM_CHECK(request.origin >= 0 &&
-           request.origin < static_cast<RegionId>(queues_.size()))
-      << "request origin " << request.origin;
-  queues_[static_cast<size_t>(request.origin)].push_back(request);
-  ++total_pending_;
+void MatchingEngine::AddRequests(RegionId origin, int count,
+                                 int64_t created_slot) {
+  FM_CHECK(origin >= 0 && origin < static_cast<RegionId>(queues_.size()))
+      << "request origin " << origin;
+  FM_CHECK(count > 0) << "empty cohort in region " << origin;
+  auto& q = queues_[static_cast<size_t>(origin)];
+  if (!q.empty() && q.back().created_slot == created_slot) {
+    q.back().count += count;
+  } else {
+    q.push_back(Cohort{count, created_slot});
+  }
+  pending_[static_cast<size_t>(origin)] += count;
 }
 
 Request MatchingEngine::PopOldest(RegionId region) {
   auto& q = queues_.at(static_cast<size_t>(region));
   FM_CHECK(!q.empty()) << "no pending request in region " << region;
-  Request r = q.front();
-  q.pop_front();
-  --total_pending_;
+  Cohort& front = q.front();
+  Request r;
+  r.origin = region;
+  r.created_slot = front.created_slot;
+  if (--front.count == 0) q.pop_front();
+  --pending_[static_cast<size_t>(region)];
   return r;
 }
 
 int64_t MatchingEngine::ExpireOld(TimeSlot now) {
   int64_t expired = 0;
-  for (auto& q : queues_) {
+  for (size_t r = 0; r < queues_.size(); ++r) {
+    auto& q = queues_[r];
     while (!q.empty() &&
            now.index - q.front().created_slot > patience_slots_) {
+      expired += q.front().count;
+      pending_[r] -= q.front().count;
       q.pop_front();
-      ++expired;
-      --total_pending_;
     }
   }
   return expired;
@@ -43,7 +54,7 @@ int64_t MatchingEngine::ExpireOld(TimeSlot now) {
 
 void MatchingEngine::Clear() {
   for (auto& q : queues_) q.clear();
-  total_pending_ = 0;
+  pending_.assign(pending_.size(), 0);
 }
 
 }  // namespace fairmove

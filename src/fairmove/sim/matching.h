@@ -1,6 +1,7 @@
 #ifndef FAIRMOVE_SIM_MATCHING_H_
 #define FAIRMOVE_SIM_MATCHING_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "fairmove/common/ring_queue.h"
@@ -9,7 +10,9 @@
 
 namespace fairmove {
 
-/// One passenger request waiting in a region.
+/// One passenger request waiting in a region. `dest` is drawn lazily by the
+/// server at pickup time (see MatchingEngine), so a popped request carries
+/// kInvalidRegion until the serving site fills it in.
 struct Request {
   RegionId origin = kInvalidRegion;
   RegionId dest = kInvalidRegion;
@@ -20,35 +23,64 @@ struct Request {
 /// matching assumption (§III-C): "passengers in a region will always be
 /// served by the vacant and available e-taxis" in that region, nearest
 /// first — region-local FIFO is the slot-granular equivalent.
+///
+/// Requests are stored as *cohorts*: all requests spawned in one region in
+/// one slot share an age, so the queue keeps (count, created_slot) pairs
+/// instead of individual records. At full Shenzhen scale ~40% of spawned
+/// requests expire unserved; cohorts mean those never cost a per-request
+/// push, a per-request expiry pop, or a destination draw — destinations are
+/// drawn lazily by the server only for trips that actually happen.
 class MatchingEngine {
  public:
   /// `patience_slots`: a request unserved for this many whole slots expires.
   MatchingEngine(int num_regions, int patience_slots);
 
-  void AddRequest(const Request& request);
+  /// Enqueues `count` same-age requests in `origin` as one cohort
+  /// (one push per region per slot, however large the Poisson draw).
+  void AddRequests(RegionId origin, int count, int64_t created_slot);
 
-  /// Number of requests currently waiting in `region`.
-  int PendingCount(RegionId region) const {
-    return static_cast<int>(queues_[static_cast<size_t>(region)].size());
+  /// Single-request convenience used by tests.
+  void AddRequest(const Request& request) {
+    AddRequests(request.origin, 1, request.created_slot);
   }
 
-  int64_t TotalPending() const { return total_pending_; }
+  /// Number of requests currently waiting in `region`. O(1): maintained
+  /// incrementally, and region-pure — under region-sharded stepping,
+  /// concurrent shards touch only their own regions' entries.
+  int PendingCount(RegionId region) const {
+    return pending_[static_cast<size_t>(region)];
+  }
 
-  /// Pops the oldest request of `region`; CHECK-fails when empty.
+  /// Computed on demand (O(num_regions)); called only from serial phases.
+  int64_t TotalPending() const {
+    int64_t total = 0;
+    for (const int32_t p : pending_) total += p;
+    return total;
+  }
+
+  /// Pops the oldest request of `region`; CHECK-fails when empty. The
+  /// returned request has `dest == kInvalidRegion` — the caller draws the
+  /// destination from the region's demand distribution at serve time.
   Request PopOldest(RegionId region);
 
   /// Drops requests older than the patience window; returns how many
-  /// expired (lost demand).
+  /// expired (lost demand). Whole cohorts expire at once.
   int64_t ExpireOld(TimeSlot now);
 
   void Clear();
 
  private:
+  struct Cohort {
+    int32_t count = 0;
+    int64_t created_slot = 0;
+  };
+
   int patience_slots_;
   /// Rings, not deques: the per-slot add/pop/expire churn must not touch
-  /// the heap once warm (Simulator::Step's zero-allocation contract).
-  std::vector<RingQueue<Request>> queues_;
-  int64_t total_pending_ = 0;
+  /// the heap once warm (Simulator::Step's zero-allocation contract). A
+  /// region holds at most patience_slots_+1 live cohorts.
+  std::vector<RingQueue<Cohort>> queues_;
+  std::vector<int32_t> pending_;
 };
 
 }  // namespace fairmove

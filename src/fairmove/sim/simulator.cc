@@ -1,11 +1,14 @@
 #include "fairmove/sim/simulator.h"
 
+#include "fairmove/common/parallel.h"
 #include "fairmove/common/stats.h"
 #include "fairmove/obs/jsonl.h"
 #include "fairmove/obs/metrics.h"
+#include "fairmove/obs/span.h"
 #include "fairmove/obs/telemetry.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace fairmove {
@@ -14,16 +17,19 @@ Status SimConfig::Validate() const {
   // NaN slips through every range comparison below (NaN < x and NaN > x are
   // both false), so reject non-finite knobs explicitly first.
   const double knobs[] = {
-      soc_force_charge,  soc_may_charge,     charge_target_min,
-      charge_target_max, pickup_overhead_min, cruise_drive_factor,
-      initial_soc_min,   initial_soc_max,    stranding_penalty_min,
-      slow_plug_prob,    slow_plug_factor,   renege_queue_factor,
-      dispatch_radius_minutes, hustle_sigma};
+      scale,             soc_force_charge,    soc_may_charge,
+      charge_target_min, charge_target_max,   pickup_overhead_min,
+      cruise_drive_factor, initial_soc_min,   initial_soc_max,
+      stranding_penalty_min, slow_plug_prob,  slow_plug_factor,
+      renege_queue_factor, dispatch_radius_minutes, hustle_sigma};
   for (double v : knobs) {
     if (!std::isfinite(v)) {
       return Status::InvalidArgument(
           "SimConfig contains a non-finite (NaN/Inf) parameter");
     }
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
   }
   if (num_taxis <= 0) return Status::InvalidArgument("num_taxis must be > 0");
   if (soc_force_charge <= 0.0 || soc_force_charge >= 1.0) {
@@ -103,12 +109,19 @@ Simulator::Simulator(const City* city, const DemandSource* demand,
       trace_(config.trace_level),
       rng_(config.seed),
       fault_rng_(config.seed) {
+  // Capturing only `this` keeps the closure inside std::function's
+  // small-buffer storage: RunSharded never heap-allocates.
+  shard_runner_ = [this](int64_t shard) {
+    (this->*shard_body_)(static_cast<int>(shard));
+  };
   Reset();
 }
 
 namespace {
 /// Salt separating the fault stream from the main stream under one seed.
 constexpr uint64_t kFaultStreamSalt = 0xFA017EC7ED5EEDULL;
+/// DeriveSeed namespace of the per-region streams.
+constexpr uint64_t kRegionStreamNs = 0x5EED0FA1E6103ULL;
 }  // namespace
 
 Status Simulator::SetFaultSchedule(const FaultSchedule* schedule) {
@@ -142,7 +155,9 @@ void Simulator::Reset(uint64_t seed_override) {
   }
 
   // Initial taxi placement follows the daily demand share of each region,
-  // which is where an operating fleet would be.
+  // which is where an operating fleet would be. The draw order (placement,
+  // SoC, hustle, per taxi) is the historical one, so initial fleets are
+  // bit-identical across the SoA refactor.
   std::vector<double> weights(static_cast<size_t>(city_->num_regions()));
   for (RegionId r = 0; r < city_->num_regions(); ++r) {
     double total = 0.0;
@@ -151,24 +166,88 @@ void Simulator::Reset(uint64_t seed_override) {
     }
     weights[static_cast<size_t>(r)] = total;
   }
-  taxis_.clear();
-  taxis_.reserve(static_cast<size_t>(config_.num_taxis));
+  fleet_.Reset(config_.num_taxis, config_.battery);
   hustle_.clear();
   hustle_.reserve(static_cast<size_t>(config_.num_taxis));
   for (int i = 0; i < config_.num_taxis; ++i) {
-    const RegionId region = static_cast<RegionId>(rng_.WeightedIndex(weights));
-    const double soc =
+    fleet_.region[static_cast<size_t>(i)] =
+        static_cast<RegionId>(rng_.WeightedIndex(weights));
+    fleet_.soc[static_cast<size_t>(i)] =
         rng_.Uniform(config_.initial_soc_min, config_.initial_soc_max);
-    taxis_.emplace_back(static_cast<TaxiId>(i), region, config_.battery, soc);
     hustle_.push_back(rng_.LogNormal(0.0, config_.hustle_sigma));
+  }
+
+  // Per-region streams: region-keyed draws come from DeriveSeed(seed, r)
+  // streams instead of one global consumption order, so sharded phases draw
+  // identical values at any thread count (DESIGN.md §11).
+  region_rngs_.clear();
+  region_rngs_.reserve(static_cast<size_t>(city_->num_regions()));
+  for (RegionId r = 0; r < city_->num_regions(); ++r) {
+    region_rngs_.emplace_back(
+        DeriveSeed(seed, kRegionStreamNs, static_cast<uint64_t>(r)));
   }
 
   predictor_ = DemandPredictor(city_->num_regions());
   predictor_.PrimeFromModel(*demand_);
 
   vacant_count_.assign(static_cast<size_t>(city_->num_regions()), 0);
-  slot_profit_.assign(taxis_.size(), 0.0);
+  slot_profit_.assign(static_cast<size_t>(fleet_.size()), 0.0);
   decisions_.clear();
+
+  // Region shard plan: a fixed number of contiguous region blocks,
+  // independent of the thread count (more threads never changes which
+  // stream a draw comes from or the outbox merge order).
+  const int num_regions = city_->num_regions();
+  num_shards_ = std::min(8, num_regions);
+  shard_of_region_.resize(static_cast<size_t>(num_regions));
+  shard_regions_.assign(static_cast<size_t>(num_shards_),
+                        {RegionId{0}, RegionId{0}});
+  for (RegionId r = 0; r < num_regions; ++r) {
+    const int s = static_cast<int>(static_cast<int64_t>(r) * num_shards_ /
+                                   num_regions);
+    shard_of_region_[static_cast<size_t>(r)] = s;
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    shard_regions_[static_cast<size_t>(s)] = {
+        static_cast<RegionId>(static_cast<int64_t>(s) * num_regions /
+                              num_shards_),
+        static_cast<RegionId>(static_cast<int64_t>(s + 1) * num_regions /
+                              num_shards_)};
+  }
+  shard_stations_.assign(static_cast<size_t>(num_shards_), {});
+  shard_of_station_.resize(static_cast<size_t>(city_->num_stations()));
+  for (StationId s = 0; s < city_->num_stations(); ++s) {
+    const int shard =
+        shard_of_region_[static_cast<size_t>(city_->station(s).region)];
+    shard_of_station_[static_cast<size_t>(s)] = shard;
+    shard_stations_[static_cast<size_t>(shard)].push_back(s);
+  }
+  shard_taxis_.assign(static_cast<size_t>(num_shards_), {TaxiId{0}, TaxiId{0}});
+  for (int s = 0; s < num_shards_; ++s) {
+    shard_taxis_[static_cast<size_t>(s)] = {
+        static_cast<TaxiId>(static_cast<int64_t>(s) * fleet_.size() /
+                            num_shards_),
+        static_cast<TaxiId>(static_cast<int64_t>(s + 1) * fleet_.size() /
+                            num_shards_)};
+  }
+  shards_.resize(static_cast<size_t>(num_shards_));
+  // A region-slot Poisson draw never plausibly exceeds this, so the spawn
+  // scratch stays allocation-free once warm.
+  charging_roster_.assign(static_cast<size_t>(num_shards_), {});
+  charging_pos_.assign(static_cast<size_t>(fleet_.size()), -1);
+
+  // Arrival calendar: empty buckets, every taxi unscheduled.
+  cal_head_.assign(static_cast<size_t>(kCalendarSlots), -1);
+  cal_next_.assign(static_cast<size_t>(fleet_.size()), -1);
+  cal_prev_.assign(static_cast<size_t>(fleet_.size()), -1);
+  cal_due_.assign(static_cast<size_t>(fleet_.size()), -1);
+  cal_in_ring_.assign(static_cast<size_t>(fleet_.size()), 0);
+  calendar_far_.clear();
+  due_bits_.assign((static_cast<size_t>(fleet_.size()) + 63) / 64, 0);
+
+  snap_avail_.assign(static_cast<size_t>(city_->num_stations()), 0);
+  snap_wait_.assign(static_cast<size_t>(city_->num_stations()), 0);
+  snap_occ_.assign(static_cast<size_t>(city_->num_stations()), 0);
 
   // Dispatch mode: precompute, per region, the other regions within the
   // radius (nearest first).
@@ -194,19 +273,50 @@ void Simulator::Reset(uint64_t seed_override) {
 }
 
 void Simulator::Step(DisplacementPolicy* policy) {
+  FM_SPAN("sim.step");
   std::fill(slot_profit_.begin(), slot_profit_.end(), 0.0);
   decisions_.clear();
 
-  if (fault_schedule_ != nullptr) ApplyScheduledFaults();
-  CompleteArrivals();
-  PlugInWaiting();
-  AdvanceCharging();
-  SpawnRequests();
-  MatchPassengers();
-  DecideAndApply(policy);
-  ExpireRequests();
-  AccountTimeAndStranding();
-  RefreshFleetPeStats();
+  if (fault_schedule_ != nullptr) {
+    FM_SPAN("sim.faults");
+    ApplyScheduledFaults();
+  }
+  {
+    FM_SPAN("sim.arrivals");
+    CompleteArrivals();
+  }
+  {
+    FM_SPAN("sim.plugin");
+    PlugInWaiting();
+  }
+  {
+    FM_SPAN("sim.charge");
+    AdvanceCharging();
+  }
+  {
+    FM_SPAN("sim.spawn");
+    SpawnRequests();
+  }
+  {
+    FM_SPAN("sim.match");
+    MatchPassengers();
+  }
+  {
+    FM_SPAN("sim.decide");
+    DecideAndApply(policy);
+  }
+  {
+    FM_SPAN("sim.expire");
+    ExpireRequests();
+  }
+  {
+    FM_SPAN("sim.account");
+    AccountTimeAndStranding();
+  }
+  {
+    FM_SPAN("sim.pestats");
+    RefreshFleetPeStats();
+  }
   EmitSlotTelemetry(slot_counts_);
 
   now_ = now_.Next();
@@ -215,6 +325,139 @@ void Simulator::Step(DisplacementPolicy* policy) {
 void Simulator::RunSlots(DisplacementPolicy* policy, int64_t slots) {
   for (int64_t i = 0; i < slots; ++i) Step(policy);
 }
+
+void Simulator::RunSharded(void (Simulator::*body)(int)) {
+  shard_body_ = body;
+  GlobalPool().ParallelFor(num_shards_, shard_runner_);
+}
+
+// --- Arrival calendar ------------------------------------------------------
+
+void Simulator::CalendarUnlink(TaxiId taxi) {
+  const size_t k = static_cast<size_t>(taxi);
+  if (cal_due_[k] < 0 || !cal_in_ring_[k]) return;  // far entries go stale
+  const TaxiId next = cal_next_[k];
+  const TaxiId prev = cal_prev_[k];
+  if (prev >= 0) {
+    cal_next_[static_cast<size_t>(prev)] = next;
+  } else {
+    cal_head_[static_cast<size_t>(cal_due_[k] % kCalendarSlots)] = next;
+  }
+  if (next >= 0) cal_prev_[static_cast<size_t>(next)] = prev;
+}
+
+void Simulator::ScheduleArrival(TaxiId taxi, int64_t due_slot) {
+  // Clamp to the next slot: a transition scheduled "now or earlier" is
+  // picked up at the next CompleteArrivals, exactly when the historical
+  // full-fleet busy_until scan would have seen it.
+  const int64_t due = std::max<int64_t>(due_slot, now_.index + 1);
+  const size_t k = static_cast<size_t>(taxi);
+  if (cal_due_[k] == due) return;  // already booked for that slot
+  CalendarUnlink(taxi);  // a reschedule supersedes the previous booking
+  cal_due_[k] = due;
+  if (due - now_.index >= kCalendarSlots) {
+    cal_in_ring_[k] = 0;
+    calendar_far_.push_back({due, taxi});
+    return;
+  }
+  cal_in_ring_[k] = 1;
+  const size_t bucket = static_cast<size_t>(due % kCalendarSlots);
+  const TaxiId head = cal_head_[bucket];
+  cal_next_[k] = head;
+  cal_prev_[k] = -1;
+  if (head >= 0) cal_prev_[static_cast<size_t>(head)] = taxi;
+  cal_head_[bucket] = taxi;
+}
+
+void Simulator::CollectDueArrivals() {
+  const int64_t now = now_.index;
+  // Pop the whole bucket: every linked entry's due slot is exactly `now`
+  // (entries land at most kCalendarSlots - 1 ahead, and the bucket was
+  // drained the last time the ring index passed it). The chain is in
+  // insertion order; marking a bitmap and sweeping it below yields the
+  // ascending-id processing order without a sort.
+  const size_t bucket = static_cast<size_t>(now % kCalendarSlots);
+  for (TaxiId t = cal_head_[bucket]; t >= 0;) {
+    const size_t k = static_cast<size_t>(t);
+    due_bits_[k >> 6] |= uint64_t{1} << (k & 63);
+    const TaxiId next = cal_next_[k];
+    cal_due_[k] = -1;  // next/prev left stale: any future link rewrites them
+    t = next;
+  }
+  cal_head_[bucket] = -1;
+  if (!calendar_far_.empty()) {
+    // Far-horizon entries migrate into the ring once their due slot is
+    // within the window (normally empty: only multi-week repairs land
+    // here). An entry is live only while it matches the taxi's current
+    // booking — a reschedule cannot reach into this vector, it just strands
+    // the old pair here until this sweep drops it.
+    size_t keep = 0;
+    for (const auto& entry : calendar_far_) {
+      const size_t k = static_cast<size_t>(entry.second);
+      if (cal_due_[k] != entry.first || cal_in_ring_[k]) continue;  // stale
+      if (entry.first - now >= kCalendarSlots) {
+        calendar_far_[keep++] = entry;
+      } else if (entry.first <= now) {
+        cal_due_[k] = -1;
+        due_bits_[k >> 6] |= uint64_t{1} << (k & 63);
+      } else {
+        cal_due_[k] = -1;  // re-book through the front door
+        ScheduleArrival(entry.second, entry.first);
+      }
+    }
+    calendar_far_.resize(keep);
+  }
+  for (auto& sc : shards_) sc.work.clear();
+  for (size_t w = 0; w < due_bits_.size(); ++w) {
+    uint64_t bits = due_bits_[w];
+    if (bits == 0) continue;
+    due_bits_[w] = 0;
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      const TaxiId id = static_cast<TaxiId>((w << 6) + static_cast<size_t>(bit));
+      const size_t k = static_cast<size_t>(id);
+      DispatchDueArrival(id, k, now);
+    }
+  }
+}
+
+void Simulator::DispatchDueArrival(TaxiId id, size_t k, int64_t now) {
+  // Membership is unique, so a popped entry is the taxi's only booking.
+  // Revalidation is a safety net for a transition that moved busy_until
+  // without rescheduling: re-book instead of dropping so the completion
+  // is never lost.
+  if (fleet_.busy_until[k] > now) {
+    ScheduleArrival(id, fleet_.busy_until[k]);
+    return;
+  }
+  int target;
+  switch (fleet_.phase[k]) {
+    case TaxiPhase::kServing:
+      target = shard_of_region_[static_cast<size_t>(fleet_.cold[k].trip_dest)];
+      break;
+    case TaxiPhase::kToStation:
+      target = shard_of_station_[static_cast<size_t>(fleet_.cold[k].station)];
+      break;
+    case TaxiPhase::kBrokenDown:
+      target = shard_of_region_[static_cast<size_t>(fleet_.region[k])];
+      break;
+    default:
+      return;
+  }
+  shards_[static_cast<size_t>(target)].work.push_back(id);
+}
+
+void Simulator::SnapshotStationLoads() {
+  for (StationId s = 0; s < city_->num_stations(); ++s) {
+    const StationQueue& q = stations_[static_cast<size_t>(s)];
+    snap_avail_[static_cast<size_t>(s)] = q.available_points();
+    snap_wait_[static_cast<size_t>(s)] = q.waiting();
+    snap_occ_[static_cast<size_t>(s)] = q.occupied();
+  }
+}
+
+// --- Faults (serial) -------------------------------------------------------
 
 void Simulator::ApplyScheduledFaults() {
   // Station capacity transitions (outage start/derating change/restore).
@@ -238,10 +481,11 @@ void Simulator::ApplyScheduledFaults() {
     // The grid cut power to occupied points: unplug sessions down to the
     // new capacity (they end early rather than strand mid-session).
     if (queue.occupied() > applied) {
-      for (Taxi& taxi : taxis_) {
+      for (TaxiId i = 0; i < fleet_.size(); ++i) {
         if (queue.occupied() <= applied) break;
-        if (taxi.phase == TaxiPhase::kCharging && taxi.station == s) {
-          FinishChargeSession(taxi);
+        if (fleet_.phase[static_cast<size_t>(i)] == TaxiPhase::kCharging &&
+            fleet_.cold[static_cast<size_t>(i)].station == s) {
+          FinishChargeSession(i);
         }
       }
     }
@@ -249,7 +493,7 @@ void Simulator::ApplyScheduledFaults() {
     // normal balking machinery so the taxis redirect instead of stranding.
     if (applied == 0) {
       for (TaxiId id : queue.DrainWaiting()) {
-        ArriveAtStationOrRenege(taxis_[static_cast<size_t>(id)]);
+        ArriveAtStationOrRenegeSerial(id);
       }
     }
   }
@@ -268,9 +512,12 @@ void Simulator::ApplyScheduledFaults() {
 }
 
 void Simulator::ApplyBreakdownHazard() {
-  for (Taxi& taxi : taxis_) {
-    if (taxi.phase != TaxiPhase::kCruising &&
-        taxi.phase != TaxiPhase::kServing) {
+  // Serial on purpose: the per-taxi Bernoulli draws consume the dedicated
+  // fault stream in ascending-id order regardless of the shard plan.
+  for (TaxiId i = 0; i < fleet_.size(); ++i) {
+    const size_t k = static_cast<size_t>(i);
+    if (fleet_.phase[k] != TaxiPhase::kCruising &&
+        fleet_.phase[k] != TaxiPhase::kServing) {
       continue;
     }
     for (const BreakdownHazard& hazard :
@@ -279,238 +526,458 @@ void Simulator::ApplyBreakdownHazard() {
         continue;
       }
       if (!fault_rng_.Bernoulli(hazard.per_slot_prob)) continue;
-      if (taxi.phase == TaxiPhase::kServing) {
+      if (fleet_.phase[k] == TaxiPhase::kServing) {
         // Trip abandoned: the passenger finds another ride, no fare.
-        taxi.pending_fare = 0.0;
-        taxi.trip_dest = kInvalidRegion;
+        fleet_.cold[k].pending_fare = 0.0;
+        fleet_.cold[k].trip_dest = kInvalidRegion;
       }
-      taxi.phase = TaxiPhase::kBrokenDown;
-      taxi.busy_until = now_.index + hazard.repair_slots;
-      taxi.totals.num_breakdowns += 1;
-      RecordFault(FaultEvent{FaultKind::kBreakdown, now_.index, taxi.id,
+      fleet_.phase[k] = TaxiPhase::kBrokenDown;
+      fleet_.busy_until[k] = now_.index + hazard.repair_slots;
+      fleet_.cold[k].num_breakdowns += 1;
+      ScheduleArrival(i, fleet_.busy_until[k]);
+      RecordFault(FaultEvent{FaultKind::kBreakdown, now_.index, i,
                              static_cast<double>(hazard.repair_slots)});
       break;
     }
   }
 }
 
+// --- Arrivals --------------------------------------------------------------
+
 void Simulator::CompleteArrivals() {
-  for (Taxi& taxi : taxis_) {
-    if (taxi.busy_until > now_.index) continue;
-    switch (taxi.phase) {
+  CollectDueArrivals();
+  SnapshotStationLoads();
+  RunSharded(&Simulator::ArrivalsShard);
+  // Ordered commit: queue joins, re-schedules and fault events land in
+  // ascending shard order, then work order — a fixed total order at any
+  // thread count.
+  for (auto& sc : shards_) {
+    for (const auto& [station, taxi] : sc.enqueues) {
+      stations_[static_cast<size_t>(station)].Enqueue(taxi);
+    }
+    for (const auto& [due, taxi] : sc.schedule) ScheduleArrival(taxi, due);
+    for (const FaultEvent& event : sc.faults) RecordFault(event);
+  }
+}
+
+void Simulator::ArrivalsShard(int shard) {
+  ShardScratch& sc = shards_[static_cast<size_t>(shard)];
+  sc.enqueues.clear();
+  sc.schedule.clear();
+  sc.faults.clear();
+  const int64_t now = now_.index;
+  for (TaxiId id : sc.work) {
+    const size_t k = static_cast<size_t>(id);
+    switch (fleet_.phase[k]) {
       case TaxiPhase::kServing: {
         // Drop-off: credit the fare, become vacant at the destination.
-        taxi.totals.revenue_cny += taxi.pending_fare;
-        slot_profit_[static_cast<size_t>(taxi.id)] += taxi.pending_fare;
-        taxi.pending_fare = 0.0;
-        taxi.region = taxi.trip_dest;
-        taxi.trip_dest = kInvalidRegion;
-        taxi.phase = TaxiPhase::kCruising;
-        taxi.vacant_since = now_.index;
+        TaxiCold& cold = fleet_.cold[k];
+        fleet_.revenue_cny[k] += cold.pending_fare;
+        slot_profit_[k] += cold.pending_fare;
+        cold.pending_fare = 0.0;
+        fleet_.region[k] = cold.trip_dest;
+        cold.trip_dest = kInvalidRegion;
+        fleet_.phase[k] = TaxiPhase::kCruising;
+        cold.vacant_since = now;
         break;
       }
       case TaxiPhase::kToStation: {
-        ArriveAtStationOrRenege(taxi);
+        ArriveAtStationOrRenegeSharded(id, sc);
         break;
       }
       case TaxiPhase::kBrokenDown: {
         // Repair finished: rejoin the fleet vacant where the tow left it.
-        taxi.phase = TaxiPhase::kCruising;
-        taxi.vacant_since = now_.index;
-        RecordFault(FaultEvent{FaultKind::kRepaired, now_.index, taxi.id, 0.0});
+        fleet_.phase[k] = TaxiPhase::kCruising;
+        fleet_.cold[k].vacant_since = now;
+        sc.faults.push_back(
+            FaultEvent{FaultKind::kRepaired, now, id, 0.0});
         break;
       }
       default:
-        break;  // cruising / queuing / charging handled elsewhere
+        break;  // revalidation in CollectDueArrivals filters the rest
     }
   }
 }
 
-void Simulator::PlugInWaiting() {
-  for (auto& station : stations_) {
+// --- Charging --------------------------------------------------------------
+
+void Simulator::PlugInWaiting() { RunSharded(&Simulator::PlugInShard); }
+
+void Simulator::PlugInShard(int shard) {
+  for (StationId s : shard_stations_[static_cast<size_t>(shard)]) {
+    StationQueue& station = stations_[static_cast<size_t>(s)];
+    Rng& rng =
+        region_rngs_[static_cast<size_t>(city_->station(s).region)];
     while (station.CanPlugIn()) {
       const TaxiId id = station.PlugInNext();
-      Taxi& taxi = taxis_[static_cast<size_t>(id)];
-      FM_CHECK(taxi.phase == TaxiPhase::kQueuing)
+      const size_t k = static_cast<size_t>(id);
+      FM_CHECK(fleet_.phase[k] == TaxiPhase::kQueuing)
           << "plugged a non-queuing taxi " << id;
-      taxi.phase = TaxiPhase::kCharging;
-      taxi.plugged_at = now_.index;
-      taxi.charge_target_soc = rng_.Uniform(config_.charge_target_min,
-                                            config_.charge_target_max);
-      if (taxi.charge_target_soc <= taxi.battery.soc()) {
-        taxi.charge_target_soc =
-            std::min(1.0, taxi.battery.soc() + 0.05);
+      TaxiCold& cold = fleet_.cold[k];
+      fleet_.phase[k] = TaxiPhase::kCharging;
+      charging_pos_[k] =
+          static_cast<int32_t>(charging_roster_[static_cast<size_t>(shard)]
+                                   .size());
+      charging_roster_[static_cast<size_t>(shard)].push_back(id);
+      cold.plugged_at = now_.index;
+      cold.charge_target_soc = rng.Uniform(config_.charge_target_min,
+                                           config_.charge_target_max);
+      if (cold.charge_target_soc <= fleet_.soc[k]) {
+        cold.charge_target_soc = std::min(1.0, fleet_.soc[k] + 0.05);
       }
-      taxi.session_power_factor =
-          rng_.Bernoulli(config_.slow_plug_prob) ? config_.slow_plug_factor
-                                                 : 1.0;
-      taxi.session_kwh = 0.0;
-      taxi.session_cost = 0.0;
-      taxi.session_charge_min = 0.0;
-      taxi.session_start_soc = taxi.battery.soc();
+      cold.session_power_factor = rng.Bernoulli(config_.slow_plug_prob)
+                                      ? config_.slow_plug_factor
+                                      : 1.0;
+      cold.session_kwh = 0.0;
+      cold.session_cost = 0.0;
+      cold.session_charge_min = 0.0;
+      cold.session_start_soc = fleet_.soc[k];
     }
   }
 }
 
 void Simulator::AdvanceCharging() {
-  for (Taxi& taxi : taxis_) {
-    if (taxi.phase != TaxiPhase::kCharging) continue;
-    const double needed = taxi.battery.MinutesToReach(
-        taxi.charge_target_soc, taxi.session_power_factor);
-    const double minutes = std::min<double>(kMinutesPerSlot, needed);
-    const double added =
-        taxi.battery.ChargeFor(minutes, taxi.session_power_factor);
-    const double cost = tariff_.CostOf(now_, added);
-    taxi.session_kwh += added;
-    taxi.session_cost += cost;
-    taxi.session_charge_min += minutes;
-    taxi.totals.charge_cost_cny += cost;
-    slot_profit_[static_cast<size_t>(taxi.id)] -= cost;
-    if (taxi.battery.soc() >= taxi.charge_target_soc - 1e-9 ||
-        minutes <= 0.0) {
-      FinishChargeSession(taxi);
+  RunSharded(&Simulator::ChargeShard);
+  // Ordered commit of the trace events; the charge-event index a taxi
+  // remembers (for the first-cruise back-fill) only exists now.
+  for (auto& sc : shards_) {
+    for (size_t i = 0; i < sc.charge_events.size(); ++i) {
+      const int64_t index = trace_.AddChargeEvent(sc.charge_events[i]);
+      fleet_.cold[static_cast<size_t>(sc.charge_event_taxi[i])]
+          .last_charge_event = index;
+      trace_.AddCycle(sc.cycles[i]);
     }
   }
 }
 
-void Simulator::FinishChargeSession(Taxi& taxi) {
-  ChargeEvent event;
-  event.taxi = taxi.id;
-  event.station = taxi.station;
-  event.seek_slot = taxi.idle_since;
-  event.plugin_slot = taxi.plugged_at;
-  event.finish_slot = now_.index + 1;
-  const int64_t queue_slots =
-      taxi.plugged_at - taxi.idle_since - taxi.charge_travel_slots;
-  event.idle_min = static_cast<float>(
-      taxi.session_travel_min +
-      kMinutesPerSlot * std::max<int64_t>(0, queue_slots));
-  event.charge_min = static_cast<float>(taxi.session_charge_min);
-  event.kwh = static_cast<float>(taxi.session_kwh);
-  event.cost_cny = static_cast<float>(taxi.session_cost);
-  event.soc_start = static_cast<float>(taxi.session_start_soc);
-  event.soc_end = static_cast<float>(taxi.battery.soc());
-  const int64_t index = trace_.AddChargeEvent(event);
+void Simulator::ChargeShard(int shard) {
+  ShardScratch& sc = shards_[static_cast<size_t>(shard)];
+  sc.charge_events.clear();
+  sc.charge_event_taxi.clear();
+  sc.cycles.clear();
+  std::vector<TaxiId>& roster = charging_roster_[static_cast<size_t>(shard)];
+  for (size_t i = 0; i < roster.size();) {
+    const TaxiId id = roster[i];
+    const size_t k = static_cast<size_t>(id);
+    TaxiCold& cold = fleet_.cold[k];
+    // One fused integration pass per slot: advances the pack toward the
+    // session target and reports the whole minutes it took, instead of a
+    // MinutesToReach probe followed by a ChargeFor that re-walks the same
+    // minutes.
+    double minutes = 0.0;
+    const double added = fleet_.ChargeToward(
+        id, cold.charge_target_soc, kMinutesPerSlot, cold.session_power_factor,
+        &minutes);
+    const double cost = tariff_.CostOf(now_, added);
+    cold.session_kwh += added;
+    cold.session_cost += cost;
+    cold.session_charge_min += minutes;
+    fleet_.charge_cost_cny[k] += cost;
+    slot_profit_[k] -= cost;
+    if (fleet_.soc[k] >= cold.charge_target_soc - 1e-9 || minutes <= 0.0) {
+      sc.charge_events.emplace_back();
+      sc.cycles.emplace_back();
+      sc.charge_event_taxi.push_back(id);
+      // CloseChargeSession swap-erases roster[i]; whatever lands there is
+      // an unvisited taxi, so the index stays put.
+      CloseChargeSession(id, &sc.charge_events.back(), &sc.cycles.back());
+      continue;
+    }
+    ++i;
+  }
+}
 
-  stations_[static_cast<size_t>(taxi.station)].Release();
-  taxi.totals.num_charges += 1;
-  taxi.totals.kwh_charged += taxi.session_kwh;
+void Simulator::CloseChargeSession(TaxiId taxi, ChargeEvent* event,
+                                   CycleRecord* cycle) {
+  const size_t k = static_cast<size_t>(taxi);
+  TaxiCold& cold = fleet_.cold[k];
+  event->taxi = taxi;
+  event->station = cold.station;
+  event->seek_slot = cold.idle_since;
+  event->plugin_slot = cold.plugged_at;
+  event->finish_slot = now_.index + 1;
+  const int64_t queue_slots =
+      cold.plugged_at - cold.idle_since - cold.charge_travel_slots;
+  event->idle_min = static_cast<float>(
+      cold.session_travel_min +
+      kMinutesPerSlot * std::max<int64_t>(0, queue_slots));
+  event->charge_min = static_cast<float>(cold.session_charge_min);
+  event->kwh = static_cast<float>(cold.session_kwh);
+  event->cost_cny = static_cast<float>(cold.session_cost);
+  event->soc_start = static_cast<float>(cold.session_start_soc);
+  event->soc_end = static_cast<float>(fleet_.soc[k]);
+
+  ChargingRosterRemove(taxi);
+  stations_[static_cast<size_t>(cold.station)].Release();
+  cold.num_charges += 1;
+  cold.kwh_charged += cold.session_kwh;
 
   // Close the working cycle t0 -> t5 (paper SII-B): the delta of the
   // taxi's totals since the previous charge completed.
-  CycleRecord cycle;
-  cycle.taxi = taxi.id;
-  cycle.start_slot = taxi.cycle_start_slot;
-  cycle.end_slot = now_.index + 1;
-  cycle.cruise_min = static_cast<float>(taxi.totals.cruise_min -
-                                        taxi.cycle_baseline.cruise_min);
-  cycle.serve_min = static_cast<float>(taxi.totals.serve_min -
-                                       taxi.cycle_baseline.serve_min);
-  cycle.op_min = cycle.cruise_min + cycle.serve_min;
-  cycle.idle_min = static_cast<float>(taxi.totals.idle_min -
-                                      taxi.cycle_baseline.idle_min);
-  cycle.charge_min = static_cast<float>(taxi.totals.charge_min -
-                                        taxi.cycle_baseline.charge_min);
-  cycle.revenue_cny = static_cast<float>(taxi.totals.revenue_cny -
-                                         taxi.cycle_baseline.revenue_cny);
-  cycle.charge_cost_cny = static_cast<float>(
-      taxi.totals.charge_cost_cny - taxi.cycle_baseline.charge_cost_cny);
-  cycle.trips = taxi.totals.num_trips - taxi.cycle_baseline.num_trips;
-  trace_.AddCycle(cycle);
-  taxi.cycle_baseline = taxi.totals;
-  taxi.cycle_start_slot = now_.index + 1;
-  taxi.phase = TaxiPhase::kCruising;
-  taxi.busy_until = now_.index + 1;  // available from the next slot
-  taxi.vacant_since = now_.index + 1;
-  taxi.station = kInvalidStation;
-  taxi.awaiting_first_pickup = true;
-  taxi.last_charge_event = index;
+  const TaxiTotals totals = fleet_.Totals(taxi);
+  cycle->taxi = taxi;
+  cycle->start_slot = cold.cycle_start_slot;
+  cycle->end_slot = now_.index + 1;
+  cycle->cruise_min = static_cast<float>(totals.cruise_min -
+                                         cold.cycle_baseline.cruise_min);
+  cycle->serve_min =
+      static_cast<float>(totals.serve_min - cold.cycle_baseline.serve_min);
+  cycle->op_min = cycle->cruise_min + cycle->serve_min;
+  cycle->idle_min =
+      static_cast<float>(totals.idle_min - cold.cycle_baseline.idle_min);
+  cycle->charge_min =
+      static_cast<float>(totals.charge_min - cold.cycle_baseline.charge_min);
+  cycle->revenue_cny =
+      static_cast<float>(totals.revenue_cny - cold.cycle_baseline.revenue_cny);
+  cycle->charge_cost_cny = static_cast<float>(
+      totals.charge_cost_cny - cold.cycle_baseline.charge_cost_cny);
+  cycle->trips = totals.num_trips - cold.cycle_baseline.num_trips;
+  cold.cycle_baseline = totals;
+  cold.cycle_start_slot = now_.index + 1;
+  fleet_.phase[k] = TaxiPhase::kCruising;
+  fleet_.busy_until[k] = now_.index + 1;  // available from the next slot
+  cold.vacant_since = now_.index + 1;
+  cold.station = kInvalidStation;
+  cold.awaiting_first_pickup = true;
+  // Trace index pending: the serial caller assigns it immediately, the
+  // sharded commit assigns it right after the barrier — in both cases
+  // before the taxi can be matched (it is busy until the next slot).
+  cold.last_charge_event = -1;
 }
 
+void Simulator::ChargingRosterRemove(TaxiId taxi) {
+  const size_t k = static_cast<size_t>(taxi);
+  const int shard =
+      shard_of_station_[static_cast<size_t>(fleet_.cold[k].station)];
+  std::vector<TaxiId>& roster = charging_roster_[static_cast<size_t>(shard)];
+  const int32_t pos = charging_pos_[k];
+  const TaxiId last = roster.back();
+  roster[static_cast<size_t>(pos)] = last;
+  charging_pos_[static_cast<size_t>(last)] = pos;
+  roster.pop_back();
+  charging_pos_[k] = -1;
+}
+
+void Simulator::FinishChargeSession(TaxiId taxi) {
+  ChargeEvent event;
+  CycleRecord cycle;
+  CloseChargeSession(taxi, &event, &cycle);
+  const int64_t index = trace_.AddChargeEvent(event);
+  trace_.AddCycle(cycle);
+  fleet_.cold[static_cast<size_t>(taxi)].last_charge_event = index;
+}
+
+// --- Demand ----------------------------------------------------------------
+
 void Simulator::SpawnRequests() {
-  for (RegionId r = 0; r < city_->num_regions(); ++r) {
+  RunSharded(&Simulator::SpawnShard);
+  for (const auto& sc : shards_) total_requests_ += sc.spawned;
+}
+
+void Simulator::SpawnShard(int shard) {
+  ShardScratch& sc = shards_[static_cast<size_t>(shard)];
+  sc.spawned = 0;
+  const auto [r_begin, r_end] = shard_regions_[static_cast<size_t>(shard)];
+  for (RegionId r = r_begin; r < r_end; ++r) {
     double mult = 1.0;
     if (fault_schedule_ != nullptr) {
       mult = fault_schedule_->DemandMultiplier(r, now_.index);
     }
+    Rng& rng = region_rngs_[static_cast<size_t>(r)];
     // A multiplier of exactly 1 keeps the unmodified SampleCount stream, so
     // runs outside shock windows stay bit-identical to schedule-free runs.
-    const int n = mult == 1.0
-                      ? demand_->SampleCount(r, now_, rng_)
-                      : rng_.Poisson(demand_->Rate(r, now_) * mult);
+    const int n = mult == 1.0 ? demand_->SampleCount(r, now_, rng)
+                              : rng.Poisson(demand_->Rate(r, now_) * mult);
     predictor_.Observe(r, now_, n);
-    total_requests_ += n;
-    for (int i = 0; i < n; ++i) {
-      Request request;
-      request.origin = r;
-      request.dest = demand_->SampleDestination(r, now_, rng_);
-      request.created_slot = now_.index;
-      matching_.AddRequest(request);
-    }
+    sc.spawned += n;
+    if (n == 0) continue;
+    // One cohort push per region-slot. Destinations are not drawn here:
+    // ~40% of spawned requests expire unserved at full scale, so the
+    // serving sites draw them lazily (from this same region stream) only
+    // for trips that actually happen.
+    matching_.AddRequests(r, n, now_.index);
   }
 }
+
+// --- Matching --------------------------------------------------------------
 
 void Simulator::MatchPassengers() {
   // All matching scratch lives in the step arena: CSR candidate arrays
   // instead of a vector-of-vectors, so the per-slot inner loop performs
-  // zero heap allocations once the arena is warm. The candidate order, RNG
-  // draw order and sort are exactly those of the original nested-vector
-  // code, so trajectories are bit-identical.
+  // zero heap allocations once the arena is warm. The serial pass lays the
+  // candidates out; the sharded pass runs each region's hailing lottery on
+  // its own slice (disjoint writes) with the region's own stream.
   step_arena_.Reset();
   const int num_regions = city_->num_regions();
-  int* sizes = step_arena_.AllocArrayZeroed<int>(
-      static_cast<size_t>(num_regions));
-  for (const Taxi& taxi : taxis_) {
-    if (taxi.IsVacant(now_.index)) ++sizes[taxi.region];
-  }
-  int* offsets =
-      step_arena_.AllocArray<int>(static_cast<size_t>(num_regions) + 1);
-  offsets[0] = 0;
-  for (int r = 0; r < num_regions; ++r) offsets[r + 1] = offsets[r] + sizes[r];
-  const int total_vacant = offsets[num_regions];
-  TaxiId* pool =
-      step_arena_.AllocArray<TaxiId>(static_cast<size_t>(total_vacant));
-  int* fill = step_arena_.AllocArrayZeroed<int>(
-      static_cast<size_t>(num_regions));
-  // Fill in taxi-id order: region r's slice pool[offsets[r], offsets[r+1])
-  // holds its vacant taxis by ascending id (region-local FIFO on both
-  // sides, longest-vacant first).
-  for (const Taxi& taxi : taxis_) {
-    if (taxi.IsVacant(now_.index)) {
-      pool[offsets[taxi.region] + fill[taxi.region]++] = taxi.id;
+  {
+    FM_SPAN("sim.match.csr");
+    const int64_t now = now_.index;
+    int* sizes = step_arena_.AllocArrayZeroed<int>(
+        static_cast<size_t>(num_regions));
+    const int n_taxis = fleet_.size();
+    // One pass over the fleet columns records each vacant taxi and its
+    // region; the placement pass below then reads this compact stream
+    // instead of re-scanning phase/busy_until/region.
+    TaxiId* vacant_ids =
+        step_arena_.AllocArray<TaxiId>(static_cast<size_t>(n_taxis));
+    int16_t* vacant_regions =
+        step_arena_.AllocArray<int16_t>(static_cast<size_t>(n_taxis));
+    int total_vacant = 0;
+    for (TaxiId i = 0; i < n_taxis; ++i) {
+      if (fleet_.IsVacant(i, now)) {
+        const RegionId r = fleet_.region[static_cast<size_t>(i)];
+        ++sizes[r];
+        vacant_ids[total_vacant] = i;
+        vacant_regions[total_vacant] = static_cast<int16_t>(r);
+        ++total_vacant;
+      }
     }
+    int* offsets =
+        step_arena_.AllocArray<int>(static_cast<size_t>(num_regions) + 1);
+    offsets[0] = 0;
+    for (int r = 0; r < num_regions; ++r) {
+      offsets[r + 1] = offsets[r] + sizes[r];
+    }
+    TaxiId* pool =
+        step_arena_.AllocArray<TaxiId>(static_cast<size_t>(total_vacant));
+    int* fill = step_arena_.AllocArrayZeroed<int>(
+        static_cast<size_t>(num_regions));
+    // Fill in taxi-id order: region r's slice pool[offsets[r], offsets[r+1])
+    // holds its vacant taxis by ascending id (region-local FIFO on both
+    // sides, longest-vacant first).
+    for (int v = 0; v < total_vacant; ++v) {
+      const int r = vacant_regions[v];
+      pool[offsets[r] + fill[r]++] = vacant_ids[v];
+    }
+    match_pool_ = pool;
+    match_offsets_ = offsets;
+    match_sizes_ = sizes;
+    match_scores_ =
+        step_arena_.AllocArray<double>(static_cast<size_t>(total_vacant));
+    match_order_ =
+        step_arena_.AllocArray<int>(static_cast<size_t>(total_vacant));
   }
-  double* scores =
-      step_arena_.AllocArray<double>(static_cast<size_t>(total_vacant));
-  int* order = step_arena_.AllocArray<int>(static_cast<size_t>(total_vacant));
-  TaxiId* sorted =
-      step_arena_.AllocArray<TaxiId>(static_cast<size_t>(total_vacant));
-  for (RegionId r = 0; r < num_regions; ++r) {
-    TaxiId* cands = pool + offsets[r];
-    const int n = sizes[r];
+  {
+    FM_SPAN("sim.match.lottery");
+    RunSharded(&Simulator::MatchShard);
+  }
+  FM_SPAN("sim.match.commit");
+  // Trip records and first-cruise back-fills commit in shard order, which
+  // for contiguous shard blocks is exactly ascending-region order.
+  for (auto& sc : shards_) {
+    for (const TripRecord& trip : sc.trips) trace_.AddTrip(trip);
+    for (const auto& [index, minutes] : sc.first_cruise) {
+      trace_.SetFirstCruise(index, minutes);
+    }
+    for (const auto& [due, taxi] : sc.schedule) ScheduleArrival(taxi, due);
+  }
+  if (config_.dispatch_radius_minutes > 0.0) {
+    DispatchRemoteMatches(match_pool_, match_offsets_, match_sizes_);
+  }
+}
+
+void Simulator::MatchShard(int shard) {
+  ShardScratch& sc = shards_[static_cast<size_t>(shard)];
+  sc.trips.clear();
+  sc.first_cruise.clear();
+  sc.schedule.clear();
+  const auto [r_begin, r_end] = shard_regions_[static_cast<size_t>(shard)];
+  for (RegionId r = r_begin; r < r_end; ++r) {
+    const int n = match_sizes_[r];
     if (n == 0 || matching_.PendingCount(r) == 0) continue;
+    TaxiId* cands = match_pool_ + match_offsets_[r];
+    double* scores = match_scores_ + match_offsets_[r];
+    int* order = match_order_ + match_offsets_[r];
+    Rng& rng = region_rngs_[static_cast<size_t>(r)];
+    const int pending = matching_.PendingCount(r);
+    // A nearly empty pack cannot take a trip; it is left for the policy's
+    // forced charge decision.
+    int low_soc = 0;
+    for (int i = 0; i < n; ++i) {
+      if (fleet_.soc[static_cast<size_t>(cands[i])] <=
+          config_.soc_force_charge) {
+        ++low_soc;
+      }
+    }
+    if (pending >= n - low_soc) {
+      // Oversubscribed region: every able driver gets a trip regardless of
+      // lottery rank, so skip the draws and the sort and serve in id order.
+      // Hustle only shapes outcomes when trips are scarce, which is
+      // exactly when the lottery below still runs.
+      for (int i = 0; i < n; ++i) {
+        if (matching_.PendingCount(r) == 0) break;
+        const TaxiId id = cands[i];
+        if (fleet_.soc[static_cast<size_t>(id)] <= config_.soc_force_charge) {
+          continue;
+        }
+        BeginServing(id, matching_.PopOldest(r), rng, &sc);
+      }
+      continue;
+    }
+    if (pending <= 16) {
+      // Scarce-trip fast path: the exponential race's winner order is
+      // exactly successive weighted picks without replacement (by
+      // memorylessness), so draw each winner directly proportional to
+      // hustle — `pending` cheap uniforms and O(pending * n) scan work
+      // replace n log() draws plus a partial sort. scores[] doubles as
+      // the remaining-weight array (0 = low-SoC or already served).
+      double total = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const TaxiId id = cands[i];
+        const bool eligible =
+            fleet_.soc[static_cast<size_t>(id)] > config_.soc_force_charge;
+        scores[i] = eligible ? hustle_[static_cast<size_t>(id)] : 0.0;
+        total += scores[i];
+      }
+      for (int p = 0; p < pending && total > 1e-12; ++p) {
+        double draw = rng.NextDouble() * total;
+        int win = -1;
+        for (int i = 0; i < n; ++i) {
+          draw -= scores[i];
+          if (draw < 0.0 && scores[i] > 0.0) {
+            win = i;
+            break;
+          }
+        }
+        if (win < 0) {  // float-summation tail: last eligible candidate
+          for (int i = n - 1; i >= 0; --i) {
+            if (scores[i] > 0.0) {
+              win = i;
+              break;
+            }
+          }
+          if (win < 0) break;
+        }
+        BeginServing(cands[win], matching_.PopOldest(r), rng, &sc);
+        total -= scores[win];
+        scores[win] = 0.0;
+      }
+      continue;
+    }
     // Weighted street-hailing lottery: each driver's "clock" fires at an
     // exponential time scaled by hustle; earliest clocks get the trips.
     for (int i = 0; i < n; ++i) {
-      scores[i] = rng_.Exponential(1.0) /
-                  hustle_[static_cast<size_t>(cands[i])];
+      scores[i] =
+          rng.Exponential(1.0) / hustle_[static_cast<size_t>(cands[i])];
     }
     for (int i = 0; i < n; ++i) order[i] = i;
-    std::sort(order, order + n,
-              [&](int a, int b) { return scores[a] < scores[b]; });
-    for (int i = 0; i < n; ++i) sorted[i] = cands[order[i]];
-    std::copy(sorted, sorted + n, cands);
-    for (int i = 0; i < n; ++i) {
+    // The serving loop below pops `pending` requests and skips at most
+    // `low_soc` candidates, so only the first pending + low_soc ranks can
+    // ever be reached — rank those and leave the tail unordered.
+    const int reach = std::min(n, pending + low_soc);
+    std::partial_sort(order, order + reach, order + n,
+                      [&](int a, int b) { return scores[a] < scores[b]; });
+    // Serve through the rank permutation directly; cands stays in id order
+    // (the remote-dispatch pass re-checks vacancy, so any deterministic
+    // ordering of its pops is fine).
+    for (int i = 0; i < reach; ++i) {
       if (matching_.PendingCount(r) == 0) break;
-      Taxi& taxi = taxis_[static_cast<size_t>(cands[i])];
-      // A nearly empty pack cannot take a trip; leave it for the policy's
-      // forced charge decision.
-      if (taxi.battery.soc() <= config_.soc_force_charge) continue;
-      BeginServing(taxi, matching_.PopOldest(r));
+      const TaxiId id = cands[order[i]];
+      if (fleet_.soc[static_cast<size_t>(id)] <= config_.soc_force_charge) {
+        continue;
+      }
+      BeginServing(id, matching_.PopOldest(r), rng, &sc);
     }
-  }
-  if (config_.dispatch_radius_minutes > 0.0) {
-    DispatchRemoteMatches(pool, offsets, sizes);
   }
 }
 
@@ -520,8 +987,8 @@ void Simulator::DispatchRemoteMatches(TaxiId* pool, const int* offsets,
   // offered to the nearest still-vacant taxi within the radius. Requests
   // are walked region by region, nearest supply region first, so the
   // assignment approximates a greedy global nearest-dispatch. Candidates
-  // pop from the back of each region's CSR slice, matching the original
-  // vector back/pop_back consumption order.
+  // pop from the back of each region's CSR slice. Serial: cross-region by
+  // construction, and off in the paper's street-hailing setting.
   for (RegionId r = 0; r < city_->num_regions(); ++r) {
     if (matching_.PendingCount(r) == 0) continue;
     for (RegionId src : dispatch_neighbors_[static_cast<size_t>(r)]) {
@@ -530,28 +997,38 @@ void Simulator::DispatchRemoteMatches(TaxiId* pool, const int* offsets,
       int& remaining = sizes[src];
       while (remaining > 0 && matching_.PendingCount(r) > 0) {
         const TaxiId id = cands[--remaining];
-        Taxi& taxi = taxis_[static_cast<size_t>(id)];
-        if (!taxi.IsVacant(now_.index) ||
-            taxi.battery.soc() <= config_.soc_force_charge) {
+        if (!fleet_.IsVacant(id, now_.index) ||
+            fleet_.soc[static_cast<size_t>(id)] <= config_.soc_force_charge) {
           continue;
         }
         const double pickup_minutes = city_->TravelMinutes(src, r);
         const double pickup_km = city_->DrivingKm(src, r);
-        BeginServing(taxi, matching_.PopOldest(r), pickup_minutes,
-                     pickup_km);
+        BeginServing(id, matching_.PopOldest(r),
+                     region_rngs_[static_cast<size_t>(r)], nullptr,
+                     pickup_minutes, pickup_km);
       }
     }
   }
 }
 
-void Simulator::BeginServing(Taxi& taxi, const Request& request,
-                             double pickup_minutes, double pickup_km) {
-  const double km = demand_->TripKm(request.origin, request.dest);
+void Simulator::BeginServing(TaxiId taxi, const Request& request, Rng& rng,
+                             ShardScratch* sc, double pickup_minutes,
+                             double pickup_km) {
+  const size_t k = static_cast<size_t>(taxi);
+  TaxiCold& cold = fleet_.cold[k];
+  // Lazy destination: cohort-queued requests arrive without one (expired
+  // requests never consume a draw), so the trip's destination comes off
+  // the origin region's stream here, at pickup.
+  const RegionId dest = request.dest != kInvalidRegion
+                            ? request.dest
+                            : demand_->SampleDestination(request.origin,
+                                                         now_, rng);
+  const double km = demand_->TripKm(request.origin, dest);
   double trip_min;
-  if (request.origin == request.dest) {
+  if (request.origin == dest) {
     trip_min = km / RegionSpeedKmh(request.origin) * 60.0;
   } else {
-    trip_min = city_->TravelMinutes(request.origin, request.dest);
+    trip_min = city_->TravelMinutes(request.origin, dest);
   }
   const double serve_min =
       config_.pickup_overhead_min + pickup_minutes + trip_min;
@@ -560,61 +1037,86 @@ void Simulator::BeginServing(Taxi& taxi, const Request& request,
   const double fare = config_.fares.Fare(km, trip_min, now_);
 
   TripRecord trip;
-  trip.taxi = taxi.id;
+  trip.taxi = taxi;
   trip.pickup_slot = now_.index;
   trip.dropoff_slot = now_.index + busy_slots;
   trip.origin = request.origin;
-  trip.dest = request.dest;
+  trip.dest = dest;
   trip.distance_km = static_cast<float>(km);
   trip.fare_cny = static_cast<float>(fare);
   // Sub-slot pickup jitter keeps the cruise-time distribution continuous
   // (decisions are slot-granular but street pickups are not).
   const double cruise_min =
-      static_cast<double>(now_.index - taxi.vacant_since) * kMinutesPerSlot +
-      pickup_minutes + rng_.Uniform(0.0, kMinutesPerSlot);
+      static_cast<double>(now_.index - cold.vacant_since) * kMinutesPerSlot +
+      pickup_minutes + rng.Uniform(0.0, kMinutesPerSlot);
   trip.cruise_min = static_cast<float>(cruise_min);
-  trip.first_after_charge = taxi.awaiting_first_pickup;
-  trace_.AddTrip(trip);
-
-  if (taxi.awaiting_first_pickup) {
-    trace_.SetFirstCruise(taxi.last_charge_event,
-                          static_cast<float>(cruise_min));
-    taxi.awaiting_first_pickup = false;
-    taxi.last_charge_event = -1;
+  trip.first_after_charge = cold.awaiting_first_pickup;
+  if (sc != nullptr) {
+    sc->trips.push_back(trip);
+  } else {
+    trace_.AddTrip(trip);
   }
 
-  taxi.phase = TaxiPhase::kServing;
-  taxi.busy_until = now_.index + busy_slots;
-  taxi.trip_dest = request.dest;
-  taxi.pending_fare = fare;
-  taxi.totals.num_trips += 1;
-  const double driven =
-      taxi.battery.ConsumeKm(km + 0.5 + pickup_km);  // +approach leg
-  taxi.totals.km_driven += driven;
+  if (cold.awaiting_first_pickup) {
+    if (sc != nullptr) {
+      sc->first_cruise.push_back(
+          {cold.last_charge_event, static_cast<float>(cruise_min)});
+    } else {
+      trace_.SetFirstCruise(cold.last_charge_event,
+                            static_cast<float>(cruise_min));
+    }
+    cold.awaiting_first_pickup = false;
+    cold.last_charge_event = -1;
+  }
+
+  fleet_.phase[k] = TaxiPhase::kServing;
+  fleet_.busy_until[k] = now_.index + busy_slots;
+  cold.trip_dest = dest;
+  cold.pending_fare = fare;
+  cold.num_trips += 1;
+  cold.km_driven += fleet_.ConsumeKm(taxi, km + 0.5 + pickup_km);
+  if (sc != nullptr) {
+    sc->schedule.push_back({now_.index + busy_slots, taxi});
+  } else {
+    ScheduleArrival(taxi, now_.index + busy_slots);
+  }
 }
 
+// --- Displacement ----------------------------------------------------------
+
 void Simulator::DecideAndApply(DisplacementPolicy* policy) {
-  // Supply snapshot for the policy's global view.
-  std::fill(vacant_count_.begin(), vacant_count_.end(), 0);
-  vacant_obs_.clear();
-  for (const Taxi& taxi : taxis_) {
-    if (taxi.phase == TaxiPhase::kCruising) {
-      ++vacant_count_[static_cast<size_t>(taxi.region)];
+  // Supply snapshot for the policy's global view. Serial: policies are
+  // stateful black boxes, and the phase is a single dense column scan plus
+  // whatever the policy does.
+  {
+    FM_SPAN("sim.decide.obs");
+    std::fill(vacant_count_.begin(), vacant_count_.end(), 0);
+    vacant_obs_.clear();
+    const int64_t now = now_.index;
+    for (TaxiId i = 0; i < fleet_.size(); ++i) {
+      const size_t k = static_cast<size_t>(i);
+      if (fleet_.phase[k] == TaxiPhase::kCruising) {
+        ++vacant_count_[static_cast<size_t>(fleet_.region[k])];
+      }
+      if (fleet_.phase[k] != TaxiPhase::kCruising ||
+          fleet_.busy_until[k] > now) {
+        continue;
+      }
+      TaxiObs obs;
+      obs.taxi = i;
+      obs.region = fleet_.region[k];
+      obs.soc = fleet_.soc[k];
+      obs.must_charge = fleet_.soc[k] <= config_.soc_force_charge;
+      obs.may_charge = fleet_.soc[k] <= config_.soc_may_charge;
+      obs.pe_gap = fleet_.hourly_pe(i) - fleet_mean_pe_;
+      vacant_obs_.push_back(obs);
     }
-    if (!taxi.IsVacant(now_.index)) continue;
-    TaxiObs obs;
-    obs.taxi = taxi.id;
-    obs.region = taxi.region;
-    obs.soc = taxi.battery.soc();
-    obs.must_charge = taxi.battery.soc() <= config_.soc_force_charge;
-    obs.may_charge = taxi.battery.soc() <= config_.soc_may_charge;
-    obs.pe_gap = taxi.totals.hourly_pe() - fleet_mean_pe_;
-    vacant_obs_.push_back(obs);
   }
   if (vacant_obs_.empty()) return;
 
   actions_.clear();
   if (policy != nullptr) {
+    FM_SPAN("sim.decide.policy");
     policy->DecideActions(*this, vacant_obs_, &actions_);
     FM_CHECK(actions_.size() == vacant_obs_.size())
         << policy->name() << " returned " << actions_.size()
@@ -632,6 +1134,7 @@ void Simulator::DecideAndApply(DisplacementPolicy* policy) {
     }
   }
 
+  FM_SPAN("sim.decide.apply");
   for (size_t i = 0; i < vacant_obs_.size(); ++i) {
     const TaxiObs& obs = vacant_obs_[i];
     const Action& action = actions_[i];
@@ -649,25 +1152,26 @@ void Simulator::DecideAndApply(DisplacementPolicy* policy) {
     decision.must_charge = obs.must_charge;
     decision.may_charge = obs.may_charge;
     decisions_.push_back(decision);
-    ApplyAction(taxis_[static_cast<size_t>(obs.taxi)], action);
+    ApplyAction(obs.taxi, action);
   }
 }
 
-void Simulator::ApplyAction(Taxi& taxi, const Action& action) {
+void Simulator::ApplyAction(TaxiId taxi, const Action& action) {
+  const size_t k = static_cast<size_t>(taxi);
   switch (action.type) {
     case Action::Type::kStay: {
       // Circling the current region looking for flags.
-      const double km = RegionSpeedKmh(taxi.region) *
+      const double km = RegionSpeedKmh(fleet_.region[k]) *
                         config_.cruise_drive_factor *
                         (kMinutesPerSlot / 60.0);
-      taxi.totals.km_driven += taxi.battery.ConsumeKm(km);
+      fleet_.cold[k].km_driven += fleet_.ConsumeKm(taxi, km);
       break;
     }
     case Action::Type::kMove: {
-      const double km = city_->DrivingKm(taxi.region, action.move_to);
-      taxi.totals.km_driven += taxi.battery.ConsumeKm(km);
-      taxi.region = action.move_to;
-      taxi.busy_until = now_.index + 1;  // hop takes the slot
+      const double km = city_->DrivingKm(fleet_.region[k], action.move_to);
+      fleet_.cold[k].km_driven += fleet_.ConsumeKm(taxi, km);
+      fleet_.region[k] = action.move_to;
+      fleet_.busy_until[k] = now_.index + 1;  // hop takes the slot
       break;
     }
     case Action::Type::kCharge: {
@@ -677,10 +1181,12 @@ void Simulator::ApplyAction(Taxi& taxi, const Action& action) {
   }
 }
 
-bool Simulator::ArriveAtStationOrRenege(Taxi& taxi) {
-  const ChargingStation& st = city_->station(taxi.station);
-  taxi.region = st.region;
-  StationQueue& queue = stations_[static_cast<size_t>(taxi.station)];
+bool Simulator::ArriveAtStationOrRenegeSerial(TaxiId taxi) {
+  const size_t k = static_cast<size_t>(taxi);
+  TaxiCold& cold = fleet_.cold[k];
+  const ChargingStation& st = city_->station(cold.station);
+  fleet_.region[k] = st.region;
+  StationQueue& queue = stations_[static_cast<size_t>(cold.station)];
   // A dark station (fault-injection outage) can never plug anyone in, so
   // the taxi always tries to move on, ignoring the redirect budget.
   const bool dead = queue.available_points() == 0;
@@ -688,13 +1194,13 @@ bool Simulator::ArriveAtStationOrRenege(Taxi& taxi) {
       dead || queue.waiting() >= static_cast<int>(config_.renege_queue_factor *
                                                   queue.available_points());
   if (overloaded &&
-      (dead || taxi.charge_redirects < config_.max_charge_redirects)) {
+      (dead || cold.charge_redirects < config_.max_charge_redirects)) {
     // Balk: head for the least-loaded nearby alternative (drivers see
     // station occupancy in the charging app).
     StationId best = kInvalidStation;
     double best_cost = 1e18;
     for (StationId s : city_->NearestStations(st.region)) {
-      if (s == taxi.station) continue;
+      if (s == cold.station) continue;
       const StationQueue& alt = stations_[static_cast<size_t>(s)];
       if (alt.available_points() == 0) continue;  // also dark
       const double load =
@@ -707,52 +1213,119 @@ bool Simulator::ArriveAtStationOrRenege(Taxi& taxi) {
       }
     }
     if (best != kInvalidStation) {
-      taxi.charge_redirects += 1;
+      cold.charge_redirects += 1;
       const double travel_min =
           city_->TravelMinutesToStation(st.region, best);
       const double km = city_->DrivingKmToStation(st.region, best);
-      taxi.totals.km_driven += taxi.battery.ConsumeKm(km);
-      taxi.session_travel_min += travel_min;
+      cold.km_driven += fleet_.ConsumeKm(taxi, km);
+      cold.session_travel_min += travel_min;
       const int64_t travel_slots =
           travel_min <= 0.0 ? 0 : MinutesToSlotsCeil(travel_min);
-      taxi.charge_travel_slots += travel_slots;
-      taxi.station = best;
+      cold.charge_travel_slots += travel_slots;
+      cold.station = best;
       if (travel_slots == 0) {
-        taxi.region = city_->station(best).region;
-        taxi.phase = TaxiPhase::kQueuing;
-        taxi.busy_until = now_.index;
-        stations_[static_cast<size_t>(best)].Enqueue(taxi.id);
+        fleet_.region[k] = city_->station(best).region;
+        fleet_.phase[k] = TaxiPhase::kQueuing;
+        fleet_.busy_until[k] = now_.index;
+        stations_[static_cast<size_t>(best)].Enqueue(taxi);
         return true;
       }
-      taxi.phase = TaxiPhase::kToStation;
-      taxi.busy_until = now_.index + travel_slots;
+      fleet_.phase[k] = TaxiPhase::kToStation;
+      fleet_.busy_until[k] = now_.index + travel_slots;
+      ScheduleArrival(taxi, fleet_.busy_until[k]);
       return false;
     }
   }
-  taxi.phase = TaxiPhase::kQueuing;
-  queue.Enqueue(taxi.id);
+  fleet_.phase[k] = TaxiPhase::kQueuing;
+  queue.Enqueue(taxi);
   return true;
 }
 
-void Simulator::StartChargeTrip(Taxi& taxi, StationId station) {
-  const ChargingStation& st = city_->station(station);
-  const double travel_min = city_->TravelMinutesToStation(taxi.region, station);
-  const double km = city_->DrivingKmToStation(taxi.region, station);
+void Simulator::ArriveAtStationOrRenegeSharded(TaxiId taxi, ShardScratch& sc) {
+  // Snapshot variant: the balk decision reads the pre-phase station loads
+  // (same for every shard and thread count) and all queue joins go through
+  // the outbox. Same-slot co-arrivals therefore don't see each other in the
+  // line — the deterministic analogue of drivers checking the charging app
+  // a few minutes before pulling in.
+  const size_t k = static_cast<size_t>(taxi);
+  TaxiCold& cold = fleet_.cold[k];
+  const StationId arrived_at = cold.station;
+  const ChargingStation& st = city_->station(arrived_at);
+  fleet_.region[k] = st.region;
+  const bool dead = snap_avail_[static_cast<size_t>(arrived_at)] == 0;
+  const bool overloaded =
+      dead ||
+      snap_wait_[static_cast<size_t>(arrived_at)] >=
+          static_cast<int>(config_.renege_queue_factor *
+                           snap_avail_[static_cast<size_t>(arrived_at)]);
+  if (overloaded &&
+      (dead || cold.charge_redirects < config_.max_charge_redirects)) {
+    StationId best = kInvalidStation;
+    double best_cost = 1e18;
+    for (StationId s : city_->NearestStations(st.region)) {
+      if (s == arrived_at) continue;
+      const size_t si = static_cast<size_t>(s);
+      if (snap_avail_[si] == 0) continue;  // also dark
+      const double load =
+          static_cast<double>(snap_occ_[si] + snap_wait_[si]) /
+          snap_avail_[si];
+      const double travel = city_->TravelMinutesToStation(st.region, s);
+      const double cost = 30.0 * load + travel;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = s;
+      }
+    }
+    if (best != kInvalidStation) {
+      cold.charge_redirects += 1;
+      const double travel_min =
+          city_->TravelMinutesToStation(st.region, best);
+      const double km = city_->DrivingKmToStation(st.region, best);
+      cold.km_driven += fleet_.ConsumeKm(taxi, km);
+      cold.session_travel_min += travel_min;
+      const int64_t travel_slots =
+          travel_min <= 0.0 ? 0 : MinutesToSlotsCeil(travel_min);
+      cold.charge_travel_slots += travel_slots;
+      cold.station = best;
+      if (travel_slots == 0) {
+        fleet_.region[k] = city_->station(best).region;
+        fleet_.phase[k] = TaxiPhase::kQueuing;
+        fleet_.busy_until[k] = now_.index;
+        sc.enqueues.push_back({best, taxi});
+        return;
+      }
+      fleet_.phase[k] = TaxiPhase::kToStation;
+      fleet_.busy_until[k] = now_.index + travel_slots;
+      sc.schedule.push_back({fleet_.busy_until[k], taxi});
+      return;
+    }
+  }
+  fleet_.phase[k] = TaxiPhase::kQueuing;
+  sc.enqueues.push_back({arrived_at, taxi});
+}
+
+void Simulator::StartChargeTrip(TaxiId taxi, StationId station) {
+  const size_t k = static_cast<size_t>(taxi);
+  TaxiCold& cold = fleet_.cold[k];
+  const double travel_min =
+      city_->TravelMinutesToStation(fleet_.region[k], station);
+  const double km = city_->DrivingKmToStation(fleet_.region[k], station);
   const int64_t travel_slots =
       travel_min <= 0.0 ? 0 : MinutesToSlotsCeil(travel_min);
-  taxi.station = station;
-  taxi.idle_since = now_.index;
-  taxi.session_travel_min = travel_min;
-  taxi.charge_travel_slots = travel_slots;
-  taxi.charge_redirects = 0;
-  taxi.totals.km_driven += taxi.battery.ConsumeKm(km);
+  cold.station = station;
+  cold.idle_since = now_.index;
+  cold.session_travel_min = travel_min;
+  cold.charge_travel_slots = travel_slots;
+  cold.charge_redirects = 0;
+  cold.km_driven += fleet_.ConsumeKm(taxi, km);
   if (travel_slots == 0) {
     // Station in the current region: arrive immediately (may balk).
-    taxi.busy_until = now_.index;
-    ArriveAtStationOrRenege(taxi);
+    fleet_.busy_until[k] = now_.index;
+    ArriveAtStationOrRenegeSerial(taxi);
   } else {
-    taxi.phase = TaxiPhase::kToStation;
-    taxi.busy_until = now_.index + travel_slots;
+    fleet_.phase[k] = TaxiPhase::kToStation;
+    fleet_.busy_until[k] = now_.index + travel_slots;
+    ScheduleArrival(taxi, fleet_.busy_until[k]);
   }
 }
 
@@ -760,73 +1333,27 @@ void Simulator::ExpireRequests() {
   trace_.CountExpiredRequests(matching_.ExpireOld(now_));
 }
 
+// --- Accounting ------------------------------------------------------------
+
 void Simulator::AccountTimeAndStranding() {
+  RunSharded(&Simulator::AccountShard);
   PhaseCounts counts;
   counts.slot = now_.index;
-  for (Taxi& taxi : taxis_) {
-    switch (taxi.phase) {
-      case TaxiPhase::kCruising:
-        ++counts.cruising;
-        break;
-      case TaxiPhase::kServing:
-        ++counts.serving;
-        break;
-      case TaxiPhase::kToStation:
-        ++counts.to_station;
-        break;
-      case TaxiPhase::kQueuing:
-        ++counts.queuing;
-        break;
-      case TaxiPhase::kCharging:
-        ++counts.charging;
-        break;
-      case TaxiPhase::kBrokenDown:
-        ++counts.broken_down;
-        break;
+  for (auto& sc : shards_) {
+    counts.cruising += sc.counts.cruising;
+    counts.serving += sc.counts.serving;
+    counts.to_station += sc.counts.to_station;
+    counts.queuing += sc.counts.queuing;
+    counts.charging += sc.counts.charging;
+    counts.broken_down += sc.counts.broken_down;
+    total_strandings_ += sc.strandings;
+    // Stranding tow-ins: shard order x id order == global ascending id,
+    // the historical enqueue order.
+    for (const auto& [station, taxi] : sc.enqueues) {
+      stations_[static_cast<size_t>(station)].Enqueue(taxi);
     }
   }
   trace_.RecordPhaseCounts(counts);
-  for (Taxi& taxi : taxis_) {
-    switch (taxi.phase) {
-      case TaxiPhase::kCruising:
-        taxi.totals.cruise_min += kMinutesPerSlot;
-        break;
-      case TaxiPhase::kServing:
-        taxi.totals.serve_min += kMinutesPerSlot;
-        break;
-      case TaxiPhase::kToStation:
-      case TaxiPhase::kQueuing:
-      case TaxiPhase::kBrokenDown:  // repair downtime is lost (idle) time
-        taxi.totals.idle_min += kMinutesPerSlot;
-        break;
-      case TaxiPhase::kCharging:
-        taxi.totals.charge_min += kMinutesPerSlot;
-        break;
-    }
-    // Stranding: an empty pack outside a charging context is towed to the
-    // nearest station and pays an idle-time penalty.
-    if (taxi.battery.empty() && (taxi.phase == TaxiPhase::kCruising ||
-                                 taxi.phase == TaxiPhase::kServing)) {
-      if (taxi.phase == TaxiPhase::kServing) {
-        taxi.pending_fare = 0.0;  // trip abandoned
-        taxi.trip_dest = kInvalidRegion;
-      }
-      taxi.totals.num_strandings += 1;
-      total_strandings_ += 1;
-      taxi.totals.idle_min += config_.stranding_penalty_min;
-      const StationId station =
-          city_->NearestStations(taxi.region).front();
-      taxi.station = station;
-      taxi.region = city_->station(station).region;
-      taxi.phase = TaxiPhase::kQueuing;
-      taxi.idle_since = now_.index;
-      taxi.session_travel_min = config_.stranding_penalty_min;
-      taxi.charge_travel_slots = 0;
-      taxi.charge_redirects = config_.max_charge_redirects;  // no balking
-      taxi.busy_until = now_.index;
-      stations_[static_cast<size_t>(station)].Enqueue(taxi.id);
-    }
-  }
   if (fault_schedule_ != nullptr &&
       fault_schedule_->HazardActive(now_.index)) {
     ApplyBreakdownHazard();
@@ -834,12 +1361,102 @@ void Simulator::AccountTimeAndStranding() {
   slot_counts_ = counts;
 }
 
-void Simulator::RefreshFleetPeStats() {
-  RunningStats stats;
-  for (const Taxi& taxi : taxis_) stats.Add(taxi.totals.hourly_pe());
-  fleet_mean_pe_ = stats.mean();
-  fleet_pe_variance_ = stats.variance();
+void Simulator::AccountShard(int shard) {
+  ShardScratch& sc = shards_[static_cast<size_t>(shard)];
+  sc.counts = PhaseCounts{};
+  sc.counts.slot = now_.index;
+  sc.strandings = 0;
+  sc.enqueues.clear();
+  double pe_sum = 0.0;
+  double pe_sum2 = 0.0;
+  const auto [t_begin, t_end] = shard_taxis_[static_cast<size_t>(shard)];
+  for (TaxiId i = t_begin; i < t_end; ++i) {
+    const size_t k = static_cast<size_t>(i);
+    // Count the phase before the stranding transition below mutates it —
+    // the composition gauge reflects the slot as lived, like the
+    // historical separate counting pass did.
+    switch (fleet_.phase[k]) {
+      case TaxiPhase::kCruising:
+        ++sc.counts.cruising;
+        fleet_.cruise_min[k] += kMinutesPerSlot;
+        break;
+      case TaxiPhase::kServing:
+        ++sc.counts.serving;
+        fleet_.serve_min[k] += kMinutesPerSlot;
+        break;
+      case TaxiPhase::kToStation:
+        ++sc.counts.to_station;
+        fleet_.idle_min[k] += kMinutesPerSlot;
+        break;
+      case TaxiPhase::kQueuing:
+        ++sc.counts.queuing;
+        fleet_.idle_min[k] += kMinutesPerSlot;
+        break;
+      case TaxiPhase::kCharging:
+        ++sc.counts.charging;
+        fleet_.charge_min[k] += kMinutesPerSlot;
+        break;
+      case TaxiPhase::kBrokenDown:  // repair downtime is lost (idle) time
+        ++sc.counts.broken_down;
+        fleet_.idle_min[k] += kMinutesPerSlot;
+        break;
+    }
+    // Stranding: an empty pack outside a charging context is towed to the
+    // nearest station and pays an idle-time penalty.
+    if (fleet_.BatteryEmpty(i) && (fleet_.phase[k] == TaxiPhase::kCruising ||
+                                   fleet_.phase[k] == TaxiPhase::kServing)) {
+      TaxiCold& cold = fleet_.cold[k];
+      if (fleet_.phase[k] == TaxiPhase::kServing) {
+        cold.pending_fare = 0.0;  // trip abandoned
+        cold.trip_dest = kInvalidRegion;
+      }
+      cold.num_strandings += 1;
+      sc.strandings += 1;
+      fleet_.idle_min[k] += config_.stranding_penalty_min;
+      const StationId station =
+          city_->NearestStations(fleet_.region[k]).front();
+      cold.station = station;
+      fleet_.region[k] = city_->station(station).region;
+      fleet_.phase[k] = TaxiPhase::kQueuing;
+      cold.idle_since = now_.index;
+      cold.session_travel_min = config_.stranding_penalty_min;
+      cold.charge_travel_slots = 0;
+      cold.charge_redirects = config_.max_charge_redirects;  // no balking
+      fleet_.busy_until[k] = now_.index;
+      sc.enqueues.push_back({station, i});
+    }
+    // PE moments, fused into the accounting scan: the taxi's minute and
+    // money columns are final for this slot right here (stranding penalty
+    // included), and they are hot in cache.
+    const double pe = fleet_.hourly_pe(i);
+    pe_sum += pe;
+    pe_sum2 += pe * pe;
+  }
+  sc.pe_sum = pe_sum;
+  sc.pe_sum2 = pe_sum2;
+  sc.pe_count = t_end - t_begin;
 }
+
+void Simulator::RefreshFleetPeStats() {
+  // The per-shard moments were accumulated inside AccountShard (the
+  // columns are final and cache-hot there); this is just the merge.
+  // Plain moment sums merged in fixed shard order: the same mean/variance
+  // at any thread count, without Welford's per-sample division. PE values
+  // are O(10²) over 2·10⁴ taxis, far from the cancellation regime.
+  double sum = 0.0;
+  double sum2 = 0.0;
+  int64_t count = 0;
+  for (const auto& sc : shards_) {
+    sum += sc.pe_sum;
+    sum2 += sc.pe_sum2;
+    count += sc.pe_count;
+  }
+  fleet_mean_pe_ = count > 0 ? sum / static_cast<double>(count) : 0.0;
+  const double ex2 = count > 0 ? sum2 / static_cast<double>(count) : 0.0;
+  fleet_pe_variance_ = std::max(0.0, ex2 - fleet_mean_pe_ * fleet_mean_pe_);
+}
+
+// --- Telemetry -------------------------------------------------------------
 
 void Simulator::RecordFault(const FaultEvent& event) {
   trace_.AddFaultEvent(event);
@@ -859,6 +1476,23 @@ void Simulator::RecordFault(const FaultEvent& event) {
 void Simulator::EmitSlotTelemetry(const PhaseCounts& counts) {
   Telemetry& telemetry = Telemetry::Get();
   if (!telemetry.enabled() || telemetry_label_.empty()) return;
+  // Per-shard composition rows first, then the fleet row their merge must
+  // reproduce (tools/obs_check pins shard ids ascending and the sums).
+  for (int s = 0; s < num_shards_; ++s) {
+    const PhaseCounts& pc = shards_[static_cast<size_t>(s)].counts;
+    JsonObject row;
+    row.Set("kind", "shard")
+        .Set("run", telemetry_label_)
+        .Set("slot", counts.slot)
+        .Set("shard", static_cast<int64_t>(s))
+        .Set("cruising", pc.cruising)
+        .Set("serving", pc.serving)
+        .Set("to_station", pc.to_station)
+        .Set("queuing", pc.queuing)
+        .Set("charging", pc.charging)
+        .Set("broken_down", pc.broken_down);
+    telemetry.sim_stream().Write(row);
+  }
   JsonObject row;
   row.Set("kind", "slot")
       .Set("run", telemetry_label_)

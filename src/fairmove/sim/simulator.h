@@ -1,11 +1,14 @@
 #ifndef FAIRMOVE_SIM_SIMULATOR_H_
 #define FAIRMOVE_SIM_SIMULATOR_H_
 
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "fairmove/common/arena.h"
 #include "fairmove/common/rng.h"
+#include "fairmove/common/stats.h"
 #include "fairmove/common/status.h"
 #include "fairmove/common/time_types.h"
 #include "fairmove/demand/demand_source.h"
@@ -15,6 +18,7 @@
 #include "fairmove/pricing/tou_tariff.h"
 #include "fairmove/resilience/fault_schedule.h"
 #include "fairmove/sim/action.h"
+#include "fairmove/sim/fleet_state.h"
 #include "fairmove/sim/matching.h"
 #include "fairmove/sim/policy.h"
 #include "fairmove/sim/station_queue.h"
@@ -27,6 +31,11 @@ namespace fairmove {
 /// charging threshold (§III-C), 10-minute slots, BYD-e6 batteries.
 struct SimConfig {
   int num_taxis = 20130;
+  /// City scale this sim config was derived at (FairMoveConfig::Scaled
+  /// records it; 1.0 = the paper's full Shenzhen). Carried here so an
+  /// invalid requested scale is rejected with a structured Status at
+  /// Create() instead of silently building a degenerate city.
+  double scale = 1.0;
   /// Forced-charging SoC threshold eta: at/below this the policy must pick
   /// a charging action.
   double soc_force_charge = 0.20;
@@ -95,6 +104,13 @@ struct Decision {
 ///
 /// The simulator is the "environment" of the paper's MDP (§III-C); all
 /// stochasticity flows from the seed in SimConfig, so runs are reproducible.
+///
+/// Scale architecture (DESIGN.md §11): fleet state is a structure of
+/// arrays (FleetState), region-local phases run sharded over the global
+/// ThreadPool with per-shard outboxes merged in shard order (the §7
+/// determinism contract: results are byte-identical at any
+/// FAIRMOVE_THREADS), and busy-taxi transitions come due via a slot
+/// calendar instead of a full-fleet scan.
 class Simulator {
  public:
   /// `city` and `demand` must outlive the simulator.
@@ -137,11 +153,9 @@ class Simulator {
   const ActionSpace& action_space() const { return action_space_; }
   const DemandPredictor& predictor() const { return predictor_; }
 
-  int num_taxis() const { return static_cast<int>(taxis_.size()); }
-  const Taxi& taxi(TaxiId id) const {
-    return taxis_.at(static_cast<size_t>(id));
-  }
-  const std::vector<Taxi>& taxis() const { return taxis_; }
+  int num_taxis() const { return fleet_.size(); }
+  /// Structure-of-arrays fleet state (columns + materialised Totals()).
+  const FleetState& fleet() const { return fleet_; }
 
   /// Persistent street-hailing competitiveness of one driver (constant
   /// between Resets).
@@ -160,6 +174,11 @@ class Simulator {
   const StationQueue& station_queue(StationId s) const {
     return stations_.at(static_cast<size_t>(s));
   }
+
+  /// Fixed region-shard count of this city (independent of the thread
+  /// count, so shard-local RNG streams and merge order never depend on
+  /// FAIRMOVE_THREADS).
+  int num_shards() const { return num_shards_; }
 
   /// Fleet-mean hourly PE so far (0 early on).
   double FleetMeanPe() const { return fleet_mean_pe_; }
@@ -196,6 +215,31 @@ class Simulator {
   Simulator(const City* city, const DemandSource* demand,
             const TouTariff& tariff, const SimConfig& config);
 
+  /// Per-shard outboxes: everything a sharded phase wants to do to state
+  /// outside its shard (trace appends, station enqueues in other shards,
+  /// calendar inserts, fault events, reductions) is recorded here and
+  /// committed on the calling thread in ascending shard order — the §7
+  /// determinism contract applied to the simulator. All vectors are
+  /// retained between slots (cleared, never freed) to keep the warm-Step
+  /// zero-allocation contract.
+  struct ShardScratch {
+    std::vector<TaxiId> work;  // phase input list, deterministic order
+    std::vector<TripRecord> trips;
+    std::vector<std::pair<int64_t, float>> first_cruise;  // event idx, min
+    std::vector<ChargeEvent> charge_events;
+    std::vector<TaxiId> charge_event_taxi;  // parallel to charge_events
+    std::vector<CycleRecord> cycles;
+    std::vector<std::pair<StationId, TaxiId>> enqueues;
+    std::vector<std::pair<int64_t, TaxiId>> schedule;  // due slot, taxi
+    std::vector<FaultEvent> faults;
+    PhaseCounts counts;
+    int64_t spawned = 0;
+    int64_t strandings = 0;
+    double pe_sum = 0.0;
+    double pe_sum2 = 0.0;
+    int64_t pe_count = 0;
+  };
+
   // Step phases, in execution order.
   /// Applies schedule transitions for this slot: station capacity changes
   /// (unplugging / rerouting as needed) and shock-boundary trace events.
@@ -212,29 +256,73 @@ class Simulator {
   void AccountTimeAndStranding();
   void RefreshFleetPeStats();
 
+  // Shard bodies (run under ParallelFor; write only shard-owned state and
+  // their own ShardScratch).
+  void ArrivalsShard(int shard);
+  void PlugInShard(int shard);
+  void ChargeShard(int shard);
+  void SpawnShard(int shard);
+  void MatchShard(int shard);
+  void AccountShard(int shard);
+
+  /// Runs `body(shard)` for every shard on the global pool (inline serial
+  /// loop when the pool has one lane — byte-identical by the disjoint-write
+  /// + ordered-commit discipline).
+  void RunSharded(void (Simulator::*body)(int));
+
+  /// Inserts `taxi` into the arrival calendar for `due_slot` (clamped to
+  /// the next slot). Serial contexts only; sharded phases go through
+  /// ShardScratch::schedule.
+  void ScheduleArrival(TaxiId taxi, int64_t due_slot);
+  /// Pops this slot's calendar bucket (plus any due far-horizon entries)
+  /// into the due bitmap and dispatches them to shard work lists in
+  /// ascending-id order. Membership is unique (a reschedule unlinks the
+  /// old entry), so no de-duplication is needed.
+  void CollectDueArrivals();
+  /// Revalidates one due taxi and routes it to its shard's work list.
+  void DispatchDueArrival(TaxiId id, size_t k, int64_t now);
+  /// Copies the station queue occupancy/line lengths into the snapshot
+  /// arrays the sharded arrival/balk decisions read.
+  void SnapshotStationLoads();
+
   /// Logs `event` in the trace and, when telemetry is on, as a structured
   /// fault row in sim.jsonl (plus a registry counter).
   void RecordFault(const FaultEvent& event);
   /// Emits this slot's fleet-composition gauges to sim.jsonl (labelled
-  /// simulators under an enabled Telemetry only).
+  /// simulators under an enabled Telemetry only): one row per shard, then
+  /// the fleet-wide row their merge must reproduce (tools/obs_check pins
+  /// the sums).
   void EmitSlotTelemetry(const PhaseCounts& counts);
 
-  void ApplyAction(Taxi& taxi, const Action& action);
+  void ApplyAction(TaxiId taxi, const Action& action);
   /// Second matching pass in dispatch mode: assigns remaining requests to
   /// vacant taxis within the dispatch radius. `pool`/`offsets`/`sizes` is
   /// the CSR candidate layout MatchPassengers built in the step arena:
   /// region r's still-poppable candidates are pool[offsets[r],
   /// offsets[r] + sizes[r]).
   void DispatchRemoteMatches(TaxiId* pool, const int* offsets, int* sizes);
-  void StartChargeTrip(Taxi& taxi, StationId station);
-  /// Arrival at `taxi.station`: join the line, or balk and redirect when
-  /// it is overloaded. Returns true if the taxi queued here.
-  bool ArriveAtStationOrRenege(Taxi& taxi);
+  void StartChargeTrip(TaxiId taxi, StationId station);
+  /// Arrival at the taxi's target station: join the line, or balk and
+  /// redirect when it is overloaded. The serial variant reads live queues
+  /// and mutates them directly (fault rerouting, same-region charge
+  /// trips); the sharded variant reads the pre-phase snapshot and emits
+  /// enqueue/schedule ops into `sc`. Returns true if the taxi queued at
+  /// the station it arrived at.
+  bool ArriveAtStationOrRenegeSerial(TaxiId taxi);
+  void ArriveAtStationOrRenegeSharded(TaxiId taxi, ShardScratch& sc);
   /// `pickup_minutes`/`pickup_km` cover a remote-dispatch approach leg
-  /// (0 for street hails).
-  void BeginServing(Taxi& taxi, const Request& request,
-                    double pickup_minutes = 0.0, double pickup_km = 0.0);
-  void FinishChargeSession(Taxi& taxi);
+  /// (0 for street hails). `rng` is the origin region's stream.
+  void BeginServing(TaxiId taxi, const Request& request, Rng& rng,
+                    ShardScratch* sc, double pickup_minutes = 0.0,
+                    double pickup_km = 0.0);
+  /// Serial charge-session close: direct trace append + index assignment.
+  void FinishChargeSession(TaxiId taxi);
+  /// Swap-erases `taxi` from its station shard's charging roster.
+  void ChargingRosterRemove(TaxiId taxi);
+  /// Shared session-close bookkeeping: fills the event/cycle records and
+  /// resets the taxi to cruising (does NOT touch the trace).
+  void CloseChargeSession(TaxiId taxi, ChargeEvent* event,
+                          CycleRecord* cycle);
 
   double RegionSpeedKmh(RegionId r) const {
     return City::ClassSpeedKmh(city_->region(r).cls);
@@ -247,7 +335,7 @@ class Simulator {
   ActionSpace action_space_;
   DemandPredictor predictor_;
   MatchingEngine matching_;
-  std::vector<Taxi> taxis_;
+  FleetState fleet_;
   std::vector<double> hustle_;  // per taxi
   std::vector<StationQueue> stations_;
   Trace trace_;
@@ -255,6 +343,11 @@ class Simulator {
   /// Dedicated stream for fault draws so injecting faults never perturbs
   /// the main simulation stream (and vice versa).
   Rng fault_rng_;
+  /// One stream per region: region-local draws (request counts and
+  /// destinations, hailing lotteries, plug-in targets) are keyed by region,
+  /// not by a global consumption order, so shards can run concurrently and
+  /// still draw identical values at any thread count.
+  std::vector<Rng> region_rngs_;
   const FaultSchedule* fault_schedule_ = nullptr;
   /// Last applied usable-point count per station (outage edge detection).
   std::vector<int> applied_points_;
@@ -269,6 +362,70 @@ class Simulator {
   /// top of MatchPassengers; blocks are retained, so steady-state Steps do
   /// zero heap allocation (pinned by sim_alloc_test).
   Arena step_arena_;
+
+  // --- Region shard plan (fixed per city; see DESIGN.md §11) ------------
+  int num_shards_ = 1;
+  std::vector<int> shard_of_region_;  // region -> shard
+  /// Contiguous [begin, end) region range of each shard.
+  std::vector<std::pair<RegionId, RegionId>> shard_regions_;
+  /// Stations of each shard (grouped by the station's region), ascending id.
+  std::vector<std::vector<StationId>> shard_stations_;
+  std::vector<int> shard_of_station_;  // station -> shard (its region's)
+  /// Per-shard list of currently plugged-in taxis (keyed by the station's
+  /// shard), so AdvanceCharging visits exactly the charging fleet instead
+  /// of every shard scanning all taxis. `charging_pos_` is each taxi's
+  /// index in its shard's roster, -1 when unplugged; removal is swap-erase,
+  /// so roster order is plug-in history, deterministic at any thread count.
+  std::vector<std::vector<TaxiId>> charging_roster_;
+  std::vector<int32_t> charging_pos_;
+  /// Contiguous [begin, end) taxi-id range of each shard (fleet-wide
+  /// passes: accounting, PE stats).
+  std::vector<std::pair<TaxiId, TaxiId>> shard_taxis_;
+  std::vector<ShardScratch> shards_;
+  /// RunSharded plumbing: the pending body lives in a member so the
+  /// std::function handed to ParallelFor captures only `this` (fits the
+  /// small-buffer optimisation — no heap allocation per phase).
+  void (Simulator::*shard_body_)(int) = nullptr;
+  std::function<void(int64_t)> shard_runner_;
+
+  // --- Arrival calendar (event-driven slot advance) ---------------------
+  /// Ring of per-slot due buckets, stored as intrusive doubly-linked lists
+  /// threaded through the per-taxi cal_next_/cal_prev_ arrays (a taxi sits
+  /// in at most one bucket, so links are per-taxi fields). Intrusive rather
+  /// than vector-of-vectors so scheduling never touches the heap — bucket
+  /// growth would otherwise chase each bucket's high-water mark for days
+  /// (the ring stride is coprime-ish with the diurnal cycle) and break the
+  /// steady-state zero-allocation contract pinned by sim_alloc_test.
+  /// Wider-than-horizon schedules (very long repairs) overflow into
+  /// calendar_far_, scanned per slot (normally empty).
+  static constexpr int64_t kCalendarSlots = 1024;
+  std::vector<TaxiId> cal_head_;        // bucket -> first taxi or -1
+  std::vector<TaxiId> cal_next_;        // per taxi: bucket-list link
+  std::vector<TaxiId> cal_prev_;        // per taxi: bucket-list link
+  std::vector<int64_t> cal_due_;        // per taxi: due slot, -1 unscheduled
+  std::vector<uint8_t> cal_in_ring_;    // per taxi: ring (1) vs far (0)
+  std::vector<std::pair<int64_t, TaxiId>> calendar_far_;
+  /// Bitmap of this slot's due taxis: set while draining the calendar,
+  /// then swept word-by-word so arrivals process in ascending-id order
+  /// without sorting the (unordered) bucket chain.
+  std::vector<uint64_t> due_bits_;
+
+  /// Unlinks `taxi` from its ring bucket if it is linked there.
+  void CalendarUnlink(TaxiId taxi);
+
+  // --- Station-load snapshot for sharded balk decisions -----------------
+  std::vector<int> snap_avail_;
+  std::vector<int> snap_wait_;
+  std::vector<int> snap_occ_;
+
+  // CSR matching state shared between MatchPassengers and MatchShard
+  // (arena-owned, valid during the phase only).
+  TaxiId* match_pool_ = nullptr;
+  const int* match_offsets_ = nullptr;
+  int* match_sizes_ = nullptr;
+  double* match_scores_ = nullptr;
+  int* match_order_ = nullptr;
+
   double fleet_mean_pe_ = 0.0;
   double fleet_pe_variance_ = 0.0;
   int64_t total_requests_ = 0;

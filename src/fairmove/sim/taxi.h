@@ -5,7 +5,6 @@
 
 #include "fairmove/common/time_types.h"
 #include "fairmove/geo/region.h"
-#include "fairmove/sim/battery.h"
 
 namespace fairmove {
 
@@ -26,6 +25,10 @@ const char* TaxiPhaseName(TaxiPhase phase);
 
 /// Lifetime accounting of one taxi: the quantities entering Eq. 1/2
 /// (PE = (Revenue - Costs) / (T_op + T_idle + T_charge)).
+///
+/// Inside the simulator the per-slot counters live as FleetState columns
+/// (structure-of-arrays); this struct is the materialised per-taxi view
+/// (FleetState::Totals) that analysis and metrics consume.
 struct TaxiTotals {
   double cruise_min = 0.0;
   double serve_min = 0.0;
@@ -49,72 +52,6 @@ struct TaxiTotals {
   double hourly_pe() const {
     const double m = on_duty_min();
     return m > 0.0 ? profit_cny() / (m / 60.0) : 0.0;
-  }
-};
-
-/// Full mutable state of one e-taxi inside the simulator.
-struct Taxi {
-  TaxiId id = -1;
-  RegionId region = kInvalidRegion;
-  TaxiPhase phase = TaxiPhase::kCruising;
-  Battery battery;
-
-  /// Slot index at which the current busy activity (serving / driving to a
-  /// station / relocating) completes; meaningful when > current slot.
-  int64_t busy_until = 0;
-
-  /// Serving: where the passenger is going and the fare to credit at
-  /// drop-off.
-  RegionId trip_dest = kInvalidRegion;
-  double pending_fare = 0.0;
-
-  /// Charging: the station being targeted / used.
-  StationId station = kInvalidStation;
-  /// SoC at which the current charging session unplugs.
-  double charge_target_soc = 0.95;
-
-  /// Slot at which the taxi last became vacant (cruise-time bookkeeping).
-  int64_t vacant_since = 0;
-  /// Slot at which the taxi started seeking a charger (t3 in Fig 1).
-  int64_t idle_since = 0;
-  /// Slot at which the taxi plugged in (t4 in Fig 1).
-  int64_t plugged_at = 0;
-  /// kWh and CNY of the in-progress charging session.
-  double session_kwh = 0.0;
-  double session_cost = 0.0;
-  double session_start_soc = 0.0;
-  /// Minutes actually spent plugged in this session (continuous).
-  double session_charge_min = 0.0;
-  /// Plug derating of the current session (1 = full-power fast point).
-  double session_power_factor = 1.0;
-  /// Continuous driving time to the station (part of the idle time record).
-  double session_travel_min = 0.0;
-  /// Whole slots the drive to the station occupied.
-  int64_t charge_travel_slots = 0;
-  /// Times this charge errand was redirected after balking at a full
-  /// station's queue.
-  int charge_redirects = 0;
-
-  /// Index into the trace's charge-event vector of the most recent
-  /// completed charge, so the first pickup afterwards can back-fill the
-  /// first-cruise time (Figs 5/6). -1 when none pending.
-  int64_t last_charge_event = -1;
-  /// True from charge completion until the next pickup.
-  bool awaiting_first_pickup = false;
-
-  TaxiTotals totals;
-  /// Snapshot of `totals` at the start of the current working cycle (the
-  /// end of the previous charging event); the delta at the next charge end
-  /// is the CycleRecord.
-  TaxiTotals cycle_baseline;
-  int64_t cycle_start_slot = 0;
-
-  Taxi(TaxiId taxi_id, RegionId start_region, const BatteryConfig& battery_cfg,
-       double initial_soc)
-      : id(taxi_id), region(start_region), battery(battery_cfg, initial_soc) {}
-
-  bool IsVacant(int64_t slot) const {
-    return phase == TaxiPhase::kCruising && busy_until <= slot;
   }
 };
 

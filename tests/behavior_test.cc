@@ -35,9 +35,11 @@ TEST_F(BehaviorTest, HighHustleDriversServeMoreTrips) {
   });
   const size_t q = ids.size() / 4;
   double bottom_trips = 0.0, top_trips = 0.0;
+  const FleetState& fleet = sim.fleet();
   for (size_t i = 0; i < q; ++i) {
-    bottom_trips += sim.taxi(ids[i]).totals.num_trips;
-    top_trips += sim.taxi(ids[ids.size() - 1 - i]).totals.num_trips;
+    bottom_trips += fleet.cold[static_cast<size_t>(ids[i])].num_trips;
+    top_trips +=
+        fleet.cold[static_cast<size_t>(ids[ids.size() - 1 - i])].num_trips;
   }
   EXPECT_GT(top_trips, bottom_trips * 1.1)
       << "top-hustle quartile must out-serve the bottom quartile";
@@ -49,14 +51,13 @@ TEST_F(BehaviorTest, HustleTranslatesIntoProfitEfficiency) {
   double mean_h = 0.0, mean_pe = 0.0;
   for (TaxiId i = 0; i < sim.num_taxis(); ++i) {
     mean_h += sim.hustle(i);
-    mean_pe += sim.taxi(i).totals.hourly_pe();
+    mean_pe += sim.fleet().hourly_pe(i);
   }
   mean_h /= sim.num_taxis();
   mean_pe /= sim.num_taxis();
   double cov = 0.0;
   for (TaxiId i = 0; i < sim.num_taxis(); ++i) {
-    cov += (sim.hustle(i) - mean_h) *
-           (sim.taxi(i).totals.hourly_pe() - mean_pe);
+    cov += (sim.hustle(i) - mean_h) * (sim.fleet().hourly_pe(i) - mean_pe);
   }
   EXPECT_GT(cov, 0.0);
 }
@@ -106,13 +107,13 @@ TEST_F(BehaviorTest, EnergyBookkeepingBalances) {
   // Energy charged + initial pack energy >= energy burned by driving
   // (equality up to the pack state at the end of the horizon).
   const Simulator& sim = system_->sim();
+  const FleetState& fleet = sim.fleet();
   for (TaxiId i = 0; i < sim.num_taxis(); i += 17) {
-    const Taxi& taxi = sim.taxi(i);
+    const TaxiCold& cold = fleet.cold[static_cast<size_t>(i)];
     const double burned =
-        taxi.totals.km_driven * taxi.battery.config().consumption_kwh_per_km;
-    const double initial_bound = taxi.battery.config().capacity_kwh;
-    EXPECT_LE(burned,
-              taxi.totals.kwh_charged + initial_bound + 1e-6)
+        cold.km_driven * fleet.battery().consumption_kwh_per_km;
+    const double initial_bound = fleet.battery().capacity_kwh;
+    EXPECT_LE(burned, cold.kwh_charged + initial_bound + 1e-6)
         << "taxi " << i << " drove more than it ever had energy for";
   }
 }
@@ -120,9 +121,10 @@ TEST_F(BehaviorTest, EnergyBookkeepingBalances) {
 TEST_F(BehaviorTest, ChargeCostsMatchTariffBand) {
   const Simulator& sim = system_->sim();
   double kwh = 0.0, cost = 0.0;
-  for (const Taxi& taxi : sim.taxis()) {
-    kwh += taxi.totals.kwh_charged;
-    cost += taxi.totals.charge_cost_cny;
+  const FleetState& fleet = sim.fleet();
+  for (TaxiId i = 0; i < sim.num_taxis(); ++i) {
+    kwh += fleet.cold[static_cast<size_t>(i)].kwh_charged;
+    cost += fleet.charge_cost_cny[static_cast<size_t>(i)];
   }
   ASSERT_GT(kwh, 0.0);
   const double mean_rate = cost / kwh;

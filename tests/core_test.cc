@@ -95,9 +95,10 @@ TEST_F(MetricsTest, FleetMetricsMatchRawTotals) {
   EXPECT_EQ(m.pe.size(), static_cast<size_t>(system_->sim().num_taxis()));
   double revenue = 0.0;
   int64_t trips = 0;
-  for (const Taxi& taxi : system_->sim().taxis()) {
-    revenue += taxi.totals.revenue_cny;
-    trips += taxi.totals.num_trips;
+  const FleetState& fleet = system_->sim().fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
+    revenue += fleet.revenue_cny[static_cast<size_t>(id)];
+    trips += fleet.cold[static_cast<size_t>(id)].num_trips;
   }
   EXPECT_DOUBLE_EQ(m.revenue_cny, revenue);
   EXPECT_EQ(m.trips, trips);

@@ -5,8 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
+#include "fairmove/common/parallel.h"
 #include "fairmove/common/rng.h"
 #include "fairmove/core/fairmove.h"
+#include "fairmove/core/metrics.h"
+#include "fairmove/resilience/fault_schedule.h"
 #include "fairmove/rl/cma2c_policy.h"
 #include "fairmove/rl/features.h"
 #include "fairmove/rl/gt_policy.h"
@@ -79,6 +85,52 @@ TEST(DeterminismTest, TrainedCma2cIsReproducible) {
     return stats.avg_reward;
   };
   EXPECT_DOUBLE_EQ(run(), run());
+}
+
+// ------------------------------------- sharded stepping is thread-blind --
+
+std::string FullScaleDigest(int threads) {
+  SetGlobalThreads(threads);
+  // Full Shenzhen scale — 20,130 taxis / 491 regions / 123 stations — so
+  // the digest exercises every shard boundary the bench config has, with
+  // an active fault schedule perturbing demand, charging, and breakdowns
+  // mid-run (fault draws come from dedicated per-region streams and must
+  // be as thread-blind as the rest).
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen();
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  FaultSchedule faults;
+  faults.AddDemandShock(/*region=*/7, /*from_slot=*/6, /*until_slot=*/30,
+                        /*multiplier=*/2.5);
+  faults.AddStationOutage(/*station=*/3, /*from_slot=*/10, /*until_slot=*/40);
+  faults.AddBreakdownHazard(/*from_slot=*/12, /*until_slot=*/36,
+                            /*per_slot_prob=*/2e-4, /*repair_slots=*/6);
+  EXPECT_TRUE(system->sim().SetFaultSchedule(&faults).ok());
+  GtPolicy policy;
+  system->sim().Reset();
+  system->sim().RunSlots(&policy, 48);
+  const FleetMetrics m = ComputeFleetMetrics(system->sim());
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%.17g|%.17g|%.17g|%.17g|%lld|%lld|%lld|%lld",
+                m.pe.empty() ? 0.0 : m.pe.Mean(), m.pf, m.pe_sum,
+                m.revenue_cny, static_cast<long long>(m.trips),
+                static_cast<long long>(m.charge_events),
+                static_cast<long long>(m.expired_requests),
+                static_cast<long long>(m.total_requests));
+  SetGlobalThreads(1);
+  return buf;
+}
+
+TEST(DeterminismTest, FullScaleShardedSteppingIsThreadCountInvariant) {
+  // The tentpole contract: region-sharded stepping with deterministic
+  // cross-shard handoff is byte-identical at any FAIRMOVE_THREADS, and
+  // two same-seed runs at the same thread count agree exactly.
+  const std::string one = FullScaleDigest(1);
+  const std::string two = FullScaleDigest(2);
+  const std::string four = FullScaleDigest(4);
+  const std::string four_again = FullScaleDigest(4);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(four, four_again);
 }
 
 TEST(DeterminismTest, FeatureVectorsAreDeterministic) {

@@ -437,9 +437,9 @@ TEST(DispatchModeTest, InvariantsStillHold) {
   EXPECT_EQ(system->sim().total_requests(),
             system->sim().trace().total_trips() +
                 system->sim().trace().expired_requests() + pending);
-  for (const Taxi& taxi : system->sim().taxis()) {
-    EXPECT_GE(taxi.battery.soc(), 0.0);
-    EXPECT_LE(taxi.battery.soc(), 1.0 + 1e-9);
+  for (double soc : system->sim().fleet().soc) {
+    EXPECT_GE(soc, 0.0);
+    EXPECT_LE(soc, 1.0 + 1e-9);
   }
 }
 

@@ -178,11 +178,13 @@ std::string Fingerprint(const Simulator& sim, bool include_fault_events) {
          << ',' << e.magnitude << '\n';
     }
   }
-  for (const Taxi& taxi : sim.taxis()) {
-    os << taxi.region << ',' << static_cast<int>(taxi.phase) << ','
-       << taxi.battery.soc() << ',' << taxi.totals.revenue_cny << ','
-       << taxi.totals.charge_cost_cny << ',' << taxi.totals.num_trips << ','
-       << taxi.totals.num_charges << ',' << taxi.totals.num_breakdowns
+  const FleetState& fleet = sim.fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
+    const size_t k = static_cast<size_t>(id);
+    os << fleet.region[k] << ',' << static_cast<int>(fleet.phase[k]) << ','
+       << fleet.soc[k] << ',' << fleet.revenue_cny[k] << ','
+       << fleet.charge_cost_cny[k] << ',' << fleet.cold[k].num_trips << ','
+       << fleet.cold[k].num_charges << ',' << fleet.cold[k].num_breakdowns
        << '\n';
   }
   return os.str();
@@ -340,9 +342,10 @@ TEST_F(ResilienceSimTest, BreakdownsAreAccountedAndTaxisRejoin) {
   EXPECT_EQ(breakdown_events, trace.total_breakdowns());
   EXPECT_EQ(repaired_events, breakdown_events);
   int64_t per_taxi = 0;
-  for (const Taxi& taxi : sim.taxis()) {
-    per_taxi += taxi.totals.num_breakdowns;
-    EXPECT_NE(taxi.phase, TaxiPhase::kBrokenDown);
+  const FleetState& fleet = sim.fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
+    per_taxi += fleet.cold[static_cast<size_t>(id)].num_breakdowns;
+    EXPECT_NE(fleet.phase[static_cast<size_t>(id)], TaxiPhase::kBrokenDown);
   }
   EXPECT_EQ(per_taxi, trace.total_breakdowns());
   const FleetMetrics m = ComputeFleetMetrics(sim);

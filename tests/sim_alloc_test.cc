@@ -161,11 +161,12 @@ TEST(SimAllocTest, WarmFeatureExtractionDoesZeroHeapAllocations) {
   FeatureExtractor extractor(stack.sim.get());
 
   std::vector<TaxiObs> obs;
-  for (const Taxi& taxi : stack.sim->taxis()) {
+  const FleetState& fleet = stack.sim->fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
     TaxiObs o;
-    o.taxi = taxi.id;
-    o.region = taxi.region;
-    o.soc = taxi.battery.soc();
+    o.taxi = id;
+    o.region = fleet.region[static_cast<size_t>(id)];
+    o.soc = fleet.soc[static_cast<size_t>(id)];
     obs.push_back(o);
   }
   Matrix features;

@@ -119,8 +119,26 @@ TEST(MatchingEngineTest, FifoPerRegion) {
   EXPECT_EQ(engine.PendingCount(0), 2);
   EXPECT_EQ(engine.TotalPending(), 2);
   const Request first = engine.PopOldest(0);
-  EXPECT_EQ(first.dest, 1);
+  EXPECT_EQ(first.origin, 0);
+  EXPECT_EQ(first.created_slot, 10);
+  // Destinations are drawn lazily by the server, never stored.
+  EXPECT_EQ(first.dest, kInvalidRegion);
   EXPECT_EQ(engine.PendingCount(0), 1);
+  EXPECT_EQ(engine.PopOldest(0).created_slot, 11);
+}
+
+TEST(MatchingEngineTest, CohortsMergeWithinOneSlot) {
+  MatchingEngine engine(2, 3);
+  engine.AddRequests(1, 5, 7);
+  engine.AddRequests(1, 3, 7);  // same slot: merges into one cohort
+  engine.AddRequests(1, 2, 8);
+  EXPECT_EQ(engine.PendingCount(1), 10);
+  EXPECT_EQ(engine.TotalPending(), 10);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(engine.PopOldest(1).created_slot, 7);
+  }
+  EXPECT_EQ(engine.PopOldest(1).created_slot, 8);
+  EXPECT_EQ(engine.PendingCount(1), 1);
 }
 
 TEST(MatchingEngineTest, ExpiryDropsOnlyStaleRequests) {

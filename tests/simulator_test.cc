@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "fairmove/common/stats.h"
+#include "fairmove/core/fairmove.h"
 #include "fairmove/demand/demand_model.h"
 #include "fairmove/geo/city_builder.h"
 #include "fairmove/pricing/tou_tariff.h"
@@ -112,6 +113,41 @@ TEST(SimConfigTest, ValidateCatchesBadKnobs) {
   EXPECT_FALSE(cfg.Validate().ok());
 }
 
+TEST(SimConfigTest, ValidateRejectsBadScale) {
+  // Regression: Scaled() used to CHECK-abort on an out-of-range factor.
+  // Now the poison value is recorded in sim.scale and surfaces as a
+  // structured Status from Validate / Create instead of a process abort.
+  SimConfig cfg;
+  cfg.scale = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.scale = -0.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.scale = 1.5;  // over-scale: the (0, 1] contract is directional
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.scale = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.scale = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = SimConfig{};
+  cfg.scale = 0.05;
+  EXPECT_TRUE(cfg.Validate().ok());
+
+  // The full-config path: a bad factor handed to FairMoveConfig::Scaled
+  // must flow through to a failed Create, not an abort, and the Status
+  // message must name the offending knob.
+  const FairMoveConfig bad = FairMoveConfig::BenchDefault().Scaled(-1.0);
+  auto sys_or = FairMoveSystem::Create(bad);
+  ASSERT_FALSE(sys_or.ok());
+  EXPECT_NE(sys_or.status().message().find("scale"), std::string::npos);
+  const FairMoveConfig nan_cfg = FairMoveConfig::BenchDefault().Scaled(
+      std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(FairMoveSystem::Create(nan_cfg).ok());
+}
+
 TEST(SimulatorTest, CreateRejectsNullInputs) {
   TestStack stack = MakeStack();
   SimConfig cfg;
@@ -128,12 +164,14 @@ TEST(SimulatorTest, ResetInitialisesFleet) {
   const Simulator& sim = *stack.sim;
   EXPECT_EQ(sim.num_taxis(), 200);
   EXPECT_EQ(sim.now().index, 0);
-  for (const Taxi& taxi : sim.taxis()) {
-    EXPECT_EQ(taxi.phase, TaxiPhase::kCruising);
-    EXPECT_GE(taxi.battery.soc(), sim.config().initial_soc_min - 1e-9);
-    EXPECT_LE(taxi.battery.soc(), sim.config().initial_soc_max + 1e-9);
-    EXPECT_GE(taxi.region, 0);
-    EXPECT_LT(taxi.region, sim.city().num_regions());
+  const FleetState& fleet = sim.fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
+    const size_t k = static_cast<size_t>(id);
+    EXPECT_EQ(fleet.phase[k], TaxiPhase::kCruising);
+    EXPECT_GE(fleet.soc[k], sim.config().initial_soc_min - 1e-9);
+    EXPECT_LE(fleet.soc[k], sim.config().initial_soc_max + 1e-9);
+    EXPECT_GE(fleet.region[k], 0);
+    EXPECT_LT(fleet.region[k], sim.city().num_regions());
   }
 }
 
@@ -167,10 +205,10 @@ TEST(SimulatorTest, DeterministicForSameSeed) {
   EXPECT_EQ(a.sim->trace().total_trips(), b.sim->trace().total_trips());
   EXPECT_EQ(a.sim->total_requests(), b.sim->total_requests());
   for (TaxiId id = 0; id < a.sim->num_taxis(); ++id) {
-    EXPECT_DOUBLE_EQ(a.sim->taxi(id).totals.revenue_cny,
-                     b.sim->taxi(id).totals.revenue_cny);
-    EXPECT_DOUBLE_EQ(a.sim->taxi(id).battery.soc(),
-                     b.sim->taxi(id).battery.soc());
+    const size_t k = static_cast<size_t>(id);
+    EXPECT_DOUBLE_EQ(a.sim->fleet().revenue_cny[k],
+                     b.sim->fleet().revenue_cny[k]);
+    EXPECT_DOUBLE_EQ(a.sim->fleet().soc[k], b.sim->fleet().soc[k]);
   }
 }
 
@@ -198,12 +236,13 @@ TEST(SimulatorTest, TimeAccountingSumsToWallClock) {
   StayPolicy policy;
   const int64_t slots = 200;
   stack.sim->RunSlots(&policy, slots);
-  for (const Taxi& taxi : stack.sim->taxis()) {
+  const FleetState& fleet = stack.sim->fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
     const double expected =
         slots * kMinutesPerSlot +
-        taxi.totals.num_strandings * stack.sim->config().stranding_penalty_min;
-    EXPECT_NEAR(taxi.totals.on_duty_min(), expected, 1e-6)
-        << "taxi " << taxi.id;
+        fleet.cold[static_cast<size_t>(id)].num_strandings *
+            stack.sim->config().stranding_penalty_min;
+    EXPECT_NEAR(fleet.on_duty_min(id), expected, 1e-6) << "taxi " << id;
   }
 }
 
@@ -212,9 +251,9 @@ TEST(SimulatorTest, SocStaysInUnitInterval) {
   EagerChargePolicy policy;
   for (int i = 0; i < 300; ++i) {
     stack.sim->Step(&policy);
-    for (const Taxi& taxi : stack.sim->taxis()) {
-      EXPECT_GE(taxi.battery.soc(), 0.0);
-      EXPECT_LE(taxi.battery.soc(), 1.0 + 1e-9);
+    for (double soc : stack.sim->fleet().soc) {
+      EXPECT_GE(soc, 0.0);
+      EXPECT_LE(soc, 1.0 + 1e-9);
     }
   }
 }
@@ -237,9 +276,9 @@ TEST(SimulatorTest, PhaseAndStationBookkeepingConsistent) {
   EagerChargePolicy policy;
   stack.sim->RunSlots(&policy, 150);
   int charging = 0, queuing = 0;
-  for (const Taxi& taxi : stack.sim->taxis()) {
-    charging += taxi.phase == TaxiPhase::kCharging ? 1 : 0;
-    queuing += taxi.phase == TaxiPhase::kQueuing ? 1 : 0;
+  for (TaxiPhase phase : stack.sim->fleet().phase) {
+    charging += phase == TaxiPhase::kCharging ? 1 : 0;
+    queuing += phase == TaxiPhase::kQueuing ? 1 : 0;
   }
   int occupied = 0, waiting = 0;
   for (StationId s = 0; s < stack.sim->city().num_stations(); ++s) {
@@ -269,9 +308,10 @@ TEST(SimulatorTest, TripsMatchPerTaxiCounters) {
   stack.sim->RunSlots(&policy, 144);
   int64_t trips = 0;
   double revenue = 0.0;
-  for (const Taxi& taxi : stack.sim->taxis()) {
-    trips += taxi.totals.num_trips;
-    revenue += taxi.totals.revenue_cny;
+  const FleetState& fleet = stack.sim->fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
+    trips += fleet.cold[static_cast<size_t>(id)].num_trips;
+    revenue += fleet.revenue_cny[static_cast<size_t>(id)];
   }
   EXPECT_EQ(trips, stack.sim->trace().total_trips());
   // Fares are credited at drop-off; trips still in progress at the end are
@@ -285,8 +325,8 @@ TEST(SimulatorTest, LowBatteryTaxisEventuallyCharge) {
   StayPolicy policy;
   stack.sim->RunDays(&policy, 2);
   int64_t charges = 0;
-  for (const Taxi& taxi : stack.sim->taxis()) {
-    charges += taxi.totals.num_charges;
+  for (const TaxiCold& cold : stack.sim->fleet().cold) {
+    charges += cold.num_charges;
   }
   EXPECT_GT(charges, stack.sim->num_taxis() / 2)
       << "a two-day run must include plenty of charging";
@@ -350,9 +390,10 @@ TEST(SimulatorTest, NullPolicyRunsForcedChargingOnly) {
   stack.sim->RunDays(nullptr, 1);
   // Taxis must still have charged (forced at the threshold) and survived.
   int64_t charges = 0;
-  for (const Taxi& taxi : stack.sim->taxis()) {
-    charges += taxi.totals.num_charges;
-    EXPECT_GE(taxi.battery.soc(), 0.0);
+  const FleetState& fleet = stack.sim->fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
+    charges += fleet.cold[static_cast<size_t>(id)].num_charges;
+    EXPECT_GE(fleet.soc[static_cast<size_t>(id)], 0.0);
   }
   EXPECT_GT(charges, 0);
 }
@@ -362,8 +403,8 @@ TEST(SimulatorTest, StrandingIsRareUnderForcedCharging) {
   StayPolicy policy;
   stack.sim->RunDays(&policy, 2);
   int64_t strandings = 0;
-  for (const Taxi& taxi : stack.sim->taxis()) {
-    strandings += taxi.totals.num_strandings;
+  for (const TaxiCold& cold : stack.sim->fleet().cold) {
+    strandings += cold.num_strandings;
   }
   // Forced charging at 20% SoC leaves 80 km of range: stranding should be
   // an exceptional event, not routine.
@@ -383,7 +424,7 @@ TEST(SimulatorTest, SlotProfitsMatchTotalsDelta) {
   }
   for (TaxiId id = 0; id < stack.sim->num_taxis(); ++id) {
     EXPECT_NEAR(cum[static_cast<size_t>(id)],
-                stack.sim->taxi(id).totals.profit_cny(), 1e-6);
+                stack.sim->fleet().profit_cny(id), 1e-6);
   }
 }
 
@@ -392,8 +433,8 @@ TEST(SimulatorTest, FleetPeStatsMatchManualComputation) {
   StayPolicy policy;
   stack.sim->RunSlots(&policy, 100);
   RunningStats manual;
-  for (const Taxi& taxi : stack.sim->taxis()) {
-    manual.Add(taxi.totals.hourly_pe());
+  for (TaxiId id = 0; id < stack.sim->num_taxis(); ++id) {
+    manual.Add(stack.sim->fleet().hourly_pe(id));
   }
   EXPECT_NEAR(stack.sim->FleetMeanPe(), manual.mean(), 1e-9);
   EXPECT_NEAR(stack.sim->FleetPeVariance(), manual.variance(), 1e-9);
@@ -408,8 +449,8 @@ TEST(SimulatorTest, VacantCountsMatchPhases) {
     vacant_by_count += stack.sim->VacantCount(r);
   }
   int cruising = 0;
-  for (const Taxi& taxi : stack.sim->taxis()) {
-    cruising += taxi.phase == TaxiPhase::kCruising ? 1 : 0;
+  for (TaxiPhase phase : stack.sim->fleet().phase) {
+    cruising += phase == TaxiPhase::kCruising ? 1 : 0;
   }
   EXPECT_EQ(vacant_by_count, cruising);
 }
@@ -431,11 +472,13 @@ TEST_P(SimulatorSweep, CoreInvariantsHold) {
   EXPECT_EQ(stack.sim->total_requests(),
             stack.sim->trace().total_trips() +
                 stack.sim->trace().expired_requests() + pending);
-  for (const Taxi& taxi : stack.sim->taxis()) {
-    EXPECT_GE(taxi.battery.soc(), 0.0);
-    EXPECT_LE(taxi.battery.soc(), 1.0 + 1e-9);
-    EXPECT_GE(taxi.totals.revenue_cny, 0.0);
-    EXPECT_GE(taxi.totals.charge_cost_cny, 0.0);
+  const FleetState& fleet = stack.sim->fleet();
+  for (TaxiId id = 0; id < fleet.size(); ++id) {
+    const size_t k = static_cast<size_t>(id);
+    EXPECT_GE(fleet.soc[k], 0.0);
+    EXPECT_LE(fleet.soc[k], 1.0 + 1e-9);
+    EXPECT_GE(fleet.revenue_cny[k], 0.0);
+    EXPECT_GE(fleet.charge_cost_cny[k], 0.0);
   }
   for (StationId s = 0; s < stack.sim->city().num_stations(); ++s) {
     EXPECT_LE(stack.sim->station_queue(s).occupied(),

@@ -16,6 +16,7 @@
 
 #include "fairmove/common/macros.h"
 #include "fairmove/common/status.h"
+#include "fairmove/obs/json_parse.h"
 #include "fairmove/obs/jsonl.h"
 
 namespace fairmove {
@@ -63,6 +64,76 @@ Status CheckStream(const std::string& path,
   return Status::OK();
 }
 
+/// Sharded-stepping telemetry contract: each simulated slot emits one
+/// kind="shard" row per shard (ids ascending from 0) followed by the
+/// kind="slot" fleet row, and the shard rows' phase counts must sum to the
+/// fleet row's exactly — the deterministic merge the simulator promises at
+/// any FAIRMOVE_THREADS.
+Status CheckShardComposition(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  const char* kPhases[] = {"cruising",  "serving",  "to_station",
+                           "queuing",   "charging", "broken_down"};
+  int64_t next_shard = 0;
+  int64_t shard_sums[6] = {0, 0, 0, 0, 0, 0};
+  int64_t slots_checked = 0;
+  int64_t shard_rows = 0;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    FM_ASSIGN_OR_RETURN(const JsonValue row, ParseJson(line));
+    const std::string kind = row.StringOr("kind", "");
+    if (kind == "shard") {
+      const int64_t shard =
+          static_cast<int64_t>(row.NumberOr("shard", -1.0));
+      if (shard != next_shard) {
+        return Status::InvalidArgument(
+            path + ": line " + std::to_string(line_no) + ": shard id " +
+            std::to_string(shard) + ", expected " +
+            std::to_string(next_shard) + " (ids must ascend from 0)");
+      }
+      ++next_shard;
+      ++shard_rows;
+      for (int p = 0; p < 6; ++p) {
+        shard_sums[p] += static_cast<int64_t>(row.NumberOr(kPhases[p], 0.0));
+      }
+    } else if (kind == "slot") {
+      // A slot row without preceding shard rows is fine (shard telemetry
+      // may be off); with them, the merge must be exact.
+      if (next_shard > 0) {
+        for (int p = 0; p < 6; ++p) {
+          const int64_t fleet =
+              static_cast<int64_t>(row.NumberOr(kPhases[p], 0.0));
+          if (fleet != shard_sums[p]) {
+            return Status::InvalidArgument(
+                path + ": line " + std::to_string(line_no) + ": slot " +
+                std::to_string(static_cast<int64_t>(
+                    row.NumberOr("slot", -1.0))) +
+                " field '" + kPhases[p] + "': shard rows sum to " +
+                std::to_string(shard_sums[p]) + " but the fleet row says " +
+                std::to_string(fleet));
+          }
+        }
+        ++slots_checked;
+      }
+      next_shard = 0;
+      for (int64_t& s : shard_sums) s = 0;
+    }
+  }
+  if (next_shard != 0) {
+    return Status::InvalidArgument(
+        path + ": " + std::to_string(next_shard) +
+        " trailing shard row(s) with no closing slot row");
+  }
+  std::printf("  ok  %-16s %lld slot(s) composed from %lld shard row(s)\n",
+              std::filesystem::path(path).filename().c_str(),
+              static_cast<long long>(slots_checked),
+              static_cast<long long>(shard_rows));
+  return Status::OK();
+}
+
 Status CheckTelemetryDir(const std::string& dir) {
   FM_RETURN_IF_ERROR(CheckJsonObjectFile(
       dir + "/manifest.json",
@@ -76,6 +147,7 @@ Status CheckTelemetryDir(const std::string& dir) {
       CheckStream(dir + "/training.jsonl", {"kind", "phase", "method"}));
   FM_RETURN_IF_ERROR(CheckStream(dir + "/sim.jsonl", {"kind", "run",
                                                       "slot"}));
+  FM_RETURN_IF_ERROR(CheckShardComposition(dir + "/sim.jsonl"));
   FM_RETURN_IF_ERROR(CheckStream(dir + "/pool.jsonl", {"kind", "threads"}));
   // Only written when FAIRMOVE_PROFILE=1 accompanied the run.
   const std::string profile = dir + "/profile.json";
