@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -131,6 +132,73 @@ void PrintHeader(const std::string& artefact, const BenchSetup& setup) {
         .Set("num_taxis", setup.config.sim.num_taxis);
     manifest.AddExtra("city", city.Str());
   }
+}
+
+std::vector<std::string> RacingFlagNames() {
+  return {"racing",        "fixed-replicas", "delta",
+          "bound",         "min-replicas",   "batch",
+          "max-replicas",  "reuse-freed-budget"};
+}
+
+Status ApplyRacingFlags(const Flags& flags, RacingConfig* config) {
+  if (flags.Has("racing") && flags.Has("fixed-replicas")) {
+    return Status::InvalidArgument(
+        "--racing and --fixed-replicas are mutually exclusive");
+  }
+  auto delta = flags.GetDouble("delta", config->delta);
+  if (!delta.ok()) return delta.status();
+  config->delta = *delta;
+  if (flags.Has("bound")) {
+    auto bound = ParseCiBound(flags.GetString("bound"));
+    if (!bound.ok()) return bound.status();
+    config->bound = *bound;
+  }
+  auto min_replicas = flags.GetInt("min-replicas", config->min_replicas);
+  if (!min_replicas.ok()) return min_replicas.status();
+  config->min_replicas = static_cast<int>(*min_replicas);
+  auto batch = flags.GetInt("batch", config->batch);
+  if (!batch.ok()) return batch.status();
+  config->batch = static_cast<int>(*batch);
+  auto max_replicas = flags.GetInt("max-replicas", config->max_replicas);
+  if (!max_replicas.ok()) return max_replicas.status();
+  config->max_replicas = static_cast<int>(*max_replicas);
+  auto reuse = flags.GetBool("reuse-freed-budget", config->reuse_freed_budget);
+  if (!reuse.ok()) return reuse.status();
+  config->reuse_freed_budget = *reuse;
+  return config->Validate();
+}
+
+RacingOutcome FixedGridOutcome(const RepeatedComparison& result,
+                               const RacingConfig& config) {
+  RacingOutcome outcome;
+  outcome.rounds = 1;
+  for (const RepeatedMethodResult& m : result.methods) {
+    RacingCell cell;
+    cell.name = m.name;
+    cell.replicas = result.repeats;
+    cell.reward = m.reward;
+    cell.half_width = m.reward.CiHalfWidth(config.bound, config.delta);
+    outcome.cells.push_back(std::move(cell));
+    outcome.replicas_spent += result.repeats;
+  }
+  outcome.fixed_budget = outcome.replicas_spent;
+  for (size_t i = 0; i < outcome.cells.size(); ++i) {
+    if (outcome.best_arm < 0 ||
+        outcome.cells[i].reward.mean() >
+            outcome.cells[static_cast<size_t>(outcome.best_arm)]
+                .reward.mean()) {
+      outcome.best_arm = static_cast<int>(i);
+    }
+    outcome.order.push_back(static_cast<int>(i));
+  }
+  std::stable_sort(outcome.order.begin(), outcome.order.end(),
+                   [&outcome](int a, int b) {
+                     return outcome.cells[static_cast<size_t>(a)]
+                                .reward.mean() >
+                            outcome.cells[static_cast<size_t>(b)]
+                                .reward.mean();
+                   });
+  return outcome;
 }
 
 }  // namespace fairmove::bench

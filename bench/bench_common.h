@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "fairmove/common/config.h"
+#include "fairmove/common/flags.h"
 #include "fairmove/core/fairmove.h"
+#include "fairmove/core/racing.h"
 
 namespace fairmove::bench {
 
@@ -39,6 +41,26 @@ std::vector<MethodResult> RunSixMethodComparison(FairMoveSystem& system);
 /// Prints the experiment header: what paper artefact this reproduces and
 /// at which configuration.
 void PrintHeader(const std::string& artefact, const BenchSetup& setup);
+
+/// Flag names of the racing evaluation mode, shared by the comparison and
+/// α-sweep benches — append to a binary's known-flags list:
+///   --racing              switch from the fixed-replica grid to racing
+///   --fixed-replicas      force the fixed grid (the default; errors if
+///                         combined with --racing)
+///   --delta / --bound / --min-replicas / --batch / --max-replicas /
+///   --reuse-freed-budget  RacingConfig knobs (see core/racing.h)
+std::vector<std::string> RacingFlagNames();
+
+/// Applies the racing knob flags onto `config` (leaving unset knobs at
+/// their incoming values) and validates the result.
+Status ApplyRacingFlags(const Flags& flags, RacingConfig* config);
+
+/// Describes a completed fixed-replica grid in racing vocabulary: uniform
+/// replica counts, no eliminations, order by mean raced reward (half-widths
+/// at `config`'s bound/delta). Lets fixed mode emit the same
+/// fairmove.racing.v1 JSON document racing mode does.
+RacingOutcome FixedGridOutcome(const RepeatedComparison& result,
+                               const RacingConfig& config);
 
 }  // namespace fairmove::bench
 

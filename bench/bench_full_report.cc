@@ -4,6 +4,12 @@
 // (which retrains per binary). Writes fairmove_report.md next to the
 // terminal output; `--json=<path>` additionally emits the comparison as
 // machine-readable JSON (schema "fairmove.report.v1").
+//
+// `--racing` replaces the single comparison run with a racing comparison
+// (core/racing.h, per-arm budget --max-replicas, default 4): the report's
+// figures render from the replica-0 rows (every arm races replica 0), and
+// the racing table — replicas spent per method, eliminations, budget
+// saving — is printed after the report.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,18 +20,57 @@
 
 int main(int argc, char** argv) {
   using namespace fairmove;
-  auto flags_or = Flags::Parse(argc, argv, {"json"});
+  std::vector<std::string> known = bench::RacingFlagNames();
+  known.push_back("json");
+  auto flags_or = Flags::Parse(argc, argv, known);
   if (!flags_or.ok()) {
-    std::fprintf(stderr, "%s\nusage: %s [--json=<path>]\n",
+    std::fprintf(stderr,
+                 "%s\nusage: %s [--racing] [--json=<path>] [racing knobs]\n",
                  flags_or.status().ToString().c_str(), argv[0]);
     return 1;
   }
   const Flags flags = std::move(flags_or).value();
+  RacingConfig racing;
+  racing.max_replicas = 4;  // the report trains 20 episodes/method per cell
+  if (Status s = bench::ApplyRacingFlags(flags, &racing); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto is_racing = flags.GetBool("racing", false);
+  if (!is_racing.ok()) {
+    std::fprintf(stderr, "%s\n", is_racing.status().ToString().c_str());
+    return 1;
+  }
   bench::BenchSetup setup = bench::MakeSetup(0.08, 20, 2);
-  bench::PrintHeader("consolidated Section-IV report (one training run)",
-                     setup);
-  auto system = bench::BuildSystem(setup.config);
-  const auto results = bench::RunSixMethodComparison(*system);
+
+  std::vector<MethodResult> results;
+  if (*is_racing) {
+    bench::PrintHeader(
+        "consolidated Section-IV report (racing comparison, per-arm "
+        "budget " + std::to_string(racing.max_replicas) + ")",
+        setup);
+    auto raced_or = RunRacingComparison(
+        setup.config, FairMoveSystem::AllMethods(), racing);
+    if (!raced_or.ok()) {
+      std::fprintf(stderr, "%s\n", raced_or.status().ToString().c_str());
+      return 1;
+    }
+    results = raced_or->first_replica;
+    std::printf("%s\n",
+                raced_or->outcome.ToTable(racing.bound, racing.delta)
+                    .ToAlignedText()
+                    .c_str());
+    std::printf("racing: %lld of %lld replica budget spent (%.2fx saving)\n\n",
+                static_cast<long long>(raced_or->outcome.replicas_spent),
+                static_cast<long long>(raced_or->outcome.fixed_budget),
+                raced_or->outcome.SavingsFactor());
+    EmitRacingTelemetry("full_report", racing, raced_or->outcome);
+  } else {
+    bench::PrintHeader("consolidated Section-IV report (one training run)",
+                       setup);
+    auto system = bench::BuildSystem(setup.config);
+    results = bench::RunSixMethodComparison(*system);
+  }
 
   ReportWriter report(results);
   std::printf("%s", report.ToMarkdown().c_str());

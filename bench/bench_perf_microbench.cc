@@ -216,6 +216,34 @@ void BM_PolicyDecideScalar(benchmark::State& state) {
 }
 BENCHMARK(BM_PolicyDecideScalar)->Arg(5)->Arg(25);
 
+// One comparison-grid cell: train + evaluate one method inside a private
+// replica simulator against a precomputed GT baseline — the unit of work
+// the racing scheduler (core/racing.h) buys with each replica it spends.
+// The racing wall-clock win is (cells saved) × (this number), so the gate
+// pins it: a regression here silently inflates every racing and
+// fixed-replica experiment alike.
+void BM_EvaluatorCell(benchmark::State& state) {
+  FairMoveConfig cfg = FairMoveConfig::FullShenzhen().Scaled(
+      static_cast<double>(state.range(0)) / 100.0);
+  cfg.sim.trace_level = TraceLevel::kAggregatesOnly;
+  cfg.trainer.episodes = 2;
+  cfg.eval.days = 1;
+  auto system = std::move(FairMoveSystem::Create(cfg)).value();
+  Evaluator evaluator = system->MakeEvaluator();
+  const MethodResult gt = evaluator.RunGroundTruth();
+  evaluator.EnableReplicas(
+      {&system->city(), &system->demand(), &system->sim().tariff()});
+  for (auto _ : state) {
+    MethodResult cell = evaluator.RunKind(PolicyKind::kFairMove, gt.metrics);
+    benchmark::DoNotOptimize(cell);
+  }
+  state.counters["taxis"] =
+      static_cast<double>(system->sim().num_taxis());
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EvaluatorCell)->Arg(2)->Unit(benchmark::kMillisecond);
+
 void BM_MlpForward1(benchmark::State& state) {
   Mlp net({40, 64, 64, 14}, Activation::kTanh, 1);
   std::vector<float> x(40, 0.3f);

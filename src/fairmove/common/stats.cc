@@ -3,10 +3,70 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "fairmove/common/macros.h"
 
 namespace fairmove {
+
+const char* CiBoundName(CiBound bound) {
+  switch (bound) {
+    case CiBound::kGaussian:
+      return "gaussian";
+    case CiBound::kHoeffding:
+      return "hoeffding";
+    case CiBound::kEmpiricalBernstein:
+      return "bernstein";
+  }
+  return "unknown";
+}
+
+StatusOr<CiBound> ParseCiBound(const std::string& name) {
+  if (name == "gaussian") return CiBound::kGaussian;
+  if (name == "hoeffding") return CiBound::kHoeffding;
+  if (name == "bernstein") return CiBound::kEmpiricalBernstein;
+  return Status::InvalidArgument(
+      "unknown CI bound '" + name +
+      "' (expected gaussian, hoeffding or bernstein)");
+}
+
+double NormalQuantile(double p) {
+  FM_CHECK(p > 0.0 && p < 1.0) << "NormalQuantile: p=" << p;
+  // Acklam's rational approximation: central region plus two tail regions.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03,
+                                 -3.223964580411365e-01,
+                                 -2.400758277161838e+00,
+                                 -2.549732539343734e+00,
+                                 4.374664141464968e+00,
+                                 2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - kLow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
 
 void RunningStats::Add(double x) {
   if (count_ == 0) {
@@ -40,6 +100,27 @@ void RunningStats::Merge(const RunningStats& other) {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::CiHalfWidth(CiBound bound, double delta) const {
+  FM_CHECK(delta > 0.0 && delta < 1.0) << "CiHalfWidth: delta=" << delta;
+  if (count_ < 2) return std::numeric_limits<double>::infinity();
+  const double n = static_cast<double>(count_);
+  const double range = max_ - min_;  // observed support
+  switch (bound) {
+    case CiBound::kGaussian:
+      return NormalQuantile(1.0 - delta / 2.0) *
+             std::sqrt(sample_variance() / n);
+    case CiBound::kHoeffding:
+      return range * std::sqrt(std::log(2.0 / delta) / (2.0 * n));
+    case CiBound::kEmpiricalBernstein: {
+      const double log_term = std::log(3.0 / delta);
+      return std::sqrt(2.0 * sample_variance() * log_term / n) +
+             3.0 * range * log_term / n;
+    }
+  }
+  FM_CHECK(false) << "unknown CiBound";
+  return 0.0;
+}
 
 void Sample::EnsureSorted() const {
   if (!sorted_) {

@@ -9,8 +9,56 @@
 
 namespace fairmove {
 
+/// Confidence-bound families for RunningStats::CiHalfWidth, used by the
+/// racing evaluation layer (core/racing.h) to decide when one Monte-Carlo
+/// arm dominates another.
+///
+///   kGaussian            mean ± z_{1-δ/2} · s/√n. A CLT approximation, not
+///                        a finite-sample guarantee — but by far the most
+///                        sample-efficient at the replica counts the
+///                        experiment grids can afford (n ≤ ~20), which is
+///                        why it is the racing default.
+///   kHoeffding           range-based, distribution-free. The range is the
+///                        *observed* min..max, so the bound is a racing
+///                        heuristic rather than a strict PAC bound (a true
+///                        Hoeffding bound needs the support known a priori).
+///   kEmpiricalBernstein  variance-adaptive variant of the same idea:
+///                        √(2·s²·ln(3/δ)/n) + 3·R·ln(3/δ)/n. Much tighter
+///                        than Hoeffding when the empirical variance is
+///                        small relative to the range.
+enum class CiBound {
+  kGaussian = 0,
+  kHoeffding = 1,
+  kEmpiricalBernstein = 2,
+};
+
+const char* CiBoundName(CiBound bound);
+/// Parses "gaussian" / "hoeffding" / "bernstein" (InvalidArgument otherwise).
+StatusOr<CiBound> ParseCiBound(const std::string& name);
+
+/// Inverse standard-normal CDF Φ⁻¹(p), p in (0, 1). Acklam's rational
+/// approximation (|err| < 1.2e-9 over the full range) — plain IEEE
+/// arithmetic plus sqrt/log, so it is deterministic for a given libm like
+/// every other float in the library.
+double NormalQuantile(double p);
+
 /// Streaming mean/variance accumulator (Welford). Numerically stable for
 /// long horizons; used for per-taxi profit-efficiency aggregation.
+///
+/// Accumulation contract (what the parallel layers rely on): a RunningStats
+/// value is a pure function of the *sequence* of Add()/Merge() calls that
+/// built it — there is no hidden state and no dependence on wall clock or
+/// thread identity. Parallel reductions therefore never fold concurrently:
+/// tasks write their samples (or one-sample partials) into task-indexed
+/// slots and the calling thread reduces the slots in ascending index order,
+/// which makes the result byte-identical at any FAIRMOVE_THREADS. Note the
+/// flip side: Merge() is *not* bitwise order-insensitive (floating-point
+/// Welford combination rounds differently under reassociation), so a
+/// reduction that wants byte-identical output must fix its fold order — the
+/// slot-order discipline above is exactly that. Merging a one-sample
+/// accumulator reproduces Add() of that sample bitwise for count/mean/sum/
+/// min/max (the m2 update may differ in the last ulp), pinned by
+/// stats_test.
 class RunningStats {
  public:
   void Add(double x);
@@ -31,6 +79,23 @@ class RunningStats {
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
   double sum() const { return sum_; }
+
+  /// Two-sided confidence-interval half-width at confidence 1 - delta
+  /// (delta in (0, 1), FM_CHECKed). Returns +inf when count < 2: a cell
+  /// with at most one replica carries no spread information and must never
+  /// win or lose a race on it. With count >= 2 an all-identical sample
+  /// yields 0 for every family (observed range and sample variance are both
+  /// exactly 0) — a deterministic objective races to a point interval, which
+  /// is correct but means ties eliminate nothing (an arm is only dominated
+  /// by a *strictly* higher lower bound).
+  double CiHalfWidth(CiBound bound, double delta) const;
+  /// mean() ∓ CiHalfWidth — -inf/+inf below 2 samples.
+  double CiLower(CiBound bound, double delta) const {
+    return mean() - CiHalfWidth(bound, delta);
+  }
+  double CiUpper(CiBound bound, double delta) const {
+    return mean() + CiHalfWidth(bound, delta);
+  }
 
  private:
   int64_t count_ = 0;

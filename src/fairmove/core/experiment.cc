@@ -48,6 +48,7 @@ void RepeatedMethodResult::Accumulate(const MethodResult& r) {
   pe_mean.Add(r.metrics.pe.Mean());
   pf.Add(r.metrics.pf);
   service_rate.Add(r.metrics.ServiceRate());
+  reward.Add(r.eval_stats.avg_reward);
 }
 
 void RepeatedMethodResult::Merge(const RepeatedMethodResult& other) {
@@ -58,6 +59,7 @@ void RepeatedMethodResult::Merge(const RepeatedMethodResult& other) {
   pe_mean.Merge(other.pe_mean);
   pf.Merge(other.pf);
   service_rate.Merge(other.service_rate);
+  reward.Merge(other.reward);
 }
 
 FairMoveConfig RepeatConfig(const FairMoveConfig& base, int repeat) {

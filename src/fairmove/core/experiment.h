@@ -25,6 +25,10 @@ struct RepeatedMethodResult {
   RunningStats pe_mean;
   RunningStats pf;
   RunningStats service_rate;
+  /// Mean Eq-5 evaluation reward (Trainer::EpisodeStats::avg_reward) — the
+  /// scalar the racing layer (core/racing.h) races on. Not rendered by
+  /// ToTable(), so the comparison table bytes are unchanged by its addition.
+  RunningStats reward;
 
   /// Folds one repeat's method row into the running statistics.
   void Accumulate(const MethodResult& r);

@@ -322,3 +322,110 @@ TEST(RunningStatsTest, MergeEmptyIntoOneSampleKeepsDegenerateStats) {
   EXPECT_EQ(empty.count(), 1);
   EXPECT_DOUBLE_EQ(empty.mean(), 42.0);
 }
+
+// --------------------------------------------------------------------------
+// Confidence-interval helpers for the racing layer (core/racing.h). The
+// racing elimination rule compares CiUpper/CiLower across arms, so the edge
+// cases here — sub-2-sample counts, all-identical samples — are load-bearing
+// for race correctness, not just numeric hygiene.
+
+using fairmove::CiBound;
+using fairmove::CiBoundName;
+using fairmove::NormalQuantile;
+using fairmove::ParseCiBound;
+
+constexpr CiBound kAllBounds[] = {CiBound::kGaussian, CiBound::kHoeffding,
+                                  CiBound::kEmpiricalBernstein};
+
+TEST(NormalQuantileTest, MatchesTabulatedValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.9599639845, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.9599639845, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.5758293035, 1e-8);
+  // Tail branch of Acklam's approximation (p < 0.02425).
+  EXPECT_NEAR(NormalQuantile(0.001), -3.0902323062, 1e-7);
+  // Antisymmetry about the median.
+  EXPECT_NEAR(NormalQuantile(0.9), -NormalQuantile(0.1), 1e-9);
+}
+
+TEST(CiBoundTest, NameParseRoundTrip) {
+  for (CiBound bound : kAllBounds) {
+    auto parsed = ParseCiBound(CiBoundName(bound));
+    ASSERT_TRUE(parsed.ok()) << CiBoundName(bound);
+    EXPECT_EQ(*parsed, bound);
+  }
+  EXPECT_FALSE(ParseCiBound("gauss").ok());
+  EXPECT_FALSE(ParseCiBound("").ok());
+}
+
+TEST(CiHalfWidthTest, BelowTwoSamplesIsInfiniteForEveryFamily) {
+  // A cell with <= 1 replica has no spread estimate; the racing rule relies
+  // on the infinite interval to keep it from winning or losing a race.
+  RunningStats empty, one;
+  one.Add(3.25);
+  for (CiBound bound : kAllBounds) {
+    EXPECT_TRUE(std::isinf(empty.CiHalfWidth(bound, 0.05)))
+        << CiBoundName(bound);
+    EXPECT_TRUE(std::isinf(one.CiHalfWidth(bound, 0.05)))
+        << CiBoundName(bound);
+    EXPECT_EQ(one.CiLower(bound, 0.05),
+              -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(one.CiUpper(bound, 0.05),
+              std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(CiHalfWidthTest, AllIdenticalSamplesGiveAPointInterval) {
+  // Deterministic objectives produce identical replicas: observed range and
+  // sample variance are exactly 0, so every family collapses to width 0 and
+  // ties never eliminate (domination needs a strictly higher lower bound).
+  RunningStats s;
+  for (int i = 0; i < 5; ++i) s.Add(-0.635);
+  for (CiBound bound : kAllBounds) {
+    EXPECT_EQ(s.CiHalfWidth(bound, 0.05), 0.0) << CiBoundName(bound);
+    EXPECT_EQ(s.CiLower(bound, 0.05), s.mean()) << CiBoundName(bound);
+    EXPECT_EQ(s.CiUpper(bound, 0.05), s.mean()) << CiBoundName(bound);
+  }
+}
+
+TEST(CiHalfWidthTest, KnownValuesAtFourSamples) {
+  RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  // sample variance 5/3, observed range 3, n = 4, delta = 0.05.
+  const double delta = 0.05;
+  EXPECT_NEAR(s.CiHalfWidth(CiBound::kGaussian, delta),
+              NormalQuantile(0.975) * std::sqrt((5.0 / 3.0) / 4.0), 1e-12);
+  EXPECT_NEAR(s.CiHalfWidth(CiBound::kHoeffding, delta),
+              3.0 * std::sqrt(std::log(2.0 / delta) / 8.0), 1e-12);
+  EXPECT_NEAR(s.CiHalfWidth(CiBound::kEmpiricalBernstein, delta),
+              std::sqrt(2.0 * (5.0 / 3.0) * std::log(3.0 / delta) / 4.0) +
+                  3.0 * 3.0 * std::log(3.0 / delta) / 4.0,
+              1e-12);
+  // Tighter confidence (smaller delta) must widen every family.
+  for (CiBound bound : kAllBounds) {
+    EXPECT_GT(s.CiHalfWidth(bound, 0.01), s.CiHalfWidth(bound, 0.05))
+        << CiBoundName(bound);
+  }
+}
+
+TEST(RunningStatsTest, MergingASingletonReproducesAddExactly) {
+  // The racing reduction folds one-sample partials into per-arm
+  // accumulators in slot order; this pins the contract in stats.h that the
+  // fold is bitwise identical to having Add()ed the sample directly for
+  // count/mean/sum/min/max (m2 may differ in the last ulp).
+  const double samples[] = {-0.6351234, -0.7149921, -0.6140007, 113.875,
+                            49.6875,    -0.001953125};
+  RunningStats via_add, via_merge;
+  for (double v : samples) {
+    via_add.Add(v);
+    RunningStats one;
+    one.Add(v);
+    via_merge.Merge(one);
+  }
+  EXPECT_EQ(via_add.count(), via_merge.count());
+  EXPECT_EQ(via_add.mean(), via_merge.mean());      // bitwise, not NEAR
+  EXPECT_EQ(via_add.sum(), via_merge.sum());
+  EXPECT_EQ(via_add.min(), via_merge.min());
+  EXPECT_EQ(via_add.max(), via_merge.max());
+  EXPECT_DOUBLE_EQ(via_add.sample_variance(), via_merge.sample_variance());
+}

@@ -134,6 +134,107 @@ Status CheckShardComposition(const std::string& path) {
   return Status::OK();
 }
 
+/// Racing telemetry contract (core/racing.h EmitRacingTelemetry): each race
+/// emits one kind="racing_cell" row per arm, arm ids ascending from 0 per
+/// race label, carrying the full per-cell payload. A cell either survived
+/// (elimination fields -1) or records the round and the race-timeline slot
+/// it was eliminated at; the race-level budget fields must be consistent on
+/// every row.
+Status CheckRacingCells(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  // race label -> next expected arm id (telemetry holds few races; linear
+  // scan beats dragging in a map for the tool).
+  std::vector<std::pair<std::string, int64_t>> next_arm;
+  int64_t rows = 0;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    FM_ASSIGN_OR_RETURN(const JsonValue row, ParseJson(line));
+    if (row.StringOr("kind", "") != "racing_cell") continue;
+    ++rows;
+    const std::string where = path + ": line " + std::to_string(line_no);
+    for (const char* key :
+         {"race", "method", "arm", "replicas", "survived",
+          "eliminated_in_round", "elimination_slot", "mean_reward",
+          "half_width", "bound", "delta", "replicas_spent", "fixed_budget"}) {
+      if (row.Find(key) == nullptr) {
+        return Status::InvalidArgument(where + ": racing_cell row missing '" +
+                                       std::string(key) + "'");
+      }
+    }
+    const std::string race = row.StringOr("race", "");
+    const int64_t arm = static_cast<int64_t>(row.NumberOr("arm", -1.0));
+    int64_t expected = 0;
+    std::pair<std::string, int64_t>* entry = nullptr;
+    for (auto& e : next_arm) {
+      if (e.first == race) entry = &e;
+    }
+    if (entry == nullptr) {
+      next_arm.emplace_back(race, 0);
+      entry = &next_arm.back();
+    }
+    expected = entry->second;
+    if (arm != expected) {
+      return Status::InvalidArgument(
+          where + ": race '" + race + "' arm id " + std::to_string(arm) +
+          ", expected " + std::to_string(expected) +
+          " (arm ids must ascend from 0 per race)");
+    }
+    entry->second = arm + 1;
+    const JsonValue* survived = row.Find("survived");
+    if (survived == nullptr || !survived->is_bool()) {
+      return Status::InvalidArgument(where + ": 'survived' must be a bool");
+    }
+    const int64_t round =
+        static_cast<int64_t>(row.NumberOr("eliminated_in_round", -2.0));
+    const int64_t slot =
+        static_cast<int64_t>(row.NumberOr("elimination_slot", -2.0));
+    if (survived->bool_value) {
+      if (round != -1 || slot != -1) {
+        return Status::InvalidArgument(
+            where + ": surviving cell carries elimination round " +
+            std::to_string(round) + " / slot " + std::to_string(slot));
+      }
+    } else if (round < 0 || slot < 1) {
+      return Status::InvalidArgument(
+          where + ": eliminated cell has round " + std::to_string(round) +
+          " / slot " + std::to_string(slot) +
+          " (round must be >= 0, slot >= 1)");
+    }
+    const int64_t replicas =
+        static_cast<int64_t>(row.NumberOr("replicas", -1.0));
+    const int64_t spent =
+        static_cast<int64_t>(row.NumberOr("replicas_spent", -1.0));
+    const int64_t budget =
+        static_cast<int64_t>(row.NumberOr("fixed_budget", -1.0));
+    if (replicas < 0 || spent < replicas || budget < spent) {
+      return Status::InvalidArgument(
+          where + ": inconsistent budget: replicas " +
+          std::to_string(replicas) + " <= replicas_spent " +
+          std::to_string(spent) + " <= fixed_budget " +
+          std::to_string(budget) + " violated");
+    }
+    const std::string bound = row.StringOr("bound", "");
+    if (bound != "gaussian" && bound != "hoeffding" && bound != "bernstein") {
+      return Status::InvalidArgument(where + ": unknown CI bound '" + bound +
+                                     "'");
+    }
+    const double delta = row.NumberOr("delta", -1.0);
+    if (delta <= 0.0 || delta >= 1.0) {
+      return Status::InvalidArgument(where + ": delta " +
+                                     std::to_string(delta) +
+                                     " outside (0, 1)");
+    }
+  }
+  std::printf("  ok  %-16s %lld racing_cell row(s) across %zu race(s)\n",
+              std::filesystem::path(path).filename().c_str(),
+              static_cast<long long>(rows), next_arm.size());
+  return Status::OK();
+}
+
 Status CheckTelemetryDir(const std::string& dir) {
   FM_RETURN_IF_ERROR(CheckJsonObjectFile(
       dir + "/manifest.json",
@@ -145,6 +246,7 @@ Status CheckTelemetryDir(const std::string& dir) {
                                           "histograms"}));
   FM_RETURN_IF_ERROR(
       CheckStream(dir + "/training.jsonl", {"kind", "phase", "method"}));
+  FM_RETURN_IF_ERROR(CheckRacingCells(dir + "/training.jsonl"));
   FM_RETURN_IF_ERROR(CheckStream(dir + "/sim.jsonl", {"kind", "run",
                                                       "slot"}));
   FM_RETURN_IF_ERROR(CheckShardComposition(dir + "/sim.jsonl"));
