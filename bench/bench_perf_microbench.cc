@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "fairmove/core/fairmove.h"
+#include "fairmove/obs/flight_recorder.h"
 #include "fairmove/obs/jsonl.h"
+#include "fairmove/obs/latency.h"
 #include "fairmove/nn/adam.h"
 #include "fairmove/nn/mlp.h"
 #include "fairmove/rl/cma2c_policy.h"
@@ -274,6 +276,37 @@ void BM_MlpTrainStep(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MlpTrainStep)->Arg(64)->Arg(512)->Arg(3500);
+
+// The flight-recorder hot path: one enabled check, one thread-local ring
+// load, a 24-byte slot store and a release head bump. This is the cost the
+// always-on recorder adds to every FM_SPAN and FM_FLIGHT_EVENT site, so the
+// gate pins it — the budget is tens of nanoseconds, not hundreds.
+void BM_FlightRecorderEvent(benchmark::State& state) {
+  FlightRecorder::SetEnabled(true);
+  static const uint16_t name_id = FlightRecorder::InternName("bench.event");
+  int32_t arg = 0;
+  for (auto _ : state) {
+    FlightRecorder::Instant(name_id, arg++, 42);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FlightRecorderEvent);
+
+// The live-latency record path: one bucket index (count-leading-zeros), two
+// relaxed fetch_adds, a CAS max and the epoch-slot mirror write. Every
+// FM_LATENCY_SCOPE exit pays this on top of the clock read.
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyRecorder& recorder = LatencyRegistry::Get("bench.record");
+  int64_t v = 1;
+  for (auto _ : state) {
+    recorder.Record(v);
+    v = (v * 2862933555777941757LL + 3037000493LL) & 0xFFFFFFF;  // vary buckets
+  }
+  state.counters["records/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HistogramRecord);
 
 // ------------------------------------------------- fairmove.bench.v1 out --
 

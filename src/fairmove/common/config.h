@@ -23,6 +23,13 @@ namespace fairmove {
 ///                        checkpoints (non-empty path; unset = off)
 ///   FAIRMOVE_CHECKPOINT_EVERY  — checkpoint every N episodes (>= 1)
 ///   FAIRMOVE_CHECKPOINT_RETAIN — retained checkpoint depth (>= 1)
+///   FAIRMOVE_METRICS_EXPORT — <dir>:<period_ms> live metrics export
+///                        (period in [10, 3600000]; unset = off)
+///   FAIRMOVE_STALL_MS  — stall watchdog wall-clock budget in ms
+///                        ([100, 3600000]; unset = watchdog off)
+///   FAIRMOVE_FLIGHT    — "0" disables the flight recorder (default on)
+///   FAIRMOVE_FLIGHT_EVENTS — per-thread ring capacity (rounded up to a
+///                        power of two in [256, 1048576])
 /// Unset variables leave the provided default untouched; malformed values
 /// return InvalidArgument so a typo fails loudly instead of silently running
 /// the wrong experiment.
@@ -40,6 +47,11 @@ struct EnvOverrides {
   std::string checkpoint_dir;
   int checkpoint_every = 1;
   int checkpoint_retain = 3;
+  /// Empty = live metrics export off.
+  std::string metrics_export_dir;
+  int64_t metrics_export_period_ms = 0;
+  /// 0 = stall watchdog off.
+  int64_t stall_budget_ms = 0;
 
   /// Reads the FAIRMOVE_* variables, using the current field values as
   /// defaults.

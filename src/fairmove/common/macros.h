@@ -7,6 +7,17 @@
 
 namespace fairmove::internal {
 
+/// Last-breath callbacks run after an FM_CHECK failure is printed and
+/// before abort(): the observability layer registers flight-recorder dumps
+/// and telemetry-stream flushes here so a tripped invariant leaves evidence
+/// on disk. Hooks must be safe to run exactly once from a failing thread
+/// (they may allocate — FM_CHECK failures are ordinary, not signal,
+/// context). At most 8 hooks; later registrations are dropped.
+using FailHook = void (*)();
+void RegisterFailHook(FailHook hook);
+/// Runs every registered hook once (re-entry from a hook is a no-op).
+void InvokeFailHooks();
+
 /// Accumulates a failure message and aborts the process when destroyed.
 /// Used by FM_CHECK for invariants whose violation is a programmer error.
 class CheckFailStream {
@@ -16,6 +27,7 @@ class CheckFailStream {
   }
   [[noreturn]] ~CheckFailStream() {
     std::cerr << stream_.str() << std::endl;
+    InvokeFailHooks();
     std::abort();
   }
   template <typename T>

@@ -14,6 +14,7 @@ namespace fairmove {
 namespace {
 
 std::atomic<bool> g_pool_timing{false};
+std::atomic<ThreadPool::QueueWaitObserver> g_queue_wait_observer{nullptr};
 
 int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -31,6 +32,10 @@ bool ThreadPool::TimingEnabled() {
   return g_pool_timing.load(std::memory_order_relaxed);
 }
 
+void ThreadPool::SetQueueWaitObserver(QueueWaitObserver observer) {
+  g_queue_wait_observer.store(observer, std::memory_order_release);
+}
+
 PoolStats ThreadPool::stats() const {
   PoolStats s;
   s.regions = regions_.load(std::memory_order_relaxed);
@@ -45,6 +50,10 @@ void ThreadPool::RecordQueueWait(int64_t wait_ns) {
   int64_t prev = queue_wait_ns_max_.load(std::memory_order_relaxed);
   while (wait_ns > prev && !queue_wait_ns_max_.compare_exchange_weak(
                                prev, wait_ns, std::memory_order_relaxed)) {
+  }
+  if (QueueWaitObserver observer =
+          g_queue_wait_observer.load(std::memory_order_acquire)) {
+    observer(wait_ns);
   }
 }
 

@@ -89,6 +89,14 @@ class ThreadPool {
   static void SetTimingEnabled(bool on);
   static bool TimingEnabled();
 
+  /// Optional per-sample tap on the queue-wait measurements (only fired
+  /// while timing is enabled). The observability layer installs a callback
+  /// that feeds its live latency histograms; common/ stays free of any
+  /// dependency on obs/. The callback must be lock-free-cheap — it runs on
+  /// worker threads at task-start time.
+  using QueueWaitObserver = void (*)(int64_t wait_ns);
+  static void SetQueueWaitObserver(QueueWaitObserver observer);
+
  private:
   struct ForState;
 

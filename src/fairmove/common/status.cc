@@ -1,5 +1,39 @@
 #include "fairmove/common/status.h"
 
+#include <algorithm>
+#include <atomic>
+
+namespace fairmove::internal {
+
+namespace {
+// Lock-free fixed-slot hook table: registration is rare, invocation happens
+// on a crashing thread that must not take a mutex it might already hold.
+constexpr int kMaxFailHooks = 8;
+std::atomic<FailHook> g_fail_hooks[kMaxFailHooks];
+std::atomic<int> g_num_fail_hooks{0};
+std::atomic<bool> g_fail_hooks_ran{false};
+}  // namespace
+
+void RegisterFailHook(FailHook hook) {
+  if (hook == nullptr) return;
+  const int slot = g_num_fail_hooks.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxFailHooks) return;  // table full: drop silently
+  g_fail_hooks[slot].store(hook, std::memory_order_release);
+}
+
+void InvokeFailHooks() {
+  if (g_fail_hooks_ran.exchange(true, std::memory_order_acq_rel)) return;
+  const int n = std::min(g_num_fail_hooks.load(std::memory_order_acquire),
+                         kMaxFailHooks);
+  for (int i = 0; i < n; ++i) {
+    if (FailHook hook = g_fail_hooks[i].load(std::memory_order_acquire)) {
+      hook();
+    }
+  }
+}
+
+}  // namespace fairmove::internal
+
 namespace fairmove {
 
 const char* StatusCodeToString(StatusCode code) {

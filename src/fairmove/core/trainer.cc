@@ -6,6 +6,7 @@
 
 #include "fairmove/common/config.h"
 #include "fairmove/io/binary.h"
+#include "fairmove/obs/flight_recorder.h"
 #include "fairmove/obs/jsonl.h"
 #include "fairmove/obs/span.h"
 #include "fairmove/obs/telemetry.h"
@@ -194,6 +195,7 @@ void Trainer::FlushPendings(
 Trainer::EpisodeStats Trainer::RunTrainingEpisode(DisplacementPolicy* policy,
                                                   int episode) {
   FM_SPAN("train/episode");
+  FM_FLIGHT_EVENT("train.episode", episode, config_.slots_per_episode);
   const bool learns = policy->WantsTransitions();
   const uint64_t seed =
       config_.seed_base != 0

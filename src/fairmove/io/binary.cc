@@ -31,6 +31,12 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
   return crc ^ 0xFFFFFFFFu;
 }
 
+void BinaryWriter::WriteU16(uint16_t v) {
+  char b[2];
+  for (int i = 0; i < 2; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buf_.append(b, sizeof(b));
+}
+
 void BinaryWriter::WriteU32(uint32_t v) {
   char b[4];
   for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
@@ -99,6 +105,19 @@ Status BinaryReader::ReadBool(bool* out) {
                                    " at offset " + std::to_string(pos_ - 1));
   }
   *out = v != 0;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU16(uint16_t* out) {
+  FM_RETURN_IF_ERROR(Need(2, "u16"));
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<uint16_t>(
+        v | static_cast<uint16_t>(static_cast<unsigned char>(data_[pos_ + i]))
+                << (8 * i));
+  }
+  pos_ += 2;
+  *out = v;
   return Status::OK();
 }
 

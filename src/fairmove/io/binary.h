@@ -27,6 +27,7 @@ class BinaryWriter {
  public:
   void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
   void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteU16(uint16_t v);
   void WriteU32(uint32_t v);
   void WriteU64(uint64_t v);
   void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
@@ -61,6 +62,7 @@ class BinaryReader {
 
   Status ReadU8(uint8_t* out);
   Status ReadBool(bool* out);
+  Status ReadU16(uint16_t* out);
   Status ReadU32(uint32_t* out);
   Status ReadU64(uint64_t* out);
   Status ReadI32(int32_t* out);

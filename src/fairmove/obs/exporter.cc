@@ -1,0 +1,263 @@
+#include "fairmove/obs/exporter.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+
+#include "fairmove/common/config.h"
+#include "fairmove/obs/flight_recorder.h"
+#include "fairmove/obs/latency.h"
+#include "fairmove/obs/manifest.h"
+#include "fairmove/obs/metrics.h"
+#include "fairmove/io/atomic_file.h"
+
+namespace fairmove {
+
+namespace {
+
+constexpr int64_t kMinPeriodMs = 10;
+constexpr int64_t kMaxPeriodMs = 3600000;
+/// Sliding window width for the exported tail quantiles (completed epochs).
+constexpr int kExportWindows = 4;
+
+MetricsExporter* g_exporter = nullptr;
+std::mutex g_exporter_mu;
+
+void StopGlobalExporter() {
+  std::lock_guard<std::mutex> lock(g_exporter_mu);
+  if (g_exporter != nullptr) g_exporter->Stop();
+}
+
+void AppendPromLine(std::string* out, const std::string& name,
+                    const std::string& labels, double value) {
+  out->append(name);
+  out->append(labels);
+  out->push_back(' ');
+  out->append(JsonNumber(value));  // %.17g, also valid Prometheus
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out = "_" + out;
+  return out;
+}
+
+StatusOr<ExporterOptions> ParseExportSpec(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return Status::InvalidArgument(
+        "metrics export spec must be <dir>:<period_ms>, got '" + spec + "'");
+  }
+  const StatusOr<int64_t> period = ParseInt(spec.substr(colon + 1));
+  if (!period.ok() || *period < kMinPeriodMs || *period > kMaxPeriodMs) {
+    return Status::InvalidArgument(
+        "metrics export period_ms must be an integer in [" +
+        std::to_string(kMinPeriodMs) + ", " + std::to_string(kMaxPeriodMs) +
+        "], got '" + spec.substr(colon + 1) + "'");
+  }
+  ExporterOptions options;
+  options.dir = spec.substr(0, colon);
+  options.period_ms = *period;
+  return options;
+}
+
+MetricsExporter* MetricsExporter::StartFromEnv() {
+  {
+    std::lock_guard<std::mutex> lock(g_exporter_mu);
+    if (g_exporter != nullptr) return g_exporter;
+  }
+  const char* spec = std::getenv("FAIRMOVE_METRICS_EXPORT");
+  if (spec == nullptr || spec[0] == '\0') return nullptr;
+  const StatusOr<ExporterOptions> options = ParseExportSpec(spec);
+  FM_CHECK(options.ok()) << "FAIRMOVE_METRICS_EXPORT=" << spec << ": "
+                         << options.status().ToString();
+  const StatusOr<MetricsExporter*> exporter = Start(*options);
+  FM_CHECK(exporter.ok()) << "FAIRMOVE_METRICS_EXPORT=" << spec << ": "
+                          << exporter.status().ToString();
+  return *exporter;
+}
+
+StatusOr<MetricsExporter*> MetricsExporter::Start(
+    const ExporterOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create export dir '" + options.dir +
+                           "': " + ec.message());
+  }
+  // Leaked like the other obs singletons; Stop() is what releases the
+  // thread, and it is wired to atexit below.
+  auto* exporter = new MetricsExporter(options);
+  FM_RETURN_IF_ERROR(
+      exporter->windows_.Open(options.dir + "/windows.jsonl"));
+  {
+    std::lock_guard<std::mutex> lock(g_exporter_mu);
+    if (g_exporter == nullptr) {
+      g_exporter = exporter;
+      std::atexit(&StopGlobalExporter);
+    }
+  }
+  exporter->thread_ = std::thread([exporter] { exporter->Loop(); });
+  return exporter;
+}
+
+MetricsExporter::MetricsExporter(ExporterOptions options)
+    : options_(std::move(options)) {}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    const auto wait = std::chrono::milliseconds(options_.period_ms);
+    if (cv_.wait_for(lock, wait, [this] { return stop_requested_; })) break;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stop_requested_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  Tick();  // final snapshot so short runs still leave artefacts
+  windows_.Close();
+}
+
+void MetricsExporter::Tick() {
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  LatencyRegistry::AdvanceAllEpochs();
+  const std::vector<LatencyRecorder*> recorders = LatencyRegistry::All();
+  const MetricsRegistry::Snapshot snapshot = Metrics().GetSnapshot();
+  const std::string now_utc = Iso8601UtcNow();
+  const double period_s = static_cast<double>(options_.period_ms) / 1000.0;
+
+  // --- windows.jsonl: one row per recorder, monotonic epoch ids ----------
+  struct LatencyRow {
+    std::string name;
+    uint64_t epoch_id;
+    LogHistogram::Snapshot last;
+    LogHistogram::Snapshot window;
+    LogHistogram::Snapshot cumulative;
+  };
+  std::vector<LatencyRow> rows;
+  rows.reserve(recorders.size());
+  for (LatencyRecorder* recorder : recorders) {
+    LatencyRow row;
+    row.name = recorder->name();
+    // The per-recorder epoch, not `seq`: a recorder created between ticks
+    // starts at its own epoch 0 and must still export monotonic ids.
+    row.epoch_id = recorder->current_epoch();
+    row.last = recorder->Window(1);
+    row.window = recorder->Window(kExportWindows);
+    row.cumulative = recorder->Cumulative();
+    rows.push_back(std::move(row));
+  }
+  for (const LatencyRow& row : rows) {
+    JsonObject obj;
+    obj.Set("epoch_id", static_cast<int64_t>(row.epoch_id))
+        .Set("name", row.name)
+        .Set("count", row.last.count)
+        .Set("rate_per_s",
+             period_s > 0.0 ? static_cast<double>(row.last.count) / period_s
+                            : 0.0)
+        .Set("p50_ns", row.window.Quantile(0.50))
+        .Set("p90_ns", row.window.Quantile(0.90))
+        .Set("p99_ns", row.window.Quantile(0.99))
+        .Set("p999_ns", row.window.Quantile(0.999))
+        .Set("window_count", row.window.count)
+        .Set("window_max_ns", row.window.max)
+        .Set("cum_count", row.cumulative.count);
+    windows_.Write(obj);
+  }
+
+  // --- export.json: atomically replaced machine snapshot -----------------
+  JsonArray latency_json;
+  for (const LatencyRow& row : rows) {
+    JsonObject obj;
+    obj.Set("name", row.name)
+        .Set("epoch_id", static_cast<int64_t>(row.epoch_id))
+        .Set("cum_count", row.cumulative.count)
+        .Set("cum_mean_ns", row.cumulative.mean())
+        .Set("cum_max_ns", row.cumulative.max)
+        .Set("p50_ns", row.window.Quantile(0.50))
+        .Set("p90_ns", row.window.Quantile(0.90))
+        .Set("p99_ns", row.window.Quantile(0.99))
+        .Set("p999_ns", row.window.Quantile(0.999))
+        .Set("rate_per_s",
+             period_s > 0.0 ? static_cast<double>(row.last.count) / period_s
+                            : 0.0);
+    latency_json.PushRaw(obj.Str());
+  }
+  JsonObject root;
+  root.Set("schema", "fairmove.export.v1")
+      .Set("freshness_utc", now_utc)
+      .Set("freshness_seq", static_cast<int64_t>(seq))
+      .Set("epoch_id", static_cast<int64_t>(seq))
+      .Set("period_ms", options_.period_ms)
+      .SetRaw("latency", latency_json.Str())
+      .SetRaw("metrics", Metrics().ToJson());
+  (void)AtomicWriteFile(options_.dir + "/export.json", root.Str() + "\n");
+
+  // --- metrics.prom: Prometheus text exposition --------------------------
+  std::string prom;
+  prom.reserve(4096);
+  prom += "# fairmove metrics export seq=" + std::to_string(seq) + " " +
+          now_utc + "\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = "fairmove_" + PrometheusName(name);
+    prom += "# TYPE " + metric + " counter\n";
+    AppendPromLine(&prom, metric, "", static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = "fairmove_" + PrometheusName(name);
+    prom += "# TYPE " + metric + " gauge\n";
+    AppendPromLine(&prom, metric, "", value);
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    const std::string metric = "fairmove_" + PrometheusName(name);
+    prom += "# TYPE " + metric + " summary\n";
+    AppendPromLine(&prom, metric, "{quantile=\"0.5\"}", data.Quantile(0.5));
+    AppendPromLine(&prom, metric, "{quantile=\"0.9\"}", data.Quantile(0.9));
+    AppendPromLine(&prom, metric, "{quantile=\"0.99\"}", data.Quantile(0.99));
+    AppendPromLine(&prom, metric + "_sum", "", data.sum);
+    AppendPromLine(&prom, metric + "_count", "",
+                   static_cast<double>(data.count));
+  }
+  for (const LatencyRow& row : rows) {
+    const std::string metric =
+        "fairmove_latency_" + PrometheusName(row.name) + "_ns";
+    prom += "# TYPE " + metric + " summary\n";
+    AppendPromLine(&prom, metric, "{quantile=\"0.5\"}",
+                   static_cast<double>(row.window.Quantile(0.50)));
+    AppendPromLine(&prom, metric, "{quantile=\"0.9\"}",
+                   static_cast<double>(row.window.Quantile(0.90)));
+    AppendPromLine(&prom, metric, "{quantile=\"0.99\"}",
+                   static_cast<double>(row.window.Quantile(0.99)));
+    AppendPromLine(&prom, metric, "{quantile=\"0.999\"}",
+                   static_cast<double>(row.window.Quantile(0.999)));
+    AppendPromLine(&prom, metric + "_sum", "",
+                   static_cast<double>(row.cumulative.sum));
+    AppendPromLine(&prom, metric + "_count", "",
+                   static_cast<double>(row.cumulative.count));
+  }
+  (void)AtomicWriteFile(options_.dir + "/metrics.prom", prom);
+
+  // --- flight.fmfr: last-good dump survives even SIGKILL -----------------
+  (void)FlightRecorder::DumpToFile(options_.dir + "/flight.fmfr");
+}
+
+}  // namespace fairmove

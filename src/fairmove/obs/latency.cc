@@ -1,0 +1,161 @@
+#include "fairmove/obs/latency.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
+
+namespace fairmove {
+
+int LogHistogram::BucketIndex(int64_t v) {
+  if (v < 0) return 0;
+  if (v < (1 << kSubBits)) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(static_cast<uint64_t>(v));
+  const int sub =
+      static_cast<int>((v >> (msb - kSubBits)) & ((1 << kSubBits) - 1));
+  return ((msb - kSubBits + 1) << kSubBits) | sub;
+}
+
+int64_t LogHistogram::BucketLowerBound(int index) {
+  if (index < (1 << kSubBits)) return index;
+  const int octave = index >> kSubBits;
+  const int msb = octave + kSubBits - 1;
+  const int64_t sub = index & ((1 << kSubBits) - 1);
+  return (int64_t{1} << msb) | (sub << (msb - kSubBits));
+}
+
+int64_t LogHistogram::BucketUpperBound(int index) {
+  if (index + 1 >= kNumBuckets) return INT64_MAX;
+  return BucketLowerBound(index + 1);
+}
+
+void LogHistogram::Record(int64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+void LogHistogram::Clear() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+LogHistogram::Snapshot LogHistogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[static_cast<size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void LogHistogram::Snapshot::MergeFrom(const Snapshot& other) {
+  if (buckets.empty()) buckets.resize(kNumBuckets);
+  for (size_t i = 0; i < buckets.size() && i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+int64_t LogHistogram::Snapshot::Quantile(double q) const {
+  if (count <= 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const int64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      const int index = static_cast<int>(i);
+      const double lo = static_cast<double>(BucketLowerBound(index));
+      const double hi = static_cast<double>(BucketUpperBound(index));
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      const double value = lo + frac * (hi - lo);
+      return std::min(static_cast<int64_t>(value), max);
+    }
+    seen += in_bucket;
+  }
+  return max;
+}
+
+void LatencyRecorder::Record(int64_t ns) {
+  cumulative_.Record(ns);
+  epochs_[epoch_.load(std::memory_order_acquire) % kWindowSlots].Record(ns);
+}
+
+uint64_t LatencyRecorder::AdvanceEpoch() {
+  const uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+  // Clear the incoming slot BEFORE publishing the new epoch index, so no
+  // writer can observe the new epoch and race the clear.
+  epochs_[next % kWindowSlots].Clear();
+  epoch_.store(next, std::memory_order_release);
+  return next;
+}
+
+LogHistogram::Snapshot LatencyRecorder::Window(int windows) const {
+  windows = std::clamp(windows, 1, kWindowSlots - 1);
+  const uint64_t cur = epoch_.load(std::memory_order_acquire);
+  LogHistogram::Snapshot merged;
+  merged.buckets.resize(LogHistogram::kNumBuckets);
+  for (int k = 1; k <= windows; ++k) {
+    if (static_cast<uint64_t>(k) > cur) break;  // epoch 0..cur-1 exist
+    merged.MergeFrom(epochs_[(cur - static_cast<uint64_t>(k)) % kWindowSlots]
+                         .TakeSnapshot());
+  }
+  return merged;
+}
+
+namespace {
+
+/// Name table and ordered list, both leaked (recorders are process-lifetime
+/// by contract; worker threads may hold references during static
+/// destruction).
+std::mutex g_latency_mu;
+std::map<std::string, LatencyRecorder*>* g_latency_by_name = nullptr;
+std::vector<LatencyRecorder*>* g_latency_ordered = nullptr;
+
+}  // namespace
+
+LatencyRecorder& LatencyRegistry::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_latency_mu);
+  if (g_latency_by_name == nullptr) {
+    g_latency_by_name = new std::map<std::string, LatencyRecorder*>();
+    g_latency_ordered = new std::vector<LatencyRecorder*>();
+  }
+  auto it = g_latency_by_name->find(name);
+  if (it == g_latency_by_name->end()) {
+    auto* recorder = new LatencyRecorder(name);
+    it = g_latency_by_name->emplace(name, recorder).first;
+    g_latency_ordered->push_back(recorder);
+  }
+  return *it->second;
+}
+
+std::vector<LatencyRecorder*> LatencyRegistry::All() {
+  std::lock_guard<std::mutex> lock(g_latency_mu);
+  if (g_latency_ordered == nullptr) return {};
+  return *g_latency_ordered;
+}
+
+void LatencyRegistry::AdvanceAllEpochs() {
+  for (LatencyRecorder* recorder : All()) recorder->AdvanceEpoch();
+}
+
+void LatencyRegistry::ResetForTesting() {
+  for (LatencyRecorder* recorder : All()) recorder->ResetForTesting();
+}
+
+}  // namespace fairmove

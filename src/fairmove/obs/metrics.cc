@@ -26,6 +26,10 @@ P2Quantile::P2Quantile(double q) : q_(q) {
 }
 
 void P2Quantile::Add(double x) {
+  if (!std::isfinite(x)) {
+    ++non_finite_count_;
+    return;
+  }
   if (count_ < 5) {
     heights_[count_] = x;
     ++count_;
@@ -105,14 +109,41 @@ void HistogramData::Init(double lo_bound, double hi_bound, int num_buckets) {
       << num_buckets;
   lo = lo_bound;
   hi = hi_bound;
+  log_scale = false;
+  buckets.assign(static_cast<size_t>(num_buckets), 0);
+}
+
+void HistogramData::InitLog(double lo_bound, double hi_bound,
+                            int num_buckets) {
+  FM_CHECK(lo_bound > 0.0 && hi_bound > lo_bound && num_buckets > 0)
+      << "bad log histogram layout [" << lo_bound << ", " << hi_bound
+      << ") x " << num_buckets << " (log scale needs 0 < lo < hi)";
+  lo = lo_bound;
+  hi = hi_bound;
+  log_scale = true;
   buckets.assign(static_cast<size_t>(num_buckets), 0);
 }
 
 void HistogramData::Observe(double value) {
+  if (!std::isfinite(value)) {
+    // NaN/inf land in no bucket (the cast below would be UB) and leave
+    // count/sum/min/max untouched; the defect is visible, not poisoning.
+    ++non_finite_count;
+    return;
+  }
   if (buckets.empty()) Init(lo, hi, 50);
   const int nb = static_cast<int>(buckets.size());
-  int index = static_cast<int>((value - lo) / (hi - lo) *
-                               static_cast<double>(nb));
+  int index;
+  if (log_scale) {
+    index = value <= lo ? 0
+                        : static_cast<int>(std::log(value / lo) /
+                                           std::log(hi / lo) *
+                                           static_cast<double>(nb));
+  } else {
+    index = static_cast<int>((value - lo) / (hi - lo) *
+                             static_cast<double>(nb));
+  }
+  if (value >= hi) ++saturated_count;  // clamped into the top bucket
   index = std::clamp(index, 0, nb - 1);  // clamp out-of-range to end buckets
   buckets[static_cast<size_t>(index)] += 1;
   if (count == 0) {
@@ -126,30 +157,39 @@ void HistogramData::Observe(double value) {
 }
 
 void HistogramData::Merge(const HistogramData& other) {
-  if (other.count == 0) return;
+  if (other.count == 0 && other.non_finite_count == 0) return;
   if (buckets.empty()) {
-    Init(other.lo, other.hi, static_cast<int>(other.buckets.size()));
+    if (other.log_scale) {
+      InitLog(other.lo, other.hi, static_cast<int>(other.buckets.size()));
+    } else {
+      Init(other.lo, other.hi, static_cast<int>(other.buckets.size()));
+    }
   }
   FM_CHECK(buckets.size() == other.buckets.size() && lo == other.lo &&
-           hi == other.hi)
+           hi == other.hi && log_scale == other.log_scale)
       << "merging histograms with different bucket layouts";
   for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
-  if (count == 0) {
-    min = other.min;
-    max = other.max;
-  } else {
-    min = std::min(min, other.min);
-    max = std::max(max, other.max);
+  if (other.count > 0) {
+    if (count == 0) {
+      min = other.min;
+      max = other.max;
+    } else {
+      min = std::min(min, other.min);
+      max = std::max(max, other.max);
+    }
   }
   count += other.count;
   sum += other.sum;
+  saturated_count += other.saturated_count;
+  non_finite_count += other.non_finite_count;
 }
 
 double HistogramData::Quantile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(count);
-  const double width = (hi - lo) / static_cast<double>(buckets.size());
+  const double nb = static_cast<double>(buckets.size());
+  const double width = (hi - lo) / nb;
   int64_t seen = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
     const int64_t in_bucket = buckets[i];
@@ -157,8 +197,16 @@ double HistogramData::Quantile(double q) const {
     if (static_cast<double>(seen + in_bucket) >= rank) {
       const double frac =
           (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
-      const double value =
-          lo + (static_cast<double>(i) + frac) * width;
+      double value;
+      if (log_scale) {
+        const double ratio = hi / lo;
+        const double edge_lo = lo * std::pow(ratio, static_cast<double>(i) / nb);
+        const double edge_hi =
+            lo * std::pow(ratio, static_cast<double>(i + 1) / nb);
+        value = edge_lo + frac * (edge_hi - edge_lo);
+      } else {
+        value = lo + (static_cast<double>(i) + frac) * width;
+      }
       return std::clamp(value, min, max);
     }
     seen += in_bucket;
@@ -175,8 +223,13 @@ void MetricShard::Observe(const std::string& name, double value) {
   if (it == histograms_.end()) {
     HistogramData data;
     int nb = 0;
-    registry_->HistogramLayout(name, &data.lo, &data.hi, &nb);
-    data.Init(data.lo, data.hi, nb);
+    bool log_scale = false;
+    registry_->HistogramLayout(name, &data.lo, &data.hi, &nb, &log_scale);
+    if (log_scale) {
+      data.InitLog(data.lo, data.hi, nb);
+    } else {
+      data.Init(data.lo, data.hi, nb);
+    }
     it = histograms_.emplace(name, std::move(data)).first;
   }
   it->second.Observe(value);
@@ -198,6 +251,7 @@ void MetricsRegistry::RegisterHistogram(const std::string& name, double lo,
   auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     FM_CHECK(it->second.lo == lo && it->second.hi == hi &&
+             !it->second.log_scale &&
              static_cast<int>(it->second.buckets.size()) == num_buckets)
         << "histogram '" << name << "' re-registered with different layout";
     return;
@@ -207,19 +261,38 @@ void MetricsRegistry::RegisterHistogram(const std::string& name, double lo,
   histograms_.emplace(name, std::move(data));
 }
 
+void MetricsRegistry::RegisterLogHistogram(const std::string& name, double lo,
+                                           double hi, int num_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    FM_CHECK(it->second.lo == lo && it->second.hi == hi &&
+             it->second.log_scale &&
+             static_cast<int>(it->second.buckets.size()) == num_buckets)
+        << "histogram '" << name << "' re-registered with different layout";
+    return;
+  }
+  HistogramData data;
+  data.InitLog(lo, hi, num_buckets);
+  histograms_.emplace(name, std::move(data));
+}
+
 void MetricsRegistry::HistogramLayout(const std::string& name, double* lo,
-                                      double* hi, int* num_buckets) const {
+                                      double* hi, int* num_buckets,
+                                      bool* log_scale) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     *lo = it->second.lo;
     *hi = it->second.hi;
     *num_buckets = static_cast<int>(it->second.buckets.size());
+    *log_scale = it->second.log_scale;
     return;
   }
   *lo = 0.0;
   *hi = 1000.0;
   *num_buckets = 50;
+  *log_scale = false;
 }
 
 void MetricsRegistry::Observe(const std::string& name, double value) {
@@ -270,7 +343,10 @@ std::string MetricsRegistry::ToJson() const {
         .Set("p90", data.Quantile(0.9))
         .Set("p99", data.Quantile(0.99))
         .Set("lo", data.lo)
-        .Set("hi", data.hi);
+        .Set("hi", data.hi)
+        .Set("log_scale", data.log_scale)
+        .Set("saturated_count", data.saturated_count)
+        .Set("non_finite_count", data.non_finite_count);
     JsonArray counts;
     for (int64_t c : data.buckets) counts.Push(c);
     h.SetRaw("buckets", counts.Str());

@@ -23,40 +23,63 @@ class P2Quantile {
   /// `q` in (0, 1), e.g. 0.5 for the median.
   explicit P2Quantile(double q);
 
+  /// Non-finite samples (NaN, ±inf) are counted into non_finite_count()
+  /// and otherwise ignored — they would poison the marker heights and
+  /// every later estimate (mirrors the Histogram NaN rule, DESIGN.md §10).
   void Add(double x);
   /// Current estimate; 0 before the first observation.
   double Get() const;
   int64_t count() const { return count_; }
+  int64_t non_finite_count() const { return non_finite_count_; }
 
  private:
   double q_;
   int64_t count_ = 0;
+  int64_t non_finite_count_ = 0;
   double heights_[5];
   double positions_[5];
   double desired_[5];
   double increments_[5];
 };
 
-/// Merged state of one histogram metric: fixed buckets over [lo, hi) with
-/// end-bucket clamping, plus exact count/sum/min/max. Quantiles are
-/// interpolated from the buckets (deterministic under any merge order of
-/// the integer bucket counts; the double `sum` is merged in ascending shard
-/// index order by the registry to keep it bit-stable too).
+/// Merged state of one histogram metric: fixed buckets over [lo, hi) —
+/// linear by default, geometric when `log_scale` — with end-bucket
+/// clamping, plus exact count/sum/min/max. Quantiles are interpolated from
+/// the buckets (deterministic under any merge order of the integer bucket
+/// counts; the double `sum` is merged in ascending shard index order by the
+/// registry to keep it bit-stable too).
+///
+/// Two defect counters make silent data loss visible: `saturated_count`
+/// (observations at or above `hi`, clamped into the top bucket — a
+/// saturating layout must be widened or made log-scale) and
+/// `non_finite_count` (NaN/±inf observations, which land in no bucket and
+/// do not touch count/sum/min/max; bucketing a NaN is meaningless and the
+/// float→int cast would be UB).
 struct HistogramData {
   double lo = 0.0;
   double hi = 1000.0;
+  bool log_scale = false;
   std::vector<int64_t> buckets;  // sized at registration
   int64_t count = 0;
   double sum = 0.0;
   double min = 0.0;  // valid when count > 0
   double max = 0.0;
+  int64_t saturated_count = 0;
+  int64_t non_finite_count = 0;
 
   void Init(double lo_bound, double hi_bound, int num_buckets);
+  /// Geometric buckets: bucket i spans [lo*r^i, lo*r^(i+1)) with
+  /// r = (hi/lo)^(1/num_buckets). Requires 0 < lo < hi — the layout for
+  /// quantities spanning decades (ns→s latencies) where a linear layout
+  /// would dump everything into one or two buckets.
+  void InitLog(double lo_bound, double hi_bound, int num_buckets);
   void Observe(double value);
   void Merge(const HistogramData& other);
   double mean() const { return count > 0 ? sum / count : 0.0; }
-  /// Linear interpolation inside the bucket holding the q-th observation
-  /// (q in [0, 1]), clamped to [min, max]. 0 when empty.
+  /// Interpolation inside the bucket holding the q-th observation (q in
+  /// [0, 1]; linear in the bucket's value range, so geometric layouts
+  /// interpolate between geometric edges), clamped to [min, max]. 0 when
+  /// empty.
   double Quantile(double q) const;
 };
 
@@ -108,6 +131,13 @@ class MetricsRegistry {
   void RegisterHistogram(const std::string& name, double lo, double hi,
                          int num_buckets);
 
+  /// Log-scale variant (HistogramData::InitLog). FM_CHECKs 0 < lo < hi so a
+  /// latency metric spanning ns→s cannot be registered with a layout that
+  /// silently saturates; out-of-range observations still show up in the
+  /// data as `saturated_count`.
+  void RegisterLogHistogram(const std::string& name, double lo, double hi,
+                            int num_buckets);
+
   MetricShard MakeShard() const { return MetricShard(this); }
   void MergeShard(const MetricShard& shard);
 
@@ -128,7 +158,7 @@ class MetricsRegistry {
   friend class MetricShard;
   /// Bucket layout for `name` (registered or default); used by shards.
   void HistogramLayout(const std::string& name, double* lo, double* hi,
-                       int* num_buckets) const;
+                       int* num_buckets, bool* log_scale) const;
 
   mutable std::mutex mu_;
   std::map<std::string, int64_t> counters_;

@@ -174,7 +174,21 @@ ScopedSpan::ScopedSpan(const char* name) {
   start_ = std::chrono::steady_clock::now();
 }
 
+ScopedSpan::ScopedSpan(const char* name, uint16_t flight_name_id)
+    : ScopedSpan(name) {
+  // The enabled() result is latched so the end event is only recorded when
+  // the begin event was (toggling mid-span cannot unbalance the ring).
+  if (FlightRecorder::enabled()) {
+    flight_name_id_ = flight_name_id;
+    flight_ = true;
+    FlightRecorder::Record(kFlightSpanBegin, flight_name_id);
+  }
+}
+
 ScopedSpan::~ScopedSpan() {
+  if (flight_) {
+    FlightRecorder::Record(kFlightSpanEnd, flight_name_id_);
+  }
   if (node_ == nullptr) return;
   const int64_t elapsed_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -2,7 +2,10 @@
 #define FAIRMOVE_OBS_SPAN_H_
 
 #include <chrono>
+#include <cstdint>
 #include <string>
+
+#include "fairmove/obs/flight_recorder.h"
 
 namespace fairmove {
 
@@ -36,9 +39,15 @@ class Profiler {
 };
 
 /// RAII timer for one dynamic scope. Use through FM_SPAN below.
+///
+/// The two-arg form (what FM_SPAN expands to) additionally records
+/// begin/end events into the always-on flight recorder under a
+/// site-interned name id, so the last moments before a crash or stall show
+/// the span structure even when the profiler is off.
 class ScopedSpan {
  public:
   explicit ScopedSpan(const char* name);
+  ScopedSpan(const char* name, uint16_t flight_name_id);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -48,13 +57,20 @@ class ScopedSpan {
   SpanNode* node_ = nullptr;
   SpanNode* parent_ = nullptr;
   std::chrono::steady_clock::time_point start_;
+  uint16_t flight_name_id_ = 0;
+  bool flight_ = false;
 };
 
 #define FM_SPAN_CONCAT_INNER(a, b) a##b
 #define FM_SPAN_CONCAT(a, b) FM_SPAN_CONCAT_INNER(a, b)
-/// Times the enclosing scope under `name` in the profiler's span tree.
-#define FM_SPAN(name) \
-  ::fairmove::ScopedSpan FM_SPAN_CONCAT(fm_span_, __LINE__)(name)
+/// Times the enclosing scope under `name` in the profiler's span tree and
+/// records its begin/end in the flight recorder. `name` must be a
+/// persistent string (in practice a literal) — it is interned once.
+#define FM_SPAN(name)                                              \
+  static const uint16_t FM_SPAN_CONCAT(fm_span_id_, __LINE__) =    \
+      ::fairmove::FlightRecorder::InternName(name);                \
+  ::fairmove::ScopedSpan FM_SPAN_CONCAT(fm_span_, __LINE__)(       \
+      name, FM_SPAN_CONCAT(fm_span_id_, __LINE__))
 
 }  // namespace fairmove
 

@@ -5,12 +5,23 @@
 #include <fstream>
 
 #include "fairmove/common/parallel.h"
+#include "fairmove/obs/exporter.h"
+#include "fairmove/obs/flight_recorder.h"
+#include "fairmove/obs/latency.h"
 #include "fairmove/obs/metrics.h"
 #include "fairmove/obs/span.h"
+#include "fairmove/obs/watchdog.h"
 
 namespace fairmove {
 
 namespace {
+
+/// Queue-wait tap feeding the live latency registry. Installed once at hub
+/// construction; only fired while ThreadPool timing is enabled.
+void RecordQueueWaitLatency(int64_t wait_ns) {
+  static LatencyRecorder& recorder = LatencyRegistry::Get("pool.queue_wait");
+  recorder.Record(wait_ns);
+}
 
 std::string CompilerString() {
 #if defined(__clang__)
@@ -38,10 +49,33 @@ std::string BuildTypeString() {
 
 Telemetry::Telemetry() {
   const char* dir = std::getenv("FAIRMOVE_TELEMETRY");
-  if (dir == nullptr || dir[0] == '\0') return;
-  const Status status = EnableAt(dir);
-  FM_CHECK(status.ok()) << "FAIRMOVE_TELEMETRY=" << dir << ": "
-                        << status.ToString();
+  if (dir != nullptr && dir[0] != '\0') {
+    const Status status = EnableAt(dir);
+    FM_CHECK(status.ok()) << "FAIRMOVE_TELEMETRY=" << dir << ": "
+                          << status.ToString();
+  }
+  // Live observability services. These run regardless of the telemetry
+  // streams — a resident server wants export and crash capture without
+  // per-slot JSONL — and are all strictly observational.
+  ThreadPool::SetQueueWaitObserver(&RecordQueueWaitLatency);
+  MetricsExporter* exporter = MetricsExporter::StartFromEnv();
+  // Crash dumps land in the most specific directory configured:
+  // FAIRMOVE_FLIGHT_DUMP_DIR > telemetry dir > export dir.
+  std::string dump_dir;
+  if (const char* fd = std::getenv("FAIRMOVE_FLIGHT_DUMP_DIR");
+      fd != nullptr && fd[0] != '\0') {
+    dump_dir = fd;
+  } else if (enabled_) {
+    dump_dir = dir_;
+  } else if (exporter != nullptr) {
+    dump_dir = exporter->dir();
+  }
+  if (!dump_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dump_dir, ec);
+    if (!ec) FlightRecorder::SetCrashDumpDir(dump_dir);
+  }
+  StallWatchdog::StartFromEnv(dump_dir.empty() ? "." : dump_dir);
 }
 
 Status Telemetry::EnableAt(const std::string& dir) {

@@ -1,0 +1,190 @@
+#include "fairmove/obs/trace.h"
+
+#include <map>
+#include <vector>
+
+#include "fairmove/obs/json_parse.h"
+#include "fairmove/obs/jsonl.h"
+
+namespace fairmove {
+
+namespace {
+
+/// Microsecond timestamp with sub-us precision kept (Perfetto accepts
+/// fractional ts).
+double ToUs(int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+std::string EventName(const FlightDump& dump, uint16_t name_id) {
+  if (name_id < dump.names.size()) return dump.names[name_id];
+  return "name_" + std::to_string(name_id);
+}
+
+JsonObject BaseEvent(const std::string& name, const char* ph, double ts_us,
+                     uint32_t tid) {
+  JsonObject obj;
+  obj.Set("name", name)
+      .Set("ph", ph)
+      .Set("ts", ts_us)
+      .Set("pid", static_cast<int64_t>(1))
+      .Set("tid", static_cast<int64_t>(tid));
+  return obj;
+}
+
+}  // namespace
+
+std::string FlightDumpToChromeTrace(const FlightDump& dump) {
+  JsonArray events;
+  for (const FlightDumpRing& ring : dump.rings) {
+    // Names of spans currently open on this ring, for balancing.
+    std::vector<std::string> open;
+    int64_t last_t_ns = 0;
+    for (const FlightEvent& event : ring.events) {
+      const std::string name = EventName(dump, event.name_id);
+      last_t_ns = event.t_ns;
+      switch (event.kind) {
+        case kFlightSpanBegin: {
+          JsonObject obj = BaseEvent(name, "B", ToUs(event.t_ns), ring.tid);
+          JsonObject args;
+          args.Set("arg0", static_cast<int64_t>(event.arg0))
+              .Set("arg1", event.arg1);
+          obj.SetRaw("args", args.Str());
+          events.PushRaw(obj.Str());
+          open.push_back(name);
+          break;
+        }
+        case kFlightSpanEnd: {
+          // An end with no open begin means the begin was overwritten by
+          // ring wrap; drop it to keep the trace balanced.
+          if (open.empty()) break;
+          open.pop_back();
+          events.PushRaw(
+              BaseEvent(name, "E", ToUs(event.t_ns), ring.tid).Str());
+          break;
+        }
+        case kFlightInstant:
+        default: {
+          JsonObject obj = BaseEvent(name, "i", ToUs(event.t_ns), ring.tid);
+          obj.Set("s", "t");
+          JsonObject args;
+          args.Set("arg0", static_cast<int64_t>(event.arg0))
+              .Set("arg1", event.arg1);
+          obj.SetRaw("args", args.Str());
+          events.PushRaw(obj.Str());
+          break;
+        }
+      }
+    }
+    // Spans still open when the ring ends are what the process was doing
+    // when it died (or when the dump was taken): close them explicitly,
+    // innermost first, flagged so the UI shows where execution stopped.
+    while (!open.empty()) {
+      JsonObject obj =
+          BaseEvent(open.back(), "E", ToUs(last_t_ns), ring.tid);
+      JsonObject args;
+      args.Set("open_at_crash", true);
+      obj.SetRaw("args", args.Str());
+      events.PushRaw(obj.Str());
+      open.pop_back();
+    }
+  }
+  JsonObject root;
+  root.SetRaw("traceEvents", events.Str());
+  root.Set("displayTimeUnit", "ms");
+  return root.Str();
+}
+
+namespace {
+
+/// Lays `node`'s children sequentially inside [start_us, ...) on tid 0.
+void EmitProfileNode(const JsonValue& node, double start_us,
+                     JsonArray* events) {
+  const JsonValue* name = node.Find("name");
+  const double total_ns = node.NumberOr("total_ns", 0.0);
+  JsonObject obj;
+  obj.Set("name", name != nullptr ? name->string_value : "(unnamed)")
+      .Set("ph", "X")
+      .Set("ts", start_us)
+      .Set("dur", total_ns / 1000.0)
+      .Set("pid", static_cast<int64_t>(1))
+      .Set("tid", static_cast<int64_t>(0));
+  JsonObject args;
+  args.Set("count", node.NumberOr("count", 0.0))
+      .Set("max_ns", node.NumberOr("max_ns", 0.0));
+  obj.SetRaw("args", args.Str());
+  events->PushRaw(obj.Str());
+  const JsonValue* children = node.Find("children");
+  if (children == nullptr || !children->is_array()) return;
+  double cursor_us = start_us;
+  for (const JsonValue& child : children->items) {
+    EmitProfileNode(child, cursor_us, events);
+    cursor_us += child.NumberOr("total_ns", 0.0) / 1000.0;
+  }
+}
+
+}  // namespace
+
+StatusOr<std::string> ProfileJsonToChromeTrace(
+    const std::string& profile_json) {
+  FM_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(profile_json));
+  const JsonValue* spans = doc.Find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return Status::InvalidArgument(
+        "profile document has no 'spans' array (not a Profiler report?)");
+  }
+  JsonArray events;
+  double cursor_us = 0.0;
+  for (const JsonValue& span : spans->items) {
+    EmitProfileNode(span, cursor_us, &events);
+    cursor_us += span.NumberOr("total_ns", 0.0) / 1000.0;
+  }
+  JsonObject root;
+  root.SetRaw("traceEvents", events.Str());
+  root.Set("displayTimeUnit", "ms");
+  return root.Str();
+}
+
+Status ValidateChromeTrace(const std::string& json) {
+  FM_ASSIGN_OR_RETURN(const JsonValue doc, ParseJson(json));
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Status::InvalidArgument("trace has no 'traceEvents' array");
+  }
+  std::map<std::pair<int64_t, int64_t>, int64_t> depth;  // (pid, tid)
+  int64_t index = 0;
+  for (const JsonValue& event : events->items) {
+    if (!event.is_object()) {
+      return Status::InvalidArgument("traceEvents[" + std::to_string(index) +
+                                     "] is not an object");
+    }
+    const std::string ph = event.StringOr("ph", "");
+    if (ph.empty()) {
+      return Status::InvalidArgument("traceEvents[" + std::to_string(index) +
+                                     "] has no 'ph'");
+    }
+    const auto key = std::make_pair(
+        static_cast<int64_t>(event.NumberOr("pid", 0.0)),
+        static_cast<int64_t>(event.NumberOr("tid", 0.0)));
+    if (ph == "B") {
+      ++depth[key];
+    } else if (ph == "E") {
+      if (--depth[key] < 0) {
+        return Status::InvalidArgument(
+            "unbalanced trace: 'E' without matching 'B' at traceEvents[" +
+            std::to_string(index) + "] (pid=" + std::to_string(key.first) +
+            ", tid=" + std::to_string(key.second) + ")");
+      }
+    }
+    ++index;
+  }
+  for (const auto& [key, open] : depth) {
+    if (open != 0) {
+      return Status::InvalidArgument(
+          "unbalanced trace: " + std::to_string(open) +
+          " unclosed 'B' event(s) on pid=" + std::to_string(key.first) +
+          ", tid=" + std::to_string(key.second));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fairmove

@@ -1,0 +1,37 @@
+#ifndef FAIRMOVE_OBS_TRACE_H_
+#define FAIRMOVE_OBS_TRACE_H_
+
+#include <string>
+
+#include "fairmove/common/status.h"
+#include "fairmove/obs/flight_recorder.h"
+
+namespace fairmove {
+
+/// Renders a parsed flight dump as Chrome trace-event JSON
+/// (`{"traceEvents":[...]}`), loadable in Perfetto / chrome://tracing.
+/// Span begin/end become "B"/"E" duration events on the ring's tid,
+/// instants become "i" events, args carry arg0/arg1. The output is always
+/// balanced: orphan end events (whose begin was overwritten by ring wrap)
+/// are dropped, and spans still open at the end of a ring — exactly what a
+/// crash leaves behind — are closed with a synthetic end event carrying
+/// `"open_at_crash":true` at the ring's last timestamp.
+std::string FlightDumpToChromeTrace(const FlightDump& dump);
+
+/// Renders a Profiler::ReportJson document (profile.json) as synthetic
+/// nested complete ("X") events on one artificial timeline: children are
+/// laid out sequentially inside their parent's extent using total_ns, so
+/// relative widths in the Perfetto UI show where aggregate time went. Not
+/// a real timeline — the flight dump is — but it makes the span tree
+/// navigable in the same tool.
+StatusOr<std::string> ProfileJsonToChromeTrace(const std::string& profile_json);
+
+/// Validates Chrome trace-event JSON: a well-formed object with a
+/// `traceEvents` array whose "B"/"E" events balance per (pid, tid) in
+/// document order. Rejects unbalanced traces (the defect trace_export
+/// exists to never produce).
+Status ValidateChromeTrace(const std::string& json);
+
+}  // namespace fairmove
+
+#endif  // FAIRMOVE_OBS_TRACE_H_

@@ -9,7 +9,9 @@
 
 #include "fairmove/io/atomic_file.h"
 #include "fairmove/io/binary.h"
+#include "fairmove/obs/flight_recorder.h"
 #include "fairmove/obs/jsonl.h"
+#include "fairmove/obs/latency.h"
 #include "fairmove/obs/metrics.h"
 #include "fairmove/obs/telemetry.h"
 
@@ -160,6 +162,9 @@ std::string CheckpointStore::LatestPath() const {
 
 Status CheckpointStore::Write(const CheckpointMeta& meta,
                               std::string_view payload) {
+  FM_LATENCY_SCOPE("checkpoint.write");
+  FM_FLIGHT_EVENT("checkpoint.write", meta.episode,
+                  static_cast<int64_t>(payload.size()));
   const std::string framed = FrameCheckpoint(meta, payload);
   const std::string name = FileName(meta.episode);
   const std::string path = dir_ + "/" + name;

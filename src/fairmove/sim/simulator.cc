@@ -2,10 +2,13 @@
 
 #include "fairmove/common/parallel.h"
 #include "fairmove/common/stats.h"
+#include "fairmove/obs/flight_recorder.h"
 #include "fairmove/obs/jsonl.h"
+#include "fairmove/obs/latency.h"
 #include "fairmove/obs/metrics.h"
 #include "fairmove/obs/span.h"
 #include "fairmove/obs/telemetry.h"
+#include "fairmove/obs/watchdog.h"
 
 #include <algorithm>
 #include <bit>
@@ -112,6 +115,7 @@ Simulator::Simulator(const City* city, const DemandSource* demand,
   // Capturing only `this` keeps the closure inside std::function's
   // small-buffer storage: RunSharded never heap-allocates.
   shard_runner_ = [this](int64_t shard) {
+    StallWatchdog::Heartbeat();
     (this->*shard_body_)(static_cast<int>(shard));
   };
   Reset();
@@ -274,6 +278,8 @@ void Simulator::Reset(uint64_t seed_override) {
 
 void Simulator::Step(DisplacementPolicy* policy) {
   FM_SPAN("sim.step");
+  FM_LATENCY_SCOPE("sim.step");
+  StallWatchdog::Heartbeat();
   std::fill(slot_profit_.begin(), slot_profit_.end(), 0.0);
   decisions_.clear();
 
@@ -802,6 +808,7 @@ void Simulator::SpawnShard(int shard) {
 // --- Matching --------------------------------------------------------------
 
 void Simulator::MatchPassengers() {
+  FM_LATENCY_SCOPE("sim.match");
   // All matching scratch lives in the step arena: CSR candidate arrays
   // instead of a vector-of-vectors, so the per-slot inner loop performs
   // zero heap allocations once the arena is warm. The serial pass lays the
@@ -1085,6 +1092,7 @@ void Simulator::BeginServing(TaxiId taxi, const Request& request, Rng& rng,
 // --- Displacement ----------------------------------------------------------
 
 void Simulator::DecideAndApply(DisplacementPolicy* policy) {
+  FM_LATENCY_SCOPE("sim.decide");
   // Supply snapshot for the policy's global view. Serial: policies are
   // stateful black boxes, and the phase is a single dense column scan plus
   // whatever the policy does.
@@ -1459,6 +1467,8 @@ void Simulator::RefreshFleetPeStats() {
 // --- Telemetry -------------------------------------------------------------
 
 void Simulator::RecordFault(const FaultEvent& event) {
+  FM_FLIGHT_EVENT("sim.fault", static_cast<int32_t>(event.kind),
+                  static_cast<int64_t>(event.subject));
   trace_.AddFaultEvent(event);
   Telemetry& telemetry = Telemetry::Get();
   if (!telemetry.enabled() || telemetry_label_.empty()) return;
@@ -1474,6 +1484,8 @@ void Simulator::RecordFault(const FaultEvent& event) {
 }
 
 void Simulator::EmitSlotTelemetry(const PhaseCounts& counts) {
+  FM_FLIGHT_EVENT("sim.slot", static_cast<int32_t>(counts.slot),
+                  total_strandings_);
   Telemetry& telemetry = Telemetry::Get();
   if (!telemetry.enabled() || telemetry_label_.empty()) return;
   // Per-shard composition rows first, then the fleet row their merge must

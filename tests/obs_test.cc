@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -170,6 +172,36 @@ TEST(P2QuantileTest, ConvergesOnUniformStream) {
   EXPECT_NEAR(p90.Get(), 0.9, 0.02);
 }
 
+TEST(P2QuantileTest, NonFiniteSamplesAreCountedNotIngested) {
+  P2Quantile median(0.5);
+  median.Add(1.0);
+  median.Add(2.0);
+  median.Add(3.0);
+  const double before = median.Get();
+  median.Add(std::numeric_limits<double>::quiet_NaN());
+  median.Add(std::numeric_limits<double>::infinity());
+  median.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(median.count(), 3);  // finite observations only
+  EXPECT_EQ(median.non_finite_count(), 3);
+  EXPECT_DOUBLE_EQ(median.Get(), before);  // estimate stays unpoisoned
+  EXPECT_TRUE(std::isfinite(median.Get()));
+  // Still ingests fine afterwards.
+  median.Add(4.0);
+  median.Add(5.0);
+  EXPECT_EQ(median.count(), 5);
+  EXPECT_TRUE(std::isfinite(median.Get()));
+}
+
+TEST(P2QuantileTest, DuplicateHeavyStreamStaysOnTheValue) {
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 1000; ++i) p99.Add(0.5);
+  EXPECT_DOUBLE_EQ(p99.Get(), 0.5);
+  // A lone outlier in a sea of duplicates must not drag the estimate far.
+  p99.Add(100.0);
+  for (int i = 0; i < 1000; ++i) p99.Add(0.5);
+  EXPECT_NEAR(p99.Get(), 0.5, 1.0);
+}
+
 // ------------------------------------------------------------- Histogram --
 
 TEST(HistogramDataTest, MergeIsOrderInvariant) {
@@ -201,6 +233,59 @@ TEST(HistogramDataTest, QuantileInterpolatesAndClampsToObservedRange) {
   HistogramData empty;
   empty.Init(0.0, 1.0, 4);
   EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramDataTest, LogScaleCountsSaturationAndNonFinite) {
+  HistogramData h;
+  h.InitLog(1e3, 1e9, 60);
+  EXPECT_TRUE(h.log_scale);
+  h.Observe(5e4);
+  h.Observe(5e5);
+  h.Observe(5e6);
+  h.Observe(2e9);  // above hi: clamped into the top bucket AND counted
+  h.Observe(std::numeric_limits<double>::quiet_NaN());  // lands in no bucket
+  EXPECT_EQ(h.count, 4);
+  EXPECT_EQ(h.saturated_count, 1);
+  EXPECT_EQ(h.non_finite_count, 1);
+  EXPECT_DOUBLE_EQ(h.max, 2e9);
+  // Geometric buckets keep relative resolution: the p50 of three decade-
+  // spread samples plus one outlier sits near the 5e5 sample, which a
+  // 60-bucket LINEAR histogram over [1e3, 1e9] could not resolve at all
+  // (its first bucket alone spans ~1.7e7).
+  EXPECT_NEAR(h.Quantile(0.5) / 5e5, 1.0, 0.6);
+}
+
+TEST(MetricsRegistryTest, RegisterLogHistogramRoundTripsJsonAndShards) {
+  MetricsRegistry registry;
+  registry.RegisterLogHistogram("step_ns", 1e3, 1e10, 70);
+  registry.Observe("step_ns", 4e6);
+  registry.Observe("step_ns", 5e10);  // saturates
+  const auto snapshot = registry.GetSnapshot();
+  EXPECT_TRUE(snapshot.histograms.at("step_ns").log_scale);
+  EXPECT_EQ(snapshot.histograms.at("step_ns").count, 2);
+  EXPECT_EQ(snapshot.histograms.at("step_ns").saturated_count, 1);
+
+  // The JSON export carries the defect counters and scale flag.
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(ValidateJson(json).ok()) << json;
+  EXPECT_NE(json.find("\"log_scale\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"saturated_count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"non_finite_count\":0"), std::string::npos);
+
+  // Shards inherit the registered log layout, so sharded == direct.
+  MetricsRegistry direct;
+  direct.RegisterLogHistogram("v", 1e3, 1e9, 60);
+  MetricsRegistry sharded;
+  sharded.RegisterLogHistogram("v", 1e3, 1e9, 60);
+  std::vector<MetricShard> shards;
+  for (int i = 0; i < 3; ++i) shards.push_back(sharded.MakeShard());
+  const double values[] = {2e3, 7e5, 3e8, 5e9};
+  for (int i = 0; i < 4; ++i) {
+    shards[static_cast<size_t>(i % 3)].Observe("v", values[i]);
+    direct.Observe("v", values[i]);
+  }
+  for (const MetricShard& shard : shards) sharded.MergeShard(shard);
+  EXPECT_EQ(sharded.ToJson(), direct.ToJson());
 }
 
 // -------------------------------------------------------------- Registry --

@@ -5,19 +5,34 @@
 // valid JSON. Prints a per-file summary and exits non-zero on the first
 // malformed artefact — the CI smoke step behind telemetry runs.
 //
-// Usage: obs_check <telemetry-dir>
+// Also validates the live-observability artefacts:
+//   obs_check --export <dir>    FAIRMOVE_METRICS_EXPORT output: export.json
+//                               schema + freshness fields, windows.jsonl
+//                               per-recorder monotonic epoch ids, and the
+//                               flight.fmfr snapshot's header + CRC
+//   obs_check --flight <file>   one FMFR1 flight dump (header, CRC, bounds)
+//   obs_check --trace <file>    Chrome trace-event JSON: B/E must balance
+//                               per (pid, tid) — unbalanced traces fail
+// A plain <telemetry-dir> run picks up any of those artefacts it finds in
+// the directory too.
+//
+// Usage: obs_check [--export|--flight|--trace] <path>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fairmove/common/macros.h"
 #include "fairmove/common/status.h"
+#include "fairmove/obs/flight_recorder.h"
 #include "fairmove/obs/json_parse.h"
 #include "fairmove/obs/jsonl.h"
+#include "fairmove/obs/trace.h"
 
 namespace fairmove {
 namespace {
@@ -235,6 +250,136 @@ Status CheckRacingCells(const std::string& path) {
   return Status::OK();
 }
 
+/// FMFR1 flight dump: ReadFlightDumpFile already rejects bad magic, version,
+/// truncated sections, and CRC mismatches; here we just surface the summary.
+Status CheckFlightDump(const std::string& path) {
+  FM_ASSIGN_OR_RETURN(const FlightDump dump, ReadFlightDumpFile(path));
+  size_t events = 0;
+  for (const FlightDumpRing& ring : dump.rings) {
+    events += ring.events.size();
+    if (ring.recorded_total < ring.events.size()) {
+      return Status::InvalidArgument(
+          path + ": ring tid " + std::to_string(ring.tid) + " stores " +
+          std::to_string(ring.events.size()) + " event(s) but claims only " +
+          std::to_string(ring.recorded_total) + " ever recorded");
+    }
+  }
+  std::printf("  ok  %-16s %zu ring(s), %zu event(s), %zu name(s), CRC ok\n",
+              std::filesystem::path(path).filename().c_str(),
+              dump.rings.size(), events, dump.names.size());
+  return Status::OK();
+}
+
+/// Chrome trace-event JSON (trace_export output): per-lane B/E balance.
+Status CheckTrace(const std::string& path) {
+  FM_ASSIGN_OR_RETURN(const std::string text, ReadFile(path));
+  FM_RETURN_IF_ERROR(ValidateChromeTrace(text));
+  std::printf("  ok  %-16s balanced trace-event JSON\n",
+              std::filesystem::path(path).filename().c_str());
+  return Status::OK();
+}
+
+/// export.json contract: the schema tag, and freshness fields a poller uses
+/// to distinguish a live exporter from a stale file.
+Status CheckExportJson(const std::string& path) {
+  FM_ASSIGN_OR_RETURN(const std::string text, ReadFile(path));
+  FM_ASSIGN_OR_RETURN(const JsonValue root, ParseJson(text));
+  const std::string schema = root.StringOr("schema", "");
+  if (schema != "fairmove.export.v1") {
+    return Status::InvalidArgument(path + ": schema '" + schema +
+                                   "', expected 'fairmove.export.v1'");
+  }
+  for (const char* key :
+       {"freshness_utc", "freshness_seq", "period_ms", "latency", "metrics"}) {
+    if (root.Find(key) == nullptr) {
+      return Status::InvalidArgument(path + ": missing key '" +
+                                     std::string(key) + "'");
+    }
+  }
+  const int64_t seq = static_cast<int64_t>(root.NumberOr("freshness_seq", 0));
+  if (seq < 1) {
+    return Status::InvalidArgument(path + ": freshness_seq " +
+                                   std::to_string(seq) + " must be >= 1");
+  }
+  if (root.StringOr("freshness_utc", "").size() < 20) {
+    return Status::InvalidArgument(path +
+                                   ": freshness_utc is not a UTC timestamp");
+  }
+  std::printf("  ok  %-16s seq %lld\n",
+              std::filesystem::path(path).filename().c_str(),
+              static_cast<long long>(seq));
+  return Status::OK();
+}
+
+/// windows.jsonl contract: every row carries the quantile payload, and the
+/// epoch ids are strictly increasing per recorder name — the property that
+/// makes the sliding windows stitchable into a time series.
+Status CheckWindowRows(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  std::vector<std::pair<std::string, int64_t>> last_epoch;
+  int64_t rows = 0;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    FM_ASSIGN_OR_RETURN(const JsonValue row, ParseJson(line));
+    const std::string where = path + ": line " + std::to_string(line_no);
+    for (const char* key : {"epoch_id", "name", "count", "rate_per_s",
+                            "p50_ns", "p90_ns", "p99_ns", "p999_ns",
+                            "window_count", "window_max_ns", "cum_count"}) {
+      if (row.Find(key) == nullptr) {
+        return Status::InvalidArgument(where + ": missing key '" +
+                                       std::string(key) + "'");
+      }
+    }
+    const std::string name = row.StringOr("name", "");
+    const int64_t epoch = static_cast<int64_t>(row.NumberOr("epoch_id", -1));
+    if (epoch < 0) {
+      return Status::InvalidArgument(where + ": epoch_id must be >= 0");
+    }
+    std::pair<std::string, int64_t>* entry = nullptr;
+    for (auto& e : last_epoch) {
+      if (e.first == name) entry = &e;
+    }
+    if (entry == nullptr) {
+      last_epoch.emplace_back(name, epoch);
+    } else if (epoch <= entry->second) {
+      return Status::InvalidArgument(
+          where + ": recorder '" + name + "' epoch_id " +
+          std::to_string(epoch) + " does not increase past " +
+          std::to_string(entry->second));
+    } else {
+      entry->second = epoch;
+    }
+    ++rows;
+  }
+  std::printf("  ok  %-16s %lld row(s) across %zu recorder(s)\n",
+              std::filesystem::path(path).filename().c_str(),
+              static_cast<long long>(rows), last_epoch.size());
+  return Status::OK();
+}
+
+/// A FAIRMOVE_METRICS_EXPORT directory: snapshot + windows + flight dump.
+Status CheckExportDir(const std::string& dir) {
+  FM_RETURN_IF_ERROR(CheckExportJson(dir + "/export.json"));
+  FM_RETURN_IF_ERROR(CheckWindowRows(dir + "/windows.jsonl"));
+  const std::string prom = dir + "/metrics.prom";
+  FM_ASSIGN_OR_RETURN(const std::string prom_text, ReadFile(prom));
+  if (prom_text.empty() || prom_text[0] != '#') {
+    return Status::InvalidArgument(prom + ": missing exposition header");
+  }
+  std::printf("  ok  %-16s %zu byte(s)\n",
+              std::filesystem::path(prom).filename().c_str(),
+              prom_text.size());
+  const std::string flight = dir + "/flight.fmfr";
+  if (std::filesystem::exists(flight)) {
+    FM_RETURN_IF_ERROR(CheckFlightDump(flight));
+  }
+  return Status::OK();
+}
+
 Status CheckTelemetryDir(const std::string& dir) {
   FM_RETURN_IF_ERROR(CheckJsonObjectFile(
       dir + "/manifest.json",
@@ -256,6 +401,16 @@ Status CheckTelemetryDir(const std::string& dir) {
   if (std::filesystem::exists(profile)) {
     FM_RETURN_IF_ERROR(CheckJsonObjectFile(profile, {"spans"}));
   }
+  // Live-observability artefacts, when the run produced them in this dir.
+  if (std::filesystem::exists(dir + "/export.json")) {
+    FM_RETURN_IF_ERROR(CheckExportDir(dir));
+  }
+  for (const char* name : {"/flight_crash.fmfr", "/flight_stall.fmfr"}) {
+    const std::string path = dir + name;
+    if (std::filesystem::exists(path)) {
+      FM_RETURN_IF_ERROR(CheckFlightDump(path));
+    }
+  }
   return Status::OK();
 }
 
@@ -263,16 +418,28 @@ Status CheckTelemetryDir(const std::string& dir) {
 }  // namespace fairmove
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <telemetry-dir>\n", argv[0]);
+  const char* usage = "usage: %s [--export|--flight|--trace] <path>\n";
+  fairmove::Status status;
+  if (argc == 3 && std::strcmp(argv[1], "--flight") == 0) {
+    std::printf("checking flight dump %s\n", argv[2]);
+    status = fairmove::CheckFlightDump(argv[2]);
+  } else if (argc == 3 && std::strcmp(argv[1], "--trace") == 0) {
+    std::printf("checking trace %s\n", argv[2]);
+    status = fairmove::CheckTrace(argv[2]);
+  } else if (argc == 3 && std::strcmp(argv[1], "--export") == 0) {
+    std::printf("checking export dir %s\n", argv[2]);
+    status = fairmove::CheckExportDir(argv[2]);
+  } else if (argc == 2 && argv[1][0] != '-') {
+    std::printf("checking telemetry dir %s\n", argv[1]);
+    status = fairmove::CheckTelemetryDir(argv[1]);
+  } else {
+    std::fprintf(stderr, usage, argv[0]);
     return 2;
   }
-  const std::string dir = argv[1];
-  std::printf("checking telemetry dir %s\n", dir.c_str());
-  if (fairmove::Status s = fairmove::CheckTelemetryDir(dir); !s.ok()) {
-    std::fprintf(stderr, "FAIL: %s\n", s.ToString().c_str());
+  if (!status.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("all telemetry artefacts valid\n");
+  std::printf("all artefacts valid\n");
   return 0;
 }
